@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the geometry engine: the real-CPU hot
+//! paths behind Table 3's parsing and the join's refine phase.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mvio_datagen::{ShapeGen, SpatialDistribution};
+use mvio_geom::index::RTree;
+use mvio_geom::{algo, wkb, wkt, Geometry, Rect};
+
+fn sample_polygons(n: usize) -> Vec<Geometry> {
+    let mut sampler = SpatialDistribution::Uniform
+        .sampler(Rect::new(0.0, 0.0, 100.0, 100.0), 42);
+    let gen = ShapeGen::lake_polygons();
+    (0..n).map(|_| Geometry::Polygon(gen.polygon(&mut sampler))).collect()
+}
+
+fn bench_wkt(c: &mut Criterion) {
+    let geoms = sample_polygons(200);
+    let text: String = geoms
+        .iter()
+        .map(|g| {
+            let mut s = wkt::write(g);
+            s.push('\n');
+            s
+        })
+        .collect();
+    let bytes = text.len() as u64;
+
+    let mut group = c.benchmark_group("wkt");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("parse_polygons", |b| {
+        b.iter(|| {
+            let parsed = wkt::parse_many(black_box(&text)).unwrap();
+            black_box(parsed.len())
+        })
+    });
+    group.bench_function("write_polygons", |b| {
+        b.iter(|| {
+            let mut out = String::with_capacity(text.len());
+            for g in &geoms {
+                wkt::write_to(black_box(g), &mut out);
+                out.push('\n');
+            }
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_wkb(c: &mut Criterion) {
+    let geoms = sample_polygons(200);
+    let encoded: Vec<Vec<u8>> = geoms.iter().map(wkb::encode).collect();
+    let bytes: u64 = encoded.iter().map(|b| b.len() as u64).sum();
+
+    let mut group = c.benchmark_group("wkb");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for g in &geoms {
+                total += wkb::encode(black_box(g)).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for e in &encoded {
+                total += wkb::decode(black_box(e)).unwrap().0.num_points();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let geoms = sample_polygons(64);
+    let mut group = c.benchmark_group("refine");
+    group.bench_function("intersects_all_pairs", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for a in &geoms {
+                for bb in &geoms {
+                    if algo::intersects(black_box(a), black_box(bb)) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let items: Vec<(Rect, usize)> = sample_polygons(2000)
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.envelope(), i))
+        .collect();
+    let tree = RTree::bulk_load(items.clone());
+    let probes: Vec<Rect> = items.iter().map(|(r, _)| r.buffered(0.5)).take(256).collect();
+
+    let mut group = c.benchmark_group("rtree");
+    group.bench_function("bulk_load_2000", |b| {
+        b.iter(|| black_box(RTree::bulk_load(black_box(items.clone())).len()))
+    });
+    group.bench_function("query_256_probes", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for p in &probes {
+                n += tree.count(black_box(p));
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wkt, bench_wkb, bench_refine, bench_rtree);
+criterion_main!(benches);

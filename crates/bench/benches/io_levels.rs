@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the MPI-IO access levels (wall-clock cost of
+//! the simulator itself, plus the virtual-time outputs as a side effect).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mvio_bench::experiments::fig08::bandwidth_contiguous;
+use mvio_bench::experiments::Scale;
+use mvio_msim::AccessLevel;
+use mvio_pfs::StripeSpec;
+
+fn bench_levels(c: &mut Criterion) {
+    let scale = Scale { denominator: 200_000 };
+    let stripe = StripeSpec::new(16, scale.block(32 << 20));
+    let mut group = c.benchmark_group("io_levels");
+    group.sample_size(10);
+    group.bench_function("level0_roads_8ranks", |b| {
+        b.iter(|| {
+            let (bytes, t) = bandwidth_contiguous(
+                "Roads",
+                scale,
+                2,
+                4,
+                stripe,
+                stripe.size,
+                AccessLevel::Level0,
+                1,
+            );
+            black_box((bytes, t))
+        })
+    });
+    group.bench_function("level1_roads_8ranks", |b| {
+        b.iter(|| {
+            let (bytes, t) = bandwidth_contiguous(
+                "Roads",
+                scale,
+                2,
+                4,
+                stripe,
+                stripe.size,
+                AccessLevel::Level1,
+                1,
+            );
+            black_box((bytes, t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the file-partitioning strategies (Figure 10's
+//! contenders) and the grid exchange.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mvio_bench::experiments::fig10::partition_time;
+use mvio_bench::experiments::fig17::join_run;
+use mvio_bench::experiments::Scale;
+use mvio_core::partition::BoundaryStrategy;
+
+fn bench_strategies(c: &mut Criterion) {
+    let scale = Scale { denominator: 100_000 };
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    group.bench_function("message_lakes_8ranks", |b| {
+        b.iter(|| black_box(partition_time(scale, 2, 4, 8, BoundaryStrategy::Message)))
+    });
+    group.bench_function("overlap_lakes_8ranks", |b| {
+        b.iter(|| black_box(partition_time(scale, 2, 4, 8, BoundaryStrategy::Overlap)))
+    });
+    group.finish();
+}
+
+fn bench_join_pipeline(c: &mut Criterion) {
+    let scale = Scale { denominator: 100_000 };
+    let mut group = c.benchmark_group("join_pipeline");
+    group.sample_size(10);
+    group.bench_function("lakes_cemetery_8ranks", |b| {
+        b.iter(|| black_box(join_run(scale, "Lakes", "Cemetery", 8, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_join_pipeline);
+criterion_main!(benches);

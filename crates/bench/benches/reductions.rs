@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the spatial reduction operators (Figure 13's
+//! machinery) and the collective hub.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mvio_bench::experiments::fig13::{union_collective, Collective};
+use mvio_bench::experiments::Scale;
+use mvio_core::spops::UnionRect;
+use mvio_geom::Rect;
+use mvio_msim::{ReduceOp, Topology, World, WorldConfig};
+
+fn bench_union_collectives(c: &mut Criterion) {
+    let scale = Scale::default_repro();
+    let mut group = c.benchmark_group("spatial_reductions");
+    group.sample_size(10);
+    group.bench_function("reduce_union_8ranks_10k_rects", |b| {
+        b.iter(|| black_box(union_collective(scale, 8, 10_000, Collective::Reduce)))
+    });
+    group.bench_function("scan_union_8ranks_10k_rects", |b| {
+        b.iter(|| black_box(union_collective(scale, 8, 10_000, Collective::Scan)))
+    });
+    group.finish();
+}
+
+fn bench_rect_union_op(c: &mut Criterion) {
+    let rects: Vec<Rect> = (0..10_000)
+        .map(|i| {
+            let x = (i % 100) as f64;
+            let y = (i / 100) as f64;
+            Rect::new(x, y, x + 1.5, y + 1.5)
+        })
+        .collect();
+    c.bench_function("rect_union_fold_10k", |b| {
+        b.iter(|| {
+            let u = UnionRect;
+            let acc = rects
+                .iter()
+                .fold(Rect::EMPTY, |a, r| u.combine(&a, black_box(r)));
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_collective_hub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_hub");
+    group.sample_size(10);
+    group.bench_function("allreduce_64ranks", |b| {
+        b.iter(|| {
+            let out = World::run(WorldConfig::new(Topology::new(4, 16)), |comm| {
+                comm.allreduce_u64(comm.rank() as u64, |a, b| a + b)
+            });
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_collectives, bench_rect_union_op, bench_collective_hub);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p mvio-bench --bin repro -- all
+//! cargo run --release -p mvio-bench --bin repro -- fig8 fig11
+//! cargo run --release -p mvio-bench --bin repro -- --scale 10000 fig17
+//! cargo run --release -p mvio-bench --bin repro -- --quick all
+//! ```
+//!
+//! `--scale D` sets the workload denominator (default 1000 = 1/1000 of the
+//! paper's dataset sizes). `--quick` trims the sweeps for smoke runs.
+
+use mvio_bench::experiments::{self as ex, Scale};
+
+const IDS: [&str; 20] = [
+    "table1", "table2", "table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "baseline", "ablation-maps",
+    "ablation-windows", "ablation-blocks",
+];
+
+fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
+    Some(match id {
+        "table1" => ex::table1::run(scale, quick),
+        "table2" => ex::table2::run(scale, quick),
+        "table3" => ex::table3::run(scale, quick),
+        "fig8" => ex::fig08::run(scale, quick),
+        "fig9" => ex::fig09::run(scale, quick),
+        "fig10" => ex::fig10::run(scale, quick),
+        "fig11" => ex::fig11::run(scale, quick),
+        "fig12" => ex::fig12::run(scale, quick),
+        "fig13" => ex::fig13::run(scale, quick),
+        "fig14" => ex::fig14::run(scale, quick),
+        "fig15" => ex::fig15::run(scale, quick),
+        "fig16" => ex::fig16::run(scale, quick),
+        "fig17" => ex::fig17::run(scale, quick),
+        "fig18" => ex::fig18::run(scale, quick),
+        "fig19" => ex::fig19::run(scale, quick),
+        "fig20" => ex::fig20::run(scale, quick),
+        "baseline" => ex::baseline::run(scale, quick),
+        "ablation-maps" => ex::ablation::maps(scale, quick),
+        "ablation-windows" => ex::ablation::windows(scale, quick),
+        "ablation-blocks" => ex::ablation::blocks(scale, quick),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_repro();
+    let mut quick = false;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let d: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid --scale value"));
+                scale = Scale { denominator: d.max(1) };
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(""),
+            "all" => targets.extend(IDS.iter().map(|s| s.to_string())),
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage("no experiment selected");
+    }
+    targets.dedup();
+
+    println!(
+        "MPI-Vector-IO reproduction — scale 1/{}, {} mode\n",
+        scale.denominator,
+        if quick { "quick" } else { "full" }
+    );
+    for id in &targets {
+        match dispatch(id, scale, quick) {
+            Some(out) => println!("{out}"),
+            None => eprintln!("unknown experiment {id:?}; valid: {IDS:?}"),
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: repro [--scale D] [--quick] <experiment...|all>");
+    eprintln!("experiments: {IDS:?}");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,113 @@
+//! The §1 headline: "the I/O is improved by one to two orders of
+//! magnitude over real-world datasets using up to 1152 CPU cores" —
+//! MPI-Vector-IO's parallel partitioned reads vs the serial strategies
+//! its predecessors used (master-read-and-scatter, redundant reading).
+
+use super::{cost_scaled, install_dataset, lustre_scaled, spec, Scale};
+use crate::report::Table;
+use mvio_core::partition::{
+    read_master_scatter, read_partition_text, read_redundant, ReadOptions,
+};
+use mvio_msim::{Topology, World, WorldConfig};
+use mvio_pfs::{SimFs, StripeSpec};
+
+/// Which read strategy a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    MpiVectorIo,
+    MasterScatter,
+    Redundant,
+}
+
+/// Times one strategy on the scaled Roads dataset. Returns max-over-ranks
+/// virtual seconds.
+pub fn read_time(scale: Scale, nodes: usize, strategy: Strategy) -> f64 {
+    let ds = spec("Roads");
+    let fs = SimFs::new(lustre_scaled(scale));
+    let topo = Topology::new(nodes, 16);
+    fs.set_active_ranks(topo.ranks());
+    let block = scale.block(32 << 20).max(64 << 10);
+    install_dataset(&fs, &ds, scale, "roads.wkt", Some(StripeSpec::new(64, block)));
+    let opts = ReadOptions::default()
+        .with_block_size(block)
+        .with_max_geometry_bytes(block);
+    let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
+    let times = World::run(cfg, move |comm| {
+        match strategy {
+            Strategy::MpiVectorIo => {
+                read_partition_text(comm, &fs, "roads.wkt", &opts).unwrap()
+            }
+            Strategy::MasterScatter => {
+                read_master_scatter(comm, &fs, "roads.wkt", &opts).unwrap()
+            }
+            Strategy::Redundant => read_redundant(comm, &fs, "roads.wkt", &opts).unwrap(),
+        };
+        comm.now()
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+/// Runs the baseline comparison and renders the table.
+pub fn run(scale: Scale, quick: bool) -> String {
+    let node_sweep: Vec<usize> = if quick { vec![4] } else { vec![4, 16, 48, 72] };
+    let mut t = Table::new(
+        format!(
+            "Headline (§1): MPI-Vector-IO vs serial baselines, Roads read (scaled 1/{})",
+            scale.denominator
+        ),
+        &[
+            "nodes", "procs", "mpi-vector-io (s)", "master-scatter (s)", "redundant (s)",
+            "speedup vs master", "speedup vs redundant",
+        ],
+    );
+    let d = scale.denominator as f64;
+    for nodes in node_sweep {
+        let mvio = read_time(scale, nodes, Strategy::MpiVectorIo);
+        let master = read_time(scale, nodes, Strategy::MasterScatter);
+        let redundant = read_time(scale, nodes, Strategy::Redundant);
+        t.row(vec![
+            nodes.to_string(),
+            (nodes * 16).to_string(),
+            format!("{:.2}", mvio * d),
+            format!("{:.2}", master * d),
+            format!("{:.2}", redundant * d),
+            format!("{:.1}x", master / mvio.max(1e-12)),
+            format!("{:.1}x", redundant / mvio.max(1e-12)),
+        ]);
+    }
+    t.note("paper: I/O improved by one to two orders of magnitude using up to 1152 cores");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_reaches_order_of_magnitude_at_scale() {
+        // Needs enough blocks that all nodes participate (the 64 KiB
+        // block floor concentrates tiny replicas onto few nodes).
+        let scale = Scale { denominator: 2_000 };
+        let mvio = read_time(scale, 16, Strategy::MpiVectorIo);
+        let master = read_time(scale, 16, Strategy::MasterScatter);
+        let redundant = read_time(scale, 16, Strategy::Redundant);
+        assert!(
+            master / mvio > 5.0,
+            "master-scatter speedup {:.1}x should approach an order of magnitude",
+            master / mvio
+        );
+        assert!(redundant / mvio > 5.0, "redundant speedup {:.1}x", redundant / mvio);
+    }
+
+    #[test]
+    fn speedup_grows_with_node_count() {
+        let scale = Scale { denominator: 2_000 };
+        let ratio = |nodes: usize| {
+            read_time(scale, nodes, Strategy::MasterScatter)
+                / read_time(scale, nodes, Strategy::MpiVectorIo).max(1e-12)
+        };
+        let r4 = ratio(4);
+        let r16 = ratio(16);
+        assert!(r16 > r4, "speedup must grow with nodes: {r4:.1}x -> {r16:.1}x");
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 9: Level-0 read bandwidth for Roads (24 GB), fixed stripe size
+//! 32 MB, stripe counts (OSTs) 16/32/64/96.
+
+use super::{fig08::bandwidth_contiguous, node_sweep, spec, Scale};
+use crate::report::{gbps, human_bytes, Table};
+use mvio_msim::AccessLevel;
+use mvio_pfs::StripeSpec;
+
+/// The OST counts the paper sweeps.
+pub const OST_COUNTS: [u32; 4] = [16, 32, 64, 96];
+
+/// Runs the Figure 9 sweep and renders the table.
+pub fn run(scale: Scale, quick: bool) -> String {
+    let ssize = scale.block(32 << 20);
+    let mut headers: Vec<String> = vec!["nodes".into(), "procs".into()];
+    headers.extend(OST_COUNTS.iter().map(|o| format!("GB/s ({o} OST)")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 9: Level-0 read bandwidth, Roads ({} scaled 1/{}), stripe size 32 MB",
+            human_bytes(spec("Roads").paper_bytes),
+            scale.denominator
+        ),
+        &headers_ref,
+    );
+    for nodes in node_sweep(quick) {
+        let mut cells = vec![nodes.to_string(), (nodes * 16).to_string()];
+        for &osts in &OST_COUNTS {
+            let stripe = StripeSpec::new(osts, ssize);
+            let (bytes, time) = bandwidth_contiguous(
+                "Roads", scale, nodes, 16, stripe, ssize, AccessLevel::Level0, 3,
+            );
+            cells.push(gbps(bytes, time));
+        }
+        t.row(cells);
+    }
+    t.note("paper: up to 8-9 GB/s; bandwidth generally increases with OST count before saturating");
+    t.note("higher process counts saturate the per-OST service and the gain flattens");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_osts_lift_saturated_bandwidth() {
+        let scale = Scale { denominator: 100_000 };
+        let ssize = scale.block(32 << 20);
+        let nodes = 16;
+        let (b16, t16) = bandwidth_contiguous(
+            "Roads", scale, nodes, 4, StripeSpec::new(16, ssize), ssize,
+            AccessLevel::Level0, 1,
+        );
+        let (b96, t96) = bandwidth_contiguous(
+            "Roads", scale, nodes, 4, StripeSpec::new(96, ssize), ssize,
+            AccessLevel::Level0, 1,
+        );
+        let bw16 = b16 as f64 / t16;
+        let bw96 = b96 as f64 / t96;
+        assert!(
+            bw96 >= bw16 * 0.95,
+            "96 OSTs should not be slower than 16: {bw16} vs {bw96}"
+        );
+    }
+
+    #[test]
+    fn render_has_all_ost_columns() {
+        let s = run(Scale { denominator: 200_000 }, true);
+        for o in OST_COUNTS {
+            assert!(s.contains(&format!("({o} OST)")));
+        }
+    }
+}

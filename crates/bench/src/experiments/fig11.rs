@@ -1,0 +1,100 @@
+//! Figure 11: Level-1 (collective) read time for Roads, stripe size
+//! 16 MB, stripe counts 16/32/64/96 — exhibiting the ROMIO reader-count
+//! cliffs at 24, 48 and 72 nodes.
+
+use super::{fig08::bandwidth_contiguous, spec, Scale};
+use crate::report::{human_bytes, Table};
+use mvio_msim::io::select_readers;
+use mvio_msim::AccessLevel;
+use mvio_pfs::{FsKind, StripeSpec};
+
+/// Stripe counts the paper sweeps in this figure.
+pub const OST_COUNTS: [u32; 4] = [16, 32, 64, 96];
+
+/// Node counts including the problematic non-divisor points.
+pub fn nodes_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![16, 24]
+    } else {
+        vec![8, 16, 24, 32, 48, 64, 72]
+    }
+}
+
+/// Runs the Figure 11 sweep and renders the table.
+pub fn run(scale: Scale, quick: bool) -> String {
+    let ssize = scale.block(16 << 20);
+    let mut headers: Vec<String> = vec!["nodes".into()];
+    for o in OST_COUNTS {
+        headers.push(format!("s ({o} OST)"));
+        headers.push(format!("readers ({o})"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 11: Level-1 collective read time, Roads ({} scaled 1/{}), stripe size 16 MB",
+            human_bytes(spec("Roads").paper_bytes),
+            scale.denominator
+        ),
+        &headers_ref,
+    );
+    for nodes in nodes_sweep(quick) {
+        let mut cells = vec![nodes.to_string()];
+        for &osts in &OST_COUNTS {
+            let stripe = StripeSpec::new(osts, ssize);
+            let (_bytes, time) = bandwidth_contiguous(
+                "Roads", scale, nodes, 16, stripe, ssize, AccessLevel::Level1, 3,
+            );
+            cells.push(format!("{:.2}", time * scale.denominator as f64));
+            cells.push(select_readers(FsKind::Lustre, osts, nodes, None).to_string());
+        }
+        t.row(cells);
+    }
+    t.note("paper: drops at 24, 48 and 72 nodes — ROMIO picks the largest divisor of the stripe count <= node count, so non-divisor node counts waste nodes");
+    t.note("paper: ~3.5 GB/s max with 96 OSTs at this 16 MB stripe size");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline mechanism: 24 nodes on a 64-OST file get only 16
+    /// readers and must not beat 16 nodes by the naive 1.5x — the cliff.
+    #[test]
+    fn non_divisor_node_count_underperforms() {
+        let scale = Scale { denominator: 50_000 };
+        let ssize = scale.block(16 << 20);
+        let stripe = StripeSpec::new(64, ssize);
+        let (b16, t16) = bandwidth_contiguous(
+            "Roads", scale, 16, 4, stripe, ssize, AccessLevel::Level1, 1,
+        );
+        let (b24, t24) = bandwidth_contiguous(
+            "Roads", scale, 24, 4, stripe, ssize, AccessLevel::Level1, 1,
+        );
+        let (b32, t32) = bandwidth_contiguous(
+            "Roads", scale, 32, 4, stripe, ssize, AccessLevel::Level1, 1,
+        );
+        let bw = |b: u64, t: f64| b as f64 / t;
+        // 32 nodes (divisor) must clearly beat 24 nodes (non-divisor).
+        assert!(
+            bw(b32, t32) > bw(b24, t24),
+            "32 nodes {:.2e} must beat 24 nodes {:.2e}",
+            bw(b32, t32),
+            bw(b24, t24)
+        );
+        // And 24 nodes gains little or nothing over 16 (same 16 readers).
+        assert!(
+            bw(b24, t24) < bw(b16, t16) * 1.3,
+            "24-node cliff: {:.2e} vs 16-node {:.2e}",
+            bw(b24, t24),
+            bw(b16, t16)
+        );
+    }
+
+    #[test]
+    fn render_includes_reader_counts() {
+        let s = run(Scale { denominator: 200_000 }, true);
+        assert!(s.contains("readers"));
+        assert!(s.contains("Figure 11"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 14: I/O + parsing performance for All Nodes (96 GB of points)
+//! vs All Objects (92 GB of polygons) on GPFS, Level 1, up to ~100
+//! processes.
+
+use super::{cost_scaled, gpfs_scaled, install_dataset, spec, Scale};
+use crate::report::Table;
+use mvio_core::partition::{read_features, ReadOptions};
+use mvio_core::reader::WktLineParser;
+use mvio_msim::{AccessLevel, Topology, World, WorldConfig};
+use mvio_pfs::SimFs;
+
+/// Times I/O + parsing of a dataset with `procs` ranks (20/node, ROGER).
+/// Returns `(max virtual seconds, features parsed)`.
+pub fn io_plus_parse(dataset: &str, scale: Scale, procs: usize) -> (f64, u64) {
+    let ds = spec(dataset);
+    let fs = SimFs::new(gpfs_scaled(scale));
+    let nodes = procs.div_ceil(20).max(1);
+    let ppn = procs.div_ceil(nodes);
+    let topo = Topology::new(nodes, ppn);
+    fs.set_active_ranks(topo.ranks());
+    install_dataset(&fs, &ds, scale, "data.wkt", None);
+    let opts = ReadOptions::default().with_level(AccessLevel::Level1);
+    let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
+    let out = World::run(cfg, |comm| {
+        let feats = read_features(comm, &fs, "data.wkt", &opts, &WktLineParser).unwrap();
+        (comm.now(), feats.len() as u64)
+    });
+    let time = out.iter().map(|(t, _)| *t).fold(0.0, f64::max);
+    let count = out.iter().map(|(_, n)| n).sum();
+    (time, count)
+}
+
+/// Runs the Figure 14 sweep and renders the table.
+pub fn run(scale: Scale, quick: bool) -> String {
+    let procs_sweep: Vec<usize> = if quick { vec![20, 40] } else { vec![20, 40, 60, 80, 100, 120] };
+    let mut t = Table::new(
+        format!(
+            "Figure 14: I/O + parsing, All Nodes vs All Objects, GPFS Level 1 (scaled 1/{})",
+            scale.denominator
+        ),
+        &["procs", "All Nodes (s, full-scale)", "All Objects (s, full-scale)"],
+    );
+    for procs in procs_sweep {
+        let (tn, _) = io_plus_parse("All Nodes", scale, procs);
+        let (to, _) = io_plus_parse("All Objects", scale, procs);
+        let d = scale.denominator as f64;
+        t.row(vec![
+            procs.to_string(),
+            format!("{:.1}", tn * d),
+            format!("{:.1}", to * d),
+        ]);
+    }
+    t.note("paper: both scale up to ~80 processes; All Objects takes longer despite similar file size because polygons parse slower than points");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polygons_cost_more_than_points_per_byte() {
+        let scale = Scale { denominator: 200_000 };
+        let (tn, cn) = io_plus_parse("All Nodes", scale, 4);
+        let (to, co) = io_plus_parse("All Objects", scale, 4);
+        assert!(cn > 0 && co > 0);
+        // Figure 14's claim is per-dataset at similar sizes; at our scale
+        // compare per-byte-normalized costs via the datasets' byte sizes.
+        let bytes_n = super::super::dataset_bytes(&spec("All Nodes"), scale).len() as f64;
+        let bytes_o = super::super::dataset_bytes(&spec("All Objects"), scale).len() as f64;
+        assert!(
+            to / bytes_o > tn / bytes_n,
+            "polygon parse per byte must exceed point parse per byte"
+        );
+    }
+
+    #[test]
+    fn parse_scales_with_processes() {
+        let scale = Scale { denominator: 200_000 };
+        let (t1, _) = io_plus_parse("All Objects", scale, 2);
+        let (t4, _) = io_plus_parse("All Objects", scale, 8);
+        assert!(t4 < t1, "8 procs {t4} should beat 2 procs {t1}");
+    }
+
+    #[test]
+    fn render_has_both_series() {
+        let s = run(Scale { denominator: 500_000 }, true);
+        assert!(s.contains("All Nodes"));
+        assert!(s.contains("All Objects"));
+    }
+}

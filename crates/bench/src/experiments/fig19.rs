@@ -1,0 +1,76 @@
+//! Figure 19: spatial-join breakdown vs process count for Roads ⋈
+//! Cemetery (datasets #3 ⋈ #1) — the *communication-dominated* workload.
+//!
+//! Roads is 72 M small polygons: the per-geometry serialization /
+//! deserialization and the Alltoallv payload swamp the (cheap, tiny-pair)
+//! refine work, inverting Figure 18's profile.
+
+use super::fig17::join_run;
+use super::fig18::procs_sweep;
+use super::Scale;
+use crate::report::Table;
+
+/// Runs the Figure 19 sweep and renders the table.
+pub fn run(scale: Scale, quick: bool) -> String {
+    let cells = if quick { 8 } else { 32 };
+    let mut t = Table::new(
+        format!(
+            "Figure 19: join breakdown vs processes, Roads ⋈ Cemetery ({}x{} cells, scaled 1/{})",
+            cells, cells, scale.denominator
+        ),
+        &["procs", "partition (s)", "comm (s)", "join (s)", "total (s)", "dominant"],
+    );
+    let d = scale.denominator as f64;
+    for procs in procs_sweep(quick) {
+        let (b, _) = join_run(scale, "Roads", "Cemetery", procs, cells);
+        let dominant = if b.communication >= b.compute && b.communication >= b.partition {
+            "comm"
+        } else if b.compute >= b.partition {
+            "join"
+        } else {
+            "partition"
+        };
+        t.row(vec![
+            procs.to_string(),
+            format!("{:.2}", b.partition * d),
+            format!("{:.2}", b.communication * d),
+            format!("{:.2}", b.compute * d),
+            format!("{:.2}", b.total * d),
+            dominant.to_string(),
+        ]);
+    }
+    t.note("paper: the communication cost dominates the overall execution time for this pair");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roads_cemetery_is_communication_heavy() {
+        // Roads ships ~20x more geometries than Lakes at equal scale; its
+        // communication phase must dwarf its join phase.
+        let scale = Scale { denominator: 20_000 };
+        let (b, _) = join_run(scale, "Roads", "Cemetery", 4, 8);
+        assert!(
+            b.communication > b.compute,
+            "comm {:.4} should dominate join {:.4} for Roads ⋈ Cemetery",
+            b.communication,
+            b.compute
+        );
+    }
+
+    #[test]
+    fn communication_shrinks_with_processes() {
+        let scale = Scale { denominator: 20_000 };
+        let (b2, _) = join_run(scale, "Roads", "Cemetery", 2, 8);
+        let (b8, _) = join_run(scale, "Roads", "Cemetery", 8, 8);
+        assert!(
+            b8.communication < b2.communication,
+            "comm must shrink with ranks: {:.4} -> {:.4}",
+            b2.communication,
+            b8.communication
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 1: the three MPI file-read access levels, demonstrated live.
+
+use super::Scale;
+use crate::report::Table;
+use mvio_core::sptypes::RECT_RECORD_BYTES;
+use mvio_core::views::read_rects_level3;
+use mvio_datagen::write_rect_records;
+use mvio_geom::Rect;
+use mvio_msim::{AccessLevel, Hints, MpiFile, Topology, World, WorldConfig};
+use mvio_pfs::{FsConfig, SimFs};
+
+/// Renders Table 1, exercising each access level on a small record file
+/// to prove the dispatch is real (records read are verified per level).
+pub fn run(_scale: Scale, _quick: bool) -> String {
+    let records = 4096u64;
+    let fs = SimFs::new(FsConfig::lustre_comet());
+    write_rect_records(&fs, "t1.bin", Rect::new(0.0, 0.0, 100.0, 100.0), records, 0x7AB1);
+
+    let verify = |level: AccessLevel| -> u64 {
+        let fs = std::sync::Arc::clone(&fs);
+        let counts = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let mut f = MpiFile::open(&fs, "t1.bin", Hints::default()).unwrap();
+            let p = comm.size() as u64;
+            match level {
+                AccessLevel::Level0 | AccessLevel::Level1 => {
+                    let per = records / p;
+                    let mut buf = vec![0u8; (per * RECT_RECORD_BYTES as u64) as usize];
+                    let off = comm.rank() as u64 * per * RECT_RECORD_BYTES as u64;
+                    let n = match level {
+                        AccessLevel::Level0 => f.read_at(comm, off, &mut buf).unwrap(),
+                        _ => f.read_at_all(comm, off, &mut buf).unwrap(),
+                    };
+                    (n / RECT_RECORD_BYTES) as u64
+                }
+                AccessLevel::Level3 => {
+                    read_rects_level3(comm, &mut f, records, 64).unwrap().len() as u64
+                }
+            }
+        });
+        counts.iter().sum()
+    };
+
+    let mut t = Table::new(
+        "Table 1: three levels in MPI file read functions",
+        &["level", "pattern", "records read (4 ranks)"],
+    );
+    for (level, name) in [
+        (AccessLevel::Level0, "Level 0"),
+        (AccessLevel::Level1, "Level 1"),
+        (AccessLevel::Level3, "Level 3"),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            level.describe().to_string(),
+            verify(level).to_string(),
+        ]);
+    }
+    t.note("each row executed live: all three levels deliver the full record set");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_levels_read_all_records() {
+        let s = run(Scale::test_tiny(), true);
+        // Each level's row must report the complete 4096 records.
+        assert_eq!(s.matches("4096").count(), 3, "{s}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # mvio-bench — the table/figure reproduction harness
+//!
+//! One entry point per table and figure of the paper's evaluation
+//! (Section 5). Each experiment:
+//!
+//! * synthesizes the paper's workload at a configurable scale
+//!   (`1/denominator` of the full dataset size — the default `1000`
+//!   keeps every experiment laptop-sized while preserving the shape
+//!   statistics the result depends on);
+//! * runs the same code path the paper ran (same access level, same
+//!   strategy, same sweep axes);
+//! * prints the rows/series the paper plots, in virtual seconds / GB/s,
+//!   alongside the paper's qualitative expectation so the reader can
+//!   check the *shape* at a glance.
+//!
+//! Run them via the `repro` binary: `cargo run --release -p mvio-bench
+//! --bin repro -- fig8` (or `all`).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::Scale;

@@ -1,0 +1,182 @@
+//! The distributed filter-and-refine framework (paper §4.3, Figure 7).
+//!
+//! "For partitioned data, spatial computation can be carried out by
+//! extending refine interface that receives two collection of geometries
+//! in a cell." This module is that interface: after the grid exchange,
+//! every rank owns complete cells; [`run_refine`] groups the exchanged
+//! pairs by cell and hands each cell's two collections to the
+//! user-supplied refine closure. `mvio-sjoin` supplies the spatial-join
+//! refine; a batch spatial query would supply a different one.
+
+use crate::grid::{CellMap, UniformGrid};
+use crate::Feature;
+use mvio_geom::Rect;
+use mvio_msim::Comm;
+use std::collections::BTreeMap;
+
+/// One cell-local unit of refine work: the paper's "abstract type to
+/// represent a unit task in our system".
+#[derive(Debug)]
+pub struct RefineTask<'a> {
+    /// Cell id.
+    pub cell: u32,
+    /// The cell's rectangle (used for duplicate avoidance).
+    pub cell_rect: Rect,
+    /// Geometries of the left layer mapped to this cell.
+    pub left: Vec<&'a Feature>,
+    /// Geometries of the right layer mapped to this cell.
+    pub right: Vec<&'a Feature>,
+}
+
+/// Marker struct bundling the framework entry points.
+pub struct FilterRefine;
+
+impl FilterRefine {
+    /// Groups two exchanged layers by cell and invokes `refine` once per
+    /// cell this rank owns that is populated on the left layer. Results
+    /// are concatenated in ascending cell order (deterministic).
+    ///
+    /// `refine` receives the communicator so it can charge its actual
+    /// compute work to the virtual clock.
+    pub fn run_refine<'a, R>(
+        comm: &mut Comm,
+        grid: &UniformGrid,
+        map: CellMap,
+        left: &'a [(u32, Feature)],
+        right: &'a [(u32, Feature)],
+        mut refine: impl FnMut(&mut Comm, RefineTask<'a>) -> Vec<R>,
+    ) -> Vec<R> {
+        let rank = comm.rank();
+        let p = comm.size();
+        let num_cells = grid.num_cells();
+
+        let mut by_cell: BTreeMap<u32, (Vec<&'a Feature>, Vec<&'a Feature>)> = BTreeMap::new();
+        for (cell, f) in left {
+            debug_assert_eq!(map.rank_of(*cell, num_cells, p), rank, "left pair misrouted");
+            by_cell.entry(*cell).or_default().0.push(f);
+        }
+        for (cell, f) in right {
+            debug_assert_eq!(map.rank_of(*cell, num_cells, p), rank, "right pair misrouted");
+            by_cell.entry(*cell).or_default().1.push(f);
+        }
+
+        let mut out = Vec::new();
+        for (cell, (l, r)) in by_cell {
+            let task = RefineTask { cell, cell_rect: grid.cell_rect(cell), left: l, right: r };
+            out.extend(refine(comm, task));
+        }
+        out
+    }
+}
+
+/// Duplicate avoidance by the reference-point method: a candidate pair is
+/// reported only by the cell containing the min corner of the
+/// intersection of the two MBRs. Geometries replicated into several cells
+/// therefore produce each result exactly once ("duplicate avoidance is
+/// carried out later in the refinement phase", §4).
+///
+/// Containment is half-open on the max edges so adjacent cells cannot
+/// both claim a shared boundary point. Prefer the grid-aware
+/// [`claims_reference`] in pipeline code: it additionally closes the
+/// grid's *outer* max edges, where no neighbouring cell exists to pick
+/// the point up.
+pub fn is_reference_cell(cell_rect: &Rect, a: &Rect, b: &Rect) -> bool {
+    let i = a.intersection(b);
+    if i.is_empty() {
+        return false;
+    }
+    let (x, y) = (i.min_x, i.min_y);
+    x >= cell_rect.min_x
+        && x < cell_rect.max_x
+        && y >= cell_rect.min_y
+        && y < cell_rect.max_y
+}
+
+/// Grid-aware reference-point rule: like [`is_reference_cell`] but the
+/// cells of the grid's last column/row also claim points lying exactly on
+/// the grid's outer max edge (otherwise results at the global boundary
+/// would be silently dropped).
+pub fn claims_reference(grid: &UniformGrid, cell: u32, a: &Rect, b: &Rect) -> bool {
+    let i = a.intersection(b);
+    if i.is_empty() {
+        return false;
+    }
+    let (x, y) = (i.min_x, i.min_y);
+    let r = grid.cell_rect(cell);
+    let spec = grid.spec();
+    let col = cell % spec.cells_x;
+    let row = cell / spec.cells_x;
+    let x_ok = x >= r.min_x
+        && (x < r.max_x || (col == spec.cells_x - 1 && x <= r.max_x));
+    let y_ok = y >= r.min_y
+        && (y < r.max_y || (row == spec.cells_y - 1 && y <= r.max_y));
+    x_ok && y_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use mvio_geom::{Geometry, Point};
+    use mvio_msim::{Topology, World, WorldConfig};
+
+    fn pt(x: f64, y: f64) -> Feature {
+        Feature::new(Geometry::Point(Point::new(x, y)))
+    }
+
+    #[test]
+    fn refine_runs_once_per_populated_cell() {
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+            let grid = UniformGrid::new(Rect::new(0.0, 0.0, 4.0, 4.0), GridSpec::square(2));
+            let map = CellMap::RoundRobin;
+            // Rank r owns cells with c % 2 == r.
+            let my_cells: Vec<u32> = map.cells_of(comm.rank(), 4, 2);
+            let left: Vec<(u32, Feature)> =
+                my_cells.iter().map(|&c| (c, pt(c as f64, 0.0))).collect();
+            let right: Vec<(u32, Feature)> =
+                my_cells.iter().map(|&c| (c, pt(c as f64, 1.0))).collect();
+            let mut seen = Vec::new();
+            FilterRefine::run_refine(comm, &grid, map, &left, &right, |_, task| {
+                seen.push((task.cell, task.left.len(), task.right.len()));
+                vec![task.cell]
+            })
+        });
+        assert_eq!(out[0], vec![0, 2]);
+        assert_eq!(out[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn reference_point_dedup_claims_exactly_one_cell() {
+        let grid = UniformGrid::new(Rect::new(0.0, 0.0, 4.0, 4.0), GridSpec::square(4));
+        // Two rects overlapping across cells (1,1)..(2,2).
+        let a = Rect::new(0.5, 0.5, 2.5, 2.5);
+        let b = Rect::new(1.5, 1.5, 3.5, 3.5);
+        let claiming: Vec<u32> = (0..16)
+            .filter(|&c| is_reference_cell(&grid.cell_rect(c), &a, &b))
+            .collect();
+        // Intersection = (1.5,1.5)-(2.5,2.5); reference point (1.5,1.5)
+        // lies in cell row 1, col 1 = id 5. Exactly one claimant.
+        assert_eq!(claiming, vec![5]);
+    }
+
+    #[test]
+    fn reference_point_on_cell_edge_is_unambiguous() {
+        let grid = UniformGrid::new(Rect::new(0.0, 0.0, 2.0, 2.0), GridSpec::square(2));
+        // Intersection reference point exactly on the shared corner (1,1).
+        let a = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 1.5, 1.5);
+        let claiming: Vec<u32> = (0..4)
+            .filter(|&c| is_reference_cell(&grid.cell_rect(c), &a, &b))
+            .collect();
+        assert_eq!(claiming.len(), 1, "exactly one cell claims an edge point");
+        assert_eq!(claiming, vec![3]); // the NE cell, whose min corner it is
+    }
+
+    #[test]
+    fn disjoint_mbrs_claim_nothing() {
+        let cell = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(5.0, 5.0, 6.0, 6.0);
+        assert!(!is_reference_cell(&cell, &a, &b));
+    }
+}

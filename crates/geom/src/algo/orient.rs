@@ -1,0 +1,86 @@
+//! Orientation predicate (the cross-product sign test).
+
+use crate::point::Point;
+
+/// Result of the orientation test for an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` lies to the left of the directed line `a -> b`.
+    CounterClockwise,
+    /// `c` lies to the right of the directed line `a -> b`.
+    Clockwise,
+    /// The three points are collinear (within the predicate's tolerance).
+    Collinear,
+}
+
+/// Returns the orientation of the triple `(a, b, c)`.
+///
+/// The implementation evaluates the 2×2 determinant with a relative-epsilon
+/// guard: determinants whose magnitude is below `1e-12` times the magnitude
+/// of the contributing terms are classified [`Orientation::Collinear`].
+/// This is not an exact arithmetic predicate (GEOS uses DD arithmetic), but
+/// it is deterministic and stable for the coordinate magnitudes produced by
+/// geographic data (|coord| ≤ 360) and the synthetic workloads in this
+/// repository.
+#[inline]
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let det = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    // Scale-aware tolerance: the determinant of near-collinear points loses
+    // precision proportional to the magnitude of the products involved.
+    let scale = (b.x - a.x).abs() * (c.y - a.y).abs() + (b.y - a.y).abs() * (c.x - a.x).abs();
+    let eps = 1e-12 * scale.max(1.0e-300);
+    if det > eps {
+        Orientation::CounterClockwise
+    } else if det < -eps {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_orientations() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(orientation(a, b, Point::new(0.5, 1.0)), Orientation::CounterClockwise);
+        assert_eq!(orientation(a, b, Point::new(0.5, -1.0)), Orientation::Clockwise);
+        assert_eq!(orientation(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let a = Point::new(0.3, 0.7);
+        let b = Point::new(1.9, -0.4);
+        let c = Point::new(-2.0, 3.5);
+        let o1 = orientation(a, b, c);
+        let o2 = orientation(b, a, c);
+        match o1 {
+            Orientation::CounterClockwise => assert_eq!(o2, Orientation::Clockwise),
+            Orientation::Clockwise => assert_eq!(o2, Orientation::CounterClockwise),
+            Orientation::Collinear => assert_eq!(o2, Orientation::Collinear),
+        }
+    }
+
+    #[test]
+    fn near_collinear_large_coordinates() {
+        // Geographic-scale coordinates with a tiny perpendicular offset must
+        // still be detected as non-collinear when the offset is meaningful.
+        let a = Point::new(-180.0, -90.0);
+        let b = Point::new(180.0, 90.0);
+        let on = Point::new(0.0, 0.0);
+        assert_eq!(orientation(a, b, on), Orientation::Collinear);
+        let off = Point::new(0.0, 1e-6);
+        assert_eq!(orientation(a, b, off), Orientation::CounterClockwise);
+    }
+
+    #[test]
+    fn degenerate_identical_points_are_collinear() {
+        let p = Point::new(1.0, 1.0);
+        assert_eq!(orientation(p, p, p), Orientation::Collinear);
+        assert_eq!(orientation(p, p, Point::new(2.0, 5.0)), Orientation::Collinear);
+    }
+}

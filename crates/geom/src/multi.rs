@@ -1,0 +1,148 @@
+//! Multi-part geometry types (`MULTIPOINT`, `MULTILINESTRING`,
+//! `MULTIPOLYGON`, `GEOMETRYCOLLECTION`).
+//!
+//! The paper defines its compound spatial MPI types ("multi-point,
+//! multi-line, and fixed-size polygon") by nesting basic spatial types;
+//! these are the geometry-side counterparts.
+
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+
+/// A set of points treated as one geometry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiPoint(pub Vec<Point>);
+
+/// A set of polylines treated as one geometry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiLineString(pub Vec<LineString>);
+
+/// A set of polygons treated as one geometry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiPolygon(pub Vec<Polygon>);
+
+/// A heterogeneous collection of geometries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GeometryCollection(pub Vec<Geometry>);
+
+impl MultiPoint {
+    /// Envelope covering all member points.
+    pub fn envelope(&self) -> Rect {
+        Rect::from_points(&self.0)
+    }
+
+    /// Total vertex count.
+    pub fn num_points(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl MultiLineString {
+    /// Envelope covering all member lines.
+    pub fn envelope(&self) -> Rect {
+        self.0
+            .iter()
+            .fold(Rect::EMPTY, |acc, l| acc.union(&l.envelope()))
+    }
+
+    /// Total vertex count.
+    pub fn num_points(&self) -> usize {
+        self.0.iter().map(LineString::num_points).sum()
+    }
+
+    /// Total length of all member lines.
+    pub fn length(&self) -> f64 {
+        self.0.iter().map(LineString::length).sum()
+    }
+}
+
+impl MultiPolygon {
+    /// Envelope covering all member polygons.
+    pub fn envelope(&self) -> Rect {
+        self.0
+            .iter()
+            .fold(Rect::EMPTY, |acc, p| acc.union(&p.envelope()))
+    }
+
+    /// Total vertex count.
+    pub fn num_points(&self) -> usize {
+        self.0.iter().map(Polygon::num_points).sum()
+    }
+
+    /// Total area of all member polygons.
+    pub fn area(&self) -> f64 {
+        self.0.iter().map(Polygon::area).sum()
+    }
+}
+
+impl GeometryCollection {
+    /// Envelope covering every member geometry.
+    pub fn envelope(&self) -> Rect {
+        self.0
+            .iter()
+            .fold(Rect::EMPTY, |acc, g| acc.union(&g.envelope()))
+    }
+
+    /// Total vertex count.
+    pub fn num_points(&self) -> usize {
+        self.0.iter().map(Geometry::num_points).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(coords: &[(f64, f64)]) -> LineString {
+        LineString::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn multipoint_envelope() {
+        let mp = MultiPoint(vec![Point::new(0.0, 0.0), Point::new(2.0, 3.0)]);
+        assert_eq!(mp.envelope(), Rect::new(0.0, 0.0, 2.0, 3.0));
+        assert_eq!(mp.num_points(), 2);
+    }
+
+    #[test]
+    fn empty_multis_have_empty_envelope() {
+        assert!(MultiPoint::default().envelope().is_empty());
+        assert!(MultiLineString::default().envelope().is_empty());
+        assert!(MultiPolygon::default().envelope().is_empty());
+        assert!(GeometryCollection::default().envelope().is_empty());
+    }
+
+    #[test]
+    fn multilinestring_aggregates() {
+        let ml = MultiLineString(vec![
+            line(&[(0.0, 0.0), (3.0, 4.0)]),
+            line(&[(10.0, 0.0), (10.0, 2.0)]),
+        ]);
+        assert_eq!(ml.length(), 7.0);
+        assert_eq!(ml.num_points(), 4);
+        assert_eq!(ml.envelope(), Rect::new(0.0, 0.0, 10.0, 4.0));
+    }
+
+    #[test]
+    fn multipolygon_aggregates() {
+        let sq = |x0: f64, y0: f64| {
+            Polygon::from_coords(
+                vec![
+                    Point::new(x0, y0),
+                    Point::new(x0 + 1.0, y0),
+                    Point::new(x0 + 1.0, y0 + 1.0),
+                    Point::new(x0, y0 + 1.0),
+                    Point::new(x0, y0),
+                ],
+                vec![],
+            )
+            .unwrap()
+        };
+        let mp = MultiPolygon(vec![sq(0.0, 0.0), sq(5.0, 5.0)]);
+        assert_eq!(mp.area(), 2.0);
+        assert_eq!(mp.envelope(), Rect::new(0.0, 0.0, 6.0, 6.0));
+        assert_eq!(mp.num_points(), 10);
+    }
+}

@@ -1,0 +1,335 @@
+//! Well-Known Binary (WKB) encoding and decoding.
+//!
+//! WKB is the unformatted binary counterpart of WKT (paper §2: "Its binary
+//! equivalent, known as Well-Known Binary, is used to transfer and store the
+//! geometries in spatial databases"). The library uses it for serializing
+//! geometries into all-to-all communication buffers and for the binary-file
+//! experiments.
+//!
+//! Layout per geometry: 1 byte byte-order marker (we always write 1 =
+//! little-endian and accept either), 4 byte type code, then type-specific
+//! payload of u32 counts and f64 coordinates.
+
+use crate::geometry::{Geometry, GeometryType};
+use crate::linestring::LineString;
+use crate::multi::{GeometryCollection, MultiLineString, MultiPoint, MultiPolygon};
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::{GeomError, Result};
+
+/// Encodes a geometry to little-endian WKB, appending to `out`.
+pub fn encode_to(g: &Geometry, out: &mut Vec<u8>) {
+    out.push(1); // little-endian
+    put_u32(out, g.geometry_type().code());
+    match g {
+        Geometry::Point(p) => put_point(out, p),
+        Geometry::LineString(l) => put_coords(out, l.points()),
+        Geometry::Polygon(p) => put_polygon_body(out, p),
+        Geometry::MultiPoint(m) => {
+            put_u32(out, m.0.len() as u32);
+            for p in &m.0 {
+                encode_to(&Geometry::Point(*p), out);
+            }
+        }
+        Geometry::MultiLineString(m) => {
+            put_u32(out, m.0.len() as u32);
+            for l in &m.0 {
+                out.push(1);
+                put_u32(out, GeometryType::LineString.code());
+                put_coords(out, l.points());
+            }
+        }
+        Geometry::MultiPolygon(m) => {
+            put_u32(out, m.0.len() as u32);
+            for p in &m.0 {
+                out.push(1);
+                put_u32(out, GeometryType::Polygon.code());
+                put_polygon_body(out, p);
+            }
+        }
+        Geometry::GeometryCollection(c) => {
+            put_u32(out, c.0.len() as u32);
+            for g in &c.0 {
+                encode_to(g, out);
+            }
+        }
+    }
+}
+
+/// Encodes a geometry to a fresh WKB buffer.
+pub fn encode(g: &Geometry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + g.num_points() * 16);
+    encode_to(g, &mut out);
+    out
+}
+
+/// Decodes one geometry from the front of `buf`, returning it and the
+/// number of bytes consumed.
+pub fn decode(buf: &[u8]) -> Result<(Geometry, usize)> {
+    let mut cur = Cursor { buf, pos: 0 };
+    let g = cur.geometry()?;
+    Ok((g, cur.pos))
+}
+
+/// Decodes a back-to-back sequence of WKB geometries until `buf` is
+/// exhausted.
+pub fn decode_all(buf: &[u8]) -> Result<Vec<Geometry>> {
+    let mut out = Vec::new();
+    let mut cur = Cursor { buf, pos: 0 };
+    while cur.pos < buf.len() {
+        out.push(cur.geometry()?);
+    }
+    Ok(out)
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_point(out: &mut Vec<u8>, p: &Point) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+fn put_coords(out: &mut Vec<u8>, pts: &[Point]) {
+    put_u32(out, pts.len() as u32);
+    for p in pts {
+        put_point(out, p);
+    }
+}
+
+fn put_polygon_body(out: &mut Vec<u8>, p: &Polygon) {
+    put_u32(out, 1 + p.interiors().len() as u32);
+    put_coords(out, p.exterior().points());
+    for hole in p.interiors() {
+        put_coords(out, hole.points());
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn need(&self, n: usize) -> Result<()> {
+        if self.pos + n > self.buf.len() {
+            Err(GeomError::Wkb(format!(
+                "truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self, big_endian: bool) -> Result<u32> {
+        self.need(4)?;
+        let bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
+        self.pos += 4;
+        Ok(if big_endian { u32::from_be_bytes(bytes) } else { u32::from_le_bytes(bytes) })
+    }
+
+    fn f64(&mut self, big_endian: bool) -> Result<f64> {
+        self.need(8)?;
+        let bytes: [u8; 8] = self.buf[self.pos..self.pos + 8].try_into().unwrap();
+        self.pos += 8;
+        Ok(if big_endian { f64::from_be_bytes(bytes) } else { f64::from_le_bytes(bytes) })
+    }
+
+    fn point(&mut self, be: bool) -> Result<Point> {
+        Ok(Point::new(self.f64(be)?, self.f64(be)?))
+    }
+
+    fn coords(&mut self, be: bool) -> Result<Vec<Point>> {
+        let n = self.u32(be)? as usize;
+        // Defensive cap: a count that implies reading past the buffer is
+        // corrupt, not a huge geometry.
+        if n > (self.buf.len() - self.pos) / 16 + 1 {
+            return Err(GeomError::Wkb(format!("coordinate count {n} exceeds buffer")));
+        }
+        let mut pts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pts.push(self.point(be)?);
+        }
+        Ok(pts)
+    }
+
+    fn geometry(&mut self) -> Result<Geometry> {
+        let order = self.u8()?;
+        let be = match order {
+            0 => true,
+            1 => false,
+            other => return Err(GeomError::Wkb(format!("bad byte-order marker {other}"))),
+        };
+        let code = self.u32(be)?;
+        let ty = GeometryType::from_code(code)
+            .ok_or_else(|| GeomError::Wkb(format!("unknown geometry type code {code}")))?;
+        match ty {
+            GeometryType::Point => Ok(Geometry::Point(self.point(be)?)),
+            GeometryType::LineString => {
+                Ok(Geometry::LineString(LineString::new(self.coords(be)?)?))
+            }
+            GeometryType::Polygon => Ok(Geometry::Polygon(self.polygon_body(be)?)),
+            GeometryType::MultiPoint => {
+                let n = self.u32(be)? as usize;
+                let mut pts = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    match self.geometry()? {
+                        Geometry::Point(p) => pts.push(p),
+                        other => {
+                            return Err(GeomError::Wkb(format!(
+                                "MULTIPOINT member is {:?}",
+                                other.geometry_type()
+                            )))
+                        }
+                    }
+                }
+                Ok(Geometry::MultiPoint(MultiPoint(pts)))
+            }
+            GeometryType::MultiLineString => {
+                let n = self.u32(be)? as usize;
+                let mut lines = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    match self.geometry()? {
+                        Geometry::LineString(l) => lines.push(l),
+                        other => {
+                            return Err(GeomError::Wkb(format!(
+                                "MULTILINESTRING member is {:?}",
+                                other.geometry_type()
+                            )))
+                        }
+                    }
+                }
+                Ok(Geometry::MultiLineString(MultiLineString(lines)))
+            }
+            GeometryType::MultiPolygon => {
+                let n = self.u32(be)? as usize;
+                let mut polys = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    match self.geometry()? {
+                        Geometry::Polygon(p) => polys.push(p),
+                        other => {
+                            return Err(GeomError::Wkb(format!(
+                                "MULTIPOLYGON member is {:?}",
+                                other.geometry_type()
+                            )))
+                        }
+                    }
+                }
+                Ok(Geometry::MultiPolygon(MultiPolygon(polys)))
+            }
+            GeometryType::GeometryCollection => {
+                let n = self.u32(be)? as usize;
+                let mut members = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    members.push(self.geometry()?);
+                }
+                Ok(Geometry::GeometryCollection(GeometryCollection(members)))
+            }
+        }
+    }
+
+    fn polygon_body(&mut self, be: bool) -> Result<Polygon> {
+        let nrings = self.u32(be)? as usize;
+        if nrings == 0 {
+            return Err(GeomError::Wkb("polygon with zero rings".into()));
+        }
+        let ext = Ring::new(self.coords(be)?)?;
+        let mut holes = Vec::with_capacity(nrings - 1);
+        for _ in 1..nrings {
+            holes.push(Ring::new(self.coords(be)?)?);
+        }
+        Ok(Polygon::new(ext, holes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt;
+
+    fn round_trip(s: &str) {
+        let g = wkt::parse(s).unwrap();
+        let bytes = encode(&g);
+        let (g2, used) = decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(g, g2, "WKB round trip failed for {s}");
+    }
+
+    #[test]
+    fn round_trips_all_types() {
+        round_trip("POINT (30 10)");
+        round_trip("LINESTRING (30 10, 10 30, 40 40)");
+        round_trip("POLYGON ((30 10, 40 40, 20 40, 30 10))");
+        round_trip("POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))");
+        round_trip("MULTIPOINT ((10 40), (40 30))");
+        round_trip("MULTILINESTRING ((10 10, 20 20), (40 40, 30 30))");
+        round_trip("MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)))");
+        round_trip("GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20))");
+    }
+
+    #[test]
+    fn point_wkb_is_21_bytes() {
+        // 1 (order) + 4 (type) + 16 (coords): the classic WKB point size.
+        let g = wkt::parse("POINT (1 2)").unwrap();
+        assert_eq!(encode(&g).len(), 21);
+    }
+
+    #[test]
+    fn decode_all_handles_concatenated_stream() {
+        let g1 = wkt::parse("POINT (1 2)").unwrap();
+        let g2 = wkt::parse("LINESTRING (0 0, 5 5)").unwrap();
+        let mut buf = encode(&g1);
+        buf.extend_from_slice(&encode(&g2));
+        let all = decode_all(&buf).unwrap();
+        assert_eq!(all, vec![g1, g2]);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let g = wkt::parse("POLYGON ((30 10, 40 40, 20 40, 30 10))").unwrap();
+        let bytes = encode(&g);
+        for cut in [0, 1, 4, 8, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_markers() {
+        assert!(decode(&[7, 1, 0, 0, 0]).is_err()); // bad byte order
+        assert!(decode(&[1, 99, 0, 0, 0]).is_err()); // bad type code
+    }
+
+    #[test]
+    fn rejects_absurd_counts() {
+        // LINESTRING claiming u32::MAX points in a tiny buffer.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn accepts_big_endian_input() {
+        // Hand-build a big-endian POINT (1 2).
+        let mut buf = vec![0u8];
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&1.0f64.to_be_bytes());
+        buf.extend_from_slice(&2.0f64.to_be_bytes());
+        let (g, _) = decode(&buf).unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(1.0, 2.0)));
+    }
+}

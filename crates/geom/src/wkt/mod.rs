@@ -1,0 +1,13 @@
+//! Well-Known Text (WKT) reading and writing.
+//!
+//! WKT is the formatted text representation the paper's I/O layer
+//! partitions, reads and parses (e.g. `POLYGON ((30 10, 40 40, 20 40,
+//! 30 10))`). The parser is a hand-written recursive-descent parser over a
+//! byte cursor — no regex, no allocation beyond the output geometry — since
+//! parsing throughput is part of the evaluation (Table 3, Figure 14).
+
+mod parse;
+mod write;
+
+pub use parse::{parse, parse_many, Parser};
+pub use write::{write, write_to};

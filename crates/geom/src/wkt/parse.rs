@@ -1,0 +1,444 @@
+//! Recursive-descent WKT parser.
+
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::multi::{GeometryCollection, MultiLineString, MultiPoint, MultiPolygon};
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::{GeomError, Result};
+
+/// Parses a single WKT geometry from `input`, requiring that nothing but
+/// whitespace follows it.
+///
+/// ```
+/// use mvio_geom::wkt;
+/// let g = wkt::parse("POINT (30 10)").unwrap();
+/// assert_eq!(g.num_points(), 1);
+/// ```
+pub fn parse(input: &str) -> Result<Geometry> {
+    let mut p = Parser::new(input);
+    let g = p.parse_geometry()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing characters after geometry"));
+    }
+    Ok(g)
+}
+
+/// Parses a newline-delimited sequence of WKT geometries (the layout of the
+/// paper's datasets: one geometry per line). Blank lines are skipped.
+/// Returns the geometries in input order.
+pub fn parse_many(input: &str) -> Result<Vec<Geometry>> {
+    let mut out = Vec::new();
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        out.push(parse(trimmed)?);
+    }
+    Ok(out)
+}
+
+/// A resumable WKT parser over a string slice.
+///
+/// Exposed publicly so the I/O layer can parse geometries one-by-one out of
+/// a file partition buffer without materializing per-line `String`s.
+pub struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser positioned at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser { src: input.as_bytes(), pos: 0 }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` once the cursor has consumed all input.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// Skips ASCII whitespace.
+    pub fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> GeomError {
+        GeomError::Wkt { msg: msg.into(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected '{}', found {:?}",
+                byte as char,
+                self.peek().map(|b| b as char)
+            )))
+        }
+    }
+
+    /// Consumes `byte` if it is next (after whitespace); returns whether it
+    /// was consumed.
+    fn eat(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads an ASCII keyword (letters only), uppercased.
+    fn keyword(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a geometry keyword"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ASCII letters are valid UTF-8")
+            .to_ascii_uppercase())
+    }
+
+    /// Peeks whether the next token is the keyword `EMPTY`, consuming it if so.
+    fn eat_empty(&mut self) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() >= 5 && rest[..5].eq_ignore_ascii_case(b"EMPTY") {
+            self.pos += 5;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        // Sign, digits, dot, exponent — scan the maximal plausible slice and
+        // let f64::parse validate it.
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.error("non-UTF8 number"))?;
+        text.parse::<f64>()
+            .map_err(|e| GeomError::Wkt { msg: format!("bad number {text:?}: {e}"), offset: start })
+    }
+
+    /// Parses `x y` as a coordinate pair.
+    fn coord(&mut self) -> Result<Point> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    /// Parses `( x y, x y, ... )`.
+    fn coord_list(&mut self) -> Result<Vec<Point>> {
+        self.expect(b'(')?;
+        let mut pts = vec![self.coord()?];
+        while self.eat(b',') {
+            pts.push(self.coord()?);
+        }
+        self.expect(b')')?;
+        Ok(pts)
+    }
+
+    /// Parses `( ring, ring, ... )` where each ring is a coord list.
+    fn ring_list(&mut self) -> Result<(Ring, Vec<Ring>)> {
+        self.expect(b'(')?;
+        let exterior = Ring::new(self.coord_list()?)?;
+        let mut holes = Vec::new();
+        while self.eat(b',') {
+            holes.push(Ring::new(self.coord_list()?)?);
+        }
+        self.expect(b')')?;
+        Ok((exterior, holes))
+    }
+
+    /// Parses one complete geometry starting at the cursor.
+    pub fn parse_geometry(&mut self) -> Result<Geometry> {
+        let kw = self.keyword()?;
+        match kw.as_str() {
+            "POINT" => {
+                if self.eat_empty() {
+                    // Represent POINT EMPTY as an empty multipoint, the
+                    // conventional lossless choice.
+                    return Ok(Geometry::MultiPoint(MultiPoint(vec![])));
+                }
+                self.expect(b'(')?;
+                let p = self.coord()?;
+                self.expect(b')')?;
+                Ok(Geometry::Point(p))
+            }
+            "LINESTRING" => {
+                if self.eat_empty() {
+                    return Ok(Geometry::MultiLineString(MultiLineString(vec![])));
+                }
+                Ok(Geometry::LineString(LineString::new(self.coord_list()?)?))
+            }
+            "POLYGON" => {
+                if self.eat_empty() {
+                    return Ok(Geometry::MultiPolygon(MultiPolygon(vec![])));
+                }
+                let (ext, holes) = self.ring_list()?;
+                Ok(Geometry::Polygon(Polygon::new(ext, holes)))
+            }
+            "MULTIPOINT" => {
+                if self.eat_empty() {
+                    return Ok(Geometry::MultiPoint(MultiPoint(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut pts = vec![self.multipoint_member()?];
+                while self.eat(b',') {
+                    pts.push(self.multipoint_member()?);
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiPoint(MultiPoint(pts)))
+            }
+            "MULTILINESTRING" => {
+                if self.eat_empty() {
+                    return Ok(Geometry::MultiLineString(MultiLineString(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut lines = vec![LineString::new(self.coord_list()?)?];
+                while self.eat(b',') {
+                    lines.push(LineString::new(self.coord_list()?)?);
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiLineString(MultiLineString(lines)))
+            }
+            "MULTIPOLYGON" => {
+                if self.eat_empty() {
+                    return Ok(Geometry::MultiPolygon(MultiPolygon(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut polys = Vec::new();
+                loop {
+                    let (ext, holes) = self.ring_list()?;
+                    polys.push(Polygon::new(ext, holes));
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiPolygon(MultiPolygon(polys)))
+            }
+            "GEOMETRYCOLLECTION" => {
+                if self.eat_empty() {
+                    return Ok(Geometry::GeometryCollection(GeometryCollection(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut members = vec![self.parse_geometry()?];
+                while self.eat(b',') {
+                    members.push(self.parse_geometry()?);
+                }
+                self.expect(b')')?;
+                Ok(Geometry::GeometryCollection(GeometryCollection(members)))
+            }
+            other => Err(self.error(format!("unknown geometry keyword {other:?}"))),
+        }
+    }
+
+    /// A MULTIPOINT member: either `(x y)` (OGC canonical) or bare `x y`
+    /// (widely produced in the wild, including OSM extracts).
+    fn multipoint_member(&mut self) -> Result<Point> {
+        if self.eat(b'(') {
+            let p = self.coord()?;
+            self.expect(b')')?;
+            Ok(p)
+        } else {
+            self.coord()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    #[test]
+    fn parses_the_papers_example() {
+        // The exact example from paper §2.
+        let g = parse("POLYGON ((30 10, 40 40, 20 40, 30 10))").unwrap();
+        match &g {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.exterior().num_points(), 4);
+                assert_eq!(p.area(), 300.0);
+            }
+            _ => panic!("expected polygon"),
+        }
+        assert_eq!(g.envelope(), Rect::new(20.0, 10.0, 40.0, 40.0));
+    }
+
+    #[test]
+    fn parses_point() {
+        let g = parse("POINT (30 10)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(30.0, 10.0)));
+        // Case-insensitive, flexible whitespace.
+        let g2 = parse("point(30    10)").unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn parses_negative_and_scientific_numbers() {
+        let g = parse("POINT (-1.5e2 +0.25)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(-150.0, 0.25)));
+    }
+
+    #[test]
+    fn parses_linestring() {
+        let g = parse("LINESTRING (30 10, 10 30, 40 40)").unwrap();
+        assert_eq!(g.num_points(), 3);
+        assert_eq!(g.geometry_type().wkt_keyword(), "LINESTRING");
+    }
+
+    #[test]
+    fn parses_polygon_with_hole() {
+        let g = parse(
+            "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))",
+        )
+        .unwrap();
+        match g {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.interiors().len(), 1);
+                assert_eq!(p.num_points(), 5 + 4);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_multipoint_both_syntaxes() {
+        let canonical = parse("MULTIPOINT ((10 40), (40 30), (20 20), (30 10))").unwrap();
+        let bare = parse("MULTIPOINT (10 40, 40 30, 20 20, 30 10)").unwrap();
+        assert_eq!(canonical, bare);
+        assert_eq!(canonical.num_points(), 4);
+    }
+
+    #[test]
+    fn parses_multilinestring() {
+        let g = parse("MULTILINESTRING ((10 10, 20 20, 10 40), (40 40, 30 30, 40 20, 30 10))")
+            .unwrap();
+        assert_eq!(g.num_points(), 7);
+    }
+
+    #[test]
+    fn parses_multipolygon() {
+        let g = parse(
+            "MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), \
+             ((15 5, 40 10, 10 20, 5 10, 15 5)))",
+        )
+        .unwrap();
+        match &g {
+            Geometry::MultiPolygon(mp) => assert_eq!(mp.0.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_multipolygon_with_holes() {
+        let g = parse(
+            "MULTIPOLYGON (((40 40, 20 45, 45 30, 40 40)), \
+             ((20 35, 10 30, 10 10, 30 5, 45 20, 20 35), (30 20, 20 15, 20 25, 30 20)))",
+        )
+        .unwrap();
+        match &g {
+            Geometry::MultiPolygon(mp) => {
+                assert_eq!(mp.0.len(), 2);
+                assert_eq!(mp.0[1].interiors().len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_geometrycollection() {
+        let g = parse("GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20, 10 40))")
+            .unwrap();
+        match &g {
+            Geometry::GeometryCollection(c) => assert_eq!(c.0.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_empty_geometries() {
+        assert_eq!(parse("POINT EMPTY").unwrap().num_points(), 0);
+        assert_eq!(parse("LINESTRING EMPTY").unwrap().num_points(), 0);
+        assert_eq!(parse("POLYGON EMPTY").unwrap().num_points(), 0);
+        assert_eq!(parse("MULTIPOLYGON EMPTY").unwrap().num_points(), 0);
+        assert_eq!(parse("GEOMETRYCOLLECTION EMPTY").unwrap().num_points(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("POLYGON").is_err());
+        assert!(parse("POLYGON (30 10)").is_err()); // missing ring parens
+        assert!(parse("POINT (30)").is_err());
+        assert!(parse("POINT (30 10") .is_err());
+        assert!(parse("CIRCLE (0 0, 5)").is_err());
+        assert!(parse("POINT (30 10) garbage").is_err());
+        assert!(parse("POINT (a b)").is_err());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        match parse("POINT (30 x)") {
+            Err(GeomError::Wkt { offset, .. }) => assert!(offset >= 9),
+            other => panic!("expected Wkt error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_many_splits_lines() {
+        let input = "POINT (1 2)\n\nLINESTRING (0 0, 1 1)\nPOINT (3 4)\n";
+        let geoms = parse_many(input).unwrap();
+        assert_eq!(geoms.len(), 3);
+        assert_eq!(geoms[0], Geometry::Point(Point::new(1.0, 2.0)));
+        assert_eq!(geoms[2], Geometry::Point(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn resumable_parser_tracks_offsets() {
+        let src = "POINT (1 2)  POINT (3 4)";
+        let mut p = Parser::new(src);
+        let g1 = p.parse_geometry().unwrap();
+        assert_eq!(g1, Geometry::Point(Point::new(1.0, 2.0)));
+        let g2 = p.parse_geometry().unwrap();
+        assert_eq!(g2, Geometry::Point(Point::new(3.0, 4.0)));
+        p.skip_ws();
+        assert!(p.at_end());
+    }
+}

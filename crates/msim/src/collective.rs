@@ -1,0 +1,252 @@
+//! The collective rendezvous hub: the synchronization core behind every
+//! collective operation.
+//!
+//! MPI requires all ranks of a communicator to call collectives in the
+//! same order; the hub exploits that to implement any collective as a
+//! generation-numbered gather-combine-scatter:
+//!
+//! 1. every rank deposits its typed input and virtual entry time;
+//! 2. the last arrival runs the *combiner* — a closure receiving all
+//!    inputs and entry times, returning the shared result and one exit
+//!    time per rank;
+//! 3. all ranks pick up the shared result (via `Arc`) and their exit time.
+//!
+//! Generations keep back-to-back collectives separate even when fast ranks
+//! re-enter the next collective before slow ranks have left the previous
+//! one.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+
+type BoxedInput = Box<dyn Any + Send>;
+type SharedResult = Arc<dyn Any + Send + Sync>;
+
+struct HubState {
+    /// Generation currently *collecting*. Distribution of generation `g`
+    /// overlaps collection of nothing: gen advances only after all depart.
+    gen: u64,
+    collecting: bool,
+    arrived: usize,
+    departed: usize,
+    inputs: Vec<Option<BoxedInput>>,
+    entry_times: Vec<f64>,
+    result: Option<SharedResult>,
+    exit_times: Vec<f64>,
+    /// Set when any rank panics: every waiter aborts (MPI_Abort
+    /// semantics), so one failed rank cannot deadlock the job.
+    poisoned: bool,
+}
+
+/// Panic message used for abort-propagation panics, so the launcher can
+/// distinguish the originating failure from secondary aborts.
+pub(crate) const ABORT_MSG: &str = "job aborted: another rank panicked";
+
+/// One communicator-wide rendezvous point.
+pub struct Hub {
+    size: usize,
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
+impl Hub {
+    /// Creates a hub for `size` ranks.
+    pub fn new(size: usize) -> Self {
+        Hub {
+            size,
+            state: Mutex::new(HubState {
+                gen: 0,
+                collecting: true,
+                arrived: 0,
+                departed: 0,
+                inputs: (0..size).map(|_| None).collect(),
+                entry_times: vec![0.0; size],
+                result: None,
+                exit_times: vec![0.0; size],
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Marks the hub poisoned and wakes every waiter; they panic with
+    /// [`ABORT_MSG`]. Idempotent.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Runs one collective. `gen` is the caller's collective-call counter
+    /// (each [`crate::Comm`] increments it per call); `combine` executes
+    /// exactly once, on the last-arriving rank.
+    ///
+    /// The combiner receives `(inputs, entry_times)` and must return the
+    /// shared result plus per-rank exit times (commonly all equal to
+    /// `max(entry_times) + cost`).
+    pub fn exchange<T, R, F>(&self, rank: usize, gen: u64, now: f64, input: T, combine: F) -> (Arc<R>, f64)
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, &[f64]) -> (R, Vec<f64>),
+    {
+        let mut st = self.state.lock();
+
+        // Wait for our generation to start collecting.
+        while !(st.gen == gen && st.collecting) {
+            if st.poisoned {
+                panic!("{ABORT_MSG}");
+            }
+            self.cv.wait(&mut st);
+        }
+        if st.poisoned {
+            panic!("{ABORT_MSG}");
+        }
+
+        st.inputs[rank] = Some(Box::new(input));
+        st.entry_times[rank] = now;
+        st.arrived += 1;
+
+        if st.arrived == self.size {
+            // Last arrival: run the combiner.
+            let inputs: Vec<T> = st
+                .inputs
+                .iter_mut()
+                .map(|slot| {
+                    *slot
+                        .take()
+                        .expect("all ranks deposited")
+                        .downcast::<T>()
+                        .expect("collective input types must match across ranks")
+                })
+                .collect();
+            let times = st.entry_times.clone();
+            let (result, exits) = combine(inputs, &times);
+            assert_eq!(exits.len(), self.size, "combiner must return one exit time per rank");
+            st.result = Some(Arc::new(result));
+            st.exit_times = exits;
+            st.collecting = false;
+            self.cv.notify_all();
+        } else {
+            while st.collecting && st.gen == gen {
+                if st.poisoned {
+                    panic!("{ABORT_MSG}");
+                }
+                self.cv.wait(&mut st);
+            }
+            if st.poisoned {
+                panic!("{ABORT_MSG}");
+            }
+        }
+
+        // Distribution phase for generation `gen`.
+        let result = st
+            .result
+            .as_ref()
+            .expect("result present during distribution")
+            .clone()
+            .downcast::<R>()
+            .expect("collective result types must match across ranks");
+        let exit = st.exit_times[rank];
+        st.departed += 1;
+        if st.departed == self.size {
+            // Reset for the next generation.
+            st.gen += 1;
+            st.collecting = true;
+            st.arrived = 0;
+            st.departed = 0;
+            st.result = None;
+            self.cv.notify_all();
+        }
+        (result, exit)
+    }
+
+    /// Communicator size this hub synchronizes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Drives `n` threads through `rounds` collectives and returns the
+    /// per-thread observations.
+    fn drive<R: Send + Sync + Clone + 'static>(
+        n: usize,
+        rounds: usize,
+        f: impl Fn(&Hub, usize, u64) -> (Arc<R>, f64) + Send + Sync + Copy + 'static,
+    ) -> Vec<Vec<(R, f64)>> {
+        let hub = Arc::new(Hub::new(n));
+        let mut handles = Vec::new();
+        for rank in 0..n {
+            let hub = Arc::clone(&hub);
+            handles.push(thread::spawn(move || {
+                let mut obs = Vec::new();
+                for g in 0..rounds {
+                    let (r, t) = f(&hub, rank, g as u64);
+                    obs.push(((*r).clone(), t));
+                }
+                obs
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn sum_collective_all_ranks_agree() {
+        let per_thread = drive::<u64>(8, 1, |hub, rank, gen| {
+            hub.exchange(rank, gen, rank as f64, rank as u64, |inputs, times| {
+                let sum: u64 = inputs.iter().sum();
+                let exit = times.iter().cloned().fold(0.0, f64::max) + 1.0;
+                (sum, vec![exit; times.len()])
+            })
+        });
+        for obs in &per_thread {
+            assert_eq!(obs[0].0, (0..8).sum::<u64>());
+            assert_eq!(obs[0].1, 7.0 + 1.0); // max entry (rank 7) + cost
+        }
+    }
+
+    #[test]
+    fn generations_do_not_interleave() {
+        // Many back-to-back rounds: if generations leaked, inputs from
+        // different rounds would mix and sums would be wrong.
+        let rounds = 50;
+        let per_thread = drive::<u64>(4, rounds, |hub, rank, gen| {
+            hub.exchange(rank, gen, 0.0, gen * 10 + rank as u64, |inputs, times| {
+                (inputs.iter().sum::<u64>(), vec![0.0; times.len()])
+            })
+        });
+        for obs in &per_thread {
+            for (g, (sum, _)) in obs.iter().enumerate() {
+                let expect: u64 = (0..4).map(|r| g as u64 * 10 + r).sum();
+                assert_eq!(*sum, expect, "round {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_exit_times_are_delivered() {
+        let per_thread = drive::<()>(4, 1, |hub, rank, gen| {
+            hub.exchange(rank, gen, 0.0, (), |_, times| {
+                ((), (0..times.len()).map(|r| r as f64 * 2.0).collect())
+            })
+        });
+        for (rank, obs) in per_thread.iter().enumerate() {
+            assert_eq!(obs[0].1, rank as f64 * 2.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_hub_is_immediate() {
+        let hub = Hub::new(1);
+        let (r, t) = hub.exchange(0, 0, 3.0, 41u32, |mut v, times| {
+            (v.pop().unwrap() + 1, vec![times[0]])
+        });
+        assert_eq!(*r, 42);
+        assert_eq!(t, 3.0);
+    }
+}

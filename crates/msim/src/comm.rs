@@ -1,0 +1,425 @@
+//! The per-rank communicator handle: point-to-point messaging, clock
+//! management, and collectives.
+
+use crate::collective::Hub;
+use crate::reduceop::{fold_in_rank_order, scan_in_rank_order, ReduceOp};
+use crate::time::{CostModel, Work};
+use crate::topology::Topology;
+use crossbeam::channel::{Receiver, Sender};
+use std::sync::Arc;
+
+/// A message in flight: payload plus the sender's virtual timestamp.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u64,
+    pub data: Vec<u8>,
+    pub send_time: f64,
+}
+
+/// Reserved tag delivered to wake blocked receivers when the job aborts.
+pub(crate) const POISON_TAG: u64 = u64::MAX;
+
+/// State shared by every rank of a world.
+pub(crate) struct Shared {
+    pub topo: Topology,
+    pub cost: CostModel,
+    pub senders: Vec<Sender<Envelope>>,
+    pub hub: Hub,
+}
+
+/// The per-rank communicator — the analogue of `MPI_COMM_WORLD` plus the
+/// rank's virtual clock.
+///
+/// A `Comm` is handed to each rank closure by [`crate::World::run`]. All
+/// its operations advance the rank's virtual clock according to the
+/// [`CostModel`]; wall-clock time is never consulted.
+pub struct Comm {
+    rank: usize,
+    now: f64,
+    gen: u64,
+    shared: Arc<Shared>,
+    rx: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv` (preserves
+    /// per-(src, tag) FIFO order, like MPI's non-overtaking rule).
+    stash: Vec<Envelope>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>, rx: Receiver<Envelope>) -> Self {
+        Comm { rank, now: 0.0, gen: 0, shared, rx, stash: Vec::new() }
+    }
+
+    // ----- identity ------------------------------------------------------
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (number of ranks).
+    pub fn size(&self) -> usize {
+        self.shared.topo.ranks()
+    }
+
+    /// The node this rank runs on.
+    pub fn node(&self) -> usize {
+        self.shared.topo.node_of(self.rank)
+    }
+
+    /// Job topology.
+    pub fn topology(&self) -> Topology {
+        self.shared.topo
+    }
+
+    /// The job's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    // ----- virtual clock --------------------------------------------------
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock by `dt` seconds (dt ≥ 0).
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "cannot advance clock backwards");
+        self.now += dt;
+    }
+
+    /// Moves the clock forward to `t` if `t` is later.
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Charges a quantum of accountable compute work.
+    pub fn charge(&mut self, work: Work) {
+        self.now += self.shared.cost.cost(work);
+    }
+
+    /// Context handed to the simulated filesystem for independent I/O.
+    pub fn io_ctx(&self) -> mvio_pfs::IoCtx {
+        mvio_pfs::IoCtx { node: self.node(), now: self.now, world_nodes: self.shared.topo.nodes() }
+    }
+
+    // ----- point-to-point -------------------------------------------------
+
+    /// Sends `data` to `dst` with `tag`. Eager semantics: the call returns
+    /// after the local buffer is handed off; the sender is charged the
+    /// message-injection overhead (α plus a per-byte copy).
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[u8]) {
+        assert!(dst < self.size(), "send to rank {dst} out of range");
+        let send_time = self.now;
+        self.now += self.shared.cost.comm_latency
+            + self.shared.cost.cost(Work::CopyBytes { n: data.len() as u64 });
+        self.shared.senders[dst]
+            .send(Envelope { src: self.rank, tag, data: data.to_vec(), send_time })
+            .expect("receiver outlives the job");
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`
+    /// (non-overtaking per (src, tag) pair). Returns the payload; its
+    /// length is the `MPI_Get_count` value.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        let env = self.take_matching(src, tag);
+        let arrival = env.send_time + self.shared.cost.p2p(env.data.len() as u64);
+        self.advance_to(arrival);
+        env.data
+    }
+
+    /// Blocks until a message from `(src, tag)` is available and returns
+    /// its byte count without consuming it (`MPI_Probe` + `MPI_Get_count`).
+    pub fn probe(&mut self, src: usize, tag: u64) -> usize {
+        if let Some(pos) = self.stash_pos(src, tag) {
+            let (send_time, len) = (self.stash[pos].send_time, self.stash[pos].data.len());
+            let arrival = send_time + self.shared.cost.p2p(len as u64);
+            self.advance_to(arrival);
+            return len;
+        }
+        loop {
+            let env = self.rx.recv().expect("world alive");
+            if env.tag == POISON_TAG {
+                panic!("{}", crate::collective::ABORT_MSG);
+            }
+            let matched = env.src == src && env.tag == tag;
+            let len = env.data.len();
+            let arrival = env.send_time + self.shared.cost.p2p(len as u64);
+            self.stash.push(env);
+            if matched {
+                self.advance_to(arrival);
+                return len;
+            }
+        }
+    }
+
+    fn stash_pos(&self, src: usize, tag: u64) -> Option<usize> {
+        self.stash.iter().position(|e| e.src == src && e.tag == tag)
+    }
+
+    fn take_matching(&mut self, src: usize, tag: u64) -> Envelope {
+        if let Some(pos) = self.stash_pos(src, tag) {
+            return self.stash.remove(pos);
+        }
+        loop {
+            let env = self.rx.recv().expect("world alive");
+            if env.tag == POISON_TAG {
+                panic!("{}", crate::collective::ABORT_MSG);
+            }
+            if env.src == src && env.tag == tag {
+                return env;
+            }
+            self.stash.push(env);
+        }
+    }
+
+    // ----- collectives ------------------------------------------------------
+
+    fn next_gen(&mut self) -> u64 {
+        let g = self.gen;
+        self.gen += 1;
+        g
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self) {
+        let gen = self.next_gen();
+        let p = self.size();
+        let cost = self.shared.cost.barrier(p);
+        let (_, exit) = self.shared.hub.exchange(self.rank, gen, self.now, (), |_: Vec<()>, times| {
+            let exit = max_time(times) + cost;
+            ((), vec![exit; times.len()])
+        });
+        self.now = exit;
+    }
+
+    /// `MPI_Bcast`: `data` is significant at `root`, the returned buffer at
+    /// every rank.
+    pub fn bcast(&mut self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        let gen = self.next_gen();
+        let p = self.size();
+        let cost_model = self.shared.cost;
+        let input = if self.rank == root { Some(data) } else { None };
+        let (result, exit) =
+            self.shared
+                .hub
+                .exchange(self.rank, gen, self.now, input, move |inputs: Vec<Option<Vec<u8>>>, times| {
+                    let payload = inputs
+                        .into_iter()
+                        .flatten()
+                        .next()
+                        .expect("root provided bcast payload");
+                    let exit = max_time(times) + cost_model.bcast(p, payload.len() as u64);
+                    (payload, vec![exit; times.len()])
+                });
+        self.now = exit;
+        (*result).clone()
+    }
+
+    /// `MPI_Gather` (variable-size, i.e. gatherv): every rank contributes
+    /// `data`; `root` receives all contributions indexed by rank.
+    pub fn gather(&mut self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let gen = self.next_gen();
+        let p = self.size();
+        let cost_model = self.shared.cost;
+        let (result, exit) =
+            self.shared
+                .hub
+                .exchange(self.rank, gen, self.now, data, move |inputs: Vec<Vec<u8>>, times| {
+                    let total: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+                    let exit = max_time(times) + cost_model.reduce(p, total);
+                    (inputs, vec![exit; times.len()])
+                });
+        self.now = exit;
+        if self.rank == root {
+            Some((*result).clone())
+        } else {
+            None
+        }
+    }
+
+    /// `MPI_Allgather` (variable-size): every rank receives every rank's
+    /// contribution.
+    pub fn allgather(&mut self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let gen = self.next_gen();
+        let p = self.size();
+        let cost_model = self.shared.cost;
+        let (result, exit) =
+            self.shared
+                .hub
+                .exchange(self.rank, gen, self.now, data, move |inputs: Vec<Vec<u8>>, times| {
+                    let total: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+                    // ring allgather: log p startup + total volume.
+                    let exit = max_time(times) + cost_model.bcast(p, total);
+                    (inputs, vec![exit; times.len()])
+                });
+        self.now = exit;
+        (*result).clone()
+    }
+
+    /// Fixed-count `MPI_Alltoall` over one `u64` per peer — the first round
+    /// of the paper's two-round exchange (peers swap buffer sizes before
+    /// the payload `Alltoallv`).
+    pub fn alltoall_u64(&mut self, sends: Vec<u64>) -> Vec<u64> {
+        assert_eq!(sends.len(), self.size(), "one value per destination");
+        let gen = self.next_gen();
+        let p = self.size();
+        let cost_model = self.shared.cost;
+        let rank = self.rank;
+        let (result, exit) = self.shared.hub.exchange(
+            self.rank,
+            gen,
+            self.now,
+            sends,
+            move |inputs: Vec<Vec<u64>>, times| {
+                // transpose: out[dst][src] = inputs[src][dst]
+                let mut matrix = vec![vec![0u64; p]; p];
+                for (src, row) in inputs.iter().enumerate() {
+                    for (dst, v) in row.iter().enumerate() {
+                        matrix[dst][src] = *v;
+                    }
+                }
+                let per = cost_model.alltoall(p, 8 * p as u64, 8 * p as u64);
+                let exit = max_time(times) + per;
+                (matrix, vec![exit; times.len()])
+            },
+        );
+        self.now = exit;
+        result[rank].clone()
+    }
+
+    /// `MPI_Alltoallv` over byte buffers: element `d` of `sends` goes to
+    /// rank `d`; the result's element `s` came from rank `s`. Message
+    /// sizes may differ arbitrarily — the variable-length-geometry case
+    /// the paper §3 calls out as painful with raw MPI datatypes.
+    pub fn alltoallv(&mut self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(sends.len(), self.size(), "one buffer per destination");
+        let gen = self.next_gen();
+        let p = self.size();
+        let cost_model = self.shared.cost;
+        let rank = self.rank;
+        let (result, exit) = self.shared.hub.exchange(
+            self.rank,
+            gen,
+            self.now,
+            sends,
+            move |mut inputs: Vec<Vec<Vec<u8>>>, times| {
+                let send_totals: Vec<u64> = inputs
+                    .iter()
+                    .map(|row| row.iter().map(|b| b.len() as u64).sum())
+                    .collect();
+                // transpose, moving buffers (no copies).
+                let mut matrix: Vec<Vec<Vec<u8>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+                for src in 0..p {
+                    let row = std::mem::take(&mut inputs[src]);
+                    for (dst, buf) in row.into_iter().enumerate() {
+                        matrix[dst].push(buf);
+                    }
+                }
+                let recv_totals: Vec<u64> = matrix
+                    .iter()
+                    .map(|row| row.iter().map(|b| b.len() as u64).sum())
+                    .collect();
+                let start = max_time(times);
+                let exits: Vec<f64> = (0..p)
+                    .map(|r| start + cost_model.alltoall(p, send_totals[r], recv_totals[r]))
+                    .collect();
+                (matrix, exits)
+            },
+        );
+        self.now = exit;
+        result[rank].clone()
+    }
+
+    /// `MPI_Reduce` with a user-defined operator; the result is returned at
+    /// `root` only. `bytes_hint` sizes the communication cost (use the
+    /// serialized size of `T`).
+    pub fn reduce<T>(&mut self, root: usize, value: T, bytes_hint: u64, op: &dyn ReduceOp<T>) -> Option<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let out = self.allreduce_inner(value, bytes_hint, op);
+        if self.rank == root {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// `MPI_Allreduce` with a user-defined operator.
+    pub fn allreduce<T>(&mut self, value: T, bytes_hint: u64, op: &dyn ReduceOp<T>) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.allreduce_inner(value, bytes_hint, op)
+    }
+
+    fn allreduce_inner<T>(&mut self, value: T, bytes_hint: u64, op: &dyn ReduceOp<T>) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let gen = self.next_gen();
+        let p = self.size();
+        let cost_model = self.shared.cost;
+        let (result, exit) =
+            self.shared
+                .hub
+                .exchange(self.rank, gen, self.now, value, move |inputs: Vec<T>, times| {
+                    let combined = fold_in_rank_order(&inputs, op);
+                    let exit = max_time(times) + cost_model.reduce(p, bytes_hint);
+                    (combined, vec![exit; times.len()])
+                });
+        self.now = exit;
+        (*result).clone()
+    }
+
+    /// Convenience `MPI_Allreduce` over a single `u64`.
+    pub fn allreduce_u64(&mut self, value: u64, op: impl Fn(&u64, &u64) -> u64 + Send + Sync) -> u64 {
+        self.allreduce(value, 8, &op)
+    }
+
+    /// `MPI_Scan` (inclusive prefix) with a user-defined operator; the
+    /// paper's Figure 13 benchmarks this with the geometric-union operator.
+    pub fn scan<T>(&mut self, value: T, bytes_hint: u64, op: &dyn ReduceOp<T>) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let gen = self.next_gen();
+        let p = self.size();
+        let rank = self.rank;
+        let cost_model = self.shared.cost;
+        let (result, exit) =
+            self.shared
+                .hub
+                .exchange(self.rank, gen, self.now, value, move |inputs: Vec<T>, times| {
+                    let prefixes = scan_in_rank_order(&inputs, op);
+                    let exit = max_time(times) + cost_model.reduce(p, bytes_hint);
+                    (prefixes, vec![exit; times.len()])
+                });
+        self.now = exit;
+        result[rank].clone()
+    }
+
+    /// Access to the shared hub generation — used by the I/O layer to run
+    /// its own collectives in the same ordered stream.
+    pub(crate) fn collective<T, R, F>(&mut self, input: T, combine: F) -> (Arc<R>, f64)
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, &[f64]) -> (R, Vec<f64>),
+    {
+        let gen = self.next_gen();
+        let (r, exit) = self.shared.hub.exchange(self.rank, gen, self.now, input, combine);
+        self.now = exit;
+        (r, exit)
+    }
+}
+
+#[inline]
+fn max_time(times: &[f64]) -> f64 {
+    times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}

@@ -1,0 +1,789 @@
+//! MPI-IO over the simulated parallel filesystem: the paper's three access
+//! levels.
+//!
+//! | Level | Pattern        | Mode        | Entry point                 |
+//! |-------|----------------|-------------|-----------------------------|
+//! | 0     | contiguous     | independent | [`MpiFile::read_at`]        |
+//! | 1     | contiguous     | collective  | [`MpiFile::read_at_all`]    |
+//! | 3     | non-contiguous | collective  | [`MpiFile::read_all`] (view)|
+//!
+//! Collective reads implement ROMIO-style **two-phase I/O**: a subset of
+//! ranks (*aggregators*, at most one per node) read contiguous file
+//! domains in `cb_buffer_size` cycles, then redistribute to the real
+//! targets with an `Alltoallv`. On Lustre the aggregator count follows the
+//! divisor rule the paper reports (§5.1.1): when the stripe count is at
+//! least the node count, the number of readers is the largest divisor of
+//! the stripe count that is ≤ the node count — which is why 24 nodes
+//! reading a 64-OST file get only 16 readers and Figure 11 shows cliffs at
+//! 24, 48 and 72 nodes.
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::hints::{Hints, ROMIO_MAX_IO_BYTES};
+use crate::{MsimError, Result};
+use mvio_pfs::{FsKind, IoRequest, SimFile, SimFs};
+use std::sync::Arc;
+
+/// The three MPI-IO access levels the paper benchmarks (its Table 1; the
+/// unused "Level 2" — non-contiguous independent — is omitted there too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessLevel {
+    /// Contiguous + independent (`MPI_File_read_at`).
+    Level0,
+    /// Contiguous + collective (`MPI_File_read_at_all`).
+    Level1,
+    /// Non-contiguous + collective (file view + `MPI_File_read_all`).
+    Level3,
+}
+
+impl AccessLevel {
+    /// Human-readable description matching the paper's Table 1.
+    pub fn describe(self) -> &'static str {
+        match self {
+            AccessLevel::Level0 => "contiguous and independent",
+            AccessLevel::Level1 => "contiguous and collective",
+            AccessLevel::Level3 => "non-contiguous and collective",
+        }
+    }
+}
+
+/// A file view: displacement + an elementary type + a (possibly gapped)
+/// filetype tiled across the file, exactly `MPI_File_set_view`.
+#[derive(Debug, Clone)]
+pub struct FileView {
+    /// Byte displacement where the view begins.
+    pub disp: u64,
+    /// The filetype tiled from `disp` onward.
+    pub filetype: Datatype,
+}
+
+impl FileView {
+    /// Creates a view after validating the datatype.
+    pub fn new(disp: u64, filetype: Datatype) -> Result<Self> {
+        filetype.validate()?;
+        Ok(FileView { disp, filetype })
+    }
+
+    /// Absolute `(offset, len)` fragments covering `payload` bytes of
+    /// visible data, starting `skip_instances` filetype instances into the
+    /// view (each rank typically skips `rank` instances for round-robin
+    /// layouts).
+    pub fn fragments(&self, skip_instances: u64, stride_instances: u64, payload: usize) -> Vec<(u64, u64)> {
+        let ext = self.filetype.extent() as u64;
+        let size = self.filetype.size();
+        let inner = self.filetype.fragments();
+        let mut out = Vec::new();
+        let mut remaining = payload;
+        let mut instance = skip_instances;
+        while remaining > 0 {
+            let base = self.disp + instance * ext;
+            for &(off, len) in &inner {
+                if remaining == 0 {
+                    break;
+                }
+                let take = len.min(remaining);
+                out.push((base + off as u64, take as u64));
+                remaining -= take;
+            }
+            instance += stride_instances;
+            if size == 0 {
+                break; // degenerate filetype; avoid infinite loop
+            }
+        }
+        out
+    }
+}
+
+/// An open MPI file handle bound to one simulated filesystem.
+pub struct MpiFile {
+    fs: Arc<SimFs>,
+    file: Arc<SimFile>,
+    hints: Hints,
+    view: Option<FileView>,
+}
+
+impl MpiFile {
+    /// Opens an existing file (the `MPI_File_open` analogue; call it from
+    /// every rank — it is cheap and local in the simulator).
+    pub fn open(fs: &Arc<SimFs>, path: &str, hints: Hints) -> Result<Self> {
+        let file = fs.open(path)?;
+        Ok(MpiFile { fs: Arc::clone(fs), file, hints, view: None })
+    }
+
+    /// The underlying simulated file.
+    pub fn file(&self) -> &Arc<SimFile> {
+        &self.file
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> u64 {
+        self.file.len()
+    }
+
+    /// `true` when the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.file.is_empty()
+    }
+
+    /// The hints this handle was opened with.
+    pub fn hints(&self) -> Hints {
+        self.hints
+    }
+
+    /// Sets the file view for Level-3 access (`MPI_File_set_view`).
+    pub fn set_view(&mut self, view: FileView) {
+        self.view = Some(view);
+    }
+
+    fn check_count(len: u64) -> Result<()> {
+        if len > ROMIO_MAX_IO_BYTES {
+            Err(MsimError::CountOverflow { requested: len })
+        } else {
+            Ok(())
+        }
+    }
+
+    // ----- Level 0: contiguous + independent ------------------------------
+
+    /// `MPI_File_read_at`: independent contiguous read. Returns bytes read
+    /// (short at EOF). Advances the rank's clock by the modelled I/O time.
+    pub fn read_at(&self, comm: &mut Comm, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        let done = self.file.read_at(offset, buf, &comm.io_ctx())?;
+        comm.advance_to(done.completion);
+        Ok(done.bytes as usize)
+    }
+
+    /// `MPI_File_write_at`: independent contiguous write.
+    pub fn write_at(&self, comm: &mut Comm, offset: u64, buf: &[u8]) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        let done = self.file.write_at(offset, buf, &comm.io_ctx())?;
+        comm.advance_to(done.completion);
+        Ok(done.bytes as usize)
+    }
+
+    // ----- Level 1: contiguous + collective -------------------------------
+
+    /// `MPI_File_read_at_all`: collective contiguous read via two-phase
+    /// I/O. All ranks must call it; per-rank `(offset, buf)` may differ
+    /// (zero-length participation is allowed, as in Algorithm 1's last
+    /// iteration). Returns bytes read into `buf`.
+    pub fn read_at_all(&self, comm: &mut Comm, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        // Functional half: copy this rank's bytes now (untimed peek); the
+        // timing half is computed collectively below.
+        let got = self.file.peek(offset, buf);
+
+        let topo = comm.topology();
+        let nodes = topo.nodes();
+        let cost = *comm.cost_model();
+        let stripe = self.file.stripe();
+        let ost_base = self.file.ost_base();
+        let fs_kind = self.fs.config().kind;
+        let hints = self.hints;
+        let engine = Arc::clone(self.fs.engine());
+        let p = comm.size();
+
+        let (_, _) = comm.collective(
+            (offset, got as u64),
+            move |reqs: Vec<(u64, u64)>, times| {
+                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                // Aggregate file domain spanned by the collective.
+                let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
+                let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
+                let (lo, hi) = match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => return ((), vec![start; reqs.len()]), // nothing to read
+                };
+                let readers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+                let leaders = topo.node_leaders();
+
+                // Contiguous equal file domains, one per aggregator, read
+                // in cb_buffer_size cycles.
+                let span = hi - lo;
+                let domain = span.div_ceil(readers as u64).max(1);
+                let mut batch = Vec::new();
+                for (i, leader) in leaders.iter().take(readers).enumerate() {
+                    let d_lo = lo + i as u64 * domain;
+                    let d_hi = (d_lo + domain).min(hi);
+                    let mut pos = d_lo;
+                    while pos < d_hi {
+                        let len = (d_hi - pos).min(hints.cb_buffer_size);
+                        batch.push(IoRequest {
+                            rank: *leader,
+                            node: topo.node_of(*leader),
+                            now: start,
+                            offset: pos,
+                            len,
+                        });
+                        pos += len;
+                    }
+                }
+                let completions = engine.io_batch(stripe, ost_base, &batch);
+                let read_done = completions
+                    .iter()
+                    .map(|c| c.completion)
+                    .fold(start, f64::max);
+
+                // Redistribution: aggregators scatter each rank's bytes.
+                let exits: Vec<f64> = reqs
+                    .iter()
+                    .map(|&(_, len)| read_done + cost.alltoall(p.min(readers.max(2)), len, len))
+                    .collect();
+                ((), exits)
+            },
+        );
+        Ok(got)
+    }
+
+    /// `MPI_File_write_at_all`: collective contiguous write via two-phase
+    /// I/O (aggregators gather and flush contiguous domains). The paper
+    /// needs this for "the output … written to a single file in which the
+    /// storage order corresponds to that of the global grid data layout".
+    pub fn write_at_all(&self, comm: &mut Comm, offset: u64, buf: &[u8]) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        // Functional half: place this rank's bytes (untimed; aggregated
+        // timing is modelled collectively below).
+        self.file.poke(offset, buf);
+
+        let topo = comm.topology();
+        let nodes = topo.nodes();
+        let cost = *comm.cost_model();
+        let stripe = self.file.stripe();
+        let ost_base = self.file.ost_base();
+        let fs_kind = self.fs.config().kind;
+        let hints = self.hints;
+        let engine = Arc::clone(self.fs.engine());
+        let p = comm.size();
+        let len = buf.len() as u64;
+
+        let (_, _) = comm.collective(
+            (offset, len),
+            move |reqs: Vec<(u64, u64)>, times| {
+                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
+                let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
+                let (lo, hi) = match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => return ((), vec![start; reqs.len()]),
+                };
+                let writers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+                let leaders = topo.node_leaders();
+
+                // Phase 1: ranks ship their data to the aggregators.
+                let gather_done = reqs
+                    .iter()
+                    .map(|&(_, l)| start + cost.alltoall(p.min(writers.max(2)), l, l))
+                    .fold(start, f64::max);
+
+                // Phase 2: aggregators flush contiguous domains in cycles.
+                let span = hi - lo;
+                let domain = span.div_ceil(writers as u64).max(1);
+                let mut batch = Vec::new();
+                for (i, leader) in leaders.iter().take(writers).enumerate() {
+                    let d_lo = lo + i as u64 * domain;
+                    let d_hi = (d_lo + domain).min(hi);
+                    let mut pos = d_lo;
+                    while pos < d_hi {
+                        let l = (d_hi - pos).min(hints.cb_buffer_size);
+                        batch.push(IoRequest {
+                            rank: *leader,
+                            node: topo.node_of(*leader),
+                            now: gather_done,
+                            offset: pos,
+                            len: l,
+                        });
+                        pos += l;
+                    }
+                }
+                let completions = engine.io_batch(stripe, ost_base, &batch);
+                let done = completions
+                    .iter()
+                    .map(|c| c.completion)
+                    .fold(gather_done, f64::max);
+                ((), vec![done; reqs.len()])
+            },
+        );
+        Ok(buf.len())
+    }
+
+    /// `MPI_File_write_all` through the current file view: non-contiguous
+    /// collective write (rank instances as in [`MpiFile::read_all`]).
+    pub fn write_all(
+        &self,
+        comm: &mut Comm,
+        skip_instances: u64,
+        stride_instances: u64,
+        buf: &[u8],
+    ) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        let view = self
+            .view
+            .as_ref()
+            .ok_or_else(|| MsimError::Collective("write_all requires a file view".into()))?;
+        let frags = view.fragments(skip_instances, stride_instances, buf.len());
+
+        // Functional half: scatter the user buffer into the fragments.
+        let mut pos = 0usize;
+        for &(off, len) in &frags {
+            self.file.poke(off, &buf[pos..pos + len as usize]);
+            pos += len as usize;
+        }
+
+        // Timing: reuse the collective two-phase model (same mechanics in
+        // both directions), plus per-fragment datatype processing.
+        let topo = comm.topology();
+        let nodes = topo.nodes();
+        let cost = *comm.cost_model();
+        let stripe = self.file.stripe();
+        let ost_base = self.file.ost_base();
+        let fs_kind = self.fs.config().kind;
+        let hints = self.hints;
+        let engine = Arc::clone(self.fs.engine());
+        let p = comm.size();
+        let my_bytes: u64 = frags.iter().map(|f| f.1).sum();
+        let my_span = frags
+            .first()
+            .map(|f| (f.0, frags.last().unwrap().0 + frags.last().unwrap().1));
+
+        let (_, _) = comm.collective(
+            (my_span, my_bytes, frags.len() as u64),
+            move |inputs: Vec<(Option<(u64, u64)>, u64, u64)>, times| {
+                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lo = inputs.iter().filter_map(|i| i.0).map(|s| s.0).min();
+                let hi = inputs.iter().filter_map(|i| i.0).map(|s| s.1).max();
+                let (lo, hi) = match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => return ((), vec![start; inputs.len()]),
+                };
+                let writers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+                let leaders = topo.node_leaders();
+                let gather_done = inputs
+                    .iter()
+                    .map(|&(_, bytes, nfrags)| {
+                        start
+                            + cost.alltoall(p.min(writers.max(2)), bytes, bytes)
+                            + nfrags as f64 * (cost.comm_latency + 2.0e-6)
+                            + bytes as f64 * cost.byte_copy
+                    })
+                    .fold(start, f64::max);
+                let span = hi - lo;
+                let domain = span.div_ceil(writers as u64).max(1);
+                let mut batch = Vec::new();
+                for (i, leader) in leaders.iter().take(writers).enumerate() {
+                    let d_lo = lo + i as u64 * domain;
+                    let d_hi = (d_lo + domain).min(hi);
+                    let mut pos = d_lo;
+                    while pos < d_hi {
+                        let l = (d_hi - pos).min(hints.cb_buffer_size);
+                        batch.push(IoRequest {
+                            rank: *leader,
+                            node: topo.node_of(*leader),
+                            now: gather_done,
+                            offset: pos,
+                            len: l,
+                        });
+                        pos += l;
+                    }
+                }
+                let completions = engine.io_batch(stripe, ost_base, &batch);
+                let done = completions
+                    .iter()
+                    .map(|c| c.completion)
+                    .fold(gather_done, f64::max);
+                ((), vec![done; inputs.len()])
+            },
+        );
+        Ok(buf.len())
+    }
+
+    // ----- Level 3: non-contiguous + collective ---------------------------
+
+    /// `MPI_File_read_all` through the current file view: non-contiguous
+    /// collective read. Each rank reads `buf.len()` payload bytes from its
+    /// view fragments, where the rank's instances are
+    /// `skip + k·stride` for `k = 0, 1, …` (round-robin block
+    /// distribution: `skip = rank`, `stride = size`).
+    pub fn read_all(
+        &self,
+        comm: &mut Comm,
+        skip_instances: u64,
+        stride_instances: u64,
+        buf: &mut [u8],
+    ) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        let view = self
+            .view
+            .as_ref()
+            .ok_or_else(|| MsimError::Collective("read_all requires a file view".into()))?;
+        let frags = view.fragments(skip_instances, stride_instances, buf.len());
+
+        // Functional half: gather fragments into the user buffer.
+        let mut pos = 0usize;
+        let mut got = 0usize;
+        for &(off, len) in &frags {
+            let n = self.file.peek(off, &mut buf[pos..pos + len as usize]);
+            got += n;
+            pos += len as usize;
+            if (n as u64) < len {
+                break; // EOF inside a fragment
+            }
+        }
+
+        let topo = comm.topology();
+        let nodes = topo.nodes();
+        let cost = *comm.cost_model();
+        let stripe = self.file.stripe();
+        let ost_base = self.file.ost_base();
+        let fs_kind = self.fs.config().kind;
+        let hints = self.hints;
+        let engine = Arc::clone(self.fs.engine());
+        let p = comm.size();
+
+        let my_bytes: u64 = frags.iter().map(|f| f.1).sum();
+        let my_span = frags
+            .first()
+            .map(|f| (f.0, frags.last().unwrap().0 + frags.last().unwrap().1));
+
+        let (_, _) = comm.collective(
+            (my_span, my_bytes, frags.len() as u64),
+            move |inputs: Vec<(Option<(u64, u64)>, u64, u64)>, times| {
+                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lo = inputs.iter().filter_map(|i| i.0).map(|s| s.0).min();
+                let hi = inputs.iter().filter_map(|i| i.0).map(|s| s.1).max();
+                let (lo, hi) = match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => return ((), vec![start; inputs.len()]),
+                };
+                let readers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+                let leaders = topo.node_leaders();
+
+                // Data sieving: aggregators read the covering span (gaps
+                // included) in cycles.
+                let span = hi - lo;
+                let domain = span.div_ceil(readers as u64).max(1);
+                let mut batch = Vec::new();
+                for (i, leader) in leaders.iter().take(readers).enumerate() {
+                    let d_lo = lo + i as u64 * domain;
+                    let d_hi = (d_lo + domain).min(hi);
+                    let mut pos = d_lo;
+                    while pos < d_hi {
+                        let len = (d_hi - pos).min(hints.cb_buffer_size);
+                        batch.push(IoRequest {
+                            rank: *leader,
+                            node: topo.node_of(*leader),
+                            now: start,
+                            offset: pos,
+                            len,
+                        });
+                        pos += len;
+                    }
+                }
+                let completions = engine.io_batch(stripe, ost_base, &batch);
+                let read_done = completions
+                    .iter()
+                    .map(|c| c.completion)
+                    .fold(start, f64::max);
+
+                // Redistribution + per-fragment datatype processing: the
+                // non-contiguous overhead the paper's Figures 15–16 show.
+                let exits: Vec<f64> = inputs
+                    .iter()
+                    .map(|&(_, bytes, nfrags)| {
+                        read_done
+                            + cost.alltoall(p.min(readers.max(2)), bytes, bytes)
+                            + nfrags as f64 * (cost.comm_latency + 2.0e-6)
+                            + bytes as f64 * cost.byte_copy
+                    })
+                    .collect();
+                ((), exits)
+            },
+        );
+        Ok(got)
+    }
+}
+
+/// The aggregator ("reader") selection rule.
+///
+/// Lustre/ROMIO (paper §5.1.1 and McLay et al. [21]): one aggregator per
+/// node when the node count divides the stripe count; otherwise, when the
+/// stripe count ≥ node count, the largest divisor of the stripe count that
+/// is ≤ the node count; when the stripe count < node count, one aggregator
+/// per OST. The `cb_nodes` hint only lowers the candidate node count.
+///
+/// GPFS: one aggregator per node (capped by `cb_nodes`).
+pub fn select_readers(
+    fs_kind: FsKind,
+    stripe_count: u32,
+    nodes: usize,
+    cb_nodes: Option<usize>,
+) -> usize {
+    let target = cb_nodes.unwrap_or(nodes).min(nodes).max(1);
+    match fs_kind {
+        FsKind::Lustre => {
+            let sc = stripe_count as usize;
+            if sc >= target {
+                (1..=target).rev().find(|d| sc % d == 0).unwrap_or(1)
+            } else {
+                sc
+            }
+        }
+        FsKind::Gpfs => target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use crate::world::{World, WorldConfig};
+    use mvio_pfs::{FsConfig, StripeSpec};
+
+    #[test]
+    fn reader_rule_matches_papers_cases() {
+        use FsKind::Lustre;
+        // 64-OST file (Figure 11's stripe count):
+        assert_eq!(select_readers(Lustre, 64, 16, None), 16); // divisor -> all nodes
+        assert_eq!(select_readers(Lustre, 64, 24, None), 16); // paper: "only 16 readers"
+        assert_eq!(select_readers(Lustre, 64, 32, None), 32);
+        assert_eq!(select_readers(Lustre, 64, 48, None), 32); // paper: "32 readers"
+        assert_eq!(select_readers(Lustre, 64, 64, None), 64);
+        // stripe count below node count: one reader per OST.
+        assert_eq!(select_readers(Lustre, 64, 72, None), 64);
+        // 96 OSTs, 72 nodes: largest divisor of 96 <= 72 is 48.
+        assert_eq!(select_readers(Lustre, 96, 72, None), 48);
+        // cb_nodes only lowers the candidate count.
+        assert_eq!(select_readers(Lustre, 64, 32, Some(8)), 8);
+        // GPFS: per-node aggregators.
+        assert_eq!(select_readers(FsKind::Gpfs, 16, 24, None), 24);
+        assert_eq!(select_readers(FsKind::Gpfs, 16, 24, Some(4)), 4);
+    }
+
+    fn make_fs_with_file(bytes: usize, stripe: StripeSpec) -> Arc<SimFs> {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        let f = fs.create("data.bin", Some(stripe)).unwrap();
+        let pattern: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+        f.append(pattern);
+        fs
+    }
+
+    #[test]
+    fn level0_reads_correct_bytes() {
+        let fs = make_fs_with_file(1 << 20, StripeSpec::new(4, 64 << 10));
+        let out = World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
+            let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+            let chunk = (1 << 20) / 4;
+            let off = comm.rank() * chunk;
+            let mut buf = vec![0u8; chunk];
+            let n = f.read_at(comm, off as u64, &mut buf).unwrap();
+            assert_eq!(n, chunk);
+            // Verify contents against the generating pattern.
+            for (i, &b) in buf.iter().enumerate() {
+                assert_eq!(b, ((off + i) % 251) as u8);
+            }
+            comm.now()
+        });
+        assert!(out.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn level0_rejects_over_2gib() {
+        let fs = make_fs_with_file(1024, StripeSpec::new(1, 1024));
+        World::run(WorldConfig::new(Topology::single_node(1)), |comm| {
+            let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+            // A >2 GiB buffer would be absurd to allocate; check the guard
+            // through write_at's length check with a fake huge slice is not
+            // possible, so validate the checker directly.
+            assert!(MpiFile::check_count(ROMIO_MAX_IO_BYTES).is_ok());
+            assert!(matches!(
+                MpiFile::check_count(ROMIO_MAX_IO_BYTES + 1),
+                Err(MsimError::CountOverflow { .. })
+            ));
+            let mut small = [0u8; 8];
+            f.read_at(comm, 0, &mut small).unwrap();
+        });
+    }
+
+    #[test]
+    fn level1_collective_read_delivers_data_and_time() {
+        let total = 1 << 20;
+        let fs = make_fs_with_file(total, StripeSpec::new(4, 64 << 10));
+        let out = World::run(WorldConfig::new(Topology::new(4, 4)), |comm| {
+            let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+            let chunk = total / 16;
+            let off = comm.rank() * chunk;
+            let mut buf = vec![0u8; chunk];
+            let n = f.read_at_all(comm, off as u64, &mut buf).unwrap();
+            assert_eq!(n, chunk);
+            for (i, &b) in buf.iter().enumerate() {
+                assert_eq!(b, ((off + i) % 251) as u8);
+            }
+            comm.now()
+        });
+        // Collectives synchronize: completions are close but include
+        // per-rank redistribution terms; all positive.
+        assert!(out.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn level1_allows_zero_length_participants() {
+        let fs = make_fs_with_file(4096, StripeSpec::new(2, 1024));
+        World::run(WorldConfig::new(Topology::new(1, 4)), |comm| {
+            let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+            // Only rank 0 reads; others pass empty buffers (Algorithm 1's
+            // last-iteration behaviour).
+            let mut buf = vec![0u8; if comm.rank() == 0 { 4096 } else { 0 }];
+            let n = f.read_at_all(comm, 0, &mut buf).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(n, 4096);
+            } else {
+                assert_eq!(n, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn level3_round_robin_view_reads_interleaved_blocks() {
+        // File of 16 records of 32 bytes; 4 ranks read records round-robin
+        // (rank r gets records r, r+4, r+8, r+12).
+        let record = 32usize;
+        let nrec = 16usize;
+        let fs = make_fs_with_file(record * nrec, StripeSpec::new(2, 64));
+        World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
+            let mut f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+            let filetype = Datatype::contiguous(record, Datatype::Byte);
+            f.set_view(FileView::new(0, filetype).unwrap());
+            let mut buf = vec![0u8; record * nrec / 4];
+            let n = f
+                .read_all(comm, comm.rank() as u64, comm.size() as u64, &mut buf)
+                .unwrap();
+            assert_eq!(n, buf.len());
+            // Record k starts at byte 32k; verify first byte of each of my
+            // records.
+            for (j, chunk) in buf.chunks(record).enumerate() {
+                let k = comm.rank() + 4 * j;
+                assert_eq!(chunk[0], ((k * record) % 251) as u8);
+            }
+        });
+    }
+
+    #[test]
+    fn level3_requires_a_view() {
+        let fs = make_fs_with_file(1024, StripeSpec::new(1, 1024));
+        World::run(WorldConfig::new(Topology::single_node(1)), |comm| {
+            let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+            let mut buf = vec![0u8; 16];
+            assert!(matches!(
+                f.read_all(comm, 0, 1, &mut buf),
+                Err(MsimError::Collective(_))
+            ));
+        });
+    }
+
+    #[test]
+    fn collective_write_assembles_single_file() {
+        // The paper's use case: per-rank grid output written so "the
+        // output file is same as if produced sequentially".
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        fs.create("out.bin", Some(StripeSpec::new(4, 1024))).unwrap();
+        World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
+            let f = MpiFile::open(&fs, "out.bin", Hints::default()).unwrap();
+            let chunk = vec![comm.rank() as u8 + 1; 512];
+            let n = f
+                .write_at_all(comm, comm.rank() as u64 * 512, &chunk)
+                .unwrap();
+            assert_eq!(n, 512);
+            assert!(comm.now() > 0.0);
+        });
+        let data = fs.open("out.bin").unwrap().snapshot();
+        assert_eq!(data.len(), 4 * 512);
+        for rank in 0..4 {
+            assert!(data[rank * 512..(rank + 1) * 512]
+                .iter()
+                .all(|&b| b == rank as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn level3_write_scatters_round_robin_blocks() {
+        // 4 ranks write 32-byte records round-robin: the row-major grid
+        // output layout of Figure 4, in reverse direction.
+        let record = 32usize;
+        let nrec = 16usize;
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        fs.create("grid.bin", Some(StripeSpec::new(2, 64))).unwrap();
+        World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
+            let mut f = MpiFile::open(&fs, "grid.bin", Hints::default()).unwrap();
+            let filetype = Datatype::contiguous(record, Datatype::Byte);
+            f.set_view(FileView::new(0, filetype).unwrap());
+            // Rank r writes records r, r+4, r+8, r+12, each filled with
+            // the record index.
+            let my_records: Vec<usize> = (comm.rank()..nrec).step_by(comm.size()).collect();
+            let mut buf = Vec::with_capacity(my_records.len() * record);
+            for &k in &my_records {
+                buf.extend(std::iter::repeat(k as u8).take(record));
+            }
+            let n = f
+                .write_all(comm, comm.rank() as u64, comm.size() as u64, &buf)
+                .unwrap();
+            assert_eq!(n, buf.len());
+        });
+        // The assembled file must equal the sequential row-major layout.
+        let data = fs.open("grid.bin").unwrap().snapshot();
+        assert_eq!(data.len(), record * nrec);
+        for k in 0..nrec {
+            assert!(
+                data[k * record..(k + 1) * record].iter().all(|&b| b == k as u8),
+                "record {k} corrupted"
+            );
+        }
+    }
+
+    #[test]
+    fn collective_read_is_deterministic() {
+        let total = 1 << 18;
+        let run = || {
+            let fs = make_fs_with_file(total, StripeSpec::new(4, 16 << 10));
+            World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
+                let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+                let chunk = total / 4;
+                let mut buf = vec![0u8; chunk];
+                f.read_at_all(comm, (comm.rank() * chunk) as u64, &mut buf).unwrap();
+                comm.now()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn independent_beats_collective_for_contiguous_lustre_reads() {
+        // The paper's headline contrast (contribution 2): Level 0 wins for
+        // block-contiguous reads on Lustre because two-phase adds
+        // redistribution work without reducing physical I/O.
+        let total = 8 << 20;
+        let topo = Topology::new(2, 4);
+        let elapsed = |collective: bool| {
+            let fs = make_fs_with_file(total, StripeSpec::new(8, 256 << 10));
+            fs.set_active_ranks(topo.ranks());
+            let out = World::run(WorldConfig::new(topo), move |comm| {
+                let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+                let chunk = total / 8;
+                let off = (comm.rank() * chunk) as u64;
+                let mut buf = vec![0u8; chunk];
+                if collective {
+                    f.read_at_all(comm, off, &mut buf).unwrap();
+                } else {
+                    f.read_at(comm, off, &mut buf).unwrap();
+                }
+                comm.now()
+            });
+            out.into_iter().fold(0.0, f64::max)
+        };
+        let indep = elapsed(false);
+        let coll = elapsed(true);
+        assert!(
+            indep < coll,
+            "independent {indep} should beat collective {coll} for contiguous reads"
+        );
+    }
+}

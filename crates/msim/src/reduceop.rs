@@ -1,0 +1,109 @@
+//! User-defined reduction operators — the `MPI_Op_create` analogue.
+//!
+//! The paper's §4.2.2 defines new reduction operators (`MPI_MIN`,
+//! `MPI_MAX` re-defined for lines and rectangles, and a new `MPI_UNION`
+//! for MBRs) and notes that operators "can be non-commutative, but must be
+//! associative". The runtime honours that: non-commutative operators are
+//! combined strictly in rank order, exactly as MPI guarantees.
+
+/// A binary reduction operator over `T`.
+///
+/// Implementations must be associative. Set [`ReduceOp::commutative`] to
+/// `false` for order-sensitive operators; the runtime then folds inputs in
+/// ascending rank order.
+pub trait ReduceOp<T>: Send + Sync {
+    /// Combines two values.
+    fn combine(&self, a: &T, b: &T) -> T;
+
+    /// Whether the operator commutes (default: yes).
+    fn commutative(&self) -> bool {
+        true
+    }
+}
+
+/// Blanket adapter so plain closures work as commutative operators:
+/// `comm.allreduce(v, &|a, b| ...)`.
+impl<T, F> ReduceOp<T> for F
+where
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    fn combine(&self, a: &T, b: &T) -> T {
+        self(a, b)
+    }
+}
+
+/// Folds `values` (indexed by rank) with `op`, in rank order.
+///
+/// Rank order is the MPI-specified canonical reduction order; for
+/// commutative ops any order is equivalent, so using rank order everywhere
+/// is both correct and deterministic.
+pub fn fold_in_rank_order<T: Clone>(values: &[T], op: &dyn ReduceOp<T>) -> T {
+    assert!(!values.is_empty(), "reduction over empty input");
+    let mut acc = values[0].clone();
+    for v in &values[1..] {
+        acc = op.combine(&acc, v);
+    }
+    acc
+}
+
+/// Computes the inclusive prefix scan (MPI_Scan): element `i` of the
+/// result combines ranks `0..=i`.
+pub fn scan_in_rank_order<T: Clone>(values: &[T], op: &dyn ReduceOp<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc: Option<T> = None;
+    for v in values {
+        acc = Some(match acc {
+            None => v.clone(),
+            Some(a) => op.combine(&a, v),
+        });
+        out.push(acc.clone().unwrap());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Concat;
+    impl ReduceOp<String> for Concat {
+        fn combine(&self, a: &String, b: &String) -> String {
+            format!("{a}{b}")
+        }
+        fn commutative(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn closures_are_reduce_ops() {
+        let add = |a: &u64, b: &u64| a + b;
+        assert_eq!(fold_in_rank_order(&[1, 2, 3, 4], &add), 10);
+    }
+
+    #[test]
+    fn non_commutative_op_preserves_rank_order() {
+        let vals: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(fold_in_rank_order(&vals, &Concat), "abcd");
+        assert!(!Concat.commutative());
+    }
+
+    #[test]
+    fn scan_produces_prefixes() {
+        let vals: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(scan_in_rank_order(&vals, &Concat), vec!["a", "ab", "abc"]);
+    }
+
+    #[test]
+    fn scan_with_numbers() {
+        let add = |a: &i64, b: &i64| a + b;
+        assert_eq!(scan_in_rank_order(&[1, 2, 3, 4], &add), vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_reduction_panics() {
+        let add = |a: &u64, b: &u64| a + b;
+        let _ = fold_in_rank_order(&[], &add);
+    }
+}

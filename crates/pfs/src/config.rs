@@ -1,0 +1,189 @@
+//! Filesystem configuration and the calibrated performance model.
+
+use crate::PfsError;
+
+/// Which filesystem personality the simulator wears. The engine is shared;
+/// the personality controls defaults (GPFS users cannot set striping —
+/// paper §5.1: "On GPFS, we did not have the permission to change those
+/// parameters").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsKind {
+    /// Lustre-like: user-settable stripe count and stripe size per file.
+    Lustre,
+    /// GPFS-like: fixed wide striping chosen by the filesystem.
+    Gpfs,
+}
+
+/// Striping of one file: how many OSTs it spans and the chunk size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeSpec {
+    /// Number of OSTs the file's blocks round-robin over (Lustre
+    /// `stripe_count`).
+    pub count: u32,
+    /// Bytes per stripe chunk (Lustre `stripe_size`).
+    pub size: u64,
+}
+
+impl StripeSpec {
+    /// Creates a stripe spec; panics on zero values (use
+    /// [`StripeSpec::validate`] for fallible checking).
+    pub fn new(count: u32, size: u64) -> Self {
+        assert!(count > 0 && size > 0, "stripe count and size must be positive");
+        StripeSpec { count, size }
+    }
+
+    /// Validates against a filesystem's OST total.
+    pub fn validate(&self, total_osts: u32) -> Result<(), PfsError> {
+        if self.count == 0 || self.size == 0 {
+            return Err(PfsError::BadStripe("stripe count and size must be positive".into()));
+        }
+        if self.count > total_osts {
+            return Err(PfsError::BadStripe(format!(
+                "stripe count {} exceeds filesystem OST total {}",
+                self.count, total_osts
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The calibrated constants of the timing model. All bandwidths are in
+/// bytes per virtual second; latencies in virtual seconds.
+///
+/// Calibration targets (paper §5):
+/// * COMET Lustre peaks at ~22 GB/s for Level-0 reads over 64 OSTs
+///   ⇒ `ost_bandwidth = 0.35 GB/s` (64 × 0.35 = 22.4 GB/s aggregate).
+/// * The rise up to ~32–48 nodes comes from per-node client throughput
+///   (`client_bandwidth`), modelling the finite RPCs-in-flight a Lustre
+///   client sustains — well below the 7 GB/s FDR link itself.
+/// * The post-peak sag comes from `sharing_overhead`, a per-request service
+///   inflation once clients outnumber OSTs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    /// Sustained streaming bandwidth of one OST.
+    pub ost_bandwidth: f64,
+    /// Fixed cost per I/O request reaching an OST (seek + RPC round trip).
+    pub request_latency: f64,
+    /// Hard cap: physical link bandwidth of one client node.
+    pub link_bandwidth: f64,
+    /// Effective per-node client throughput (RPC concurrency limit);
+    /// `min(link_bandwidth, client_bandwidth)` governs the client side.
+    pub client_bandwidth: f64,
+    /// Service-time inflation per extra client sharing an OST
+    /// (`service × (1 + sharing_overhead × (clients_per_ost − 1))`).
+    pub sharing_overhead: f64,
+}
+
+impl PerfModel {
+    /// Effective client-side per-node bandwidth.
+    pub fn node_bandwidth(&self) -> f64 {
+        self.link_bandwidth.min(self.client_bandwidth)
+    }
+}
+
+/// Complete configuration of a simulated filesystem instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsConfig {
+    pub kind: FsKind,
+    /// Number of object storage targets available for striping (COMET: 96).
+    pub total_osts: u32,
+    /// Striping applied when a file is created without an explicit spec.
+    pub default_stripe: StripeSpec,
+    pub perf: PerfModel,
+}
+
+impl FsConfig {
+    /// Lustre calibrated to SDSC COMET (paper §5: 96 OSTs, 100 GB/s durable
+    /// storage, FDR InfiniBand 56 Gb/s links, 22 GB/s observed peak).
+    pub fn lustre_comet() -> Self {
+        FsConfig {
+            kind: FsKind::Lustre,
+            total_osts: 96,
+            default_stripe: StripeSpec::new(1, 1 << 20), // Lustre default: 1 OST, 1 MiB
+            perf: PerfModel {
+                ost_bandwidth: 0.35e9,
+                request_latency: 1.5e-3,
+                link_bandwidth: 7.0e9, // 56 Gb/s FDR
+                client_bandwidth: 0.55e9,
+                sharing_overhead: 0.004,
+            },
+        }
+    }
+
+    /// GPFS calibrated to NCSA ROGER (paper §5: 10 Gb/s node uplinks,
+    /// 20 ranks/node, fixed filesystem-chosen striping).
+    pub fn gpfs_roger() -> Self {
+        FsConfig {
+            kind: FsKind::Gpfs,
+            total_osts: 16, // NSD servers
+            default_stripe: StripeSpec::new(16, 256 << 10), // wide, 256 KiB blocks
+            perf: PerfModel {
+                ost_bandwidth: 0.30e9,
+                request_latency: 2.0e-3,
+                link_bandwidth: 1.25e9, // 10 Gb/s uplink
+                client_bandwidth: 0.9e9,
+                sharing_overhead: 0.02,
+            },
+        }
+    }
+
+    /// A tiny deterministic configuration for unit tests: small numbers so
+    /// hand-computed expectations stay readable.
+    pub fn test_tiny() -> Self {
+        FsConfig {
+            kind: FsKind::Lustre,
+            total_osts: 4,
+            default_stripe: StripeSpec::new(2, 1024),
+            perf: PerfModel {
+                ost_bandwidth: 1_000_000.0, // 1 MB/s
+                request_latency: 0.001,
+                link_bandwidth: 10_000_000.0,
+                client_bandwidth: 10_000_000.0,
+                sharing_overhead: 0.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_validation() {
+        assert!(StripeSpec::new(4, 1024).validate(96).is_ok());
+        assert!(StripeSpec::new(97, 1024).validate(96).is_err());
+        let zero = StripeSpec { count: 0, size: 1024 };
+        assert!(zero.validate(96).is_err());
+        let zsize = StripeSpec { count: 1, size: 0 };
+        assert!(zsize.validate(96).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn stripe_new_panics_on_zero() {
+        let _ = StripeSpec::new(0, 1024);
+    }
+
+    #[test]
+    fn comet_aggregate_matches_paper_peak() {
+        // 64 OSTs at the calibrated per-OST bandwidth ≈ the paper's 22 GB/s.
+        let cfg = FsConfig::lustre_comet();
+        let agg = 64.0 * cfg.perf.ost_bandwidth;
+        assert!((agg - 22.4e9).abs() < 1e6, "aggregate {agg}");
+    }
+
+    #[test]
+    fn node_bandwidth_is_min_of_caps() {
+        let cfg = FsConfig::lustre_comet();
+        assert_eq!(cfg.perf.node_bandwidth(), cfg.perf.client_bandwidth);
+        assert!(cfg.perf.client_bandwidth < cfg.perf.link_bandwidth);
+    }
+
+    #[test]
+    fn gpfs_has_no_user_striping_personality() {
+        let cfg = FsConfig::gpfs_roger();
+        assert_eq!(cfg.kind, FsKind::Gpfs);
+        assert_eq!(cfg.default_stripe.count, cfg.total_osts);
+    }
+}

@@ -1,0 +1,357 @@
+//! The virtual-time I/O engine: OST FIFO servers plus per-node client
+//! throughput queues.
+
+use crate::config::{PerfModel, StripeSpec};
+use crate::layout;
+use parking_lot::Mutex;
+
+/// Per-operation client context: who is reading, from which node, at what
+/// virtual time, and how many ranks are active in the job (the contention
+/// population).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoCtx {
+    /// Client node index (ranks on the same node share its link queue).
+    pub node: usize,
+    /// The caller's virtual clock at the moment the operation starts.
+    pub now: f64,
+    /// Total client nodes participating in the job (used by personality
+    /// checks; 1 for serial use).
+    pub world_nodes: usize,
+}
+
+impl IoCtx {
+    /// Context for single-process use (tests, dataset generation).
+    pub fn serial(now: f64) -> Self {
+        IoCtx { node: 0, now, world_nodes: 1 }
+    }
+}
+
+/// A fully-described I/O request, used by the deterministic batch path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoRequest {
+    /// Issuing rank (tie-break for deterministic ordering).
+    pub rank: usize,
+    /// Client node of the issuing rank.
+    pub node: usize,
+    /// Virtual time at which the rank issues the request.
+    pub now: f64,
+    /// File offset in bytes.
+    pub offset: u64,
+    /// Request length in bytes.
+    pub len: u64,
+}
+
+/// Outcome of a timed I/O: when it completes in virtual time and how many
+/// bytes moved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoCompletion {
+    /// Virtual time at which the last byte is delivered to the client.
+    pub completion: f64,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+impl IoCompletion {
+    /// Duration relative to a start time.
+    pub fn duration_from(&self, start: f64) -> f64 {
+        (self.completion - start).max(0.0)
+    }
+}
+
+/// A single-resource server in virtual time, scheduled with **backfill**:
+/// a request may occupy any idle gap at or after its arrival, not just the
+/// tail of the queue. This keeps the schedule work-conserving and (nearly)
+/// independent of the *wall-clock* order in which racing rank threads
+/// reach the engine — without it, a virtually-early request arriving late
+/// in real time would be pushed behind virtually-later ones, inflating
+/// simulated times nondeterministically.
+#[derive(Debug, Default, Clone)]
+struct Server {
+    /// Sorted, non-overlapping busy intervals `(start, end)`.
+    intervals: Vec<(f64, f64)>,
+}
+
+impl Server {
+    /// Schedules `service` seconds at or after `now`; returns completion.
+    fn schedule(&mut self, now: f64, service: f64) -> f64 {
+        if service <= 0.0 {
+            return now;
+        }
+        let mut t = now;
+        let mut idx = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if e <= t {
+                continue; // fully in the past relative to t
+            }
+            if s >= t + service {
+                idx = i; // gap before interval i fits
+                break;
+            }
+            // Overlap: push t past this busy interval.
+            t = e;
+        }
+        self.intervals.insert(idx, (t, t + service));
+        t + service
+    }
+}
+
+struct EngineState {
+    /// One server per OST.
+    osts: Vec<Server>,
+    /// One server per client node's link (grown on demand).
+    nodes: Vec<Server>,
+    /// Number of distinct ranks observed — the contention population used
+    /// for the sharing penalty.
+    active_ranks: usize,
+}
+
+/// Shared timing engine of one simulated filesystem.
+///
+/// All methods advance *virtual* time only; no wall-clock sleeping happens
+/// anywhere in the simulator.
+pub struct TimingEngine {
+    perf: PerfModel,
+    total_osts: u32,
+    state: Mutex<EngineState>,
+}
+
+impl TimingEngine {
+    /// Creates an engine with all servers free at virtual time 0.
+    pub fn new(perf: PerfModel, total_osts: u32) -> Self {
+        TimingEngine {
+            perf,
+            total_osts,
+            state: Mutex::new(EngineState {
+                osts: vec![Server::default(); total_osts as usize],
+                nodes: Vec::new(),
+                active_ranks: 1,
+            }),
+        }
+    }
+
+    /// Declares the contention population (called by the runtime when a job
+    /// starts). Affects only the sharing penalty, never correctness.
+    pub fn set_active_ranks(&self, ranks: usize) {
+        self.state.lock().active_ranks = ranks.max(1);
+    }
+
+    /// Service-time inflation once clients outnumber the file's OSTs.
+    fn sharing_factor(&self, stripe_count: u32, active_ranks: usize) -> f64 {
+        let per_ost = active_ranks as f64 / stripe_count.max(1) as f64;
+        1.0 + self.perf.sharing_overhead * (per_ost - 1.0).max(0.0)
+    }
+
+    /// Times one request. Chunks queue FIFO on their OSTs; the whole
+    /// transfer also flows through the issuing node's client queue; the
+    /// request completes when both sides have finished.
+    pub fn io(&self, stripe: StripeSpec, ost_base: u32, node: usize, now: f64, offset: u64, len: u64) -> IoCompletion {
+        let mut st = self.state.lock();
+        let active = st.active_ranks;
+        self.io_locked(&mut st, stripe, ost_base, node, now, offset, len, active)
+    }
+
+    /// Deterministic batch path: requests are processed in `(now, rank)`
+    /// order under a single lock, so collective operations produce
+    /// identical virtual timings on every run regardless of thread
+    /// interleaving.
+    ///
+    /// Requests from the *same rank* chain: a rank (e.g. a two-phase
+    /// aggregator working through its `cb_buffer_size` cycles) issues its
+    /// next request only after the previous one completes — which is why
+    /// the number of aggregators matters for collective I/O performance.
+    pub fn io_batch(
+        &self,
+        stripe: StripeSpec,
+        ost_base: u32,
+        reqs: &[IoRequest],
+    ) -> Vec<IoCompletion> {
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        order.sort_by(|&a, &b| {
+            reqs[a]
+                .now
+                .partial_cmp(&reqs[b].now)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(reqs[a].rank.cmp(&reqs[b].rank))
+        });
+        let mut out = vec![IoCompletion { completion: 0.0, bytes: 0 }; reqs.len()];
+        let mut last_by_rank: std::collections::HashMap<usize, f64> =
+            std::collections::HashMap::new();
+        let mut st = self.state.lock();
+        let active = st.active_ranks;
+        for idx in order {
+            let r = &reqs[idx];
+            let chained_now = last_by_rank
+                .get(&r.rank)
+                .copied()
+                .unwrap_or(r.now)
+                .max(r.now);
+            let done = self.io_locked(
+                &mut st, stripe, ost_base, r.node, chained_now, r.offset, r.len, active,
+            );
+            last_by_rank.insert(r.rank, done.completion);
+            out[idx] = done;
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn io_locked(
+        &self,
+        st: &mut EngineState,
+        stripe: StripeSpec,
+        ost_base: u32,
+        node: usize,
+        now: f64,
+        offset: u64,
+        len: u64,
+        active_ranks: usize,
+    ) -> IoCompletion {
+        if len == 0 {
+            return IoCompletion { completion: now, bytes: 0 };
+        }
+        let factor = self.sharing_factor(stripe.count, active_ranks);
+
+        // Server side: each chunk occupies backfill-scheduled time on its
+        // OST; chunks sharing an OST serialize, distinct OSTs overlap.
+        let mut server_done = now;
+        for chunk in layout::chunks_of(stripe, offset, len) {
+            let g = ((ost_base + chunk.ost) % self.total_osts) as usize;
+            let service =
+                (self.perf.request_latency + chunk.len as f64 / self.perf.ost_bandwidth) * factor;
+            let done = st.osts[g].schedule(now, service);
+            server_done = server_done.max(done);
+        }
+
+        // Client side: the node's effective throughput bounds how fast the
+        // bytes can be absorbed, shared among the node's ranks.
+        if st.nodes.len() <= node {
+            st.nodes.resize(node + 1, Server::default());
+        }
+        let link_service = len as f64 / self.perf.node_bandwidth();
+        let link_done = st.nodes[node].schedule(now, link_service);
+
+        IoCompletion { completion: server_done.max(link_done), bytes: len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FsConfig;
+
+    fn engine() -> TimingEngine {
+        let cfg = FsConfig::test_tiny();
+        TimingEngine::new(cfg.perf, cfg.total_osts)
+    }
+
+    #[test]
+    fn zero_length_takes_no_time() {
+        let e = engine();
+        let done = e.io(StripeSpec::new(2, 1024), 0, 0, 5.0, 0, 0);
+        assert_eq!(done.completion, 5.0);
+        assert_eq!(done.bytes, 0);
+    }
+
+    #[test]
+    fn single_chunk_cost_is_latency_plus_transfer() {
+        let e = engine();
+        // 1024 bytes at 1 MB/s = 1.024 ms, plus 1 ms latency.
+        let done = e.io(StripeSpec::new(2, 1024), 0, 0, 0.0, 0, 1024);
+        let expect = 0.001 + 1024.0 / 1_000_000.0;
+        assert!((done.completion - expect).abs() < 1e-12, "{}", done.completion);
+    }
+
+    #[test]
+    fn chunks_on_distinct_osts_run_in_parallel() {
+        let e = engine();
+        // 2048 bytes over stripes 0 and 1 -> two OSTs, concurrent service.
+        let done = e.io(StripeSpec::new(2, 1024), 0, 0, 0.0, 0, 2048);
+        let per_chunk = 0.001 + 1024.0 / 1_000_000.0;
+        assert!((done.completion - per_chunk).abs() < 1e-9, "{}", done.completion);
+    }
+
+    #[test]
+    fn chunks_on_same_ost_serialize() {
+        let e = engine();
+        // stripe count 1: both 1024-byte chunks hit OST 0 back-to-back.
+        let done = e.io(StripeSpec::new(1, 1024), 0, 0, 0.0, 0, 2048);
+        let per_chunk = 0.001 + 1024.0 / 1_000_000.0;
+        assert!((done.completion - 2.0 * per_chunk).abs() < 1e-9, "{}", done.completion);
+    }
+
+    #[test]
+    fn successive_requests_queue_on_the_ost() {
+        let e = engine();
+        let s = StripeSpec::new(1, 1024);
+        let d1 = e.io(s, 0, 0, 0.0, 0, 1024);
+        // Second client at a different node arrives at t=0 but the OST is
+        // busy until d1.
+        let d2 = e.io(s, 0, 1, 0.0, 0, 1024);
+        assert!(d2.completion > d1.completion);
+    }
+
+    #[test]
+    fn node_queue_shares_among_ranks_of_a_node() {
+        let cfg = FsConfig::test_tiny();
+        // Make the client side the bottleneck: node bandwidth 0.5 MB/s.
+        let perf = PerfModel { client_bandwidth: 500_000.0, ..cfg.perf };
+        let e = TimingEngine::new(perf, cfg.total_osts);
+        let s = StripeSpec::new(4, 1024);
+        // Two ranks on node 0 read distinct stripes (different OSTs), so
+        // the server side is parallel but the node link serializes.
+        let d1 = e.io(s, 0, 0, 0.0, 0, 1024);
+        let d2 = e.io(s, 0, 0, 0.0, 1024, 1024);
+        let link = 1024.0 / 500_000.0;
+        assert!((d1.completion - link).abs() < 1e-9);
+        assert!((d2.completion - 2.0 * link).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_is_deterministic_under_permutation() {
+        let mk = || {
+            let e = engine();
+            e.set_active_ranks(4);
+            e
+        };
+        let reqs: Vec<IoRequest> = (0..4)
+            .map(|r| IoRequest {
+                rank: r,
+                node: r / 2,
+                now: 0.0,
+                offset: r as u64 * 1024,
+                len: 1024,
+            })
+            .collect();
+        let s = StripeSpec::new(2, 1024);
+        let a = mk().io_batch(s, 0, &reqs);
+        let mut rev = reqs.clone();
+        rev.reverse();
+        let mut b = mk().io_batch(s, 0, &rev);
+        b.reverse();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharing_penalty_kicks_in_past_one_client_per_ost() {
+        let cfg = FsConfig::lustre_comet();
+        let e = TimingEngine::new(cfg.perf, cfg.total_osts);
+        let s = StripeSpec::new(4, 1 << 20);
+        let base = e.io(s, 0, 0, 0.0, 0, 1 << 20).completion;
+
+        let e2 = TimingEngine::new(cfg.perf, cfg.total_osts);
+        e2.set_active_ranks(64); // 16 ranks per OST
+        let shared = e2.io(s, 0, 0, 0.0, 0, 1 << 20).completion;
+        assert!(shared > base, "sharing {shared} vs base {base}");
+    }
+
+    #[test]
+    fn ost_base_rotates_placement() {
+        let e = engine();
+        let s = StripeSpec::new(1, 1024);
+        // Same offsets, different ost_base -> land on different OSTs, so no
+        // queueing between the two requests.
+        let d1 = e.io(s, 0, 0, 0.0, 0, 1024);
+        let d2 = e.io(s, 1, 1, 0.0, 0, 1024);
+        assert_eq!(d1.completion, d2.completion);
+    }
+}

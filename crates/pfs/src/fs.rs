@@ -1,0 +1,167 @@
+//! The filesystem namespace: create/open/stat over [`SimFile`]s.
+
+use crate::config::{FsConfig, FsKind, StripeSpec};
+use crate::engine::TimingEngine;
+use crate::file::SimFile;
+use crate::stats::FsStats;
+use crate::{PfsError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A simulated parallel filesystem instance.
+///
+/// One `SimFs` corresponds to one mounted filesystem (e.g. COMET's Lustre
+/// scratch). All ranks of a job share the same `Arc<SimFs>`; the embedded
+/// [`TimingEngine`] provides the virtual-time contention model and
+/// [`FsStats`] aggregate observability counters.
+pub struct SimFs {
+    cfg: FsConfig,
+    engine: Arc<TimingEngine>,
+    stats: Arc<FsStats>,
+    files: Mutex<HashMap<String, Arc<SimFile>>>,
+    next_ost_base: Mutex<u32>,
+}
+
+impl SimFs {
+    /// Mounts a fresh filesystem with the given configuration.
+    pub fn new(cfg: FsConfig) -> Arc<Self> {
+        Arc::new(SimFs {
+            cfg,
+            engine: Arc::new(TimingEngine::new(cfg.perf, cfg.total_osts)),
+            stats: Arc::new(FsStats::new(cfg.total_osts)),
+            files: Mutex::new(HashMap::new()),
+            next_ost_base: Mutex::new(0),
+        })
+    }
+
+    /// The mounted configuration.
+    pub fn config(&self) -> &FsConfig {
+        &self.cfg
+    }
+
+    /// The shared timing engine (exposed so the MPI-IO layer can time its
+    /// two-phase exchanges consistently).
+    pub fn engine(&self) -> &Arc<TimingEngine> {
+        &self.engine
+    }
+
+    /// Aggregate I/O counters.
+    pub fn stats(&self) -> &Arc<FsStats> {
+        &self.stats
+    }
+
+    /// Creates a file. `stripe` is honoured on Lustre; on GPFS the
+    /// filesystem-chosen default is always used (paper §5.1: users cannot
+    /// change GPFS striping). Fails if the path exists.
+    pub fn create(&self, path: &str, stripe: Option<StripeSpec>) -> Result<Arc<SimFile>> {
+        let stripe = match (self.cfg.kind, stripe) {
+            (FsKind::Lustre, Some(s)) => {
+                s.validate(self.cfg.total_osts)?;
+                s
+            }
+            (FsKind::Gpfs, _) | (FsKind::Lustre, None) => self.cfg.default_stripe,
+        };
+        let mut files = self.files.lock();
+        if files.contains_key(path) {
+            return Err(PfsError::AlreadyExists(path.to_string()));
+        }
+        let base = {
+            let mut b = self.next_ost_base.lock();
+            let base = *b;
+            *b = (*b + stripe.count) % self.cfg.total_osts;
+            base
+        };
+        let file = Arc::new(SimFile::new(
+            path.to_string(),
+            stripe,
+            base,
+            Arc::clone(&self.engine),
+            Arc::clone(&self.stats),
+        ));
+        files.insert(path.to_string(), Arc::clone(&file));
+        Ok(file)
+    }
+
+    /// Opens an existing file.
+    pub fn open(&self, path: &str) -> Result<Arc<SimFile>> {
+        self.files
+            .lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))
+    }
+
+    /// Removes a file from the namespace. Outstanding `Arc`s stay usable.
+    pub fn remove(&self, path: &str) -> Result<()> {
+        self.files
+            .lock()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))
+    }
+
+    /// Lists all paths, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Declares the job's rank count for the contention model; forwarded
+    /// to the timing engine.
+    pub fn set_active_ranks(&self, ranks: usize) {
+        self.engine.set_active_ranks(ranks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_open_remove_lifecycle() {
+        let fs = SimFs::new(FsConfig::test_tiny());
+        assert!(fs.open("x").is_err());
+        let f = fs.create("x", None).unwrap();
+        assert_eq!(f.stripe(), fs.config().default_stripe);
+        assert!(fs.create("x", None).is_err());
+        assert!(fs.open("x").is_ok());
+        assert_eq!(fs.list(), vec!["x".to_string()]);
+        fs.remove("x").unwrap();
+        assert!(fs.open("x").is_err());
+        assert!(fs.remove("x").is_err());
+    }
+
+    #[test]
+    fn lustre_honours_stripe_spec() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        let f = fs.create("striped", Some(StripeSpec::new(64, 32 << 20))).unwrap();
+        assert_eq!(f.stripe().count, 64);
+        assert_eq!(f.stripe().size, 32 << 20);
+    }
+
+    #[test]
+    fn lustre_rejects_oversize_stripe_count() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        assert!(matches!(
+            fs.create("bad", Some(StripeSpec::new(97, 1 << 20))),
+            Err(PfsError::BadStripe(_))
+        ));
+    }
+
+    #[test]
+    fn gpfs_ignores_user_striping() {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        let f = fs.create("g", Some(StripeSpec::new(2, 4096))).unwrap();
+        assert_eq!(f.stripe(), fs.config().default_stripe);
+    }
+
+    #[test]
+    fn ost_base_advances_per_file() {
+        let fs = SimFs::new(FsConfig::test_tiny());
+        let a = fs.create("a", Some(StripeSpec::new(2, 1024))).unwrap();
+        let b = fs.create("b", Some(StripeSpec::new(2, 1024))).unwrap();
+        assert_ne!(a.ost_base(), b.ost_base());
+    }
+}

@@ -1,0 +1,133 @@
+//! Stripe layout: mapping byte ranges of a file onto OST chunks.
+
+use crate::config::StripeSpec;
+
+/// One contiguous piece of a file request that lands on a single OST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Index of the OST (within the file's stripe set, 0-based; add the
+    /// file's `ost_base` for a filesystem-global index).
+    pub ost: u32,
+    /// File offset of the chunk's first byte.
+    pub offset: u64,
+    /// Chunk length in bytes.
+    pub len: u64,
+}
+
+/// Splits the byte range `[offset, offset + len)` into the per-OST chunks
+/// dictated by `stripe` (round-robin placement, Lustre-style: stripe index
+/// `i` lives on OST `i % count`).
+pub fn chunks_of(stripe: StripeSpec, offset: u64, len: u64) -> Vec<Chunk> {
+    let mut out = Vec::new();
+    if len == 0 {
+        return out;
+    }
+    let ssize = stripe.size;
+    let mut pos = offset;
+    let end = offset + len;
+    while pos < end {
+        let stripe_idx = pos / ssize;
+        let stripe_end = (stripe_idx + 1) * ssize;
+        let chunk_end = stripe_end.min(end);
+        out.push(Chunk {
+            ost: (stripe_idx % stripe.count as u64) as u32,
+            offset: pos,
+            len: chunk_end - pos,
+        });
+        pos = chunk_end;
+    }
+    out
+}
+
+/// Number of distinct OSTs touched by the byte range.
+pub fn osts_touched(stripe: StripeSpec, offset: u64, len: u64) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    let first = offset / stripe.size;
+    let last = (offset + len - 1) / stripe.size;
+    let stripes = last - first + 1;
+    stripes.min(stripe.count as u64) as u32
+}
+
+/// `true` if the range starts exactly on a stripe boundary — the alignment
+/// the paper recommends ("parallel file read access will be stripe
+/// aligned").
+pub fn is_stripe_aligned(stripe: StripeSpec, offset: u64) -> bool {
+    offset % stripe.size == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(count: u32, size: u64) -> StripeSpec {
+        StripeSpec::new(count, size)
+    }
+
+    #[test]
+    fn single_stripe_read() {
+        let c = chunks_of(spec(4, 1024), 0, 512);
+        assert_eq!(c, vec![Chunk { ost: 0, offset: 0, len: 512 }]);
+    }
+
+    #[test]
+    fn read_spanning_three_stripes() {
+        let c = chunks_of(spec(4, 1024), 512, 2048);
+        assert_eq!(
+            c,
+            vec![
+                Chunk { ost: 0, offset: 512, len: 512 },
+                Chunk { ost: 1, offset: 1024, len: 1024 },
+                Chunk { ost: 2, offset: 2048, len: 512 },
+            ]
+        );
+    }
+
+    #[test]
+    fn round_robin_wraps_past_stripe_count() {
+        // stripe count 2: stripes 0,1,2,3 -> OSTs 0,1,0,1.
+        let c = chunks_of(spec(2, 100), 0, 400);
+        let osts: Vec<u32> = c.iter().map(|c| c.ost).collect();
+        assert_eq!(osts, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn chunks_partition_the_range_exactly() {
+        let (off, len) = (777u64, 5_000u64);
+        let c = chunks_of(spec(3, 512), off, len);
+        assert_eq!(c.first().unwrap().offset, off);
+        let total: u64 = c.iter().map(|c| c.len).sum();
+        assert_eq!(total, len);
+        // Contiguity.
+        for w in c.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+    }
+
+    #[test]
+    fn zero_length_is_empty() {
+        assert!(chunks_of(spec(4, 1024), 100, 0).is_empty());
+        assert_eq!(osts_touched(spec(4, 1024), 100, 0), 0);
+    }
+
+    #[test]
+    fn osts_touched_counts_distinct() {
+        let s = spec(4, 1024);
+        assert_eq!(osts_touched(s, 0, 1024), 1);
+        assert_eq!(osts_touched(s, 0, 1025), 2);
+        assert_eq!(osts_touched(s, 0, 4096), 4);
+        // 8 stripes over 4 OSTs still touches only 4 distinct OSTs.
+        assert_eq!(osts_touched(s, 0, 8192), 4);
+        // Unaligned start.
+        assert_eq!(osts_touched(s, 1000, 48), 2);
+    }
+
+    #[test]
+    fn alignment_check() {
+        let s = spec(4, 1024);
+        assert!(is_stripe_aligned(s, 0));
+        assert!(is_stripe_aligned(s, 2048));
+        assert!(!is_stripe_aligned(s, 1000));
+    }
+}

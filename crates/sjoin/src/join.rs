@@ -1,0 +1,368 @@
+//! The end-to-end distributed spatial join (paper §5.2, Figures 17–19).
+
+use crate::breakdown::{PhaseBreakdown, PhaseTimer};
+use mvio_core::exchange::{exchange_features, ExchangeOptions};
+use mvio_core::framework::{claims_reference, FilterRefine};
+use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
+use mvio_core::partition::{read_features, ReadOptions};
+use mvio_core::reader::WktLineParser;
+use mvio_core::{Feature, Result};
+use mvio_geom::{algo, Rect};
+use mvio_geom::index::RTree;
+use mvio_msim::{Comm, Work};
+use mvio_pfs::SimFs;
+use std::sync::Arc;
+
+/// Options for one distributed join.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOptions {
+    /// Grid resolution (the Figure 17 sweep axis).
+    pub grid: GridSpec,
+    /// Cell → rank assignment.
+    pub map: CellMap,
+    /// File read configuration for both layers.
+    pub read: ReadOptions,
+    /// Sliding-window phases for the exchange.
+    pub windows: u32,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            grid: GridSpec::square(16),
+            map: CellMap::RoundRobin,
+            read: ReadOptions::default(),
+            windows: 1,
+        }
+    }
+}
+
+/// Per-rank result of a distributed join.
+#[derive(Debug, Clone)]
+pub struct JoinReport {
+    /// Intersecting pairs found by this rank, as `(left userdata, right
+    /// userdata)` — duplicate-free across all ranks thanks to the
+    /// reference-point rule.
+    pub pairs: Vec<(String, String)>,
+    /// Candidate pairs surviving the MBR filter on this rank.
+    pub filter_candidates: u64,
+    /// Exact-geometry tests performed (post-dedup).
+    pub refine_tests: u64,
+    /// Global max-over-ranks phase breakdown (identical on every rank).
+    pub breakdown: PhaseBreakdown,
+}
+
+/// Runs the full distributed spatial join of two WKT files. Every rank
+/// must call this; each returns its share of the result pairs plus the
+/// global breakdown.
+pub fn spatial_join(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    left_path: &str,
+    right_path: &str,
+    opts: &JoinOptions,
+) -> Result<JoinReport> {
+    let mut timer = PhaseTimer::start(comm);
+
+    // --- Partitioning phase: read, parse, project to grid cells. ---------
+    let left = read_features(comm, fs, left_path, &opts.read, &WktLineParser)?;
+    let right = read_features(comm, fs, right_path, &opts.read, &WktLineParser)?;
+
+    let local_mbr = left
+        .iter()
+        .chain(&right)
+        .fold(Rect::EMPTY, |acc, f| acc.union(&f.geometry.envelope()));
+    let grid = UniformGrid::build_global_from_mbr(comm, local_mbr, opts.grid);
+    let rtree = grid.build_cell_rtree(comm);
+
+    let left_pairs = project_owned(comm, &grid, &rtree, left);
+    let right_pairs = project_owned(comm, &grid, &rtree, right);
+    timer.end_partition(comm);
+
+    // --- Communication phase: global spatial partitioning. ---------------
+    let ex_opts = ExchangeOptions { map: opts.map, windows: opts.windows };
+    let (left_local, _) = exchange_features(comm, left_pairs, grid.num_cells(), &ex_opts)?;
+    let (right_local, _) = exchange_features(comm, right_pairs, grid.num_cells(), &ex_opts)?;
+    timer.end_communication(comm);
+
+    // --- Join phase: per-cell index, filter, dedup, refine. --------------
+    let mut filter_candidates = 0u64;
+    let mut refine_tests = 0u64;
+    let pairs = FilterRefine::run_refine(
+        comm,
+        &grid,
+        opts.map,
+        &left_local,
+        &right_local,
+        |comm, task| {
+            join_cell(
+                comm,
+                &grid,
+                task.cell,
+                &task.left,
+                &task.right,
+                &mut filter_candidates,
+                &mut refine_tests,
+            )
+        },
+    );
+    timer.end_compute(comm);
+
+    let local = timer.finish(comm);
+    let breakdown = PhaseBreakdown::reduce_max(comm, local);
+    Ok(JoinReport { pairs, filter_candidates, refine_tests, breakdown })
+}
+
+/// Projects features to cells and pairs each replica with its owned
+/// feature (cloning only for spanning cells).
+fn project_owned(
+    comm: &mut Comm,
+    grid: &UniformGrid,
+    rtree: &RTree<u32>,
+    features: Vec<Feature>,
+) -> Vec<(u32, Feature)> {
+    let pairs = mvio_core::grid::project_to_cells(comm, grid, rtree, &features);
+    pairs
+        .into_iter()
+        .map(|(cell, idx)| (cell, features[idx].clone()))
+        .collect()
+}
+
+/// Joins one cell: R-tree over the left layer, MBR probes from the right,
+/// reference-point dedup, then exact refine.
+#[allow(clippy::too_many_arguments)]
+fn join_cell(
+    comm: &mut Comm,
+    grid: &UniformGrid,
+    cell: u32,
+    left: &[&Feature],
+    right: &[&Feature],
+    filter_candidates: &mut u64,
+    refine_tests: &mut u64,
+) -> Vec<(String, String)> {
+    if left.is_empty() || right.is_empty() {
+        return Vec::new();
+    }
+    // Filter index: bulk R-tree over left MBRs (the paper uses GEOS's
+    // STRtree the same way).
+    let items: Vec<(Rect, usize)> = left
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.geometry.envelope(), i))
+        .collect();
+    comm.charge(Work::RtreeInserts { n: left.len() as u64 });
+    let index = RTree::bulk_load(items);
+
+    let mut results = Vec::new();
+    let mut total_hits = 0u64;
+    for r in right {
+        let r_mbr = r.geometry.envelope();
+        let hits = index.query(&r_mbr);
+        total_hits += hits.len() as u64;
+        for &li in hits {
+            let l = left[li];
+            let l_mbr = l.geometry.envelope();
+            *filter_candidates += 1;
+            // Duplicate avoidance: only the reference cell reports this
+            // candidate (geometries are replicated across cells).
+            if !claims_reference(grid, cell, &l_mbr, &r_mbr) {
+                continue;
+            }
+            *refine_tests += 1;
+            comm.charge(Work::RefinePair {
+                verts_a: l.geometry.num_points() as u64,
+                verts_b: r.geometry.num_points() as u64,
+            });
+            if algo::intersects(&l.geometry, &r.geometry) {
+                results.push((l.userdata.clone(), r.userdata.clone()));
+            }
+        }
+    }
+    comm.charge(Work::RtreeQueries { n: right.len() as u64, results: total_hits });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvio_geom::wkt;
+    use mvio_msim::{Topology, World, WorldConfig};
+    use mvio_pfs::FsConfig;
+
+    /// Builds two tiny layers with a known exact join answer.
+    fn build_layers(fs: &Arc<SimFs>) {
+        // Left: 4 unit squares labelled L0..L3 at x = 0, 10, 20, 30.
+        let left = fs.create("left.wkt", None).unwrap();
+        let mut text = String::new();
+        for i in 0..4 {
+            let x = i as f64 * 10.0;
+            text.push_str(&format!(
+                "POLYGON (({x} 0, {} 0, {} 1, {x} 1, {x} 0))\tL{i}\n",
+                x + 1.0,
+                x + 1.0
+            ));
+        }
+        left.append(text.as_bytes());
+        // Right: squares overlapping L1 and L3 only, plus one far away.
+        let right = fs.create("right.wkt", None).unwrap();
+        let mut text = String::new();
+        text.push_str("POLYGON ((10.5 0.5, 11.5 0.5, 11.5 1.5, 10.5 1.5, 10.5 0.5))\tR_a\n");
+        text.push_str("POLYGON ((30.2 0.2, 30.8 0.2, 30.8 0.8, 30.2 0.8, 30.2 0.2))\tR_b\n");
+        text.push_str("POLYGON ((90 90, 91 90, 91 91, 90 91, 90 90))\tR_far\n");
+        right.append(text.as_bytes());
+    }
+
+    fn expected() -> Vec<(String, String)> {
+        vec![
+            ("L1".to_string(), "R_a".to_string()),
+            ("L3".to_string(), "R_b".to_string()),
+        ]
+    }
+
+    fn run_join(topo: Topology, opts: JoinOptions) -> (Vec<(String, String)>, PhaseBreakdown) {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        build_layers(&fs);
+        // Tiny test files: keep the block comfortably above one record so
+        // the equal split never lands inside a record with many ranks.
+        let mut opts = opts;
+        opts.read.block_size = Some(512);
+        let out = World::run(WorldConfig::new(topo), move |comm| {
+            spatial_join(comm, &fs, "left.wkt", "right.wkt", &opts).unwrap()
+        });
+        let mut pairs: Vec<(String, String)> =
+            out.iter().flat_map(|r| r.pairs.clone()).collect();
+        pairs.sort();
+        (pairs, out[0].breakdown)
+    }
+
+    #[test]
+    fn join_finds_exact_pairs_single_rank() {
+        let (pairs, b) = run_join(Topology::single_node(1), JoinOptions::default());
+        assert_eq!(pairs, expected());
+        assert!(b.total > 0.0);
+    }
+
+    #[test]
+    fn join_is_identical_across_rank_counts() {
+        let (p1, _) = run_join(Topology::single_node(1), JoinOptions::default());
+        let (p4, _) = run_join(Topology::new(2, 2), JoinOptions::default());
+        let (p6, _) = run_join(Topology::new(3, 2), JoinOptions::default());
+        assert_eq!(p1, p4);
+        assert_eq!(p1, p6);
+    }
+
+    #[test]
+    fn join_is_identical_across_grid_sizes_no_duplicates() {
+        // Finer grids replicate more; dedup must keep results exact.
+        for cells in [1u32, 2, 8, 32] {
+            let opts = JoinOptions { grid: GridSpec::square(cells), ..Default::default() };
+            let (pairs, _) = run_join(Topology::new(2, 2), opts);
+            assert_eq!(pairs, expected(), "grid {cells}x{cells}");
+        }
+    }
+
+    #[test]
+    fn join_with_block_map_and_windows() {
+        let opts = JoinOptions {
+            map: CellMap::Block,
+            windows: 4,
+            grid: GridSpec::square(8),
+            ..Default::default()
+        };
+        let (pairs, _) = run_join(Topology::new(2, 2), opts);
+        assert_eq!(pairs, expected());
+    }
+
+    #[test]
+    fn breakdown_phases_are_populated() {
+        let (_, b) = run_join(Topology::new(2, 2), JoinOptions::default());
+        assert!(b.partition > 0.0, "partition {:?}", b);
+        assert!(b.communication > 0.0);
+        assert!(b.compute >= 0.0);
+        assert!(b.total > 0.0);
+        // Max-over-ranks phases can exceed the max total, but each phase
+        // alone cannot.
+        assert!(b.partition <= b.total + 1e-9);
+    }
+
+    #[test]
+    fn self_join_reports_every_overlap_once() {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        // A layer of two overlapping squares, self-joined.
+        let layer = fs.create("layer.wkt", None).unwrap();
+        layer.append(
+            "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))\tA\n\
+             POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))\tB\n"
+                .as_bytes(),
+        );
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let opts = JoinOptions { grid: GridSpec::square(4), ..Default::default() };
+            spatial_join(comm, &fs, "layer.wkt", "layer.wkt", &opts).unwrap()
+        });
+        let mut pairs: Vec<(String, String)> =
+            out.iter().flat_map(|r| r.pairs.clone()).collect();
+        pairs.sort();
+        // A∩A, A∩B, B∩A, B∩B — each exactly once.
+        assert_eq!(
+            pairs,
+            vec![
+                ("A".into(), "A".into()),
+                ("A".into(), "B".into()),
+                ("B".into(), "A".into()),
+                ("B".into(), "B".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_against_brute_force_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut left_wkt = String::new();
+        let mut right_wkt = String::new();
+        let mut left_rects = Vec::new();
+        let mut right_rects = Vec::new();
+        for i in 0..40 {
+            let x = rng.gen_range(0.0..50.0);
+            let y = rng.gen_range(0.0..50.0);
+            let w = rng.gen_range(0.5..4.0);
+            let h = rng.gen_range(0.5..4.0);
+            let r = Rect::new(x, y, x + w, y + h);
+            let poly = format!(
+                "POLYGON (({} {}, {} {}, {} {}, {} {}, {} {}))",
+                r.min_x, r.min_y, r.max_x, r.min_y, r.max_x, r.max_y, r.min_x, r.max_y,
+                r.min_x, r.min_y
+            );
+            if i % 2 == 0 {
+                left_wkt.push_str(&format!("{poly}\tL{i}\n"));
+                left_rects.push((format!("L{i}"), r));
+            } else {
+                right_wkt.push_str(&format!("{poly}\tR{i}\n"));
+                right_rects.push((format!("R{i}"), r));
+            }
+        }
+        // Brute-force ground truth (axis-aligned rects: MBR test is exact).
+        let mut expect: Vec<(String, String)> = Vec::new();
+        for (ln, lr) in &left_rects {
+            for (rn, rr) in &right_rects {
+                if lr.intersects(rr) {
+                    expect.push((ln.clone(), rn.clone()));
+                }
+            }
+        }
+        expect.sort();
+
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        fs.create("l.wkt", None).unwrap().append(left_wkt.as_bytes());
+        fs.create("r.wkt", None).unwrap().append(right_wkt.as_bytes());
+        let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let opts = JoinOptions { grid: GridSpec::square(6), ..Default::default() };
+            spatial_join(comm, &fs, "l.wkt", "r.wkt", &opts).unwrap()
+        });
+        let mut pairs: Vec<(String, String)> =
+            out.iter().flat_map(|r| r.pairs.clone()).collect();
+        pairs.sort();
+        assert_eq!(pairs, expect);
+        let _ = wkt::parse("POINT (0 0)").unwrap(); // keep wkt import used
+    }
+}

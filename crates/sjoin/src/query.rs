@@ -1,0 +1,257 @@
+//! Distributed range query: the "less compute intensive" workload the
+//! paper contrasts with join when discussing block-size granularity
+//! (§5.1.1: "a user can specify coarse-grained block size if the
+//! application is less compute intensive e.g. range query").
+
+use crate::breakdown::{PhaseBreakdown, PhaseTimer};
+use mvio_core::exchange::{exchange_features, ExchangeOptions};
+use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
+use mvio_core::partition::{read_features, ReadOptions};
+use mvio_core::reader::WktLineParser;
+use mvio_core::Result;
+use mvio_geom::{algo, Rect};
+use mvio_msim::{Comm, Work};
+use mvio_pfs::SimFs;
+use std::sync::Arc;
+
+/// Per-rank outcome of a distributed range query.
+#[derive(Debug, Clone)]
+pub struct RangeQueryReport {
+    /// Userdata of matching features found by this rank (duplicate-free:
+    /// each replica is claimed only by the cell containing its MBR's
+    /// reference corner).
+    pub matches: Vec<String>,
+    /// Global match count (allreduced; identical on every rank).
+    pub total_matches: u64,
+    /// Global max-over-ranks breakdown.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// Finds all features intersecting `query`: filter on cell/MBR overlap,
+/// refine with the exact predicate.
+pub fn range_query(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    query: Rect,
+    grid: GridSpec,
+    read: &ReadOptions,
+) -> Result<RangeQueryReport> {
+    let mut timer = PhaseTimer::start(comm);
+    let map = CellMap::RoundRobin;
+
+    let features = read_features(comm, fs, path, read, &WktLineParser)?;
+    let ugrid = UniformGrid::build_global(comm, &features, grid);
+    let rtree = ugrid.build_cell_rtree(comm);
+    let pairs = mvio_core::grid::project_to_cells(comm, &ugrid, &rtree, &features);
+    let owned: Vec<(u32, mvio_core::Feature)> = pairs
+        .into_iter()
+        .map(|(cell, idx)| (cell, features[idx].clone()))
+        .collect();
+    timer.end_partition(comm);
+
+    let (mine, _) =
+        exchange_features(comm, owned, ugrid.num_cells(), &ExchangeOptions { map, windows: 1 })?;
+    timer.end_communication(comm);
+
+    let mut matches = Vec::new();
+    for (cell, f) in &mine {
+        let cell_rect = ugrid.cell_rect(*cell);
+        if !cell_rect.intersects(&query) {
+            continue;
+        }
+        let mbr = f.geometry.envelope();
+        comm.charge(Work::MbrTests { n: 1 });
+        if !mbr.intersects(&query) {
+            continue;
+        }
+        // Dedup across replicas: claim only in the cell holding the
+        // reference corner of (mbr ∩ query).
+        if !mvio_core::framework::claims_reference(&ugrid, *cell, &mbr, &query) {
+            continue;
+        }
+        comm.charge(Work::RefinePair { verts_a: f.geometry.num_points() as u64, verts_b: 4 });
+        if algo::rect_intersects_geometry(&query, &f.geometry) {
+            matches.push(f.userdata.clone());
+        }
+    }
+    timer.end_compute(comm);
+
+    let local = timer.finish(comm);
+    let breakdown = PhaseBreakdown::reduce_max(comm, local);
+    let total_matches = comm.allreduce_u64(matches.len() as u64, |a, b| a + b);
+    Ok(RangeQueryReport { matches, total_matches, breakdown })
+}
+
+/// Distributed **batch** query: many windows answered in one pass over
+/// the pipeline (paper §4.3: "for spatial query workload, the second
+/// collection can be treated as geometries from batch query").
+///
+/// Every rank passes the same `queries` slice; the result is the global
+/// per-query match count (identical on every rank). Queries are not
+/// exchanged — they are replicated, and each owned cell answers the
+/// queries overlapping it, deduplicated by the reference-point rule.
+pub fn batch_query(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    queries: &[Rect],
+    grid: GridSpec,
+    read: &ReadOptions,
+) -> Result<Vec<u64>> {
+    let map = CellMap::RoundRobin;
+    let features = read_features(comm, fs, path, read, &WktLineParser)?;
+    let ugrid = UniformGrid::build_global(comm, &features, grid);
+    let rtree = ugrid.build_cell_rtree(comm);
+    let pairs = mvio_core::grid::project_to_cells(comm, &ugrid, &rtree, &features);
+    let owned: Vec<(u32, mvio_core::Feature)> = pairs
+        .into_iter()
+        .map(|(cell, idx)| (cell, features[idx].clone()))
+        .collect();
+    let (mine, _) =
+        exchange_features(comm, owned, ugrid.num_cells(), &ExchangeOptions { map, windows: 1 })?;
+
+    let mut counts = vec![0u64; queries.len()];
+    for (cell, f) in &mine {
+        let cell_rect = ugrid.cell_rect(*cell);
+        let mbr = f.geometry.envelope();
+        for (qi, q) in queries.iter().enumerate() {
+            if !cell_rect.intersects(q) {
+                continue;
+            }
+            comm.charge(Work::MbrTests { n: 1 });
+            if !mbr.intersects(q) {
+                continue;
+            }
+            if !mvio_core::framework::claims_reference(&ugrid, *cell, &mbr, q) {
+                continue;
+            }
+            comm.charge(Work::RefinePair {
+                verts_a: f.geometry.num_points() as u64,
+                verts_b: 4,
+            });
+            if algo::rect_intersects_geometry(q, &f.geometry) {
+                counts[qi] += 1;
+            }
+        }
+    }
+    // Element-wise global sum.
+    let total = comm.allreduce(counts, (queries.len() * 8) as u64, &SumVec);
+    Ok(total)
+}
+
+/// Element-wise sum over `Vec<u64>` used by the batch-query reduction.
+struct SumVec;
+
+impl mvio_msim::ReduceOp<Vec<u64>> for SumVec {
+    fn combine(&self, a: &Vec<u64>, b: &Vec<u64>) -> Vec<u64> {
+        a.iter().zip(b).map(|(x, y)| x + y).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvio_msim::{Topology, World, WorldConfig};
+    use mvio_pfs::FsConfig;
+
+    fn build(fs: &Arc<SimFs>) {
+        let f = fs.create("pts.wkt", None).unwrap();
+        let mut text = String::new();
+        // 10x10 lattice of points labelled by coordinates.
+        for y in 0..10 {
+            for x in 0..10 {
+                text.push_str(&format!("POINT ({x} {y})\tp{x}_{y}\n"));
+            }
+        }
+        f.append(text.as_bytes());
+    }
+
+    #[test]
+    fn range_query_finds_exact_lattice_subset() {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        build(&fs);
+        let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            range_query(
+                comm,
+                &fs,
+                "pts.wkt",
+                Rect::new(2.5, 2.5, 5.5, 4.5),
+                GridSpec::square(4),
+                &ReadOptions::default(),
+            )
+            .unwrap()
+        });
+        // Points with x in {3,4,5}, y in {3,4}: 6 matches.
+        assert!(out.iter().all(|r| r.total_matches == 6));
+        let mut all: Vec<String> = out.iter().flat_map(|r| r.matches.clone()).collect();
+        all.sort();
+        assert_eq!(all, vec!["p3_3", "p3_4", "p4_3", "p4_4", "p5_3", "p5_4"]);
+    }
+
+    #[test]
+    fn empty_query_region_matches_nothing() {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        build(&fs);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            range_query(
+                comm,
+                &fs,
+                "pts.wkt",
+                Rect::new(50.0, 50.0, 60.0, 60.0),
+                GridSpec::square(4),
+                &ReadOptions::default(),
+            )
+            .unwrap()
+            .total_matches
+        });
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn batch_query_matches_individual_queries() {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        build(&fs);
+        let queries = vec![
+            Rect::new(2.5, 2.5, 5.5, 4.5), // 6 lattice points
+            Rect::new(0.0, 0.0, 1.0, 1.0), // 4 corner points
+            Rect::new(50.0, 50.0, 60.0, 60.0), // none
+            Rect::new(-1.0, -1.0, 9.5, 9.5),   // 100 points
+        ];
+        let q = queries.clone();
+        let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            batch_query(
+                comm,
+                &fs,
+                "pts.wkt",
+                &q,
+                GridSpec::square(4),
+                &ReadOptions::default(),
+            )
+            .unwrap()
+        });
+        for counts in &out {
+            assert_eq!(counts, &vec![6, 4, 0, 100]);
+        }
+    }
+
+    #[test]
+    fn boundary_touching_points_match() {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        build(&fs);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            range_query(
+                comm,
+                &fs,
+                "pts.wkt",
+                Rect::new(0.0, 0.0, 1.0, 1.0),
+                GridSpec::square(4),
+                &ReadOptions::default(),
+            )
+            .unwrap()
+            .total_matches
+        });
+        // Points (0,0), (1,0), (0,1), (1,1) all touch the closed box.
+        assert_eq!(out, vec![4, 4]);
+    }
+}

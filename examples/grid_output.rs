@@ -1,0 +1,63 @@
+//! Writing distributed results back to a single file with collective and
+//! non-contiguous writes — the paper's grid-based overlay output scenario
+//! (§4.1: "the output needs to be written to a single file in which the
+//! storage order corresponds to that of the global grid data layout in
+//! row-major order … This ensures that the output file is same as if
+//! produced sequentially").
+//!
+//! ```text
+//! cargo run --release --example grid_output
+//! ```
+
+use mpi_vector_io::core::sptypes::{decode_rects, encode_rect, RECT_RECORD_BYTES};
+use mpi_vector_io::msim::io::FileView;
+use mpi_vector_io::prelude::*;
+
+fn main() {
+    let fs = SimFs::new(FsConfig::lustre_comet());
+    let grid_side = 8u32; // 64 cells, one output record per cell
+    let cells = grid_side * grid_side;
+    fs.create("overlay.bin", Some(StripeSpec::new(8, 4096))).unwrap();
+
+    // Each rank owns cells round-robin and computes one result rect per
+    // owned cell (here: the cell's own rectangle, standing in for an
+    // overlay result). Ranks write their records non-contiguously through
+    // a Level-3 view so the file comes out in row-major cell order.
+    let topo = Topology::new(2, 2);
+    fs.set_active_ranks(topo.ranks());
+    let times = World::run(WorldConfig::new(topo), |comm| {
+        let grid = mpi_vector_io::core::grid::UniformGrid::new(
+            Rect::new(0.0, 0.0, 8.0, 8.0),
+            GridSpec::square(grid_side),
+        );
+        let p = comm.size() as u64;
+        let mine: Vec<u32> = (comm.rank() as u32..cells).step_by(comm.size()).collect();
+
+        let mut buf = Vec::with_capacity(mine.len() * RECT_RECORD_BYTES);
+        for &cell in &mine {
+            encode_rect(&grid.cell_rect(cell), &mut buf);
+        }
+
+        let mut file = MpiFile::open(&fs, "overlay.bin", Hints::default()).unwrap();
+        let record = Datatype::contiguous(RECT_RECORD_BYTES, Datatype::Byte);
+        file.set_view(FileView::new(0, record).unwrap());
+        file.write_all(comm, comm.rank() as u64, p, &buf).unwrap();
+        comm.now()
+    });
+
+    // The assembled file must equal the sequential row-major layout.
+    let data = fs.open("overlay.bin").unwrap().snapshot();
+    let rects = decode_rects(&data);
+    assert_eq!(rects.len(), cells as usize);
+    let grid = mpi_vector_io::core::grid::UniformGrid::new(
+        Rect::new(0.0, 0.0, 8.0, 8.0),
+        GridSpec::square(grid_side),
+    );
+    for (i, r) in rects.iter().enumerate() {
+        assert_eq!(*r, grid.cell_rect(i as u32), "cell {i} out of order");
+    }
+
+    println!("wrote {} cells ({} bytes) from 4 ranks into one row-major file", cells, data.len());
+    println!("max virtual completion: {:.6}s", times.iter().cloned().fold(0.0, f64::max));
+    println!("file verified identical to the sequential layout — the paper's §4.1 output property.");
+}

@@ -1,0 +1,110 @@
+//! Determinism guarantees: identical seeds and configurations produce
+//! bit-identical results — data always, virtual time on collective paths.
+
+use mpi_vector_io::core::grid::GridSpec;
+use mpi_vector_io::datagen;
+use mpi_vector_io::prelude::*;
+use std::sync::Arc;
+
+fn generated_fs(denom: u64) -> Arc<SimFs> {
+    let fs = SimFs::new(FsConfig::gpfs_roger());
+    for name in ["Lakes", "Cemetery"] {
+        let spec = datagen::table3().into_iter().find(|s| s.name == name).unwrap();
+        let rep = datagen::catalog::generate(&fs, &spec, denom, 11);
+        let bytes = fs.open(&rep.path).unwrap().snapshot();
+        fs.create(&format!("{}.wkt", name.to_lowercase()), None)
+            .unwrap()
+            .append(&bytes);
+    }
+    fs
+}
+
+#[test]
+fn dataset_generation_is_bit_identical() {
+    let a = generated_fs(200_000);
+    let b = generated_fs(200_000);
+    assert_eq!(
+        a.open("lakes.wkt").unwrap().snapshot(),
+        b.open("lakes.wkt").unwrap().snapshot()
+    );
+    assert_eq!(
+        a.open("cemetery.wkt").unwrap().snapshot(),
+        b.open("cemetery.wkt").unwrap().snapshot()
+    );
+}
+
+#[test]
+fn join_results_are_identical_across_runs() {
+    let run = || {
+        let fs = generated_fs(100_000);
+        let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let opts = JoinOptions {
+                grid: GridSpec::square(8),
+                read: ReadOptions::default().with_block_size(128 << 10),
+                ..Default::default()
+            };
+            let rep = spatial_join(comm, &fs, "lakes.wkt", "cemetery.wkt", &opts).unwrap();
+            (rep.pairs, rep.filter_candidates, rep.refine_tests)
+        });
+        out
+    };
+    let a = run();
+    let b = run();
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.0, rb.0, "pairs per rank identical");
+        assert_eq!(ra.1, rb.1, "filter candidates identical");
+        assert_eq!(ra.2, rb.2, "refine tests identical");
+    }
+}
+
+#[test]
+fn collective_virtual_times_are_identical_across_runs() {
+    let run = || {
+        World::run(WorldConfig::new(Topology::new(2, 4)), |comm| {
+            comm.charge(Work::Seconds(0.01 * (comm.rank() as f64 + 1.0)));
+            comm.barrier();
+            let v = comm.allreduce_u64(comm.rank() as u64 * 3 + 1, |a, b| a + b);
+            let bufs: Vec<Vec<u8>> = (0..comm.size())
+                .map(|d| vec![comm.rank() as u8; d + 1])
+                .collect();
+            comm.alltoallv(bufs);
+            comm.scan(comm.rank() as u64, 8, &|a: &u64, b: &u64| (*a).max(*b));
+            (v, comm.now())
+        })
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn collective_io_virtual_times_are_identical_across_runs() {
+    let run = || {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        let f = fs.create("d.bin", Some(StripeSpec::new(8, 64 << 10))).unwrap();
+        f.append(vec![9u8; 1 << 20]);
+        World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let file = MpiFile::open(&fs, "d.bin", Hints::default()).unwrap();
+            let chunk = (1usize << 20) / 4;
+            let mut buf = vec![0u8; chunk];
+            file.read_at_all(comm, (comm.rank() * chunk) as u64, &mut buf).unwrap();
+            comm.now()
+        })
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn virtual_time_is_independent_of_wall_time() {
+    // Injecting real delays must not change virtual results: the model
+    // never reads the wall clock.
+    let run = |sleep: bool| {
+        World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            if sleep && comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            comm.charge(Work::Seconds(0.5));
+            comm.barrier();
+            comm.now()
+        })
+    };
+    assert_eq!(run(false), run(true));
+}

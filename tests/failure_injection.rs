@@ -1,0 +1,149 @@
+//! Failure injection: corrupted inputs and failing ranks must produce
+//! clean errors (or a clean job abort) — never hangs, never silent
+//! corruption.
+
+use mpi_vector_io::core::CoreError;
+use mpi_vector_io::prelude::*;
+use std::sync::Arc;
+
+fn fs_with(path: &str, text: &str) -> Arc<SimFs> {
+    let fs = SimFs::new(FsConfig::gpfs_roger());
+    fs.create(path, None).unwrap().append(text.as_bytes());
+    fs
+}
+
+#[test]
+fn corrupted_wkt_record_fails_cleanly_on_every_rank() {
+    // A malformed record in the middle of an otherwise fine file: the
+    // rank that owns it reports a Parse error naming the record; other
+    // ranks parse their shares fine. No rank hangs.
+    let mut text = String::new();
+    for i in 0..40 {
+        if i == 17 {
+            text.push_str("POLYGON ((botched\n");
+        } else {
+            text.push_str(&format!("POINT ({i} {i})\tp{i}\n"));
+        }
+    }
+    let fs = fs_with("bad.wkt", &text);
+    let results = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+        read_features(
+            comm,
+            &fs,
+            "bad.wkt",
+            &ReadOptions::default().with_block_size(128),
+            &WktLineParser,
+        )
+        .map(|v| v.len())
+        .map_err(|e| e.to_string())
+    });
+    let errs: Vec<&String> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    assert_eq!(errs.len(), 1, "exactly one rank owns the bad record: {results:?}");
+    assert!(errs[0].contains("parse error"), "{}", errs[0]);
+    assert!(errs[0].contains("botched"), "error names the record: {}", errs[0]);
+    // Other ranks deliver their clean shares; the failing rank's share
+    // (including its good records) is reported through its error.
+    let parsed: usize = results.iter().filter_map(|r| r.as_ref().ok().copied()).sum();
+    assert!((1..=39).contains(&parsed), "clean shares delivered: {parsed}");
+}
+
+#[test]
+fn rank_death_mid_pipeline_aborts_whole_job() {
+    // A rank panics between the exchange rounds; the rest are blocked in
+    // collectives. MPI_Abort semantics must bring the job down rather
+    // than deadlock.
+    let fs = fs_with(
+        "ok.wkt",
+        &(0..32).map(|i| format!("POINT ({i} 0)\tp{i}\n")).collect::<String>(),
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let feats = read_features(
+                comm,
+                &fs,
+                "ok.wkt",
+                &ReadOptions::default().with_block_size(1024),
+                &WktLineParser,
+            )
+            .unwrap();
+            if comm.rank() == 2 {
+                panic!("injected rank death");
+            }
+            // Survivors head into a collective that can never complete.
+            comm.allreduce_u64(feats.len() as u64, |a, b| a + b)
+        })
+    }));
+    let payload = result.expect_err("job must abort");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("injected rank death"), "originating panic surfaces: {msg}");
+}
+
+#[test]
+fn truncated_file_yields_short_final_record_not_a_crash() {
+    // A file cut mid-record (e.g. interrupted transfer): the partial tail
+    // is delivered as a record and fails at *parse* time with a clear
+    // error, rather than corrupting neighbours.
+    let full = "POINT (1 1)\tp1\nPOINT (2 2)\tp2\nPOLYGON ((3 3, 4 3, 4";
+    let fs = fs_with("cut.wkt", full);
+    let results = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+        read_features(comm, &fs, "cut.wkt", &ReadOptions::default(), &WktLineParser)
+            .map(|v| v.len())
+            .map_err(|e| matches!(e, CoreError::Parse { .. }))
+    });
+    // The rank owning the tail sees a parse error (flagged true); the
+    // other delivers its complete points.
+    assert!(results.iter().any(|r| *r == Err(true)), "{results:?}");
+    assert!(results.iter().any(|r| matches!(r, Ok(n) if *n >= 1)), "{results:?}");
+}
+
+#[test]
+fn oversized_geometry_is_reported_not_mangled() {
+    // One record bigger than both the block and the configured maximum:
+    // Algorithm 1 reports a Partition error telling the user which knob
+    // to raise.
+    let mut text = String::new();
+    text.push_str("POINT (0 0)\tsmall\n");
+    text.push_str(&format!("LINESTRING ({})\thuge\n", {
+        let coords: Vec<String> = (0..4000).map(|i| format!("{i} {i}")).collect();
+        coords.join(", ")
+    }));
+    let fs = fs_with("huge.wkt", &text);
+    let results = World::run(WorldConfig::new(Topology::single_node(4)), move |comm| {
+        read_features(
+            comm,
+            &fs,
+            "huge.wkt",
+            &ReadOptions::default()
+                .with_block_size(512)
+                .with_max_geometry_bytes(1024),
+            &WktLineParser,
+        )
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+    });
+    let errs: Vec<&String> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    assert!(!errs.is_empty());
+    assert!(
+        errs.iter().any(|e| e.contains("block_size") || e.contains("max_geometry_bytes")),
+        "error guides the user: {errs:?}"
+    );
+}
+
+#[test]
+fn empty_and_whitespace_files_are_harmless() {
+    for content in ["", "\n\n\n", "   \n  \n"] {
+        let fs = fs_with("empty.wkt", content);
+        let results = World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+            // Block above the longest (whitespace) record, as always.
+            let opts = ReadOptions::default().with_block_size(8);
+            read_features(comm, &fs, "empty.wkt", &opts, &WktLineParser)
+                .unwrap()
+                .len()
+        });
+        assert!(results.iter().all(|&n| n == 0), "content {content:?}");
+    }
+}

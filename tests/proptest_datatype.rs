@@ -1,0 +1,103 @@
+//! Property-based tests of the derived-datatype machinery: fragment
+//! geometry invariants and pack/unpack round trips for arbitrary nested
+//! layouts.
+
+use mpi_vector_io::msim::Datatype;
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary (valid) nested datatypes of bounded depth.
+fn arb_datatype() -> impl Strategy<Value = Datatype> {
+    let leaf = prop_oneof![
+        Just(Datatype::Byte),
+        Just(Datatype::Int32),
+        Just(Datatype::Int64),
+        Just(Datatype::Double),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            // Contiguous
+            (1usize..5, inner.clone()).prop_map(|(n, t)| Datatype::contiguous(n, t)),
+            // Vector with stride >= blocklen (validated form)
+            (1usize..4, 1usize..4, 0usize..4, inner.clone()).prop_map(|(count, bl, extra, t)| {
+                Datatype::vector(count, bl, bl + extra, t)
+            }),
+            // Indexed with strictly increasing, non-overlapping blocks
+            (proptest::collection::vec((1usize..4, 0usize..4), 1..4), inner.clone()).prop_map(
+                |(blocks, t)| {
+                    let mut displs = Vec::new();
+                    let mut lens = Vec::new();
+                    let mut at = 0usize;
+                    for (len, gap) in blocks {
+                        at += gap;
+                        displs.push(at);
+                        lens.push(len);
+                        at += len;
+                    }
+                    Datatype::indexed(lens, displs, t)
+                }
+            ),
+            // Resized with extent >= inner extent
+            (inner, 0usize..16).prop_map(|(t, pad)| {
+                let e = t.extent() + pad;
+                Datatype::resized(t, e)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_datatypes_validate(dt in arb_datatype()) {
+        prop_assert!(dt.validate().is_ok(), "{dt:?}");
+    }
+
+    #[test]
+    fn fragments_are_sorted_disjoint_and_sum_to_size(dt in arb_datatype()) {
+        let frags = dt.fragments();
+        let total: usize = frags.iter().map(|f| f.1).sum();
+        prop_assert_eq!(total, dt.size(), "{:?}", dt);
+        for w in frags.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overlap in {:?}: {:?}", dt, frags);
+        }
+        if let Some(&(off, len)) = frags.last() {
+            prop_assert!(off + len <= dt.extent(), "{:?} runs past extent", dt);
+        }
+        // No empty fragments.
+        prop_assert!(frags.iter().all(|f| f.1 > 0));
+    }
+
+    #[test]
+    fn size_never_exceeds_extent(dt in arb_datatype()) {
+        prop_assert!(dt.size() <= dt.extent(), "{dt:?}");
+        prop_assert_eq!(dt.is_dense(), dt.size() == dt.extent());
+    }
+
+    #[test]
+    fn pack_unpack_round_trips(dt in arb_datatype(), seed in any::<u64>()) {
+        let extent = dt.extent().max(1);
+        // Deterministic pseudo-random source buffer.
+        let src: Vec<u8> = (0..extent)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1).wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        let packed = dt.pack(&src);
+        prop_assert_eq!(packed.len(), dt.size());
+
+        let mut dst = vec![0u8; extent];
+        dt.unpack(&packed, &mut dst);
+        // Every payload byte must round-trip; gap bytes stay zero.
+        for (off, len) in dt.fragments() {
+            prop_assert_eq!(&dst[off..off + len], &src[off..off + len]);
+        }
+        // Re-packing the unpacked buffer reproduces the packed image.
+        prop_assert_eq!(dt.pack(&dst), packed);
+    }
+
+    #[test]
+    fn contiguous_of_n_scales_size_linearly(dt in arb_datatype(), n in 1usize..6) {
+        let c = Datatype::contiguous(n, dt.clone());
+        prop_assert_eq!(c.size(), n * dt.size());
+        prop_assert_eq!(c.extent(), n * dt.extent());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the grid/exchange layer: conservation of
+//! features through arbitrary exchanges, maps, windows and rank counts.
+
+use mpi_vector_io::core::exchange::{exchange_features, ExchangeOptions};
+use mpi_vector_io::core::grid::{CellMap, GridSpec, UniformGrid};
+use mpi_vector_io::prelude::*;
+use proptest::prelude::*;
+
+fn arb_map(cells_x: u32) -> impl Strategy<Value = CellMap> {
+    prop_oneof![
+        Just(CellMap::RoundRobin),
+        Just(CellMap::Block),
+        Just(CellMap::Hilbert { cells_x }),
+    ]
+}
+
+proptest! {
+    // Worlds spawn threads; keep case counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exchange_conserves_every_pair(
+        ranks in 1usize..5,
+        side in 1u32..6,
+        windows in 1u32..4,
+        map in arb_map(4),
+        items_per_rank in 0usize..30,
+    ) {
+        let num_cells = side * side;
+        let out = World::run(
+            WorldConfig::new(Topology::single_node(ranks)),
+            move |comm| {
+                // Each rank fabricates pairs tagged with origin info.
+                let pairs: Vec<(u32, Feature)> = (0..items_per_rank)
+                    .map(|i| {
+                        let cell = ((comm.rank() * 31 + i * 7) as u32) % num_cells;
+                        let f = Feature::with_userdata(
+                            Geometry::Point(Point::new(i as f64, comm.rank() as f64)),
+                            format!("r{}i{}", comm.rank(), i),
+                        );
+                        (cell, f)
+                    })
+                    .collect();
+                let opts = ExchangeOptions { map, windows };
+                let (mine, stats) = exchange_features(comm, pairs, num_cells, &opts).unwrap();
+                // Ownership: every received pair belongs to me.
+                for (cell, _) in &mine {
+                    assert_eq!(map.rank_of(*cell, num_cells, comm.size()), comm.rank());
+                }
+                let tags: Vec<String> =
+                    mine.iter().map(|(c, f)| format!("{c}:{}", f.userdata)).collect();
+                (tags, stats.records_sent, stats.records_received)
+            },
+        );
+        // Global conservation: the multiset of (cell, origin) tags equals
+        // what was fabricated.
+        let mut got: Vec<String> = out.iter().flat_map(|(t, _, _)| t.clone()).collect();
+        got.sort();
+        let mut expect: Vec<String> = (0..ranks)
+            .flat_map(|r| {
+                (0..items_per_rank).map(move |i| {
+                    let cell = ((r * 31 + i * 7) as u32) % num_cells;
+                    format!("{cell}:r{r}i{i}")
+                })
+            })
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+        // Sent == received globally.
+        let sent: u64 = out.iter().map(|(_, s, _)| s).sum();
+        let recv: u64 = out.iter().map(|(_, _, r)| r).sum();
+        prop_assert_eq!(sent, recv);
+    }
+
+    #[test]
+    fn projection_covers_envelope_for_arbitrary_rects(
+        side in 1u32..8,
+        rects in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 0.1f64..30.0, 0.1f64..30.0),
+            1..40
+        ),
+    ) {
+        let grid = UniformGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), GridSpec::square(side));
+        for (x, y, w, h) in rects {
+            let r = Rect::new(x, y, (x + w).min(100.0), (y + h).min(100.0));
+            let cells = grid.cells_overlapping(&r);
+            prop_assert!(!cells.is_empty(), "in-bounds rect must map somewhere");
+            // Union of mapped cells covers the rect.
+            let union = cells
+                .iter()
+                .fold(Rect::EMPTY, |a, &c| a.union(&grid.cell_rect(c)));
+            prop_assert!(union.contains(&r), "cells {cells:?} must cover {r:?}");
+            // And every mapped cell genuinely intersects the rect.
+            for &c in &cells {
+                prop_assert!(grid.cell_rect(c).intersects(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn every_map_partitions_cells(
+        side in 1u32..9,
+        ranks in 1usize..9,
+        map in arb_map(6),
+    ) {
+        let num_cells = side * side;
+        let mut seen = vec![0u32; num_cells as usize];
+        for rank in 0..ranks {
+            for c in map.cells_of(rank, num_cells, ranks) {
+                seen[c as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1), "{map:?}: {seen:?}");
+    }
+}

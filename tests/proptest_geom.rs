@@ -1,0 +1,230 @@
+//! Property-based tests over the geometry engine: serialization round
+//! trips, rectangle algebra, and index-vs-brute-force equivalence.
+
+use mpi_vector_io::geom::algo::{point_in_polygon, segments_intersect, PointLocation};
+use mpi_vector_io::geom::index::{QuadTree, RTree};
+use mpi_vector_io::geom::{wkb, wkt, Geometry, LineString, Point, Polygon, Rect};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    // Geographic-ish magnitudes, quantized to avoid pathological
+    // shortest-representation blowups in WKT text.
+    (-1_800_000i32..1_800_000).prop_map(|v| v as f64 / 10_000.0)
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+fn arb_linestring() -> impl Strategy<Value = LineString> {
+    proptest::collection::vec(arb_point(), 2..20)
+        .prop_filter_map("valid linestring", |pts| LineString::new(pts).ok())
+}
+
+fn arb_polygon() -> impl Strategy<Value = Polygon> {
+    // Star-shaped construction guarantees validity for arbitrary inputs.
+    (arb_point(), 3usize..24, 1u64..u64::MAX).prop_map(|(center, k, seed)| {
+        let mut pts = Vec::with_capacity(k + 1);
+        let mut s = seed;
+        for i in 0..k {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = 0.1 + (s >> 33) as f64 / u32::MAX as f64 * 5.0;
+            let a = i as f64 / k as f64 * std::f64::consts::TAU;
+            pts.push(Point::new(center.x + r * a.cos(), center.y + r * a.sin()));
+        }
+        pts.push(pts[0]);
+        Polygon::from_coords(pts, vec![]).expect("star polygon valid")
+    })
+}
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        arb_point().prop_map(Geometry::Point),
+        arb_linestring().prop_map(Geometry::LineString),
+        arb_polygon().prop_map(Geometry::Polygon),
+        proptest::collection::vec(arb_point(), 0..8)
+            .prop_map(|v| Geometry::MultiPoint(mpi_vector_io::geom::MultiPoint(v))),
+        proptest::collection::vec(arb_polygon(), 1..4)
+            .prop_map(|v| Geometry::MultiPolygon(mpi_vector_io::geom::MultiPolygon(v))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wkt_round_trips_exactly(g in arb_geometry()) {
+        let text = wkt::write(&g);
+        let back = wkt::parse(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn wkb_round_trips_exactly(g in arb_geometry()) {
+        let bytes = wkb::encode(&g);
+        let (back, used) = wkb::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn wkb_never_panics_on_corruption(g in arb_geometry(), cut in 0usize..64, flip in 0usize..64) {
+        let mut bytes = wkb::encode(&g);
+        let cut = cut.min(bytes.len());
+        bytes.truncate(cut);
+        if !bytes.is_empty() {
+            let idx = flip % bytes.len();
+            bytes[idx] ^= 0xA5;
+        }
+        // Must return Ok or Err, never panic or loop.
+        let _ = wkb::decode(&bytes);
+    }
+
+    #[test]
+    fn union_is_commutative_associative_and_covering(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a) && u.contains(&b));
+        prop_assert_eq!(a.union(&Rect::EMPTY), a);
+    }
+
+    #[test]
+    fn intersection_is_contained_and_symmetric(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection(&b);
+        prop_assert_eq!(i, b.intersection(&a));
+        if !i.is_empty() {
+            prop_assert!(a.contains(&i) && b.contains(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b) || a.is_empty() || b.is_empty());
+        }
+    }
+
+    #[test]
+    fn envelope_contains_every_vertex(g in arb_geometry()) {
+        let env = g.envelope();
+        match &g {
+            Geometry::LineString(l) => {
+                for p in l.points() {
+                    prop_assert!(env.contains_point(p));
+                }
+            }
+            Geometry::Polygon(p) => {
+                for q in p.exterior().points() {
+                    prop_assert!(env.contains_point(q));
+                }
+            }
+            Geometry::Point(p) => prop_assert!(env.contains_point(p)),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()) {
+        prop_assert_eq!(
+            segments_intersect(a, b, c, d),
+            segments_intersect(c, d, a, b)
+        );
+        // A segment always intersects itself.
+        prop_assert!(segments_intersect(a, b, a, b));
+    }
+
+    #[test]
+    fn polygon_vertices_are_on_boundary(poly in arb_polygon()) {
+        for &v in poly.exterior().points() {
+            prop_assert_eq!(point_in_polygon(v, &poly), PointLocation::OnBoundary);
+        }
+    }
+
+    #[test]
+    fn polygon_centroid_of_star_is_inside(poly in arb_polygon()) {
+        // The construction is star-shaped around its generation center,
+        // whose nearest proxy is the envelope center — not guaranteed
+        // inside for all stars, so test the weaker invariant: a point
+        // reported Inside is also inside the envelope.
+        let c = poly.envelope().center();
+        if point_in_polygon(c, &poly) == PointLocation::Inside {
+            prop_assert!(poly.envelope().contains_point(&c));
+        }
+    }
+
+    #[test]
+    fn rtree_matches_brute_force(
+        items in proptest::collection::vec(arb_rect(), 1..150),
+        probe in arb_rect(),
+    ) {
+        let keyed: Vec<(Rect, usize)> =
+            items.iter().cloned().zip(0usize..).collect();
+        let tree = RTree::bulk_load(keyed.clone());
+        let mut expect: Vec<usize> = keyed
+            .iter()
+            .filter(|(r, _)| r.intersects(&probe))
+            .map(|&(_, i)| i)
+            .collect();
+        let mut got: Vec<usize> = tree.query(&probe).into_iter().copied().collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn rtree_insert_matches_bulk_load_semantics(
+        items in proptest::collection::vec(arb_rect(), 1..80),
+        probe in arb_rect(),
+    ) {
+        let bulk = RTree::bulk_load(items.iter().cloned().zip(0usize..).collect());
+        let mut inc = RTree::new();
+        for (i, r) in items.iter().enumerate() {
+            inc.insert(*r, i);
+        }
+        let mut a: Vec<usize> = bulk.query(&probe).into_iter().copied().collect();
+        let mut b: Vec<usize> = inc.query(&probe).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quadtree_matches_brute_force(
+        items in proptest::collection::vec(arb_rect(), 1..100),
+        probe in arb_rect(),
+    ) {
+        let bounds = items.iter().fold(Rect::EMPTY, |a, r| a.union(r));
+        prop_assume!(!bounds.is_empty());
+        let bounds = bounds.buffered(1.0);
+        let mut qt = QuadTree::new(bounds);
+        for (i, r) in items.iter().enumerate() {
+            qt.insert(*r, i);
+        }
+        let mut expect: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&probe))
+            .map(|(i, _)| i)
+            .collect();
+        let mut got: Vec<usize> = qt.query(&probe).into_iter().copied().collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn intersects_implies_envelope_overlap(a in arb_geometry(), b in arb_geometry()) {
+        if mpi_vector_io::geom::algo::intersects(&a, &b) {
+            prop_assert!(a.envelope().intersects(&b.envelope()));
+        }
+    }
+
+    #[test]
+    fn intersects_is_symmetric(a in arb_geometry(), b in arb_geometry()) {
+        prop_assert_eq!(
+            mpi_vector_io::geom::algo::intersects(&a, &b),
+            mpi_vector_io::geom::algo::intersects(&b, &a)
+        );
+    }
+}

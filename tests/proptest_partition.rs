@@ -1,0 +1,147 @@
+//! Property-based tests of the file-partitioning invariant: every record
+//! is delivered to exactly one rank, for arbitrary record lengths, block
+//! sizes, rank counts and boundary strategies.
+
+use mpi_vector_io::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a file from the given record lengths (record i is `len[i]`
+/// copies of a letter derived from i, so records are distinguishable).
+fn build_file(lens: &[usize], trailing_newline: bool) -> (std::sync::Arc<SimFs>, Vec<String>) {
+    let fs = SimFs::new(FsConfig::test_tiny_like());
+    let records: Vec<String> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let ch = (b'a' + (i % 26) as u8) as char;
+            format!("{i:05}{}", ch.to_string().repeat(l))
+        })
+        .collect();
+    let mut text = records.join("\n");
+    if trailing_newline {
+        text.push('\n');
+    }
+    let f = fs.create("p.txt", None).unwrap();
+    f.append(text.as_bytes());
+    (fs, records)
+}
+
+/// Test-only filesystem shim (mirrors `FsConfig::test_tiny` which lives
+/// behind the pfs crate's test cfg).
+trait TestTiny {
+    fn test_tiny_like() -> FsConfig;
+}
+
+impl TestTiny for FsConfig {
+    fn test_tiny_like() -> FsConfig {
+        let mut cfg = FsConfig::lustre_comet();
+        cfg.default_stripe = StripeSpec::new(2, 1024);
+        cfg
+    }
+}
+
+fn run_partition(
+    fs: &std::sync::Arc<SimFs>,
+    ranks: usize,
+    opts: ReadOptions,
+) -> Vec<String> {
+    let fs = std::sync::Arc::clone(fs);
+    let per_rank = World::run(
+        WorldConfig::new(Topology::single_node(ranks)),
+        move |comm| read_partition_text(comm, &fs, "p.txt", &opts).unwrap(),
+    );
+    let mut all: Vec<String> = per_rank
+        .iter()
+        .flat_map(|t| t.lines().map(str::to_string))
+        .filter(|l| !l.is_empty())
+        .collect();
+    all.sort();
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn message_strategy_delivers_exactly_once(
+        lens in proptest::collection::vec(0usize..120, 1..60),
+        ranks in 1usize..7,
+        block in 256u64..2048,
+        trailing in any::<bool>(),
+    ) {
+        let (fs, records) = build_file(&lens, trailing);
+        let opts = ReadOptions::default()
+            .with_block_size(block)
+            .with_max_geometry_bytes(4096);
+        let got = run_partition(&fs, ranks, opts);
+        let mut expect = records.clone();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn overlap_strategy_delivers_exactly_once(
+        lens in proptest::collection::vec(0usize..120, 1..60),
+        ranks in 1usize..7,
+        block in 256u64..2048,
+        trailing in any::<bool>(),
+    ) {
+        let (fs, records) = build_file(&lens, trailing);
+        let opts = ReadOptions::default()
+            .with_strategy(BoundaryStrategy::Overlap)
+            .with_block_size(block)
+            .with_max_geometry_bytes(4096);
+        let got = run_partition(&fs, ranks, opts);
+        let mut expect = records.clone();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn strategies_agree_with_each_other(
+        lens in proptest::collection::vec(0usize..80, 1..40),
+        ranks in 1usize..5,
+        block in 512u64..1536,
+    ) {
+        let (fs, _) = build_file(&lens, true);
+        let msg = run_partition(
+            &fs,
+            ranks,
+            ReadOptions::default().with_block_size(block).with_max_geometry_bytes(4096),
+        );
+        let (fs2, _) = build_file(&lens, true);
+        let ovl = run_partition(
+            &fs2,
+            ranks,
+            ReadOptions::default()
+                .with_strategy(BoundaryStrategy::Overlap)
+                .with_block_size(block)
+                .with_max_geometry_bytes(4096),
+        );
+        prop_assert_eq!(msg, ovl);
+    }
+
+    #[test]
+    fn collective_level_agrees_with_independent(
+        lens in proptest::collection::vec(0usize..80, 1..40),
+        ranks in 1usize..5,
+        block in 512u64..1536,
+    ) {
+        let (fs, _) = build_file(&lens, true);
+        let l0 = run_partition(
+            &fs,
+            ranks,
+            ReadOptions::default().with_block_size(block).with_max_geometry_bytes(4096),
+        );
+        let (fs2, _) = build_file(&lens, true);
+        let l1 = run_partition(
+            &fs2,
+            ranks,
+            ReadOptions::default()
+                .with_level(AccessLevel::Level1)
+                .with_block_size(block)
+                .with_max_geometry_bytes(4096),
+        );
+        prop_assert_eq!(l0, l1);
+    }
+}
