@@ -7,10 +7,11 @@ use mvio_geom::index::RTree;
 use mvio_geom::{algo, wkb, wkt, Geometry, Rect};
 
 fn sample_polygons(n: usize) -> Vec<Geometry> {
-    let mut sampler = SpatialDistribution::Uniform
-        .sampler(Rect::new(0.0, 0.0, 100.0, 100.0), 42);
+    let mut sampler = SpatialDistribution::Uniform.sampler(Rect::new(0.0, 0.0, 100.0, 100.0), 42);
     let gen = ShapeGen::lake_polygons();
-    (0..n).map(|_| Geometry::Polygon(gen.polygon(&mut sampler))).collect()
+    (0..n)
+        .map(|_| Geometry::Polygon(gen.polygon(&mut sampler)))
+        .collect()
 }
 
 fn bench_wkt(c: &mut Criterion) {
@@ -100,7 +101,11 @@ fn bench_rtree(c: &mut Criterion) {
         .map(|(i, g)| (g.envelope(), i))
         .collect();
     let tree = RTree::bulk_load(items.clone());
-    let probes: Vec<Rect> = items.iter().map(|(r, _)| r.buffered(0.5)).take(256).collect();
+    let probes: Vec<Rect> = items
+        .iter()
+        .map(|(r, _)| r.buffered(0.5))
+        .take(256)
+        .collect();
 
     let mut group = c.benchmark_group("rtree");
     group.bench_function("bulk_load_2000", |b| {

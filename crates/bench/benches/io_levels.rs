@@ -8,7 +8,9 @@ use mvio_msim::AccessLevel;
 use mvio_pfs::StripeSpec;
 
 fn bench_levels(c: &mut Criterion) {
-    let scale = Scale { denominator: 200_000 };
+    let scale = Scale {
+        denominator: 200_000,
+    };
     let stripe = StripeSpec::new(16, scale.block(32 << 20));
     let mut group = c.benchmark_group("io_levels");
     group.sample_size(10);

@@ -8,7 +8,9 @@ use mvio_bench::experiments::Scale;
 use mvio_core::partition::BoundaryStrategy;
 
 fn bench_strategies(c: &mut Criterion) {
-    let scale = Scale { denominator: 100_000 };
+    let scale = Scale {
+        denominator: 100_000,
+    };
     let mut group = c.benchmark_group("partitioning");
     group.sample_size(10);
     group.bench_function("message_lakes_8ranks", |b| {
@@ -21,7 +23,9 @@ fn bench_strategies(c: &mut Criterion) {
 }
 
 fn bench_join_pipeline(c: &mut Criterion) {
-    let scale = Scale { denominator: 100_000 };
+    let scale = Scale {
+        denominator: 100_000,
+    };
     let mut group = c.benchmark_group("join_pipeline");
     group.sample_size(10);
     group.bench_function("lakes_cemetery_8ranks", |b| {

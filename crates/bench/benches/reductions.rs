@@ -54,5 +54,10 @@ fn bench_collective_hub(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_union_collectives, bench_rect_union_op, bench_collective_hub);
+criterion_group!(
+    benches,
+    bench_union_collectives,
+    bench_rect_union_op,
+    bench_collective_hub
+);
 criterion_main!(benches);

@@ -13,9 +13,26 @@
 use mvio_bench::experiments::{self as ex, Scale};
 
 const IDS: [&str; 20] = [
-    "table1", "table2", "table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "baseline", "ablation-maps",
-    "ablation-windows", "ablation-blocks",
+    "table1",
+    "table2",
+    "table3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "baseline",
+    "ablation-maps",
+    "ablation-windows",
+    "ablation-blocks",
 ];
 
 fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
@@ -59,7 +76,9 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("missing/invalid --scale value"));
-                scale = Scale { denominator: d.max(1) };
+                scale = Scale {
+                    denominator: d.max(1),
+                };
             }
             "--quick" => quick = true,
             "--help" | "-h" => usage(""),
@@ -78,11 +97,18 @@ fn main() {
         scale.denominator,
         if quick { "quick" } else { "full" }
     );
+    let mut failed = false;
     for id in &targets {
         match dispatch(id, scale, quick) {
             Some(out) => println!("{out}"),
-            None => eprintln!("unknown experiment {id:?}; valid: {IDS:?}"),
+            None => {
+                eprintln!("unknown experiment {id:?}; valid: {IDS:?}");
+                failed = true;
+            }
         }
+    }
+    if failed {
+        std::process::exit(2);
     }
 }
 

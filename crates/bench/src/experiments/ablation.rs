@@ -32,7 +32,9 @@ fn join_with(scale: Scale, procs: usize, cells: u32, map: CellMap, windows: u32)
     };
     let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
     let out = World::run(cfg, move |comm| {
-        spatial_join(comm, &fs, "left.wkt", "right.wkt", &opts).unwrap().breakdown
+        spatial_join(comm, &fs, "left.wkt", "right.wkt", &opts)
+            .unwrap()
+            .breakdown
     });
     out[0]
 }
@@ -42,7 +44,9 @@ pub fn maps(scale: Scale, quick: bool) -> String {
     let procs = if quick { 8 } else { 40 };
     let cells = if quick { 8u32 } else { 24 };
     let mut t = Table::new(
-        format!("Ablation: cell-to-rank maps, Lakes ⋈ Cemetery, {procs} procs, {cells}x{cells} cells"),
+        format!(
+            "Ablation: cell-to-rank maps, Lakes ⋈ Cemetery, {procs} procs, {cells}x{cells} cells"
+        ),
         &["map", "partition (s)", "comm (s)", "join (s)", "total (s)"],
     );
     let d = scale.denominator as f64;
@@ -81,7 +85,9 @@ pub fn windows(scale: Scale, quick: bool) -> String {
             format!("{:.2}", b.total * d),
         ]);
     }
-    t.note("more windows bound peak exchange memory at the cost of extra collective rounds (§4.2.3)");
+    t.note(
+        "more windows bound peak exchange memory at the cost of extra collective rounds (§4.2.3)",
+    );
     t.render()
 }
 
@@ -91,7 +97,11 @@ pub fn blocks(scale: Scale, quick: bool) -> String {
     let nodes = if quick { 2 } else { 8 };
     let mut t = Table::new(
         format!("Ablation: block-size granularity, Roads Level-0 read, {nodes} nodes x 16"),
-        &["block (full-scale)", "iterations", "read time (s, full-scale)"],
+        &[
+            "block (full-scale)",
+            "iterations",
+            "read time (s, full-scale)",
+        ],
     );
     let d = scale.denominator as f64;
     for full_block in [8u64 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20] {
@@ -99,7 +109,13 @@ pub fn blocks(scale: Scale, quick: bool) -> String {
         let fs = SimFs::new(lustre_scaled(scale));
         let topo = Topology::new(nodes, 16);
         fs.set_active_ranks(topo.ranks());
-        let bytes = install_dataset(&fs, &ds, scale, "roads.wkt", Some(StripeSpec::new(32, block)));
+        let bytes = install_dataset(
+            &fs,
+            &ds,
+            scale,
+            "roads.wkt",
+            Some(StripeSpec::new(32, block)),
+        );
         let iters = bytes.div_ceil(topo.ranks() as u64 * block);
         let opts = ReadOptions::default()
             .with_level(AccessLevel::Level0)
@@ -128,7 +144,9 @@ mod tests {
     #[test]
     fn all_maps_produce_identical_join_results() {
         // Breakdown aside, the *answer* must not depend on the map.
-        let scale = Scale { denominator: 50_000 };
+        let scale = Scale {
+            denominator: 50_000,
+        };
         let pairs_with = |map: CellMap| {
             let fs = SimFs::new(gpfs_scaled(scale));
             fs.set_active_ranks(4);
@@ -141,7 +159,9 @@ mod tests {
                 windows: 1,
             };
             let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
-                spatial_join(comm, &fs, "l.wkt", "r.wkt", &opts).unwrap().pairs
+                spatial_join(comm, &fs, "l.wkt", "r.wkt", &opts)
+                    .unwrap()
+                    .pairs
             });
             let mut all: Vec<(String, String)> = out.into_iter().flatten().collect();
             all.sort();
@@ -156,7 +176,9 @@ mod tests {
 
     #[test]
     fn larger_blocks_do_not_slow_the_read() {
-        let scale = Scale { denominator: 100_000 };
+        let scale = Scale {
+            denominator: 100_000,
+        };
         let s = blocks(scale, true);
         assert!(s.contains("Ablation"));
     }

@@ -5,9 +5,7 @@
 
 use super::{cost_scaled, install_dataset, lustre_scaled, spec, Scale};
 use crate::report::Table;
-use mvio_core::partition::{
-    read_master_scatter, read_partition_text, read_redundant, ReadOptions,
-};
+use mvio_core::partition::{read_master_scatter, read_partition_text, read_redundant, ReadOptions};
 use mvio_msim::{Topology, World, WorldConfig};
 use mvio_pfs::{SimFs, StripeSpec};
 
@@ -27,19 +25,21 @@ pub fn read_time(scale: Scale, nodes: usize, strategy: Strategy) -> f64 {
     let topo = Topology::new(nodes, 16);
     fs.set_active_ranks(topo.ranks());
     let block = scale.block(32 << 20).max(64 << 10);
-    install_dataset(&fs, &ds, scale, "roads.wkt", Some(StripeSpec::new(64, block)));
+    install_dataset(
+        &fs,
+        &ds,
+        scale,
+        "roads.wkt",
+        Some(StripeSpec::new(64, block)),
+    );
     let opts = ReadOptions::default()
         .with_block_size(block)
         .with_max_geometry_bytes(block);
     let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
     let times = World::run(cfg, move |comm| {
         match strategy {
-            Strategy::MpiVectorIo => {
-                read_partition_text(comm, &fs, "roads.wkt", &opts).unwrap()
-            }
-            Strategy::MasterScatter => {
-                read_master_scatter(comm, &fs, "roads.wkt", &opts).unwrap()
-            }
+            Strategy::MpiVectorIo => read_partition_text(comm, &fs, "roads.wkt", &opts).unwrap(),
+            Strategy::MasterScatter => read_master_scatter(comm, &fs, "roads.wkt", &opts).unwrap(),
             Strategy::Redundant => read_redundant(comm, &fs, "roads.wkt", &opts).unwrap(),
         };
         comm.now()
@@ -56,8 +56,13 @@ pub fn run(scale: Scale, quick: bool) -> String {
             scale.denominator
         ),
         &[
-            "nodes", "procs", "mpi-vector-io (s)", "master-scatter (s)", "redundant (s)",
-            "speedup vs master", "speedup vs redundant",
+            "nodes",
+            "procs",
+            "mpi-vector-io (s)",
+            "master-scatter (s)",
+            "redundant (s)",
+            "speedup vs master",
+            "speedup vs redundant",
         ],
     );
     let d = scale.denominator as f64;
@@ -96,7 +101,11 @@ mod tests {
             "master-scatter speedup {:.1}x should approach an order of magnitude",
             master / mvio
         );
-        assert!(redundant / mvio > 5.0, "redundant speedup {:.1}x", redundant / mvio);
+        assert!(
+            redundant / mvio > 5.0,
+            "redundant speedup {:.1}x",
+            redundant / mvio
+        );
     }
 
     #[test]
@@ -108,6 +117,9 @@ mod tests {
         };
         let r4 = ratio(4);
         let r16 = ratio(16);
-        assert!(r16 > r4, "speedup must grow with nodes: {r4:.1}x -> {r16:.1}x");
+        assert!(
+            r16 > r4,
+            "speedup must grow with nodes: {r4:.1}x -> {r16:.1}x"
+        );
     }
 }

@@ -55,7 +55,12 @@ pub fn run(scale: Scale, quick: bool) -> String {
             human_bytes(spec("All Objects").paper_bytes),
             scale.denominator
         ),
-        &["nodes", "procs", "GB/s (64MB stripe)", "GB/s (128MB stripe)"],
+        &[
+            "nodes",
+            "procs",
+            "GB/s (64MB stripe)",
+            "GB/s (128MB stripe)",
+        ],
     );
     for nodes in node_sweep(quick) {
         let mut cells = vec![nodes.to_string(), (nodes * 16).to_string()];
@@ -87,22 +92,46 @@ mod tests {
 
     #[test]
     fn bandwidth_rises_then_saturates() {
-        let scale = Scale { denominator: 100_000 };
+        let scale = Scale {
+            denominator: 100_000,
+        };
         let stripe = StripeSpec::new(64, scale.block(64 << 20));
         let (b4, t4) = bandwidth_contiguous(
-            "All Objects", scale, 4, 4, stripe, stripe.size, AccessLevel::Level0, 1,
+            "All Objects",
+            scale,
+            4,
+            4,
+            stripe,
+            stripe.size,
+            AccessLevel::Level0,
+            1,
         );
         let (b32, t32) = bandwidth_contiguous(
-            "All Objects", scale, 32, 4, stripe, stripe.size, AccessLevel::Level0, 1,
+            "All Objects",
+            scale,
+            32,
+            4,
+            stripe,
+            stripe.size,
+            AccessLevel::Level0,
+            1,
         );
         let bw4 = b4 as f64 / t4;
         let bw32 = b32 as f64 / t32;
-        assert!(bw32 > bw4, "more nodes must lift bandwidth: {bw4} vs {bw32}");
+        assert!(
+            bw32 > bw4,
+            "more nodes must lift bandwidth: {bw4} vs {bw32}"
+        );
     }
 
     #[test]
     fn render_produces_rows() {
-        let s = run(Scale { denominator: 200_000 }, true);
+        let s = run(
+            Scale {
+                denominator: 200_000,
+            },
+            true,
+        );
         assert!(s.contains("Figure 8"));
         assert!(s.lines().count() >= 5);
     }

@@ -28,7 +28,14 @@ pub fn run(scale: Scale, quick: bool) -> String {
         for &osts in &OST_COUNTS {
             let stripe = StripeSpec::new(osts, ssize);
             let (bytes, time) = bandwidth_contiguous(
-                "Roads", scale, nodes, 16, stripe, ssize, AccessLevel::Level0, 3,
+                "Roads",
+                scale,
+                nodes,
+                16,
+                stripe,
+                ssize,
+                AccessLevel::Level0,
+                3,
             );
             cells.push(gbps(bytes, time));
         }
@@ -45,16 +52,30 @@ mod tests {
 
     #[test]
     fn more_osts_lift_saturated_bandwidth() {
-        let scale = Scale { denominator: 100_000 };
+        let scale = Scale {
+            denominator: 100_000,
+        };
         let ssize = scale.block(32 << 20);
         let nodes = 16;
         let (b16, t16) = bandwidth_contiguous(
-            "Roads", scale, nodes, 4, StripeSpec::new(16, ssize), ssize,
-            AccessLevel::Level0, 1,
+            "Roads",
+            scale,
+            nodes,
+            4,
+            StripeSpec::new(16, ssize),
+            ssize,
+            AccessLevel::Level0,
+            1,
         );
         let (b96, t96) = bandwidth_contiguous(
-            "Roads", scale, nodes, 4, StripeSpec::new(96, ssize), ssize,
-            AccessLevel::Level0, 1,
+            "Roads",
+            scale,
+            nodes,
+            4,
+            StripeSpec::new(96, ssize),
+            ssize,
+            AccessLevel::Level0,
+            1,
         );
         let bw16 = b16 as f64 / t16;
         let bw96 = b96 as f64 / t96;
@@ -66,7 +87,12 @@ mod tests {
 
     #[test]
     fn render_has_all_ost_columns() {
-        let s = run(Scale { denominator: 200_000 }, true);
+        let s = run(
+            Scale {
+                denominator: 200_000,
+            },
+            true,
+        );
         for o in OST_COUNTS {
             assert!(s.contains(&format!("({o} OST)")));
         }

@@ -28,7 +28,13 @@ pub fn partition_time(
     let fs = SimFs::new(lustre_scaled(scale));
     let topo = Topology::new(nodes, ppn);
     fs.set_active_ranks(topo.ranks());
-    install_dataset(&fs, &ds, scale, "lakes.wkt", Some(StripeSpec::new(osts, block)));
+    install_dataset(
+        &fs,
+        &ds,
+        scale,
+        "lakes.wkt",
+        Some(StripeSpec::new(osts, block)),
+    );
     let opts = ReadOptions::default()
         .with_level(AccessLevel::Level1)
         .with_strategy(strategy)
@@ -51,7 +57,13 @@ pub fn run(scale: Scale, quick: bool) -> String {
             human_bytes(spec("Lakes").paper_bytes),
             scale.denominator
         ),
-        &["OST", "nodes", "message (s, full-scale)", "overlap (s, full-scale)", "winner"],
+        &[
+            "OST",
+            "nodes",
+            "message (s, full-scale)",
+            "overlap (s, full-scale)",
+            "winner",
+        ],
     );
     for &osts in &OST_COUNTS {
         for &nodes in &nodes_sweep {
@@ -63,7 +75,11 @@ pub fn run(scale: Scale, quick: bool) -> String {
                 nodes.to_string(),
                 format!("{:.2}", msg * d),
                 format!("{:.2}", ovl * d),
-                if msg <= ovl { "message".into() } else { "overlap".into() },
+                if msg <= ovl {
+                    "message".into()
+                } else {
+                    "overlap".into()
+                },
             ]);
         }
     }
@@ -77,7 +93,9 @@ mod tests {
 
     #[test]
     fn message_beats_overlap() {
-        let scale = Scale { denominator: 20_000 };
+        let scale = Scale {
+            denominator: 20_000,
+        };
         let msg = partition_time(scale, 4, 4, 16, BoundaryStrategy::Message);
         let ovl = partition_time(scale, 4, 4, 16, BoundaryStrategy::Overlap);
         assert!(
@@ -88,7 +106,12 @@ mod tests {
 
     #[test]
     fn render_declares_winners() {
-        let s = run(Scale { denominator: 100_000 }, true);
+        let s = run(
+            Scale {
+                denominator: 100_000,
+            },
+            true,
+        );
         assert!(s.contains("winner"));
         assert!(s.contains("message"));
     }

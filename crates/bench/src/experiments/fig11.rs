@@ -42,7 +42,14 @@ pub fn run(scale: Scale, quick: bool) -> String {
         for &osts in &OST_COUNTS {
             let stripe = StripeSpec::new(osts, ssize);
             let (_bytes, time) = bandwidth_contiguous(
-                "Roads", scale, nodes, 16, stripe, ssize, AccessLevel::Level1, 3,
+                "Roads",
+                scale,
+                nodes,
+                16,
+                stripe,
+                ssize,
+                AccessLevel::Level1,
+                3,
             );
             cells.push(format!("{:.2}", time * scale.denominator as f64));
             cells.push(select_readers(FsKind::Lustre, osts, nodes, None).to_string());
@@ -62,18 +69,17 @@ mod tests {
     /// readers and must not beat 16 nodes by the naive 1.5x — the cliff.
     #[test]
     fn non_divisor_node_count_underperforms() {
-        let scale = Scale { denominator: 50_000 };
+        let scale = Scale {
+            denominator: 50_000,
+        };
         let ssize = scale.block(16 << 20);
         let stripe = StripeSpec::new(64, ssize);
-        let (b16, t16) = bandwidth_contiguous(
-            "Roads", scale, 16, 4, stripe, ssize, AccessLevel::Level1, 1,
-        );
-        let (b24, t24) = bandwidth_contiguous(
-            "Roads", scale, 24, 4, stripe, ssize, AccessLevel::Level1, 1,
-        );
-        let (b32, t32) = bandwidth_contiguous(
-            "Roads", scale, 32, 4, stripe, ssize, AccessLevel::Level1, 1,
-        );
+        let (b16, t16) =
+            bandwidth_contiguous("Roads", scale, 16, 4, stripe, ssize, AccessLevel::Level1, 1);
+        let (b24, t24) =
+            bandwidth_contiguous("Roads", scale, 24, 4, stripe, ssize, AccessLevel::Level1, 1);
+        let (b32, t32) =
+            bandwidth_contiguous("Roads", scale, 32, 4, stripe, ssize, AccessLevel::Level1, 1);
         let bw = |b: u64, t: f64| b as f64 / t;
         // 32 nodes (divisor) must clearly beat 24 nodes (non-divisor).
         assert!(
@@ -93,7 +99,12 @@ mod tests {
 
     #[test]
     fn render_includes_reader_counts() {
-        let s = run(Scale { denominator: 200_000 }, true);
+        let s = run(
+            Scale {
+                denominator: 200_000,
+            },
+            true,
+        );
         assert!(s.contains("readers"));
         assert!(s.contains("Figure 11"));
     }

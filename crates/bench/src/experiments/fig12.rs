@@ -40,7 +40,13 @@ pub fn read_binary_rects(
     let fs = SimFs::new(gpfs_scaled(scale));
     let topo = Topology::new(nodes, ppn);
     fs.set_active_ranks(topo.ranks());
-    write_rect_records(&fs, "rects.bin", Rect::new(0.0, 0.0, 360.0, 180.0), records, 0xF16);
+    write_rect_records(
+        &fs,
+        "rects.bin",
+        Rect::new(0.0, 0.0, 360.0, 180.0),
+        records,
+        0xF16,
+    );
     let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
     let times = World::run(cfg, |comm| {
         let f = MpiFile::open(&fs, "rects.bin", Hints::default()).unwrap();
@@ -49,13 +55,16 @@ pub fn read_binary_rects(
         let my_first = comm.rank() as u64 * per;
         let my_count = per.min(records.saturating_sub(my_first));
         let mut buf = vec![0u8; (my_count * RECT_RECORD_BYTES as u64) as usize];
-        f.read_at_all(comm, my_first * RECT_RECORD_BYTES as u64, &mut buf).unwrap();
+        f.read_at_all(comm, my_first * RECT_RECORD_BYTES as u64, &mut buf)
+            .unwrap();
 
         let rects = match datatype {
             RectDatatype::Struct => {
                 // MPI materializes the struct layout internally: one
                 // bulk-memcpy-speed pass.
-                comm.charge(Work::CopyBytes { n: buf.len() as u64 });
+                comm.charge(Work::CopyBytes {
+                    n: buf.len() as u64,
+                });
                 decode_rects(&buf)
             }
             RectDatatype::Contiguous => {
@@ -84,7 +93,11 @@ pub fn run(scale: Scale, quick: bool) -> String {
     // The paper's binary file experiments use millions of records; scale
     // the count with the denominator from a 10^8-record full size.
     let records = (100_000_000u64 / scale.denominator).max(10_000);
-    let procs_sweep: Vec<usize> = if quick { vec![20, 40] } else { vec![20, 40, 60, 80, 100] };
+    let procs_sweep: Vec<usize> = if quick {
+        vec![20, 40]
+    } else {
+        vec![20, 40, 60, 80, 100]
+    };
     let mut t = Table::new(
         format!("Figure 12: binary MBR read, Type_struct vs Type_contiguous, GPFS L1 ({records} records)"),
         &["procs", "struct (s, full-scale)", "contiguous (s, full-scale)", "struct speedup"],
@@ -111,7 +124,9 @@ mod tests {
 
     #[test]
     fn struct_beats_contiguous() {
-        let scale = Scale { denominator: 10_000 };
+        let scale = Scale {
+            denominator: 10_000,
+        };
         let s = read_binary_rects(scale, 1, 4, 20_000, RectDatatype::Struct);
         let c = read_binary_rects(scale, 1, 4, 20_000, RectDatatype::Contiguous);
         assert!(s < c, "struct {s} must beat contiguous {c} (Figure 12)");
@@ -119,7 +134,12 @@ mod tests {
 
     #[test]
     fn render_reports_speedup() {
-        let s = run(Scale { denominator: 100_000 }, true);
+        let s = run(
+            Scale {
+                denominator: 100_000,
+            },
+            true,
+        );
         assert!(s.contains("struct speedup"));
     }
 }

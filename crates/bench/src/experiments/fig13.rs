@@ -39,7 +39,12 @@ pub fn union_collective(scale: Scale, procs: usize, count: usize, which: Collect
             .map(|_| {
                 let x = rng.gen_range(0.0..100.0);
                 let y = rng.gen_range(0.0..100.0);
-                Rect::new(x, y, x + rng.gen_range(0.1..2.0), y + rng.gen_range(0.1..2.0))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.1..2.0),
+                    y + rng.gen_range(0.1..2.0),
+                )
             })
             .collect();
         let bytes = (count * 32) as u64;
@@ -68,7 +73,11 @@ pub fn run(scale: Scale, quick: bool) -> String {
     } else {
         vec![100_000, 200_000, 400_000]
     };
-    let procs_sweep: Vec<usize> = if quick { vec![4, 8] } else { vec![8, 16, 32, 64] };
+    let procs_sweep: Vec<usize> = if quick {
+        vec![4, 8]
+    } else {
+        vec![8, 16, 32, 64]
+    };
     let mut headers: Vec<String> = vec!["procs".into()];
     for c in &counts {
         headers.push(format!("Reduce {}K (ms)", c / 1000));
@@ -116,14 +125,11 @@ mod tests {
     #[test]
     fn union_result_is_correct_under_reduction() {
         // Correctness of the elementwise operator through a real reduce.
-        let out = World::run(
-            WorldConfig::new(Topology::single_node(4)),
-            |comm| {
-                let r = comm.rank() as f64;
-                let rects = vec![Rect::new(r, r, r + 1.0, r + 1.0)];
-                comm.allreduce(rects, 32, &UnionRects)
-            },
-        );
+        let out = World::run(WorldConfig::new(Topology::single_node(4)), |comm| {
+            let r = comm.rank() as f64;
+            let rects = vec![Rect::new(r, r, r + 1.0, r + 1.0)];
+            comm.allreduce(rects, 32, &UnionRects)
+        });
         for v in out {
             assert_eq!(v[0], Rect::new(0.0, 0.0, 4.0, 4.0));
         }

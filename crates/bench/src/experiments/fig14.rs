@@ -32,13 +32,21 @@ pub fn io_plus_parse(dataset: &str, scale: Scale, procs: usize) -> (f64, u64) {
 
 /// Runs the Figure 14 sweep and renders the table.
 pub fn run(scale: Scale, quick: bool) -> String {
-    let procs_sweep: Vec<usize> = if quick { vec![20, 40] } else { vec![20, 40, 60, 80, 100, 120] };
+    let procs_sweep: Vec<usize> = if quick {
+        vec![20, 40]
+    } else {
+        vec![20, 40, 60, 80, 100, 120]
+    };
     let mut t = Table::new(
         format!(
             "Figure 14: I/O + parsing, All Nodes vs All Objects, GPFS Level 1 (scaled 1/{})",
             scale.denominator
         ),
-        &["procs", "All Nodes (s, full-scale)", "All Objects (s, full-scale)"],
+        &[
+            "procs",
+            "All Nodes (s, full-scale)",
+            "All Objects (s, full-scale)",
+        ],
     );
     for procs in procs_sweep {
         let (tn, _) = io_plus_parse("All Nodes", scale, procs);
@@ -60,7 +68,9 @@ mod tests {
 
     #[test]
     fn polygons_cost_more_than_points_per_byte() {
-        let scale = Scale { denominator: 200_000 };
+        let scale = Scale {
+            denominator: 200_000,
+        };
         let (tn, cn) = io_plus_parse("All Nodes", scale, 4);
         let (to, co) = io_plus_parse("All Objects", scale, 4);
         assert!(cn > 0 && co > 0);
@@ -76,7 +86,9 @@ mod tests {
 
     #[test]
     fn parse_scales_with_processes() {
-        let scale = Scale { denominator: 200_000 };
+        let scale = Scale {
+            denominator: 200_000,
+        };
         let (t1, _) = io_plus_parse("All Objects", scale, 2);
         let (t4, _) = io_plus_parse("All Objects", scale, 8);
         assert!(t4 < t1, "8 procs {t4} should beat 2 procs {t1}");
@@ -84,7 +96,12 @@ mod tests {
 
     #[test]
     fn render_has_both_series() {
-        let s = run(Scale { denominator: 500_000 }, true);
+        let s = run(
+            Scale {
+                denominator: 500_000,
+            },
+            true,
+        );
         assert!(s.contains("All Nodes"));
         assert!(s.contains("All Objects"));
     }

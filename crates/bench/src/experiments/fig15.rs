@@ -19,7 +19,13 @@ pub fn contiguous_read(scale: Scale, procs: usize, records: u64) -> f64 {
     let fs = SimFs::new(gpfs_scaled(scale));
     let topo = topo_for(procs);
     fs.set_active_ranks(topo.ranks());
-    write_rect_records(&fs, "mbrs.bin", Rect::new(0.0, 0.0, 360.0, 180.0), records, 0xF15);
+    write_rect_records(
+        &fs,
+        "mbrs.bin",
+        Rect::new(0.0, 0.0, 360.0, 180.0),
+        records,
+        0xF15,
+    );
     let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
     let times = World::run(cfg, |comm| {
         let f = MpiFile::open(&fs, "mbrs.bin", Hints::default()).unwrap();
@@ -28,7 +34,8 @@ pub fn contiguous_read(scale: Scale, procs: usize, records: u64) -> f64 {
         let first = comm.rank() as u64 * per;
         let count = per.min(records.saturating_sub(first));
         let mut buf = vec![0u8; (count * RECT_RECORD_BYTES as u64) as usize];
-        f.read_at_all(comm, first * RECT_RECORD_BYTES as u64, &mut buf).unwrap();
+        f.read_at_all(comm, first * RECT_RECORD_BYTES as u64, &mut buf)
+            .unwrap();
         comm.now()
     });
     times.into_iter().fold(0.0, f64::max)
@@ -40,7 +47,13 @@ pub fn noncontiguous_read(scale: Scale, procs: usize, records: u64, block_record
     let fs = SimFs::new(gpfs_scaled(scale));
     let topo = topo_for(procs);
     fs.set_active_ranks(topo.ranks());
-    write_rect_records(&fs, "mbrs.bin", Rect::new(0.0, 0.0, 360.0, 180.0), records, 0xF15);
+    write_rect_records(
+        &fs,
+        "mbrs.bin",
+        Rect::new(0.0, 0.0, 360.0, 180.0),
+        records,
+        0xF15,
+    );
     let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
     let times = World::run(cfg, move |comm| {
         let mut f = MpiFile::open(&fs, "mbrs.bin", Hints::default()).unwrap();
@@ -96,16 +109,23 @@ mod tests {
 
     #[test]
     fn contiguous_beats_noncontiguous() {
-        let scale = Scale { denominator: 50_000 };
+        let scale = Scale {
+            denominator: 50_000,
+        };
         let records = 16_384;
         let c = contiguous_read(scale, 4, records);
         let nc = noncontiguous_read(scale, 4, records, 256);
-        assert!(c < nc, "contiguous {c} must beat non-contiguous {nc} (Figure 15)");
+        assert!(
+            c < nc,
+            "contiguous {c} must beat non-contiguous {nc} (Figure 15)"
+        );
     }
 
     #[test]
     fn larger_nc_blocks_are_faster() {
-        let scale = Scale { denominator: 50_000 };
+        let scale = Scale {
+            denominator: 50_000,
+        };
         let records = 16_384;
         let small = noncontiguous_read(scale, 4, records, 64);
         let large = noncontiguous_read(scale, 4, records, 1024);

@@ -115,7 +115,10 @@ pub fn run(scale: Scale, quick: bool) -> String {
             format!("{:.3}", contiguous_polygon_read(scale, procs) * d),
         ];
         for &b in &BLOCK_POLYGONS {
-            cells.push(format!("{:.3}", noncontiguous_polygon_read(scale, procs, b) * d));
+            cells.push(format!(
+                "{:.3}",
+                noncontiguous_polygon_read(scale, procs, b) * d
+            ));
         }
         t.row(cells);
     }
@@ -141,7 +144,9 @@ mod tests {
 
     #[test]
     fn contiguous_beats_indexed_noncontiguous() {
-        let scale = Scale { denominator: 100_000 };
+        let scale = Scale {
+            denominator: 100_000,
+        };
         let c = contiguous_polygon_read(scale, 4);
         let nc = noncontiguous_polygon_read(scale, 4, 16);
         assert!(c < nc, "contiguous {c} must beat NC {nc} (Figure 16)");

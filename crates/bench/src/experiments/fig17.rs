@@ -43,7 +43,11 @@ pub fn join_run(
 /// Runs the Figure 17 sweep and renders the table.
 pub fn run(scale: Scale, quick: bool) -> String {
     let procs = if quick { 8 } else { 80 };
-    let cells_sweep: Vec<u32> = if quick { vec![4, 8] } else { vec![8, 16, 32, 48, 64] };
+    let cells_sweep: Vec<u32> = if quick {
+        vec![4, 8]
+    } else {
+        vec![8, 16, 32, 48, 64]
+    };
     let mut t = Table::new(
         format!(
             "Figure 17: join breakdown vs grid cells, Lakes ⋈ Cemetery, {procs} procs (scaled 1/{})",

@@ -22,7 +22,14 @@ pub fn run(scale: Scale, quick: bool) -> String {
             "Figure 18: join breakdown vs processes, Lakes ⋈ Cemetery ({}x{} cells, scaled 1/{})",
             cells, cells, scale.denominator
         ),
-        &["procs", "partition (s)", "comm (s)", "join (s)", "total (s)", "dominant"],
+        &[
+            "procs",
+            "partition (s)",
+            "comm (s)",
+            "join (s)",
+            "total (s)",
+            "dominant",
+        ],
     );
     let d = scale.denominator as f64;
     for procs in procs_sweep(quick) {

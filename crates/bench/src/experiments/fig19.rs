@@ -18,7 +18,14 @@ pub fn run(scale: Scale, quick: bool) -> String {
             "Figure 19: join breakdown vs processes, Roads ⋈ Cemetery ({}x{} cells, scaled 1/{})",
             cells, cells, scale.denominator
         ),
-        &["procs", "partition (s)", "comm (s)", "join (s)", "total (s)", "dominant"],
+        &[
+            "procs",
+            "partition (s)",
+            "comm (s)",
+            "join (s)",
+            "total (s)",
+            "dominant",
+        ],
     );
     let d = scale.denominator as f64;
     for procs in procs_sweep(quick) {
@@ -51,7 +58,9 @@ mod tests {
     fn roads_cemetery_is_communication_heavy() {
         // Roads ships ~20x more geometries than Lakes at equal scale; its
         // communication phase must dwarf its join phase.
-        let scale = Scale { denominator: 20_000 };
+        let scale = Scale {
+            denominator: 20_000,
+        };
         let (b, _) = join_run(scale, "Roads", "Cemetery", 4, 8);
         assert!(
             b.communication > b.compute,
@@ -63,7 +72,9 @@ mod tests {
 
     #[test]
     fn communication_shrinks_with_processes() {
-        let scale = Scale { denominator: 20_000 };
+        let scale = Scale {
+            denominator: 20_000,
+        };
         let (b2, _) = join_run(scale, "Roads", "Cemetery", 2, 8);
         let (b8, _) = join_run(scale, "Roads", "Cemetery", 8, 8);
         assert!(

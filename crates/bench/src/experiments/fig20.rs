@@ -38,14 +38,25 @@ pub fn index_run(scale: Scale, procs: usize, cells_per_side: u32) -> (PhaseBreak
 pub fn run(scale: Scale, quick: bool) -> String {
     // 2048 cells ≈ 45x45 grid; quick mode shrinks everything.
     let side: u32 = if quick { 8 } else { 45 };
-    let procs_sweep: Vec<usize> = if quick { vec![4, 8] } else { vec![80, 160, 320] };
+    let procs_sweep: Vec<usize> = if quick {
+        vec![4, 8]
+    } else {
+        vec![80, 160, 320]
+    };
     let mut t = Table::new(
         format!(
             "Figure 20: indexing breakdown, Road Network over {} cells (scaled 1/{})",
             side * side,
             scale.denominator
         ),
-        &["procs", "partition (s)", "comm (s)", "indexing (s)", "total (s)", "edges indexed"],
+        &[
+            "procs",
+            "partition (s)",
+            "comm (s)",
+            "indexing (s)",
+            "total (s)",
+            "edges indexed",
+        ],
     );
     let d = scale.denominator as f64;
     for procs in procs_sweep {
@@ -59,7 +70,9 @@ pub fn run(scale: Scale, quick: bool) -> String {
             indexed.to_string(),
         ]);
     }
-    t.note("paper: every phase improves with process count; 717M edges index in ~90 s at 320 procs");
+    t.note(
+        "paper: every phase improves with process count; 717M edges index in ~90 s at 320 procs",
+    );
     t.render()
 }
 
@@ -69,11 +82,18 @@ mod tests {
 
     #[test]
     fn all_phases_improve_with_processes() {
-        let scale = Scale { denominator: 20_000 };
+        let scale = Scale {
+            denominator: 20_000,
+        };
         let (b2, n2) = index_run(scale, 2, 8);
         let (b8, n8) = index_run(scale, 8, 8);
         assert_eq!(n2, n8, "indexed count is invariant");
-        assert!(b8.partition < b2.partition, "partition {} -> {}", b2.partition, b8.partition);
+        assert!(
+            b8.partition < b2.partition,
+            "partition {} -> {}",
+            b2.partition,
+            b8.partition
+        );
         assert!(b8.total < b2.total, "total {} -> {}", b2.total, b8.total);
     }
 
@@ -82,7 +102,9 @@ mod tests {
         // The headline: 137 GB / 717 M edges indexed in ~90 s at 320
         // procs. Our full-scale-equivalent total should land within the
         // same order of magnitude (tens to a few hundred seconds).
-        let scale = Scale { denominator: 50_000 };
+        let scale = Scale {
+            denominator: 50_000,
+        };
         let (b, _) = index_run(scale, 320, 16);
         let full = b.total * scale.denominator as f64;
         assert!(

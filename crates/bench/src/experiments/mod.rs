@@ -38,7 +38,9 @@ impl Scale {
 
     /// A tiny scale for unit tests of the harness itself.
     pub fn test_tiny() -> Self {
-        Scale { denominator: 1_000_000 }
+        Scale {
+            denominator: 1_000_000,
+        }
     }
 
     /// Scales a full-size byte quantity, with a floor to stay meaningful.
@@ -70,7 +72,10 @@ pub fn dataset_bytes(spec: &DatasetSpec, scale: Scale) -> Arc<Vec<u8>> {
     let fs = SimFs::new(mvio_pfs::FsConfig::gpfs_roger());
     let rep = catalog::generate(&fs, spec, scale.denominator, 0xDA7A_5EED ^ spec.id as u64);
     let bytes = Arc::new(fs.open(&rep.path).expect("generated").snapshot());
-    dataset_cache().lock().unwrap().insert(key, Arc::clone(&bytes));
+    dataset_cache()
+        .lock()
+        .unwrap()
+        .insert(key, Arc::clone(&bytes));
     bytes
 }
 

@@ -14,7 +14,13 @@ use mvio_pfs::{FsConfig, SimFs};
 pub fn run(_scale: Scale, _quick: bool) -> String {
     let records = 4096u64;
     let fs = SimFs::new(FsConfig::lustre_comet());
-    write_rect_records(&fs, "t1.bin", Rect::new(0.0, 0.0, 100.0, 100.0), records, 0x7AB1);
+    write_rect_records(
+        &fs,
+        "t1.bin",
+        Rect::new(0.0, 0.0, 100.0, 100.0),
+        records,
+        0x7AB1,
+    );
 
     let verify = |level: AccessLevel| -> u64 {
         let fs = std::sync::Arc::clone(&fs);

@@ -27,7 +27,7 @@ pub fn run(_scale: Scale, _quick: bool) -> String {
             comm.allreduce(pt, 16, &MaxPoint),
         )
     });
-    let (min_r, max_r, union_r, min_l, max_l, min_p, max_p) = results[0].clone();
+    let (min_r, max_r, union_r, min_l, max_l, min_p, max_p) = results[0];
     assert_eq!(min_r, Rect::new(0.0, 0.0, 1.0, 1.0));
     assert_eq!(max_r, Rect::new(3.0, 0.0, 7.0, 4.0));
     assert_eq!(union_r, Rect::new(0.0, 0.0, 7.0, 4.0));

@@ -16,8 +16,14 @@ pub fn sequential_io(spec_name: &str, scale: Scale) -> (u64, u64, f64) {
     let bytes = install_dataset(&fs, &spec, scale, "seq.wkt", None);
     let cfg = WorldConfig::new(Topology::single_node(1)).with_cost(cost_scaled(scale));
     let out = World::run(cfg, |comm| {
-        let feats =
-            read_features(comm, &fs, "seq.wkt", &ReadOptions::default(), &WktLineParser).unwrap();
+        let feats = read_features(
+            comm,
+            &fs,
+            "seq.wkt",
+            &ReadOptions::default(),
+            &WktLineParser,
+        )
+        .unwrap();
         (comm.now(), feats.len() as u64)
     });
     let (time, count) = out[0];
@@ -27,10 +33,20 @@ pub fn sequential_io(spec_name: &str, scale: Scale) -> (u64, u64, f64) {
 /// Renders Table 3 with paper-reported and measured columns.
 pub fn run(scale: Scale, quick: bool) -> String {
     let mut t = Table::new(
-        format!("Table 3: real-world datasets and sequential parsing time (scaled 1/{})", scale.denominator),
+        format!(
+            "Table 3: real-world datasets and sequential parsing time (scaled 1/{})",
+            scale.denominator
+        ),
         &[
-            "#", "dataset", "shape", "paper size", "paper count", "paper I/O (s)",
-            "scaled size", "scaled count", "measured full-equiv (s)",
+            "#",
+            "dataset",
+            "shape",
+            "paper size",
+            "paper count",
+            "paper I/O (s)",
+            "scaled size",
+            "scaled count",
+            "measured full-equiv (s)",
         ],
     );
     for spec in table3() {
@@ -72,7 +88,9 @@ mod tests {
 
     #[test]
     fn per_byte_ordering_matches_paper() {
-        let s = Scale { denominator: 100_000 };
+        let s = Scale {
+            denominator: 100_000,
+        };
         let (b_poly, _, t_poly) = sequential_io("All Objects", s);
         let (b_line, _, t_line) = sequential_io("Road Network", s);
         // Polygons must cost more per byte than lines (Table 3 trend).

@@ -26,7 +26,10 @@ pub struct ExchangeOptions {
 
 impl Default for ExchangeOptions {
     fn default() -> Self {
-        ExchangeOptions { map: CellMap::RoundRobin, windows: 1 }
+        ExchangeOptions {
+            map: CellMap::RoundRobin,
+            windows: 1,
+        }
     }
 }
 
@@ -68,8 +71,9 @@ fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
         if buf.len() < glen + 4 {
             return Err(bad("truncated geometry"));
         }
-        let (geometry, used) = wkb::decode(&buf[..glen]).map_err(|e| {
-            CoreError::Parse { record: "<wkb>".into(), source: e }
+        let (geometry, used) = wkb::decode(&buf[..glen]).map_err(|e| CoreError::Parse {
+            record: "<wkb>".into(),
+            source: e,
         })?;
         debug_assert_eq!(used, glen);
         buf = &buf[glen..];
@@ -78,8 +82,8 @@ fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
         if buf.len() < ulen {
             return Err(bad("truncated userdata"));
         }
-        let userdata = String::from_utf8(buf[..ulen].to_vec())
-            .map_err(|_| bad("non-UTF8 userdata"))?;
+        let userdata =
+            String::from_utf8(buf[..ulen].to_vec()).map_err(|_| bad("non-UTF8 userdata"))?;
         buf = &buf[ulen..];
         out.push((cell, Feature { geometry, userdata }));
     }
@@ -102,7 +106,10 @@ pub fn exchange_features(
 ) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
     let p = comm.size();
     let windows = opts.windows.max(1).min(num_cells.max(1));
-    let mut stats = ExchangeStats { phases: windows, ..Default::default() };
+    let mut stats = ExchangeStats {
+        phases: windows,
+        ..Default::default()
+    };
     let mut received: Vec<(u32, Feature)> = Vec::new();
 
     // Pre-bucket pairs by window to avoid rescanning per phase.
@@ -126,7 +133,10 @@ pub fn exchange_features(
         stats.records_sent += sent_records;
         let sent: u64 = send_bufs.iter().map(|b| b.len() as u64).sum();
         stats.bytes_sent += sent;
-        comm.charge(Work::SerializeGeoms { n: sent_records, bytes: sent });
+        comm.charge(Work::SerializeGeoms {
+            n: sent_records,
+            bytes: sent,
+        });
 
         // Round 1: sizes (MPI_Alltoall).
         let sizes: Vec<u64> = send_bufs.iter().map(|b| b.len() as u64).collect();
@@ -147,7 +157,10 @@ pub fn exchange_features(
             received.append(&mut records);
         }
         stats.records_received += got_records;
-        comm.charge(Work::SerializeGeoms { n: got_records, bytes: got });
+        comm.charge(Work::SerializeGeoms {
+            n: got_records,
+            bytes: got,
+        });
     }
 
     Ok((received, stats))
@@ -191,7 +204,12 @@ mod tests {
         let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
             // Every rank produces one pair for every cell.
             let pairs: Vec<(u32, Feature)> = (0..num_cells)
-                .map(|c| (c, feature(c as f64, comm.rank() as f64, &format!("r{}", comm.rank()))))
+                .map(|c| {
+                    (
+                        c,
+                        feature(c as f64, comm.rank() as f64, &format!("r{}", comm.rank())),
+                    )
+                })
                 .collect();
             let (mine, stats) =
                 exchange_features(comm, pairs, num_cells, &ExchangeOptions::default()).unwrap();
@@ -224,7 +242,10 @@ mod tests {
             let pairs: Vec<(u32, Feature)> = (0..num_cells)
                 .map(|c| (c, feature(c as f64, 0.0, "")))
                 .collect();
-            let opts = ExchangeOptions { windows: 4, ..Default::default() };
+            let opts = ExchangeOptions {
+                windows: 4,
+                ..Default::default()
+            };
             let (mut mine, stats) = exchange_features(comm, pairs, num_cells, &opts).unwrap();
             mine.sort_by_key(|(c, _)| *c);
             (mine, stats.phases)
@@ -250,9 +271,13 @@ mod tests {
     fn block_map_exchange() {
         let num_cells = 12;
         let out = World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
-            let pairs: Vec<(u32, Feature)> =
-                (0..num_cells).map(|c| (c, feature(c as f64, 0.0, ""))).collect();
-            let opts = ExchangeOptions { map: CellMap::Block, windows: 1 };
+            let pairs: Vec<(u32, Feature)> = (0..num_cells)
+                .map(|c| (c, feature(c as f64, 0.0, "")))
+                .collect();
+            let opts = ExchangeOptions {
+                map: CellMap::Block,
+                windows: 1,
+            };
             let (mine, _) = exchange_features(comm, pairs, num_cells, &opts).unwrap();
             let mut cells: Vec<u32> = mine.iter().map(|(c, _)| *c).collect();
             cells.sort_unstable();

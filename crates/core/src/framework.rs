@@ -52,17 +52,30 @@ impl FilterRefine {
 
         let mut by_cell: BTreeMap<u32, (Vec<&'a Feature>, Vec<&'a Feature>)> = BTreeMap::new();
         for (cell, f) in left {
-            debug_assert_eq!(map.rank_of(*cell, num_cells, p), rank, "left pair misrouted");
+            debug_assert_eq!(
+                map.rank_of(*cell, num_cells, p),
+                rank,
+                "left pair misrouted"
+            );
             by_cell.entry(*cell).or_default().0.push(f);
         }
         for (cell, f) in right {
-            debug_assert_eq!(map.rank_of(*cell, num_cells, p), rank, "right pair misrouted");
+            debug_assert_eq!(
+                map.rank_of(*cell, num_cells, p),
+                rank,
+                "right pair misrouted"
+            );
             by_cell.entry(*cell).or_default().1.push(f);
         }
 
         let mut out = Vec::new();
         for (cell, (l, r)) in by_cell {
-            let task = RefineTask { cell, cell_rect: grid.cell_rect(cell), left: l, right: r };
+            let task = RefineTask {
+                cell,
+                cell_rect: grid.cell_rect(cell),
+                left: l,
+                right: r,
+            };
             out.extend(refine(comm, task));
         }
         out
@@ -86,10 +99,7 @@ pub fn is_reference_cell(cell_rect: &Rect, a: &Rect, b: &Rect) -> bool {
         return false;
     }
     let (x, y) = (i.min_x, i.min_y);
-    x >= cell_rect.min_x
-        && x < cell_rect.max_x
-        && y >= cell_rect.min_y
-        && y < cell_rect.max_y
+    x >= cell_rect.min_x && x < cell_rect.max_x && y >= cell_rect.min_y && y < cell_rect.max_y
 }
 
 /// Grid-aware reference-point rule: like [`is_reference_cell`] but the
@@ -106,10 +116,8 @@ pub fn claims_reference(grid: &UniformGrid, cell: u32, a: &Rect, b: &Rect) -> bo
     let spec = grid.spec();
     let col = cell % spec.cells_x;
     let row = cell / spec.cells_x;
-    let x_ok = x >= r.min_x
-        && (x < r.max_x || (col == spec.cells_x - 1 && x <= r.max_x));
-    let y_ok = y >= r.min_y
-        && (y < r.max_y || (row == spec.cells_y - 1 && y <= r.max_y));
+    let x_ok = x >= r.min_x && (x < r.max_x || (col == spec.cells_x - 1 && x <= r.max_x));
+    let y_ok = y >= r.min_y && (y < r.max_y || (row == spec.cells_y - 1 && y <= r.max_y));
     x_ok && y_ok
 }
 

@@ -34,7 +34,10 @@ pub struct GridSpec {
 impl GridSpec {
     /// A square grid with `cells_per_side²` cells.
     pub fn square(cells_per_side: u32) -> Self {
-        GridSpec { cells_x: cells_per_side, cells_y: cells_per_side }
+        GridSpec {
+            cells_x: cells_per_side,
+            cells_y: cells_per_side,
+        }
     }
 
     /// Total cell count.
@@ -124,10 +127,22 @@ impl UniformGrid {
             return Vec::new();
         }
         let clamp = |v: f64, hi: u32| -> u32 { (v.max(0.0) as u32).min(hi - 1) };
-        let c0 = clamp((rect.min_x - self.bounds.min_x) / self.cell_w, self.spec.cells_x);
-        let c1 = clamp((rect.max_x - self.bounds.min_x) / self.cell_w, self.spec.cells_x);
-        let r0 = clamp((rect.min_y - self.bounds.min_y) / self.cell_h, self.spec.cells_y);
-        let r1 = clamp((rect.max_y - self.bounds.min_y) / self.cell_h, self.spec.cells_y);
+        let c0 = clamp(
+            (rect.min_x - self.bounds.min_x) / self.cell_w,
+            self.spec.cells_x,
+        );
+        let c1 = clamp(
+            (rect.max_x - self.bounds.min_x) / self.cell_w,
+            self.spec.cells_x,
+        );
+        let r0 = clamp(
+            (rect.min_y - self.bounds.min_y) / self.cell_h,
+            self.spec.cells_y,
+        );
+        let r1 = clamp(
+            (rect.max_y - self.bounds.min_y) / self.cell_h,
+            self.spec.cells_y,
+        );
         let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
         for row in r0..=r1 {
             for col in c0..=c1 {
@@ -140,9 +155,12 @@ impl UniformGrid {
     /// Builds the R-tree over cell boundaries the paper describes,
     /// charging the rank the insertion cost.
     pub fn build_cell_rtree(&self, comm: &mut Comm) -> RTree<u32> {
-        let items: Vec<(Rect, u32)> =
-            (0..self.num_cells()).map(|id| (self.cell_rect(id), id)).collect();
-        comm.charge(Work::RtreeInserts { n: self.num_cells() as u64 });
+        let items: Vec<(Rect, u32)> = (0..self.num_cells())
+            .map(|id| (self.cell_rect(id), id))
+            .collect();
+        comm.charge(Work::RtreeInserts {
+            n: self.num_cells() as u64,
+        });
         RTree::bulk_load(items)
     }
 }
@@ -167,7 +185,9 @@ pub enum CellMap {
 impl CellMap {
     /// Locality-aware map for a given grid.
     pub fn hilbert(spec: GridSpec) -> CellMap {
-        CellMap::Hilbert { cells_x: spec.cells_x }
+        CellMap::Hilbert {
+            cells_x: spec.cells_x,
+        }
     }
 
     /// The rank owning `cell`.
@@ -199,7 +219,9 @@ impl CellMap {
 
     /// All cells owned by `rank`.
     pub fn cells_of(&self, rank: usize, num_cells: u32, ranks: usize) -> Vec<u32> {
-        (0..num_cells).filter(|&c| self.rank_of(c, num_cells, ranks) == rank).collect()
+        (0..num_cells)
+            .filter(|&c| self.rank_of(c, num_cells, ranks) == rank)
+            .collect()
     }
 }
 
@@ -230,7 +252,10 @@ pub fn project_to_cells(
         }
     }
     let _ = grid;
-    comm.charge(Work::RtreeQueries { n: features.len() as u64, results });
+    comm.charge(Work::RtreeQueries {
+        n: features.len() as u64,
+        results,
+    });
     out
 }
 
@@ -286,20 +311,29 @@ mod tests {
     #[test]
     fn out_of_bounds_rect_maps_nowhere() {
         let g = grid4();
-        assert!(g.cells_overlapping(&Rect::new(10.0, 10.0, 11.0, 11.0)).is_empty());
+        assert!(g
+            .cells_overlapping(&Rect::new(10.0, 10.0, 11.0, 11.0))
+            .is_empty());
         assert!(g.cells_overlapping(&Rect::EMPTY).is_empty());
     }
 
     #[test]
     fn all_maps_cover_all_cells_exactly_once() {
-        for map in [CellMap::RoundRobin, CellMap::Block, CellMap::Hilbert { cells_x: 8 }] {
+        for map in [
+            CellMap::RoundRobin,
+            CellMap::Block,
+            CellMap::Hilbert { cells_x: 8 },
+        ] {
             let mut owned = vec![0u32; 64];
             for rank in 0..5 {
                 for c in map.cells_of(rank, 64, 5) {
                     owned[c as usize] += 1;
                 }
             }
-            assert!(owned.iter().all(|&n| n == 1), "{map:?} must assign each cell once");
+            assert!(
+                owned.iter().all(|&n| n == 1),
+                "{map:?} must assign each cell once"
+            );
         }
     }
 
@@ -334,7 +368,11 @@ mod tests {
     fn hilbert_map_balances_cell_counts() {
         let spec = GridSpec::square(16);
         let counts: Vec<usize> = (0..4)
-            .map(|r| CellMap::hilbert(spec).cells_of(r, spec.num_cells(), 4).len())
+            .map(|r| {
+                CellMap::hilbert(spec)
+                    .cells_of(r, spec.num_cells(), 4)
+                    .len()
+            })
             .collect();
         let min = *counts.iter().min().unwrap();
         let max = *counts.iter().max().unwrap();
@@ -354,9 +392,7 @@ mod tests {
     fn global_grid_unifies_rank_extents() {
         let out = World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
             let r = comm.rank() as f64;
-            let f = Feature::new(
-                wkt::parse(&format!("POINT ({} {})", r * 10.0, r * 5.0)).unwrap(),
-            );
+            let f = Feature::new(wkt::parse(&format!("POINT ({} {})", r * 10.0, r * 5.0)).unwrap());
             let grid = UniformGrid::build_global(comm, &[f], GridSpec::square(8));
             grid.bounds()
         });
@@ -380,7 +416,9 @@ mod tests {
             let tree = g.build_cell_rtree(comm);
             let feats = vec![
                 Feature::new(mvio_geom::Geometry::Point(Point::new(0.5, 0.5))),
-                Feature::new(wkt::parse("POLYGON ((0.5 0.5, 2.5 0.5, 2.5 2.5, 0.5 2.5, 0.5 0.5))").unwrap()),
+                Feature::new(
+                    wkt::parse("POLYGON ((0.5 0.5, 2.5 0.5, 2.5 2.5, 0.5 2.5, 0.5 0.5))").unwrap(),
+                ),
             ];
             let before = comm.now();
             let pairs = project_to_cells(comm, &g, &tree, &feats);

@@ -68,12 +68,18 @@ pub struct Feature {
 impl Feature {
     /// Wraps a bare geometry.
     pub fn new(geometry: Geometry) -> Self {
-        Feature { geometry, userdata: String::new() }
+        Feature {
+            geometry,
+            userdata: String::new(),
+        }
     }
 
     /// Wraps a geometry with attributes.
     pub fn with_userdata(geometry: Geometry, userdata: impl Into<String>) -> Self {
-        Feature { geometry, userdata: userdata.into() }
+        Feature {
+            geometry,
+            userdata: userdata.into(),
+        }
     }
 }
 
@@ -85,7 +91,10 @@ pub enum CoreError {
     /// Filesystem failure.
     Pfs(mvio_pfs::PfsError),
     /// Geometry parse failure, with the offending record for diagnosis.
-    Parse { record: String, source: mvio_geom::GeomError },
+    Parse {
+        record: String,
+        source: mvio_geom::GeomError,
+    },
     /// File partitioning could not make progress (e.g. a geometry larger
     /// than the block size and the halo).
     Partition(String),

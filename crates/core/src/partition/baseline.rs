@@ -84,7 +84,7 @@ pub fn read_redundant(
 /// Splits `buf` into `p` shares on record boundaries: share boundaries
 /// advance to the next delimiter, so every record lands in exactly one
 /// share.
-fn split_on_records<'a>(buf: &'a [u8], p: usize, delim: u8) -> Vec<&'a [u8]> {
+fn split_on_records(buf: &[u8], p: usize, delim: u8) -> Vec<&[u8]> {
     let len = buf.len();
     let mut bounds = Vec::with_capacity(p + 1);
     bounds.push(0usize);

@@ -49,7 +49,11 @@ pub fn read_blocked(comm: &mut Comm, file: &MpiFile, opts: &ReadOptions) -> Resu
     for i in 0..iterations {
         let global_offset = i * chunk;
         let start = global_offset + rank * block;
-        let len = if start >= file_size { 0 } else { (file_size - start).min(block) };
+        let len = if start >= file_size {
+            0
+        } else {
+            (file_size - start).min(block)
+        };
 
         // Every rank calls the collective read (zero-length participation
         // is allowed); independent mode skips the call when idle.
@@ -120,7 +124,7 @@ pub fn read_blocked(comm: &mut Comm, file: &MpiFile, opts: &ReadOptions) -> Resu
             let inc = std::mem::take(&mut carry);
             carry = tail.to_vec();
             inc
-        } else if rank % 2 == 0 {
+        } else if rank.is_multiple_of(2) {
             // Even ranks send first, then receive (Algorithm 1 line 12).
             comm.send(next, FRAGMENT_TAG, tail);
             let frag = comm.recv(prev, FRAGMENT_TAG);
@@ -132,7 +136,9 @@ pub fn read_blocked(comm: &mut Comm, file: &MpiFile, opts: &ReadOptions) -> Resu
         };
 
         // Assemble the owned text: predecessor fragment + body.
-        comm.charge(Work::CopyBytes { n: (incoming.len() + body.len()) as u64 });
+        comm.charge(Work::CopyBytes {
+            n: (incoming.len() + body.len()) as u64,
+        });
         out.extend_from_slice(&incoming);
         out.extend_from_slice(body);
         if at_eof && out.last() != Some(&delim) && !out.is_empty() {
@@ -218,7 +224,10 @@ mod tests {
         let recs = records(100);
         let opts = ReadOptions::default();
         let all = gather_all(Topology::new(2, 3), opts, &recs);
-        assert_eq!(all, recs, "every record exactly once, in order across ranks");
+        assert_eq!(
+            all, recs,
+            "every record exactly once, in order across ranks"
+        );
     }
 
     #[test]
@@ -290,7 +299,9 @@ mod tests {
         let results = World::run(WorldConfig::new(Topology::new(1, 2)), |comm| {
             crate::partition::read_partition_text(comm, &fs, "f.txt", &opts)
         });
-        assert!(results.iter().any(|r| matches!(r, Err(CoreError::Partition(_)))));
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(CoreError::Partition(_)))));
     }
 
     #[test]

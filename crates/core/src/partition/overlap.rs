@@ -35,7 +35,11 @@ pub fn read_overlap(comm: &mut Comm, file: &MpiFile, opts: &ReadOptions) -> Resu
     for i in 0..iterations {
         let global_offset = i * chunk;
         let start = global_offset + rank * block;
-        let len = if start >= file_size { 0 } else { (file_size - start).min(block) };
+        let len = if start >= file_size {
+            0
+        } else {
+            (file_size - start).min(block)
+        };
 
         // Read [start - lead, start + len + halo): one lead byte detects a
         // record boundary exactly at `start`.
@@ -113,7 +117,9 @@ pub fn read_overlap(comm: &mut Comm, file: &MpiFile, opts: &ReadOptions) -> Resu
         }
 
         if end > begin {
-            comm.charge(Work::CopyBytes { n: (end - begin) as u64 });
+            comm.charge(Work::CopyBytes {
+                n: (end - begin) as u64,
+            });
             out.extend_from_slice(&buf[begin..end]);
             if out.last() != Some(&delim) {
                 out.push(delim); // normalize a missing EOF delimiter
@@ -164,7 +170,9 @@ mod tests {
     }
 
     fn recs(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("record{i:03}:{}", "z".repeat(3 + (i * 11) % 50))).collect()
+        (0..n)
+            .map(|i| format!("record{i:03}:{}", "z".repeat(3 + (i * 11) % 50)))
+            .collect()
     }
 
     #[test]
@@ -182,7 +190,10 @@ mod tests {
         let fs = build(&r, true);
         let mut expect = r.clone();
         expect.sort();
-        assert_eq!(run(&fs, Topology::new(2, 2), opts().with_block_size(128)), expect);
+        assert_eq!(
+            run(&fs, Topology::new(2, 2), opts().with_block_size(128)),
+            expect
+        );
     }
 
     #[test]
@@ -191,7 +202,10 @@ mod tests {
         let fs = build(&r, false);
         let mut expect = r.clone();
         expect.sort();
-        assert_eq!(run(&fs, Topology::new(1, 3), opts().with_block_size(100)), expect);
+        assert_eq!(
+            run(&fs, Topology::new(1, 3), opts().with_block_size(100)),
+            expect
+        );
     }
 
     #[test]
@@ -203,7 +217,10 @@ mod tests {
         let fs = build(&r, true);
         let mut expect = r.clone();
         expect.sort();
-        assert_eq!(run(&fs, Topology::new(1, 4), opts().with_block_size(5)), expect);
+        assert_eq!(
+            run(&fs, Topology::new(1, 4), opts().with_block_size(5)),
+            expect
+        );
     }
 
     #[test]
@@ -213,7 +230,9 @@ mod tests {
         let msg = run(
             &fs,
             Topology::new(2, 2),
-            ReadOptions::default().with_block_size(200).with_max_geometry_bytes(256),
+            ReadOptions::default()
+                .with_block_size(200)
+                .with_max_geometry_bytes(256),
         );
         let fs2 = build(&r, true);
         let ovl = run(&fs2, Topology::new(2, 2), opts().with_block_size(200));

@@ -21,7 +21,10 @@ pub trait GeometryParser: Send + Sync {
     /// sniffs the WKT keyword; fixed-format parsers override it.
     fn shape_class(&self, record: &str) -> ShapeClass {
         let t = record.trim_start().as_bytes();
-        let kw_len = t.iter().position(|b| !b.is_ascii_alphabetic()).unwrap_or(t.len());
+        let kw_len = t
+            .iter()
+            .position(|b| !b.is_ascii_alphabetic())
+            .unwrap_or(t.len());
         let kw = &t[..kw_len];
         if kw.eq_ignore_ascii_case(b"POINT") || kw.eq_ignore_ascii_case(b"MULTIPOINT") {
             ShapeClass::Point
@@ -79,7 +82,10 @@ impl GeometryParser for CsvPointParser {
             .parse()
             .map_err(|_| bad("bad y"))?;
         let userdata = parts.next().unwrap_or("").trim_start().to_string();
-        Ok(Feature { geometry: Geometry::Point(Point::new(x, y)), userdata })
+        Ok(Feature {
+            geometry: Geometry::Point(Point::new(x, y)),
+            userdata,
+        })
     }
 
     fn shape_class(&self, _record: &str) -> ShapeClass {
@@ -102,7 +108,10 @@ pub fn parse_buffer(
             continue;
         }
         let class = parser.shape_class(record);
-        comm.charge(Work::ParseWkt { bytes: record.len() as u64 + 1, class });
+        comm.charge(Work::ParseWkt {
+            bytes: record.len() as u64 + 1,
+            class,
+        });
         out.push(parser.parse(record)?);
     }
     Ok(out)
@@ -156,8 +165,14 @@ mod tests {
         let p = WktLineParser;
         assert_eq!(p.shape_class("POINT (1 2)"), ShapeClass::Point);
         assert_eq!(p.shape_class("  linestring (0 0, 1 1)"), ShapeClass::Line);
-        assert_eq!(p.shape_class("POLYGON ((0 0, 1 0, 0 1, 0 0))"), ShapeClass::Polygon);
-        assert_eq!(p.shape_class("MULTIPOLYGON (((0 0, 1 0, 0 1, 0 0)))"), ShapeClass::Polygon);
+        assert_eq!(
+            p.shape_class("POLYGON ((0 0, 1 0, 0 1, 0 0))"),
+            ShapeClass::Polygon
+        );
+        assert_eq!(
+            p.shape_class("MULTIPOLYGON (((0 0, 1 0, 0 1, 0 0)))"),
+            ShapeClass::Polygon
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn encode_fixed_polygon(poly: &mvio_geom::Polygon, n: usize, out: &mut Vec<u
 
 /// Decodes a fixed-size polygon record of `n` vertices.
 pub fn decode_fixed_polygon(buf: &[u8], n: usize) -> mvio_geom::Result<mvio_geom::Polygon> {
-    let pts: Vec<Point> = (0..n).map(|i| decode_point(&buf[i * POINT_RECORD_BYTES..])).collect();
+    let pts: Vec<Point> = (0..n)
+        .map(|i| decode_point(&buf[i * POINT_RECORD_BYTES..]))
+        .collect();
     mvio_geom::Polygon::from_coords(pts, vec![])
 }
 
@@ -112,12 +114,19 @@ pub fn encode_rect(r: &Rect, out: &mut Vec<u8>) {
 /// Decodes a rectangle record.
 pub fn decode_rect(buf: &[u8]) -> Rect {
     debug_assert!(buf.len() >= RECT_RECORD_BYTES);
-    Rect::from_array([f64_at(buf, 0), f64_at(buf, 8), f64_at(buf, 16), f64_at(buf, 24)])
+    Rect::from_array([
+        f64_at(buf, 0),
+        f64_at(buf, 8),
+        f64_at(buf, 16),
+        f64_at(buf, 24),
+    ])
 }
 
 /// Decodes a whole buffer of back-to-back rect records.
 pub fn decode_rects(buf: &[u8]) -> Vec<Rect> {
-    buf.chunks_exact(RECT_RECORD_BYTES).map(decode_rect).collect()
+    buf.chunks_exact(RECT_RECORD_BYTES)
+        .map(decode_rect)
+        .collect()
 }
 
 /// Encodes a slice of rectangles into back-to-back records.
@@ -131,7 +140,9 @@ pub fn encode_rects(rects: &[Rect]) -> Vec<u8> {
 
 /// Decodes a whole buffer of back-to-back point records.
 pub fn decode_points(buf: &[u8]) -> Vec<Point> {
-    buf.chunks_exact(POINT_RECORD_BYTES).map(decode_point).collect()
+    buf.chunks_exact(POINT_RECORD_BYTES)
+        .map(decode_point)
+        .collect()
 }
 
 /// Encodes a slice of points into back-to-back records.

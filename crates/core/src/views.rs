@@ -55,7 +55,13 @@ pub fn read_rects_level3(
     let rank = comm.rank() as u64;
     let blocks_total = total_records.div_ceil(records_per_block as u64);
     let my_blocks = (rank..blocks_total).step_by(p as usize).count() as u64;
-    let my_records = count_my_records(total_records, records_per_block as u64, blocks_total, rank, p);
+    let my_records = count_my_records(
+        total_records,
+        records_per_block as u64,
+        blocks_total,
+        rank,
+        p,
+    );
     file.set_view(fixed_record_view(records_per_block, RECT_RECORD_BYTES)?);
     let mut buf = vec![0u8; (my_records * RECT_RECORD_BYTES as u64) as usize];
     let _ = my_blocks;
@@ -74,7 +80,13 @@ pub fn read_points_level3(
     let p = comm.size() as u64;
     let rank = comm.rank() as u64;
     let blocks_total = total_records.div_ceil(records_per_block as u64);
-    let my_records = count_my_records(total_records, records_per_block as u64, blocks_total, rank, p);
+    let my_records = count_my_records(
+        total_records,
+        records_per_block as u64,
+        blocks_total,
+        rank,
+        p,
+    );
     file.set_view(fixed_record_view(records_per_block, POINT_RECORD_BYTES)?);
     let mut buf = vec![0u8; (my_records * POINT_RECORD_BYTES as u64) as usize];
     let n = file.read_all(comm, rank, p, &mut buf)?;
@@ -139,7 +151,7 @@ mod tests {
         assert_eq!(v.filetype.size(), 8 * 32);
         // Rank 1 of 4 reads instance 1 at byte 8*32.
         let frags = v.fragments(1, 4, 8 * 32);
-        assert_eq!(frags, vec![(8 * 32, 8 * 32 as u64)]);
+        assert_eq!(frags, vec![(8 * 32, 8 * 32_u64)]);
     }
 
     #[test]
@@ -149,7 +161,9 @@ mod tests {
             .map(|i| Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0))
             .collect();
         let fs = SimFs::new(FsConfig::lustre_comet());
-        let f = fs.create("rects.bin", Some(StripeSpec::new(4, 1 << 20))).unwrap();
+        let f = fs
+            .create("rects.bin", Some(StripeSpec::new(4, 1 << 20)))
+            .unwrap();
         f.append(encode_rects(&rects));
 
         let out = World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
@@ -202,8 +216,7 @@ mod tests {
             let assigned: Vec<usize> = (comm.rank()..6).step_by(2).collect();
             let mut file = MpiFile::open(&fs, "geoms.wkb", Hints::default()).unwrap();
             let got =
-                read_wkb_geometries_level3(comm, &mut file, &lengths, &offsets, &assigned)
-                    .unwrap();
+                read_wkb_geometries_level3(comm, &mut file, &lengths, &offsets, &assigned).unwrap();
             for (j, g) in got.iter().enumerate() {
                 assert_eq!(*g, geoms2[assigned[j]], "geometry {j} round-trips");
             }
@@ -230,8 +243,7 @@ mod tests {
 
         let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
             // Rank 0 takes blobs 0 and 2, rank 1 takes 1 and 3.
-            let assigned: Vec<usize> =
-                (comm.rank()..4).step_by(2).collect();
+            let assigned: Vec<usize> = (comm.rank()..4).step_by(2).collect();
             let view = indexed_geometry_view(&lengths, &offsets, &assigned).unwrap();
             let payload: usize = assigned.iter().map(|&i| lengths[i] as usize).sum();
             let mut file = MpiFile::open(&fs, "blobs.bin", Hints::default()).unwrap();

@@ -41,24 +41,40 @@ impl ShapeKind {
 ///   load-bearing property (Figures 17–18).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DistPolicy {
-    Broad { clusters: usize, skew: f64, spread: f64 },
-    DensityPreserving { clusters: usize, skew: f64, spread_full: f64 },
+    Broad {
+        clusters: usize,
+        skew: f64,
+        spread: f64,
+    },
+    DensityPreserving {
+        clusters: usize,
+        skew: f64,
+        spread_full: f64,
+    },
 }
 
 impl DistPolicy {
     /// Resolves the policy into a concrete distribution at a given scale.
     pub fn at_scale(&self, denominator: u64) -> SpatialDistribution {
         match *self {
-            DistPolicy::Broad { clusters, skew, spread } => {
-                SpatialDistribution::Clustered { clusters, skew, spread }
-            }
-            DistPolicy::DensityPreserving { clusters, skew, spread_full } => {
-                SpatialDistribution::Clustered {
-                    clusters,
-                    skew,
-                    spread: spread_full / (denominator.max(1) as f64).sqrt(),
-                }
-            }
+            DistPolicy::Broad {
+                clusters,
+                skew,
+                spread,
+            } => SpatialDistribution::Clustered {
+                clusters,
+                skew,
+                spread,
+            },
+            DistPolicy::DensityPreserving {
+                clusters,
+                skew,
+                spread_full,
+            } => SpatialDistribution::Clustered {
+                clusters,
+                skew,
+                spread: spread_full / (denominator.max(1) as f64).sqrt(),
+            },
         }
     }
 }
@@ -94,7 +110,11 @@ impl DatasetSpec {
 
     /// The canonical file path for this dataset at a given scale.
     pub fn path(&self, denominator: u64) -> String {
-        format!("datasets/{}-1over{}.wkt", self.name.to_lowercase().replace(' ', "_"), denominator)
+        format!(
+            "datasets/{}-1over{}.wkt",
+            self.name.to_lowercase().replace(' ', "_"),
+            denominator
+        )
     }
 }
 
@@ -114,7 +134,11 @@ pub fn table3() -> Vec<DatasetSpec> {
             paper_count: 193_000,
             paper_io_seconds: 2.1,
             gen: ShapeGen::small_polygons(),
-            dist: DistPolicy::DensityPreserving { clusters: 200, skew: 0.2, spread_full: 0.0063 },
+            dist: DistPolicy::DensityPreserving {
+                clusters: 200,
+                skew: 0.2,
+                spread_full: 0.0063,
+            },
         },
         DatasetSpec {
             id: 2,
@@ -124,7 +148,11 @@ pub fn table3() -> Vec<DatasetSpec> {
             paper_count: 8_000_000,
             paper_io_seconds: 328.0,
             gen: ShapeGen::lake_polygons(),
-            dist: DistPolicy::DensityPreserving { clusters: 200, skew: 0.2, spread_full: 0.0063 },
+            dist: DistPolicy::DensityPreserving {
+                clusters: 200,
+                skew: 0.2,
+                spread_full: 0.0063,
+            },
         },
         DatasetSpec {
             id: 3,
@@ -134,7 +162,11 @@ pub fn table3() -> Vec<DatasetSpec> {
             paper_count: 72_000_000,
             paper_io_seconds: 786.0,
             gen: ShapeGen::small_polygons(),
-            dist: DistPolicy::Broad { clusters: 64, skew: 0.7, spread: 0.08 },
+            dist: DistPolicy::Broad {
+                clusters: 64,
+                skew: 0.7,
+                spread: 0.08,
+            },
         },
         DatasetSpec {
             id: 4,
@@ -144,7 +176,11 @@ pub fn table3() -> Vec<DatasetSpec> {
             paper_count: 263_000_000,
             paper_io_seconds: 4728.0,
             gen: ShapeGen::small_polygons(),
-            dist: DistPolicy::Broad { clusters: 64, skew: 0.9, spread: 0.06 },
+            dist: DistPolicy::Broad {
+                clusters: 64,
+                skew: 0.9,
+                spread: 0.06,
+            },
         },
         DatasetSpec {
             id: 5,
@@ -154,7 +190,11 @@ pub fn table3() -> Vec<DatasetSpec> {
             paper_count: 717_000_000,
             paper_io_seconds: 2873.0,
             gen: ShapeGen::road_edges(),
-            dist: DistPolicy::Broad { clusters: 64, skew: 0.6, spread: 0.12 },
+            dist: DistPolicy::Broad {
+                clusters: 64,
+                skew: 0.6,
+                spread: 0.12,
+            },
         },
         DatasetSpec {
             id: 6,
@@ -164,7 +204,11 @@ pub fn table3() -> Vec<DatasetSpec> {
             paper_count: 2_700_000_000,
             paper_io_seconds: 3782.0,
             gen: ShapeGen::small_polygons(), // radius unused for points
-            dist: DistPolicy::Broad { clusters: 64, skew: 0.8, spread: 0.08 },
+            dist: DistPolicy::Broad {
+                clusters: 64,
+                skew: 0.8,
+                spread: 0.08,
+            },
         },
     ]
 }
@@ -183,12 +227,7 @@ pub struct GenReport {
 /// Generates a scaled replica of `spec` onto `fs`, returning the report.
 /// All datasets share hotspot centers (see [`WORLD_CENTER_SEED`]); the
 /// per-dataset distribution follows the spec's [`DistPolicy`].
-pub fn generate(
-    fs: &Arc<SimFs>,
-    spec: &DatasetSpec,
-    denominator: u64,
-    seed: u64,
-) -> GenReport {
+pub fn generate(fs: &Arc<SimFs>, spec: &DatasetSpec, denominator: u64, seed: u64) -> GenReport {
     let world = Rect::new(-180.0, -90.0, 180.0, 90.0);
     let dist = spec.dist.at_scale(denominator);
     let path = spec.path(denominator);

@@ -11,7 +11,11 @@ pub enum SpatialDistribution {
     Uniform,
     /// `clusters` Gaussian hotspots with Zipf(`skew`) weights — the
     /// real-data skew ("real data distribution is often skewed", §1).
-    Clustered { clusters: usize, skew: f64, spread: f64 },
+    Clustered {
+        clusters: usize,
+        skew: f64,
+        spread: f64,
+    },
 }
 
 impl SpatialDistribution {
@@ -34,7 +38,11 @@ impl SpatialDistribution {
         let mut rng = StdRng::seed_from_u64(center_seed);
         let centers = match self {
             SpatialDistribution::Uniform => Vec::new(),
-            SpatialDistribution::Clustered { clusters, skew, spread } => {
+            SpatialDistribution::Clustered {
+                clusters,
+                skew,
+                spread,
+            } => {
                 let mut cum = Vec::with_capacity(*clusters);
                 let mut total = 0.0;
                 for k in 0..*clusters {
@@ -56,7 +64,11 @@ impl SpatialDistribution {
                     .collect()
             }
         };
-        PlacementSampler { world, centers, rng: StdRng::seed_from_u64(jitter_seed) }
+        PlacementSampler {
+            world,
+            centers,
+            rng: StdRng::seed_from_u64(jitter_seed),
+        }
     }
 }
 
@@ -133,7 +145,11 @@ mod tests {
 
     #[test]
     fn clustered_is_skewed() {
-        let dist = SpatialDistribution::Clustered { clusters: 8, skew: 1.2, spread: 0.01 };
+        let dist = SpatialDistribution::Clustered {
+            clusters: 8,
+            skew: 1.2,
+            spread: 0.01,
+        };
         let mut s = dist.sampler(world(), 42);
         let pts: Vec<Point> = (0..2000).map(|_| s.next_center()).collect();
         assert!(pts.iter().all(|p| world().contains_point(p)));
@@ -145,7 +161,10 @@ mod tests {
             cols[c] += 1;
         }
         let max = *cols.iter().max().unwrap();
-        assert!(max > 2000 / 16 * 2, "hotspot column {max} should exceed 2x uniform share");
+        assert!(
+            max > 2000 / 16 * 2,
+            "hotspot column {max} should exceed 2x uniform share"
+        );
     }
 
     #[test]

@@ -21,17 +21,32 @@ pub struct ShapeGen {
 impl ShapeGen {
     /// Small building-footprint-like polygons (Cemetery, All Objects).
     pub fn small_polygons() -> Self {
-        ShapeGen { base_vertices: 6, max_vertices: 64, tail_probability: 0.02, radius: 0.01 }
+        ShapeGen {
+            base_vertices: 6,
+            max_vertices: 64,
+            tail_probability: 0.02,
+            radius: 0.01,
+        }
     }
 
     /// Larger water-body polygons with a heavier tail (Lakes).
     pub fn lake_polygons() -> Self {
-        ShapeGen { base_vertices: 24, max_vertices: 1024, tail_probability: 0.03, radius: 0.12 }
+        ShapeGen {
+            base_vertices: 24,
+            max_vertices: 1024,
+            tail_probability: 0.03,
+            radius: 0.12,
+        }
     }
 
     /// Short road edges (Road Network).
     pub fn road_edges() -> Self {
-        ShapeGen { base_vertices: 3, max_vertices: 24, tail_probability: 0.05, radius: 0.02 }
+        ShapeGen {
+            base_vertices: 3,
+            max_vertices: 24,
+            tail_probability: 0.05,
+            radius: 0.02,
+        }
     }
 
     /// Draws a vertex count: usually near `base_vertices`, occasionally a
@@ -42,9 +57,13 @@ impl ShapeGen {
             // Inverse-power sample in (base, max].
             let u: f64 = rng.gen_range(1e-9..1.0);
             let ratio = (self.max_vertices as f64 / self.base_vertices as f64).powf(u);
-            ((self.base_vertices as f64 * ratio) as usize).clamp(self.base_vertices, self.max_vertices)
+            ((self.base_vertices as f64 * ratio) as usize)
+                .clamp(self.base_vertices, self.max_vertices)
         } else {
-            let lo = self.base_vertices.saturating_sub(self.base_vertices / 2).max(3);
+            let lo = self
+                .base_vertices
+                .saturating_sub(self.base_vertices / 2)
+                .max(3);
             let hi = self.base_vertices + self.base_vertices / 2;
             rng.gen_range(lo..=hi.max(lo + 1))
         }
@@ -100,7 +119,11 @@ impl ShapeGen {
     }
 
     /// Generates a geometry of the requested kind.
-    pub fn geometry(&self, kind: crate::catalog::ShapeKind, sampler: &mut PlacementSampler) -> Geometry {
+    pub fn geometry(
+        &self,
+        kind: crate::catalog::ShapeKind,
+        sampler: &mut PlacementSampler,
+    ) -> Geometry {
         match kind {
             crate::catalog::ShapeKind::Point => Geometry::Point(self.point(sampler)),
             crate::catalog::ShapeKind::Line => Geometry::LineString(self.polyline(sampler)),
@@ -144,7 +167,10 @@ mod tests {
             c.sort_unstable();
             c[c.len() / 2]
         };
-        assert!(max > median * 8, "tail max {max} should dwarf median {median}");
+        assert!(
+            max > median * 8,
+            "tail max {max} should dwarf median {median}"
+        );
         assert!(max <= gen.max_vertices);
     }
 

@@ -50,7 +50,9 @@ pub fn write_wkt_dataset_with_centers(
     center_seed: u64,
     jitter_seed: u64,
 ) -> u64 {
-    let file = fs.create(path, None).unwrap_or_else(|_| fs.open(path).expect("exists"));
+    let file = fs
+        .create(path, None)
+        .unwrap_or_else(|_| fs.open(path).expect("exists"));
     let mut sampler = dist.sampler_with_centers(world, center_seed, jitter_seed);
     let mut batch = String::with_capacity(4 << 20);
     let mut bytes = 0u64;
@@ -81,7 +83,9 @@ pub fn write_rect_records(
     count: u64,
     seed: u64,
 ) -> Vec<Rect> {
-    let file = fs.create(path, None).unwrap_or_else(|_| fs.open(path).expect("exists"));
+    let file = fs
+        .create(path, None)
+        .unwrap_or_else(|_| fs.open(path).expect("exists"));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rects = Vec::with_capacity(count as usize);
     let mut buf = Vec::with_capacity((count as usize * 32).min(8 << 20));
@@ -112,7 +116,9 @@ pub fn write_point_records(
     count: u64,
     seed: u64,
 ) -> Vec<Point> {
-    let file = fs.create(path, None).unwrap_or_else(|_| fs.open(path).expect("exists"));
+    let file = fs
+        .create(path, None)
+        .unwrap_or_else(|_| fs.open(path).expect("exists"));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut points = Vec::with_capacity(count as usize);
     let mut buf = Vec::with_capacity((count as usize * 16).min(8 << 20));

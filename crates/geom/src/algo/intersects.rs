@@ -16,12 +16,12 @@ pub fn point_in_geometry(p: Point, g: &Geometry) -> bool {
         Geometry::Point(q) => p == *q,
         Geometry::LineString(l) => point_on_linestring(p, l),
         Geometry::Polygon(poly) => point_in_polygon(p, poly) != PointLocation::Outside,
-        Geometry::MultiPoint(m) => m.0.iter().any(|q| p == *q),
+        Geometry::MultiPoint(m) => m.0.contains(&p),
         Geometry::MultiLineString(m) => m.0.iter().any(|l| point_on_linestring(p, l)),
-        Geometry::MultiPolygon(m) => m
-            .0
-            .iter()
-            .any(|poly| point_in_polygon(p, poly) != PointLocation::Outside),
+        Geometry::MultiPolygon(m) => {
+            m.0.iter()
+                .any(|poly| point_in_polygon(p, poly) != PointLocation::Outside)
+        }
         Geometry::GeometryCollection(c) => c.0.iter().any(|g| point_in_geometry(p, g)),
     }
 }
@@ -103,10 +103,10 @@ pub fn rect_intersects_geometry(r: &Rect, g: &Geometry) -> bool {
         Geometry::Polygon(p) => polygon_intersects_polygon(p, &rect_poly),
         Geometry::MultiPoint(m) => m.0.iter().any(|p| r.contains_point(p)),
         Geometry::MultiLineString(m) => m.0.iter().any(|l| line_intersects_polygon(l, &rect_poly)),
-        Geometry::MultiPolygon(m) => m
-            .0
-            .iter()
-            .any(|p| polygon_intersects_polygon(p, &rect_poly)),
+        Geometry::MultiPolygon(m) => {
+            m.0.iter()
+                .any(|p| polygon_intersects_polygon(p, &rect_poly))
+        }
         Geometry::GeometryCollection(c) => c.0.iter().any(|g| rect_intersects_geometry(r, g)),
     }
 }

@@ -9,8 +9,10 @@ mod orient;
 mod pip;
 mod segint;
 
-pub use intersects::{intersects, line_intersects_line, line_intersects_polygon,
-    point_in_geometry, polygon_intersects_polygon, rect_intersects_geometry};
+pub use intersects::{
+    intersects, line_intersects_line, line_intersects_polygon, point_in_geometry,
+    polygon_intersects_polygon, rect_intersects_geometry,
+};
 pub use orient::{orientation, Orientation};
 pub use pip::{point_in_polygon, point_in_ring, PointLocation};
-pub use segint::{segments_intersect, segment_intersection_point};
+pub use segint::{segment_intersection_point, segments_intersect};

@@ -46,9 +46,18 @@ mod tests {
     fn basic_orientations() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(1.0, 0.0);
-        assert_eq!(orientation(a, b, Point::new(0.5, 1.0)), Orientation::CounterClockwise);
-        assert_eq!(orientation(a, b, Point::new(0.5, -1.0)), Orientation::Clockwise);
-        assert_eq!(orientation(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(
+            orientation(a, b, Point::new(0.5, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(0.5, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
     }
 
     #[test]
@@ -81,6 +90,9 @@ mod tests {
     fn degenerate_identical_points_are_collinear() {
         let p = Point::new(1.0, 1.0);
         assert_eq!(orientation(p, p, p), Orientation::Collinear);
-        assert_eq!(orientation(p, p, Point::new(2.0, 5.0)), Orientation::Collinear);
+        assert_eq!(
+            orientation(p, p, Point::new(2.0, 5.0)),
+            Orientation::Collinear
+        );
     }
 }

@@ -108,22 +108,46 @@ mod tests {
     #[test]
     fn edge_and_vertex_are_boundary() {
         let sq = unit_square();
-        assert_eq!(point_in_polygon(Point::new(0.5, 0.0), &sq), PointLocation::OnBoundary);
-        assert_eq!(point_in_polygon(Point::new(0.0, 0.0), &sq), PointLocation::OnBoundary);
-        assert_eq!(point_in_polygon(Point::new(1.0, 0.7), &sq), PointLocation::OnBoundary);
+        assert_eq!(
+            point_in_polygon(Point::new(0.5, 0.0), &sq),
+            PointLocation::OnBoundary
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(0.0, 0.0), &sq),
+            PointLocation::OnBoundary
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(1.0, 0.7), &sq),
+            PointLocation::OnBoundary
+        );
     }
 
     #[test]
     fn point_in_hole_is_outside() {
-        let hole = pts(&[(0.25, 0.25), (0.75, 0.25), (0.75, 0.75), (0.25, 0.75), (0.25, 0.25)]);
+        let hole = pts(&[
+            (0.25, 0.25),
+            (0.75, 0.25),
+            (0.75, 0.75),
+            (0.25, 0.75),
+            (0.25, 0.25),
+        ]);
         let p = Polygon::from_coords(
             pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]),
             vec![hole],
         )
         .unwrap();
-        assert_eq!(point_in_polygon(Point::new(0.5, 0.5), &p), PointLocation::Outside);
-        assert_eq!(point_in_polygon(Point::new(0.1, 0.1), &p), PointLocation::Inside);
-        assert_eq!(point_in_polygon(Point::new(0.25, 0.5), &p), PointLocation::OnBoundary);
+        assert_eq!(
+            point_in_polygon(Point::new(0.5, 0.5), &p),
+            PointLocation::Outside
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(0.1, 0.1), &p),
+            PointLocation::Inside
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(0.25, 0.5), &p),
+            PointLocation::OnBoundary
+        );
     }
 
     #[test]
@@ -144,9 +168,18 @@ mod tests {
             vec![],
         )
         .unwrap();
-        assert_eq!(point_in_polygon(Point::new(2.0, 2.0), &c), PointLocation::Outside);
-        assert_eq!(point_in_polygon(Point::new(0.5, 2.0), &c), PointLocation::Inside);
-        assert_eq!(point_in_polygon(Point::new(2.0, 0.5), &c), PointLocation::Inside);
+        assert_eq!(
+            point_in_polygon(Point::new(2.0, 2.0), &c),
+            PointLocation::Outside
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(0.5, 2.0), &c),
+            PointLocation::Inside
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(2.0, 0.5), &c),
+            PointLocation::Inside
+        );
     }
 
     #[test]
@@ -158,8 +191,17 @@ mod tests {
             vec![],
         )
         .unwrap();
-        assert_eq!(point_in_polygon(Point::new(1.0, 1.0), &d), PointLocation::Inside);
-        assert_eq!(point_in_polygon(Point::new(-1.0, 1.0), &d), PointLocation::Outside);
-        assert_eq!(point_in_polygon(Point::new(3.0, 1.0), &d), PointLocation::Outside);
+        assert_eq!(
+            point_in_polygon(Point::new(1.0, 1.0), &d),
+            PointLocation::Inside
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(-1.0, 1.0), &d),
+            PointLocation::Outside
+        );
+        assert_eq!(
+            point_in_polygon(Point::new(3.0, 1.0), &d),
+            PointLocation::Outside
+        );
     }
 }

@@ -29,8 +29,12 @@ pub fn segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool {
     let o3 = orientation(q1, q2, p1);
     let o4 = orientation(q1, q2, p2);
 
-    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-        && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+    if o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
     {
         return true;
     }
@@ -71,14 +75,24 @@ mod tests {
 
     #[test]
     fn proper_crossing() {
-        assert!(segments_intersect(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(2.0, 0.0)
+        ));
         let ip = segment_intersection_point(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0));
         assert_eq!(ip, Some(p(1.0, 1.0)));
     }
 
     #[test]
     fn disjoint_segments() {
-        assert!(!segments_intersect(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(1.0, 1.0)));
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(0.0, 1.0),
+            p(1.0, 1.0)
+        ));
         assert_eq!(
             segment_intersection_point(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(1.0, 1.0)),
             None
@@ -87,18 +101,33 @@ mod tests {
 
     #[test]
     fn shared_endpoint_counts_as_intersection() {
-        assert!(segments_intersect(p(0.0, 0.0), p(1.0, 1.0), p(1.0, 1.0), p(2.0, 0.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 1.0),
+            p(1.0, 1.0),
+            p(2.0, 0.0)
+        ));
     }
 
     #[test]
     fn t_junction_touch() {
         // q1 lies in the interior of segment p.
-        assert!(segments_intersect(p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.0), p(1.0, 5.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 5.0)
+        ));
     }
 
     #[test]
     fn collinear_overlapping() {
-        assert!(segments_intersect(p(0.0, 0.0), p(3.0, 0.0), p(1.0, 0.0), p(4.0, 0.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(1.0, 0.0),
+            p(4.0, 0.0)
+        ));
         // But no unique crossing point exists.
         assert_eq!(
             segment_intersection_point(p(0.0, 0.0), p(3.0, 0.0), p(1.0, 0.0), p(4.0, 0.0)),
@@ -108,17 +137,32 @@ mod tests {
 
     #[test]
     fn collinear_disjoint() {
-        assert!(!segments_intersect(p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(3.0, 0.0)));
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(3.0, 0.0)
+        ));
     }
 
     #[test]
     fn parallel_non_collinear() {
-        assert!(!segments_intersect(p(0.0, 0.0), p(2.0, 0.0), p(0.0, 1.0), p(2.0, 1.0)));
+        assert!(!segments_intersect(
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(0.0, 1.0),
+            p(2.0, 1.0)
+        ));
     }
 
     #[test]
     fn crossing_at_segment_end_is_detected() {
         // Segment q ends exactly on segment p's interior.
-        assert!(segments_intersect(p(0.0, 0.0), p(4.0, 4.0), p(2.0, 2.0), p(2.0, -5.0)));
+        assert!(segments_intersect(
+            p(0.0, 0.0),
+            p(4.0, 4.0),
+            p(2.0, 2.0),
+            p(2.0, -5.0)
+        ));
     }
 }

@@ -142,7 +142,11 @@ mod tests {
             let (x0, y0) = w[0].1;
             let (x1, y1) = w[1].1;
             let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
-            assert_eq!(dist, 1, "curve step {:?} -> {:?} not adjacent", w[0].1, w[1].1);
+            assert_eq!(
+                dist, 1,
+                "curve step {:?} -> {:?} not adjacent",
+                w[0].1, w[1].1
+            );
         }
     }
 
@@ -152,7 +156,9 @@ mod tests {
         let mut pts: Vec<Point> = (0..1000)
             .map(|i| {
                 // A deterministic scrambled sequence.
-                let v = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(17);
+                let v = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(17);
                 Point::new(
                     ((v >> 16) & 0xFFFF) as f64 / 65535.0,
                     ((v >> 32) & 0xFFFF) as f64 / 65535.0,
@@ -168,8 +174,14 @@ mod tests {
         let z_hop = hop(&pts);
         sort_by_hilbert(&mut pts, &b);
         let h_hop = hop(&pts);
-        assert!(z_hop < random_hop * 0.25, "z-order locality: {z_hop} vs {random_hop}");
-        assert!(h_hop < random_hop * 0.25, "hilbert locality: {h_hop} vs {random_hop}");
+        assert!(
+            z_hop < random_hop * 0.25,
+            "z-order locality: {z_hop} vs {random_hop}"
+        );
+        assert!(
+            h_hop < random_hop * 0.25,
+            "hilbert locality: {h_hop} vs {random_hop}"
+        );
         // Hilbert is at least as local as Z-order on this workload.
         assert!(h_hop <= z_hop * 1.2, "hilbert {h_hop} vs zorder {z_hop}");
     }

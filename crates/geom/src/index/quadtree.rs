@@ -24,7 +24,12 @@ struct QNode<T> {
 
 impl<T> QNode<T> {
     fn new(bounds: Rect, depth: usize) -> Self {
-        QNode { bounds, depth, entries: Vec::new(), children: None }
+        QNode {
+            bounds,
+            depth,
+            entries: Vec::new(),
+            children: None,
+        }
     }
 
     fn quadrants(&self) -> [Rect; 4] {
@@ -38,9 +43,7 @@ impl<T> QNode<T> {
     }
 
     fn insert(&mut self, rect: Rect, value: T) {
-        if self.children.is_none()
-            && self.entries.len() >= NODE_CAPACITY
-            && self.depth < MAX_DEPTH
+        if self.children.is_none() && self.entries.len() >= NODE_CAPACITY && self.depth < MAX_DEPTH
         {
             self.split();
         }
@@ -105,7 +108,10 @@ impl<T> QuadTree<T> {
     /// Creates an empty quadtree covering `bounds`.
     pub fn new(bounds: Rect) -> Self {
         assert!(!bounds.is_empty(), "quadtree bounds must be non-empty");
-        QuadTree { root: QNode::new(bounds, 0), len: 0 }
+        QuadTree {
+            root: QNode::new(bounds, 0),
+            len: 0,
+        }
     }
 
     /// Number of stored entries.

@@ -122,7 +122,10 @@ impl<T> RTree<T> {
                         None => break,
                     }
                 }
-                let mut leaf = Node::Leaf { mbr: Rect::EMPTY, entries };
+                let mut leaf = Node::Leaf {
+                    mbr: Rect::EMPTY,
+                    entries,
+                };
                 leaf.recompute_mbr();
                 leaves.push(leaf);
             }
@@ -141,14 +144,20 @@ impl<T> RTree<T> {
                         None => break,
                     }
                 }
-                let mut inner = Node::Inner { mbr: Rect::EMPTY, children };
+                let mut inner = Node::Inner {
+                    mbr: Rect::EMPTY,
+                    children,
+                };
                 inner.recompute_mbr();
                 next.push(inner);
             }
             level = next;
         }
 
-        RTree { root: level.pop(), len }
+        RTree {
+            root: level.pop(),
+            len,
+        }
     }
 
     /// Inserts one entry, splitting overflowing nodes quadratically.
@@ -156,12 +165,18 @@ impl<T> RTree<T> {
         self.len += 1;
         match self.root.take() {
             None => {
-                self.root = Some(Node::Leaf { mbr: rect, entries: vec![(rect, value)] });
+                self.root = Some(Node::Leaf {
+                    mbr: rect,
+                    entries: vec![(rect, value)],
+                });
             }
             Some(mut root) => {
                 if let Some(sibling) = insert_rec(&mut root, rect, value) {
                     let mbr = root.mbr().union(&sibling.mbr());
-                    self.root = Some(Node::Inner { mbr, children: vec![root, sibling] });
+                    self.root = Some(Node::Inner {
+                        mbr,
+                        children: vec![root, sibling],
+                    });
                 } else {
                     self.root = Some(root);
                 }
@@ -234,8 +249,14 @@ fn insert_rec<T>(node: &mut Node<T>, rect: Rect, value: T) -> Option<Node<T>> {
             *mbr = mbr.union(&rect);
             if entries.len() > MAX_ENTRIES {
                 let (a, b) = quadratic_split_entries(std::mem::take(entries));
-                let mut left = Node::Leaf { mbr: Rect::EMPTY, entries: a };
-                let mut right = Node::Leaf { mbr: Rect::EMPTY, entries: b };
+                let mut left = Node::Leaf {
+                    mbr: Rect::EMPTY,
+                    entries: a,
+                };
+                let mut right = Node::Leaf {
+                    mbr: Rect::EMPTY,
+                    entries: b,
+                };
                 left.recompute_mbr();
                 right.recompute_mbr();
                 *node = left;
@@ -268,8 +289,14 @@ fn insert_rec<T>(node: &mut Node<T>, rect: Rect, value: T) -> Option<Node<T>> {
                 children.push(sibling);
                 if children.len() > MAX_ENTRIES {
                     let (a, b) = quadratic_split_nodes(std::mem::take(children));
-                    let mut left = Node::Inner { mbr: Rect::EMPTY, children: a };
-                    let mut right = Node::Inner { mbr: Rect::EMPTY, children: b };
+                    let mut left = Node::Inner {
+                        mbr: Rect::EMPTY,
+                        children: a,
+                    };
+                    let mut right = Node::Inner {
+                        mbr: Rect::EMPTY,
+                        children: b,
+                    };
                     left.recompute_mbr();
                     right.recompute_mbr();
                     *node = left;
@@ -424,7 +451,7 @@ mod tests {
     #[test]
     fn tree_depth_is_logarithmic() {
         let t = RTree::bulk_load(unit_cells(32)); // 1024 entries
-        // With M = 16: 1024 entries -> 64 leaves -> 4 inners -> 1 root = 3.
+                                                  // With M = 16: 1024 entries -> 64 leaves -> 4 inners -> 1 root = 3.
         assert!(t.depth() <= 4, "depth {} too large", t.depth());
     }
 

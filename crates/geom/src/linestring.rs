@@ -30,7 +30,6 @@ impl LineString {
         Ok(LineString { points })
     }
 
-
     /// The vertices of the polyline.
     #[inline]
     pub fn points(&self) -> &[Point] {

@@ -33,7 +33,6 @@ impl Ring {
         Ok(Ring { points })
     }
 
-
     /// The closed vertex list (first == last).
     #[inline]
     pub fn points(&self) -> &[Point] {
@@ -86,13 +85,19 @@ pub struct Polygon {
 impl Polygon {
     /// Creates a polygon from a validated exterior ring and holes.
     pub fn new(exterior: Ring, interiors: Vec<Ring>) -> Self {
-        Polygon { exterior, interiors }
+        Polygon {
+            exterior,
+            interiors,
+        }
     }
 
     /// Convenience constructor from raw coordinate vectors.
     pub fn from_coords(exterior: Vec<Point>, interiors: Vec<Vec<Point>>) -> Result<Self> {
         let ext = Ring::new(exterior)?;
-        let ints = interiors.into_iter().map(Ring::new).collect::<Result<Vec<_>>>()?;
+        let ints = interiors
+            .into_iter()
+            .map(Ring::new)
+            .collect::<Result<Vec<_>>>()?;
         Ok(Polygon::new(ext, ints))
     }
 
@@ -177,19 +182,37 @@ mod tests {
 
     #[test]
     fn signed_area_sign_tracks_winding() {
-        let ccw = Ring::new(pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]))
-            .unwrap();
+        let ccw = Ring::new(pts(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 0.0),
+        ]))
+        .unwrap();
         assert!(ccw.is_ccw());
         assert_eq!(ccw.signed_area(), 1.0);
-        let cw = Ring::new(pts(&[(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0), (0.0, 0.0)]))
-            .unwrap();
+        let cw = Ring::new(pts(&[
+            (0.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 0.0),
+            (0.0, 0.0),
+        ]))
+        .unwrap();
         assert!(!cw.is_ccw());
         assert_eq!(cw.signed_area(), -1.0);
     }
 
     #[test]
     fn polygon_area_subtracts_holes() {
-        let hole = pts(&[(0.25, 0.25), (0.75, 0.25), (0.75, 0.75), (0.25, 0.75), (0.25, 0.25)]);
+        let hole = pts(&[
+            (0.25, 0.25),
+            (0.75, 0.25),
+            (0.75, 0.75),
+            (0.25, 0.75),
+            (0.25, 0.25),
+        ]);
         let p = Polygon::from_coords(
             pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]),
             vec![hole],

@@ -31,7 +31,12 @@ impl Rect {
     /// use [`Rect::from_corners`] if the corners may be swapped.
     #[inline]
     pub const fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
-        Rect { min_x, min_y, max_x, max_y }
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// Creates a normalized rectangle from two arbitrary opposite corners.
@@ -97,7 +102,10 @@ impl Rect {
     /// Center point of the rectangle.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
     }
 
     /// Bottom-left corner.

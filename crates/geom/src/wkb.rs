@@ -139,14 +139,22 @@ impl<'a> Cursor<'a> {
         self.need(4)?;
         let bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
         self.pos += 4;
-        Ok(if big_endian { u32::from_be_bytes(bytes) } else { u32::from_le_bytes(bytes) })
+        Ok(if big_endian {
+            u32::from_be_bytes(bytes)
+        } else {
+            u32::from_le_bytes(bytes)
+        })
     }
 
     fn f64(&mut self, big_endian: bool) -> Result<f64> {
         self.need(8)?;
         let bytes: [u8; 8] = self.buf[self.pos..self.pos + 8].try_into().unwrap();
         self.pos += 8;
-        Ok(if big_endian { f64::from_be_bytes(bytes) } else { f64::from_le_bytes(bytes) })
+        Ok(if big_endian {
+            f64::from_be_bytes(bytes)
+        } else {
+            f64::from_le_bytes(bytes)
+        })
     }
 
     fn point(&mut self, be: bool) -> Result<Point> {
@@ -158,7 +166,9 @@ impl<'a> Cursor<'a> {
         // Defensive cap: a count that implies reading past the buffer is
         // corrupt, not a huge geometry.
         if n > (self.buf.len() - self.pos) / 16 + 1 {
-            return Err(GeomError::Wkb(format!("coordinate count {n} exceeds buffer")));
+            return Err(GeomError::Wkb(format!(
+                "coordinate count {n} exceeds buffer"
+            )));
         }
         let mut pts = Vec::with_capacity(n);
         for _ in 0..n {

@@ -52,7 +52,10 @@ pub struct Parser<'a> {
 impl<'a> Parser<'a> {
     /// Creates a parser positioned at the start of `input`.
     pub fn new(input: &'a str) -> Self {
-        Parser { src: input.as_bytes(), pos: 0 }
+        Parser {
+            src: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Current byte offset into the input.
@@ -73,7 +76,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, msg: impl Into<String>) -> GeomError {
-        GeomError::Wkt { msg: msg.into(), offset: self.pos }
+        GeomError::Wkt {
+            msg: msg.into(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -151,8 +157,10 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos])
             .map_err(|_| self.error("non-UTF8 number"))?;
-        text.parse::<f64>()
-            .map_err(|e| GeomError::Wkt { msg: format!("bad number {text:?}: {e}"), offset: start })
+        text.parse::<f64>().map_err(|e| GeomError::Wkt {
+            msg: format!("bad number {text:?}: {e}"),
+            offset: start,
+        })
     }
 
     /// Parses `x y` as a coordinate pair.
@@ -325,10 +333,9 @@ mod tests {
 
     #[test]
     fn parses_polygon_with_hole() {
-        let g = parse(
-            "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))",
-        )
-        .unwrap();
+        let g =
+            parse("POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))")
+                .unwrap();
         match g {
             Geometry::Polygon(p) => {
                 assert_eq!(p.interiors().len(), 1);
@@ -348,8 +355,8 @@ mod tests {
 
     #[test]
     fn parses_multilinestring() {
-        let g = parse("MULTILINESTRING ((10 10, 20 20, 10 40), (40 40, 30 30, 40 20, 30 10))")
-            .unwrap();
+        let g =
+            parse("MULTILINESTRING ((10 10, 20 20, 10 40), (40 40, 30 30, 40 20, 30 10))").unwrap();
         assert_eq!(g.num_points(), 7);
     }
 
@@ -384,8 +391,8 @@ mod tests {
 
     #[test]
     fn parses_geometrycollection() {
-        let g = parse("GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20, 10 40))")
-            .unwrap();
+        let g =
+            parse("GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20, 10 40))").unwrap();
         match &g {
             Geometry::GeometryCollection(c) => assert_eq!(c.0.len(), 2),
             _ => panic!(),
@@ -407,7 +414,7 @@ mod tests {
         assert!(parse("POLYGON").is_err());
         assert!(parse("POLYGON (30 10)").is_err()); // missing ring parens
         assert!(parse("POINT (30)").is_err());
-        assert!(parse("POINT (30 10") .is_err());
+        assert!(parse("POINT (30 10").is_err());
         assert!(parse("CIRCLE (0 0, 5)").is_err());
         assert!(parse("POINT (30 10) garbage").is_err());
         assert!(parse("POINT (a b)").is_err());

@@ -170,12 +170,18 @@ mod tests {
 
     #[test]
     fn empty_multis_write_empty_keyword() {
-        assert_eq!(write(&Geometry::MultiPoint(MultiPoint(vec![]))), "MULTIPOINT EMPTY");
+        assert_eq!(
+            write(&Geometry::MultiPoint(MultiPoint(vec![]))),
+            "MULTIPOINT EMPTY"
+        );
         assert_eq!(
             write(&Geometry::MultiLineString(MultiLineString(vec![]))),
             "MULTILINESTRING EMPTY"
         );
-        assert_eq!(write(&Geometry::MultiPolygon(MultiPolygon(vec![]))), "MULTIPOLYGON EMPTY");
+        assert_eq!(
+            write(&Geometry::MultiPolygon(MultiPolygon(vec![]))),
+            "MULTIPOLYGON EMPTY"
+        );
         assert_eq!(
             write(&Geometry::GeometryCollection(GeometryCollection(vec![]))),
             "GEOMETRYCOLLECTION EMPTY"

@@ -84,7 +84,14 @@ impl Hub {
     /// The combiner receives `(inputs, entry_times)` and must return the
     /// shared result plus per-rank exit times (commonly all equal to
     /// `max(entry_times) + cost`).
-    pub fn exchange<T, R, F>(&self, rank: usize, gen: u64, now: f64, input: T, combine: F) -> (Arc<R>, f64)
+    pub fn exchange<T, R, F>(
+        &self,
+        rank: usize,
+        gen: u64,
+        now: f64,
+        input: T,
+        combine: F,
+    ) -> (Arc<R>, f64)
     where
         T: Send + 'static,
         R: Send + Sync + 'static,
@@ -122,7 +129,11 @@ impl Hub {
                 .collect();
             let times = st.entry_times.clone();
             let (result, exits) = combine(inputs, &times);
-            assert_eq!(exits.len(), self.size, "combiner must return one exit time per rank");
+            assert_eq!(
+                exits.len(),
+                self.size,
+                "combiner must return one exit time per rank"
+            );
             st.result = Some(Arc::new(result));
             st.exit_times = exits;
             st.collecting = false;

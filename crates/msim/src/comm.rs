@@ -47,7 +47,14 @@ pub struct Comm {
 
 impl Comm {
     pub(crate) fn new(rank: usize, shared: Arc<Shared>, rx: Receiver<Envelope>) -> Self {
-        Comm { rank, now: 0.0, gen: 0, shared, rx, stash: Vec::new() }
+        Comm {
+            rank,
+            now: 0.0,
+            gen: 0,
+            shared,
+            rx,
+            stash: Vec::new(),
+        }
     }
 
     // ----- identity ------------------------------------------------------
@@ -104,7 +111,11 @@ impl Comm {
 
     /// Context handed to the simulated filesystem for independent I/O.
     pub fn io_ctx(&self) -> mvio_pfs::IoCtx {
-        mvio_pfs::IoCtx { node: self.node(), now: self.now, world_nodes: self.shared.topo.nodes() }
+        mvio_pfs::IoCtx {
+            node: self.node(),
+            now: self.now,
+            world_nodes: self.shared.topo.nodes(),
+        }
     }
 
     // ----- point-to-point -------------------------------------------------
@@ -116,9 +127,16 @@ impl Comm {
         assert!(dst < self.size(), "send to rank {dst} out of range");
         let send_time = self.now;
         self.now += self.shared.cost.comm_latency
-            + self.shared.cost.cost(Work::CopyBytes { n: data.len() as u64 });
+            + self.shared.cost.cost(Work::CopyBytes {
+                n: data.len() as u64,
+            });
         self.shared.senders[dst]
-            .send(Envelope { src: self.rank, tag, data: data.to_vec(), send_time })
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                data: data.to_vec(),
+                send_time,
+            })
             .expect("receiver outlives the job");
     }
 
@@ -190,10 +208,13 @@ impl Comm {
         let gen = self.next_gen();
         let p = self.size();
         let cost = self.shared.cost.barrier(p);
-        let (_, exit) = self.shared.hub.exchange(self.rank, gen, self.now, (), |_: Vec<()>, times| {
-            let exit = max_time(times) + cost;
-            ((), vec![exit; times.len()])
-        });
+        let (_, exit) =
+            self.shared
+                .hub
+                .exchange(self.rank, gen, self.now, (), |_: Vec<()>, times| {
+                    let exit = max_time(times) + cost;
+                    ((), vec![exit; times.len()])
+                });
         self.now = exit;
     }
 
@@ -204,18 +225,21 @@ impl Comm {
         let p = self.size();
         let cost_model = self.shared.cost;
         let input = if self.rank == root { Some(data) } else { None };
-        let (result, exit) =
-            self.shared
-                .hub
-                .exchange(self.rank, gen, self.now, input, move |inputs: Vec<Option<Vec<u8>>>, times| {
-                    let payload = inputs
-                        .into_iter()
-                        .flatten()
-                        .next()
-                        .expect("root provided bcast payload");
-                    let exit = max_time(times) + cost_model.bcast(p, payload.len() as u64);
-                    (payload, vec![exit; times.len()])
-                });
+        let (result, exit) = self.shared.hub.exchange(
+            self.rank,
+            gen,
+            self.now,
+            input,
+            move |inputs: Vec<Option<Vec<u8>>>, times| {
+                let payload = inputs
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .expect("root provided bcast payload");
+                let exit = max_time(times) + cost_model.bcast(p, payload.len() as u64);
+                (payload, vec![exit; times.len()])
+            },
+        );
         self.now = exit;
         (*result).clone()
     }
@@ -226,14 +250,17 @@ impl Comm {
         let gen = self.next_gen();
         let p = self.size();
         let cost_model = self.shared.cost;
-        let (result, exit) =
-            self.shared
-                .hub
-                .exchange(self.rank, gen, self.now, data, move |inputs: Vec<Vec<u8>>, times| {
-                    let total: u64 = inputs.iter().map(|v| v.len() as u64).sum();
-                    let exit = max_time(times) + cost_model.reduce(p, total);
-                    (inputs, vec![exit; times.len()])
-                });
+        let (result, exit) = self.shared.hub.exchange(
+            self.rank,
+            gen,
+            self.now,
+            data,
+            move |inputs: Vec<Vec<u8>>, times| {
+                let total: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+                let exit = max_time(times) + cost_model.reduce(p, total);
+                (inputs, vec![exit; times.len()])
+            },
+        );
         self.now = exit;
         if self.rank == root {
             Some((*result).clone())
@@ -248,15 +275,18 @@ impl Comm {
         let gen = self.next_gen();
         let p = self.size();
         let cost_model = self.shared.cost;
-        let (result, exit) =
-            self.shared
-                .hub
-                .exchange(self.rank, gen, self.now, data, move |inputs: Vec<Vec<u8>>, times| {
-                    let total: u64 = inputs.iter().map(|v| v.len() as u64).sum();
-                    // ring allgather: log p startup + total volume.
-                    let exit = max_time(times) + cost_model.bcast(p, total);
-                    (inputs, vec![exit; times.len()])
-                });
+        let (result, exit) = self.shared.hub.exchange(
+            self.rank,
+            gen,
+            self.now,
+            data,
+            move |inputs: Vec<Vec<u8>>, times| {
+                let total: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+                // ring allgather: log p startup + total volume.
+                let exit = max_time(times) + cost_model.bcast(p, total);
+                (inputs, vec![exit; times.len()])
+            },
+        );
         self.now = exit;
         (*result).clone()
     }
@@ -314,8 +344,8 @@ impl Comm {
                     .collect();
                 // transpose, moving buffers (no copies).
                 let mut matrix: Vec<Vec<Vec<u8>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-                for src in 0..p {
-                    let row = std::mem::take(&mut inputs[src]);
+                for row_slot in &mut inputs {
+                    let row = std::mem::take(row_slot);
                     for (dst, buf) in row.into_iter().enumerate() {
                         matrix[dst].push(buf);
                     }
@@ -338,7 +368,13 @@ impl Comm {
     /// `MPI_Reduce` with a user-defined operator; the result is returned at
     /// `root` only. `bytes_hint` sizes the communication cost (use the
     /// serialized size of `T`).
-    pub fn reduce<T>(&mut self, root: usize, value: T, bytes_hint: u64, op: &dyn ReduceOp<T>) -> Option<T>
+    pub fn reduce<T>(
+        &mut self,
+        root: usize,
+        value: T,
+        bytes_hint: u64,
+        op: &dyn ReduceOp<T>,
+    ) -> Option<T>
     where
         T: Clone + Send + Sync + 'static,
     {
@@ -365,20 +401,27 @@ impl Comm {
         let gen = self.next_gen();
         let p = self.size();
         let cost_model = self.shared.cost;
-        let (result, exit) =
-            self.shared
-                .hub
-                .exchange(self.rank, gen, self.now, value, move |inputs: Vec<T>, times| {
-                    let combined = fold_in_rank_order(&inputs, op);
-                    let exit = max_time(times) + cost_model.reduce(p, bytes_hint);
-                    (combined, vec![exit; times.len()])
-                });
+        let (result, exit) = self.shared.hub.exchange(
+            self.rank,
+            gen,
+            self.now,
+            value,
+            move |inputs: Vec<T>, times| {
+                let combined = fold_in_rank_order(&inputs, op);
+                let exit = max_time(times) + cost_model.reduce(p, bytes_hint);
+                (combined, vec![exit; times.len()])
+            },
+        );
         self.now = exit;
         (*result).clone()
     }
 
     /// Convenience `MPI_Allreduce` over a single `u64`.
-    pub fn allreduce_u64(&mut self, value: u64, op: impl Fn(&u64, &u64) -> u64 + Send + Sync) -> u64 {
+    pub fn allreduce_u64(
+        &mut self,
+        value: u64,
+        op: impl Fn(&u64, &u64) -> u64 + Send + Sync,
+    ) -> u64 {
         self.allreduce(value, 8, &op)
     }
 
@@ -392,14 +435,17 @@ impl Comm {
         let p = self.size();
         let rank = self.rank;
         let cost_model = self.shared.cost;
-        let (result, exit) =
-            self.shared
-                .hub
-                .exchange(self.rank, gen, self.now, value, move |inputs: Vec<T>, times| {
-                    let prefixes = scan_in_rank_order(&inputs, op);
-                    let exit = max_time(times) + cost_model.reduce(p, bytes_hint);
-                    (prefixes, vec![exit; times.len()])
-                });
+        let (result, exit) = self.shared.hub.exchange(
+            self.rank,
+            gen,
+            self.now,
+            value,
+            move |inputs: Vec<T>, times| {
+                let prefixes = scan_in_rank_order(&inputs, op);
+                let exit = max_time(times) + cost_model.reduce(p, bytes_hint);
+                (prefixes, vec![exit; times.len()])
+            },
+        );
         self.now = exit;
         result[rank].clone()
     }
@@ -413,7 +459,10 @@ impl Comm {
         F: FnOnce(Vec<T>, &[f64]) -> (R, Vec<f64>),
     {
         let gen = self.next_gen();
-        let (r, exit) = self.shared.hub.exchange(self.rank, gen, self.now, input, combine);
+        let (r, exit) = self
+            .shared
+            .hub
+            .exchange(self.rank, gen, self.now, input, combine);
         self.now = exit;
         (r, exit)
     }

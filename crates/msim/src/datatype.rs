@@ -29,15 +29,27 @@ pub enum Datatype {
     /// `count` blocks of `blocklen` inner elements, starting `stride`
     /// inner-element extents apart (`MPI_Type_vector`). `stride >=
     /// blocklen` leaves gaps — the non-contiguous pattern of Figure 4.
-    Vector { count: usize, blocklen: usize, stride: usize, inner: Box<Datatype> },
+    Vector {
+        count: usize,
+        blocklen: usize,
+        stride: usize,
+        inner: Box<Datatype>,
+    },
     /// Blocks of varying length at varying displacements
     /// (`MPI_Type_indexed`); lengths and displacements are in inner-element
     /// units. This is the type the paper builds from vertex-count and
     /// offset arrays for variable-length polygons.
-    Indexed { blocklens: Vec<usize>, displs: Vec<usize>, inner: Box<Datatype> },
+    Indexed {
+        blocklens: Vec<usize>,
+        displs: Vec<usize>,
+        inner: Box<Datatype>,
+    },
     /// Explicit fields at explicit byte offsets with an explicit total
     /// extent (`MPI_Type_create_struct`).
-    Struct { fields: Vec<StructField>, extent: usize },
+    Struct {
+        fields: Vec<StructField>,
+        extent: usize,
+    },
     /// An inner type with an overridden extent
     /// (`MPI_Type_create_resized`) — the standard way to tile a pattern
     /// with trailing padding, e.g. "8 bytes every 16".
@@ -58,22 +70,37 @@ pub struct StructField {
 impl Datatype {
     /// `MPI_Type_contiguous(count, inner)`.
     pub fn contiguous(count: usize, inner: Datatype) -> Datatype {
-        Datatype::Contiguous { count, inner: Box::new(inner) }
+        Datatype::Contiguous {
+            count,
+            inner: Box::new(inner),
+        }
     }
 
     /// `MPI_Type_vector(count, blocklen, stride, inner)`.
     pub fn vector(count: usize, blocklen: usize, stride: usize, inner: Datatype) -> Datatype {
-        Datatype::Vector { count, blocklen, stride, inner: Box::new(inner) }
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            inner: Box::new(inner),
+        }
     }
 
     /// `MPI_Type_indexed(blocklens, displs, inner)`.
     pub fn indexed(blocklens: Vec<usize>, displs: Vec<usize>, inner: Datatype) -> Datatype {
-        Datatype::Indexed { blocklens, displs, inner: Box::new(inner) }
+        Datatype::Indexed {
+            blocklens,
+            displs,
+            inner: Box::new(inner),
+        }
     }
 
     /// `MPI_Type_create_resized(inner, extent)`.
     pub fn resized(inner: Datatype, extent: usize) -> Datatype {
-        Datatype::Resized { inner: Box::new(inner), extent }
+        Datatype::Resized {
+            inner: Box::new(inner),
+            extent,
+        }
     }
 
     /// The paper's `MPI_RECT`: a contiguous run of 4 doubles (§4.2.1).
@@ -97,7 +124,11 @@ impl Datatype {
     pub fn mpi_rect_struct() -> Datatype {
         Datatype::Struct {
             fields: (0..4)
-                .map(|i| StructField { offset: i * 8, count: 1, ty: Datatype::Double })
+                .map(|i| StructField {
+                    offset: i * 8,
+                    count: 1,
+                    ty: Datatype::Double,
+                })
                 .collect(),
             extent: 32,
         }
@@ -110,13 +141,16 @@ impl Datatype {
             Datatype::Int32 => 4,
             Datatype::Int64 | Datatype::Double => 8,
             Datatype::Contiguous { count, inner } => count * inner.size(),
-            Datatype::Vector { count, blocklen, inner, .. } => count * blocklen * inner.size(),
-            Datatype::Indexed { blocklens, inner, .. } => {
-                blocklens.iter().sum::<usize>() * inner.size()
-            }
-            Datatype::Struct { fields, .. } => {
-                fields.iter().map(|f| f.count * f.ty.size()).sum()
-            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                inner,
+                ..
+            } => count * blocklen * inner.size(),
+            Datatype::Indexed {
+                blocklens, inner, ..
+            } => blocklens.iter().sum::<usize>() * inner.size(),
+            Datatype::Struct { fields, .. } => fields.iter().map(|f| f.count * f.ty.size()).sum(),
             Datatype::Resized { inner, .. } => inner.size(),
         }
     }
@@ -129,7 +163,12 @@ impl Datatype {
             Datatype::Int32 => 4,
             Datatype::Int64 | Datatype::Double => 8,
             Datatype::Contiguous { count, inner } => count * inner.extent(),
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 if *count == 0 {
                     0
                 } else {
@@ -137,7 +176,11 @@ impl Datatype {
                     ((count - 1) * stride + blocklen) * inner.extent()
                 }
             }
-            Datatype::Indexed { blocklens, displs, inner } => blocklens
+            Datatype::Indexed {
+                blocklens,
+                displs,
+                inner,
+            } => blocklens
                 .iter()
                 .zip(displs)
                 .map(|(l, d)| (d + l) * inner.extent())
@@ -184,7 +227,12 @@ impl Datatype {
                     }
                 }
             }
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 let ext = inner.extent();
                 for i in 0..*count {
                     let start = base + i * stride * ext;
@@ -197,7 +245,11 @@ impl Datatype {
                     }
                 }
             }
-            Datatype::Indexed { blocklens, displs, inner } => {
+            Datatype::Indexed {
+                blocklens,
+                displs,
+                inner,
+            } => {
                 let ext = inner.extent();
                 for (l, d) in blocklens.iter().zip(displs) {
                     let start = base + d * ext;
@@ -235,7 +287,11 @@ impl Datatype {
     /// non-overlapping struct fields are *not* checked — MPI permits them).
     pub fn validate(&self) -> Result<(), MsimError> {
         match self {
-            Datatype::Indexed { blocklens, displs, inner } => {
+            Datatype::Indexed {
+                blocklens,
+                displs,
+                inner,
+            } => {
                 if blocklens.len() != displs.len() {
                     return Err(MsimError::BadDatatype(format!(
                         "indexed: {} blocklens vs {} displs",
@@ -245,7 +301,12 @@ impl Datatype {
                 }
                 inner.validate()
             }
-            Datatype::Vector { blocklen, stride, inner, .. } => {
+            Datatype::Vector {
+                blocklen,
+                stride,
+                inner,
+                ..
+            } => {
                 if stride < blocklen {
                     return Err(MsimError::BadDatatype(format!(
                         "vector: stride {stride} < blocklen {blocklen}"
@@ -357,8 +418,16 @@ mod tests {
         // {int32 at 0, double at 8} with extent 16 (padding after the int).
         let s = Datatype::Struct {
             fields: vec![
-                StructField { offset: 0, count: 1, ty: Datatype::Int32 },
-                StructField { offset: 8, count: 1, ty: Datatype::Double },
+                StructField {
+                    offset: 0,
+                    count: 1,
+                    ty: Datatype::Int32,
+                },
+                StructField {
+                    offset: 8,
+                    count: 1,
+                    ty: Datatype::Double,
+                },
             ],
             extent: 16,
         };
@@ -388,7 +457,11 @@ mod tests {
         let bad2 = Datatype::vector(2, 4, 2, Datatype::Byte);
         assert!(bad2.validate().is_err());
         let bad3 = Datatype::Struct {
-            fields: vec![StructField { offset: 12, count: 1, ty: Datatype::Double }],
+            fields: vec![StructField {
+                offset: 12,
+                count: 1,
+                ty: Datatype::Double,
+            }],
             extent: 16,
         };
         assert!(bad3.validate().is_err());

@@ -25,7 +25,10 @@ pub struct Hints {
 impl Default for Hints {
     fn default() -> Self {
         // ROMIO's historical default collective buffer is 16 MiB.
-        Hints { cb_nodes: None, cb_buffer_size: 16 << 20 }
+        Hints {
+            cb_nodes: None,
+            cb_buffer_size: 16 << 20,
+        }
     }
 }
 

@@ -68,7 +68,12 @@ impl FileView {
     /// visible data, starting `skip_instances` filetype instances into the
     /// view (each rank typically skips `rank` instances for round-robin
     /// layouts).
-    pub fn fragments(&self, skip_instances: u64, stride_instances: u64, payload: usize) -> Vec<(u64, u64)> {
+    pub fn fragments(
+        &self,
+        skip_instances: u64,
+        stride_instances: u64,
+        payload: usize,
+    ) -> Vec<(u64, u64)> {
         let ext = self.filetype.extent() as u64;
         let size = self.filetype.size();
         let inner = self.filetype.fragments();
@@ -107,7 +112,12 @@ impl MpiFile {
     /// every rank — it is cheap and local in the simulator).
     pub fn open(fs: &Arc<SimFs>, path: &str, hints: Hints) -> Result<Self> {
         let file = fs.open(path)?;
-        Ok(MpiFile { fs: Arc::clone(fs), file, hints, view: None })
+        Ok(MpiFile {
+            fs: Arc::clone(fs),
+            file,
+            hints,
+            view: None,
+        })
     }
 
     /// The underlying simulated file.
@@ -184,55 +194,52 @@ impl MpiFile {
         let engine = Arc::clone(self.fs.engine());
         let p = comm.size();
 
-        let (_, _) = comm.collective(
-            (offset, got as u64),
-            move |reqs: Vec<(u64, u64)>, times| {
-                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                // Aggregate file domain spanned by the collective.
-                let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
-                let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
-                let (lo, hi) = match (lo, hi) {
-                    (Some(l), Some(h)) => (l, h),
-                    _ => return ((), vec![start; reqs.len()]), // nothing to read
-                };
-                let readers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
-                let leaders = topo.node_leaders();
+        let (_, _) = comm.collective((offset, got as u64), move |reqs: Vec<(u64, u64)>, times| {
+            let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            // Aggregate file domain spanned by the collective.
+            let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
+            let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
+            let (lo, hi) = match (lo, hi) {
+                (Some(l), Some(h)) => (l, h),
+                _ => return ((), vec![start; reqs.len()]), // nothing to read
+            };
+            let readers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+            let leaders = topo.node_leaders();
 
-                // Contiguous equal file domains, one per aggregator, read
-                // in cb_buffer_size cycles.
-                let span = hi - lo;
-                let domain = span.div_ceil(readers as u64).max(1);
-                let mut batch = Vec::new();
-                for (i, leader) in leaders.iter().take(readers).enumerate() {
-                    let d_lo = lo + i as u64 * domain;
-                    let d_hi = (d_lo + domain).min(hi);
-                    let mut pos = d_lo;
-                    while pos < d_hi {
-                        let len = (d_hi - pos).min(hints.cb_buffer_size);
-                        batch.push(IoRequest {
-                            rank: *leader,
-                            node: topo.node_of(*leader),
-                            now: start,
-                            offset: pos,
-                            len,
-                        });
-                        pos += len;
-                    }
+            // Contiguous equal file domains, one per aggregator, read
+            // in cb_buffer_size cycles.
+            let span = hi - lo;
+            let domain = span.div_ceil(readers as u64).max(1);
+            let mut batch = Vec::new();
+            for (i, leader) in leaders.iter().take(readers).enumerate() {
+                let d_lo = lo + i as u64 * domain;
+                let d_hi = (d_lo + domain).min(hi);
+                let mut pos = d_lo;
+                while pos < d_hi {
+                    let len = (d_hi - pos).min(hints.cb_buffer_size);
+                    batch.push(IoRequest {
+                        rank: *leader,
+                        node: topo.node_of(*leader),
+                        now: start,
+                        offset: pos,
+                        len,
+                    });
+                    pos += len;
                 }
-                let completions = engine.io_batch(stripe, ost_base, &batch);
-                let read_done = completions
-                    .iter()
-                    .map(|c| c.completion)
-                    .fold(start, f64::max);
+            }
+            let completions = engine.io_batch(stripe, ost_base, &batch);
+            let read_done = completions
+                .iter()
+                .map(|c| c.completion)
+                .fold(start, f64::max);
 
-                // Redistribution: aggregators scatter each rank's bytes.
-                let exits: Vec<f64> = reqs
-                    .iter()
-                    .map(|&(_, len)| read_done + cost.alltoall(p.min(readers.max(2)), len, len))
-                    .collect();
-                ((), exits)
-            },
-        );
+            // Redistribution: aggregators scatter each rank's bytes.
+            let exits: Vec<f64> = reqs
+                .iter()
+                .map(|&(_, len)| read_done + cost.alltoall(p.min(readers.max(2)), len, len))
+                .collect();
+            ((), exits)
+        });
         Ok(got)
     }
 
@@ -257,53 +264,50 @@ impl MpiFile {
         let p = comm.size();
         let len = buf.len() as u64;
 
-        let (_, _) = comm.collective(
-            (offset, len),
-            move |reqs: Vec<(u64, u64)>, times| {
-                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
-                let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
-                let (lo, hi) = match (lo, hi) {
-                    (Some(l), Some(h)) => (l, h),
-                    _ => return ((), vec![start; reqs.len()]),
-                };
-                let writers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
-                let leaders = topo.node_leaders();
+        let (_, _) = comm.collective((offset, len), move |reqs: Vec<(u64, u64)>, times| {
+            let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
+            let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
+            let (lo, hi) = match (lo, hi) {
+                (Some(l), Some(h)) => (l, h),
+                _ => return ((), vec![start; reqs.len()]),
+            };
+            let writers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+            let leaders = topo.node_leaders();
 
-                // Phase 1: ranks ship their data to the aggregators.
-                let gather_done = reqs
-                    .iter()
-                    .map(|&(_, l)| start + cost.alltoall(p.min(writers.max(2)), l, l))
-                    .fold(start, f64::max);
+            // Phase 1: ranks ship their data to the aggregators.
+            let gather_done = reqs
+                .iter()
+                .map(|&(_, l)| start + cost.alltoall(p.min(writers.max(2)), l, l))
+                .fold(start, f64::max);
 
-                // Phase 2: aggregators flush contiguous domains in cycles.
-                let span = hi - lo;
-                let domain = span.div_ceil(writers as u64).max(1);
-                let mut batch = Vec::new();
-                for (i, leader) in leaders.iter().take(writers).enumerate() {
-                    let d_lo = lo + i as u64 * domain;
-                    let d_hi = (d_lo + domain).min(hi);
-                    let mut pos = d_lo;
-                    while pos < d_hi {
-                        let l = (d_hi - pos).min(hints.cb_buffer_size);
-                        batch.push(IoRequest {
-                            rank: *leader,
-                            node: topo.node_of(*leader),
-                            now: gather_done,
-                            offset: pos,
-                            len: l,
-                        });
-                        pos += l;
-                    }
+            // Phase 2: aggregators flush contiguous domains in cycles.
+            let span = hi - lo;
+            let domain = span.div_ceil(writers as u64).max(1);
+            let mut batch = Vec::new();
+            for (i, leader) in leaders.iter().take(writers).enumerate() {
+                let d_lo = lo + i as u64 * domain;
+                let d_hi = (d_lo + domain).min(hi);
+                let mut pos = d_lo;
+                while pos < d_hi {
+                    let l = (d_hi - pos).min(hints.cb_buffer_size);
+                    batch.push(IoRequest {
+                        rank: *leader,
+                        node: topo.node_of(*leader),
+                        now: gather_done,
+                        offset: pos,
+                        len: l,
+                    });
+                    pos += l;
                 }
-                let completions = engine.io_batch(stripe, ost_base, &batch);
-                let done = completions
-                    .iter()
-                    .map(|c| c.completion)
-                    .fold(gather_done, f64::max);
-                ((), vec![done; reqs.len()])
-            },
-        );
+            }
+            let completions = engine.io_batch(stripe, ost_base, &batch);
+            let done = completions
+                .iter()
+                .map(|c| c.completion)
+                .fold(gather_done, f64::max);
+            ((), vec![done; reqs.len()])
+        });
         Ok(buf.len())
     }
 
@@ -523,7 +527,10 @@ pub fn select_readers(
         FsKind::Lustre => {
             let sc = stripe_count as usize;
             if sc >= target {
-                (1..=target).rev().find(|d| sc % d == 0).unwrap_or(1)
+                (1..=target)
+                    .rev()
+                    .find(|d| sc.is_multiple_of(*d))
+                    .unwrap_or(1)
             } else {
                 sc
             }
@@ -685,7 +692,8 @@ mod tests {
         // The paper's use case: per-rank grid output written so "the
         // output file is same as if produced sequentially".
         let fs = SimFs::new(FsConfig::lustre_comet());
-        fs.create("out.bin", Some(StripeSpec::new(4, 1024))).unwrap();
+        fs.create("out.bin", Some(StripeSpec::new(4, 1024)))
+            .unwrap();
         World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
             let f = MpiFile::open(&fs, "out.bin", Hints::default()).unwrap();
             let chunk = vec![comm.rank() as u8 + 1; 512];
@@ -721,7 +729,7 @@ mod tests {
             let my_records: Vec<usize> = (comm.rank()..nrec).step_by(comm.size()).collect();
             let mut buf = Vec::with_capacity(my_records.len() * record);
             for &k in &my_records {
-                buf.extend(std::iter::repeat(k as u8).take(record));
+                buf.extend(std::iter::repeat_n(k as u8, record));
             }
             let n = f
                 .write_all(comm, comm.rank() as u64, comm.size() as u64, &buf)
@@ -733,7 +741,9 @@ mod tests {
         assert_eq!(data.len(), record * nrec);
         for k in 0..nrec {
             assert!(
-                data[k * record..(k + 1) * record].iter().all(|&b| b == k as u8),
+                data[k * record..(k + 1) * record]
+                    .iter()
+                    .all(|&b| b == k as u8),
                 "record {k} corrupted"
             );
         }
@@ -748,7 +758,8 @@ mod tests {
                 let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
                 let chunk = total / 4;
                 let mut buf = vec![0u8; chunk];
-                f.read_at_all(comm, (comm.rank() * chunk) as u64, &mut buf).unwrap();
+                f.read_at_all(comm, (comm.rank() * chunk) as u64, &mut buf)
+                    .unwrap();
                 comm.now()
             })
         };

@@ -124,9 +124,7 @@ impl CostModel {
                 // bounded by the product; the callers pass the *actual*
                 // vertex counts of the pair.
                 self.refine_fixed
-                    + (verts_a.max(1) as f64)
-                        * (verts_b.max(1) as f64)
-                        * self.segment_pair_test
+                    + (verts_a.max(1) as f64) * (verts_b.max(1) as f64) * self.segment_pair_test
             }
             Work::RtreeInserts { n } => n as f64 * self.rtree_insert,
             Work::RtreeQueries { n, results } => {
@@ -179,9 +177,18 @@ mod tests {
     #[test]
     fn parse_costs_rank_polygon_heaviest_per_byte() {
         let m = CostModel::calibrated();
-        let poly = m.cost(Work::ParseWkt { bytes: 1_000, class: ShapeClass::Polygon });
-        let line = m.cost(Work::ParseWkt { bytes: 1_000, class: ShapeClass::Line });
-        let point = m.cost(Work::ParseWkt { bytes: 1_000, class: ShapeClass::Point });
+        let poly = m.cost(Work::ParseWkt {
+            bytes: 1_000,
+            class: ShapeClass::Polygon,
+        });
+        let line = m.cost(Work::ParseWkt {
+            bytes: 1_000,
+            class: ShapeClass::Line,
+        });
+        let point = m.cost(Work::ParseWkt {
+            bytes: 1_000,
+            class: ShapeClass::Point,
+        });
         assert!(poly > point && point > line);
     }
 
@@ -189,13 +196,22 @@ mod tests {
     fn calibration_matches_table3_magnitudes() {
         // All Objects: 92 GB of polygons parsed sequentially in ~4728 s.
         let m = CostModel::calibrated();
-        let t = m.cost(Work::ParseWkt { bytes: 92 * (1 << 30), class: ShapeClass::Polygon });
+        let t = m.cost(Work::ParseWkt {
+            bytes: 92 * (1 << 30),
+            class: ShapeClass::Polygon,
+        });
         assert!((3000.0..6000.0).contains(&t), "All Objects parse ≈ {t} s");
         // Road Network: 137 GB of lines in ~2873 s.
-        let t = m.cost(Work::ParseWkt { bytes: 137 * (1 << 30), class: ShapeClass::Line });
+        let t = m.cost(Work::ParseWkt {
+            bytes: 137 * (1 << 30),
+            class: ShapeClass::Line,
+        });
         assert!((2000.0..4000.0).contains(&t), "Road Network parse ≈ {t} s");
         // All Nodes: 96 GB of points in ~3782 s.
-        let t = m.cost(Work::ParseWkt { bytes: 96 * (1 << 30), class: ShapeClass::Point });
+        let t = m.cost(Work::ParseWkt {
+            bytes: 96 * (1 << 30),
+            class: ShapeClass::Point,
+        });
         assert!((3000.0..5000.0).contains(&t), "All Nodes parse ≈ {t} s");
     }
 
@@ -219,8 +235,14 @@ mod tests {
     #[test]
     fn refine_cost_scales_with_vertex_product_past_fixed_overhead() {
         let m = CostModel::calibrated();
-        let small = m.cost(Work::RefinePair { verts_a: 10, verts_b: 10 });
-        let big = m.cost(Work::RefinePair { verts_a: 10_000, verts_b: 10_000 });
+        let small = m.cost(Work::RefinePair {
+            verts_a: 10,
+            verts_b: 10,
+        });
+        let big = m.cost(Work::RefinePair {
+            verts_a: 10_000,
+            verts_b: 10_000,
+        });
         // Small pairs are dominated by the fixed GEOS-call overhead…
         assert!((small - m.refine_fixed).abs() / m.refine_fixed < 0.1);
         // …huge pairs by the vertex product.
@@ -231,8 +253,14 @@ mod tests {
     fn serialize_cost_has_per_object_term() {
         let m = CostModel::calibrated();
         // Same bytes, more objects -> strictly more time.
-        let few = m.cost(Work::SerializeGeoms { n: 10, bytes: 1 << 20 });
-        let many = m.cost(Work::SerializeGeoms { n: 10_000, bytes: 1 << 20 });
+        let few = m.cost(Work::SerializeGeoms {
+            n: 10,
+            bytes: 1 << 20,
+        });
+        let many = m.cost(Work::SerializeGeoms {
+            n: 10_000,
+            bytes: 1 << 20,
+        });
         assert!(many > few * 10.0);
     }
 

@@ -13,8 +13,14 @@ pub struct Topology {
 impl Topology {
     /// Creates a topology of `nodes` × `ranks_per_node`.
     pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
-        assert!(nodes > 0 && ranks_per_node > 0, "topology must be non-empty");
-        Topology { nodes, ranks_per_node }
+        assert!(
+            nodes > 0 && ranks_per_node > 0,
+            "topology must be non-empty"
+        );
+        Topology {
+            nodes,
+            ranks_per_node,
+        }
     }
 
     /// A single-node topology with `ranks` ranks.

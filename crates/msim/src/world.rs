@@ -22,7 +22,11 @@ pub struct WorldConfig {
 impl WorldConfig {
     /// Default configuration with the calibrated cost model.
     pub fn new(topology: Topology) -> Self {
-        WorldConfig { topology, cost: CostModel::calibrated(), stack_size: 1 << 20 }
+        WorldConfig {
+            topology,
+            cost: CostModel::calibrated(),
+            stack_size: 1 << 20,
+        }
     }
 
     /// Overrides the cost model.
@@ -145,7 +149,14 @@ mod tests {
         let out = World::run(cfg(2, 3), |comm| (comm.rank(), comm.size(), comm.node()));
         assert_eq!(
             out,
-            vec![(0, 6, 0), (1, 6, 0), (2, 6, 0), (3, 6, 1), (4, 6, 1), (5, 6, 1)]
+            vec![
+                (0, 6, 0),
+                (1, 6, 0),
+                (2, 6, 0),
+                (3, 6, 1),
+                (4, 6, 1),
+                (5, 6, 1)
+            ]
         );
     }
 
@@ -233,7 +244,11 @@ mod tests {
     #[test]
     fn bcast_delivers_root_payload() {
         let out = World::run(cfg(1, 4), |comm| {
-            let data = if comm.rank() == 2 { b"hello".to_vec() } else { vec![] };
+            let data = if comm.rank() == 2 {
+                b"hello".to_vec()
+            } else {
+                vec![]
+            };
             comm.bcast(2, data)
         });
         assert!(out.iter().all(|d| d == b"hello"));
@@ -279,7 +294,7 @@ mod tests {
             let sends: Vec<Vec<u8>> = (0..3)
                 .map(|d| {
                     let mut v = vec![d as u8];
-                    v.extend(std::iter::repeat(r as u8).take(r + 1));
+                    v.extend(std::iter::repeat_n(r as u8, r + 1));
                     v
                 })
                 .collect();
@@ -296,7 +311,9 @@ mod tests {
 
     #[test]
     fn allreduce_sums() {
-        let out = World::run(cfg(2, 2), |comm| comm.allreduce_u64(comm.rank() as u64, |a, b| a + b));
+        let out = World::run(cfg(2, 2), |comm| {
+            comm.allreduce_u64(comm.rank() as u64, |a, b| a + b)
+        });
         assert_eq!(out, vec![6, 6, 6, 6]);
     }
 

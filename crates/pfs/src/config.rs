@@ -28,14 +28,19 @@ impl StripeSpec {
     /// Creates a stripe spec; panics on zero values (use
     /// [`StripeSpec::validate`] for fallible checking).
     pub fn new(count: u32, size: u64) -> Self {
-        assert!(count > 0 && size > 0, "stripe count and size must be positive");
+        assert!(
+            count > 0 && size > 0,
+            "stripe count and size must be positive"
+        );
         StripeSpec { count, size }
     }
 
     /// Validates against a filesystem's OST total.
     pub fn validate(&self, total_osts: u32) -> Result<(), PfsError> {
         if self.count == 0 || self.size == 0 {
-            return Err(PfsError::BadStripe("stripe count and size must be positive".into()));
+            return Err(PfsError::BadStripe(
+                "stripe count and size must be positive".into(),
+            ));
         }
         if self.count > total_osts {
             return Err(PfsError::BadStripe(format!(
@@ -115,7 +120,7 @@ impl FsConfig {
     pub fn gpfs_roger() -> Self {
         FsConfig {
             kind: FsKind::Gpfs,
-            total_osts: 16, // NSD servers
+            total_osts: 16,                                 // NSD servers
             default_stripe: StripeSpec::new(16, 256 << 10), // wide, 256 KiB blocks
             perf: PerfModel {
                 ost_bandwidth: 0.30e9,
@@ -153,7 +158,10 @@ mod tests {
     fn stripe_validation() {
         assert!(StripeSpec::new(4, 1024).validate(96).is_ok());
         assert!(StripeSpec::new(97, 1024).validate(96).is_err());
-        let zero = StripeSpec { count: 0, size: 1024 };
+        let zero = StripeSpec {
+            count: 0,
+            size: 1024,
+        };
         assert!(zero.validate(96).is_err());
         let zsize = StripeSpec { count: 1, size: 0 };
         assert!(zsize.validate(96).is_err());

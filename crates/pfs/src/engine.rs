@@ -22,7 +22,11 @@ pub struct IoCtx {
 impl IoCtx {
     /// Context for single-process use (tests, dataset generation).
     pub fn serial(now: f64) -> Self {
-        IoCtx { node: 0, now, world_nodes: 1 }
+        IoCtx {
+            node: 0,
+            now,
+            world_nodes: 1,
+        }
     }
 }
 
@@ -144,7 +148,15 @@ impl TimingEngine {
     /// Times one request. Chunks queue FIFO on their OSTs; the whole
     /// transfer also flows through the issuing node's client queue; the
     /// request completes when both sides have finished.
-    pub fn io(&self, stripe: StripeSpec, ost_base: u32, node: usize, now: f64, offset: u64, len: u64) -> IoCompletion {
+    pub fn io(
+        &self,
+        stripe: StripeSpec,
+        ost_base: u32,
+        node: usize,
+        now: f64,
+        offset: u64,
+        len: u64,
+    ) -> IoCompletion {
         let mut st = self.state.lock();
         let active = st.active_ranks;
         self.io_locked(&mut st, stripe, ost_base, node, now, offset, len, active)
@@ -173,7 +185,13 @@ impl TimingEngine {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(reqs[a].rank.cmp(&reqs[b].rank))
         });
-        let mut out = vec![IoCompletion { completion: 0.0, bytes: 0 }; reqs.len()];
+        let mut out = vec![
+            IoCompletion {
+                completion: 0.0,
+                bytes: 0
+            };
+            reqs.len()
+        ];
         let mut last_by_rank: std::collections::HashMap<usize, f64> =
             std::collections::HashMap::new();
         let mut st = self.state.lock();
@@ -186,7 +204,14 @@ impl TimingEngine {
                 .unwrap_or(r.now)
                 .max(r.now);
             let done = self.io_locked(
-                &mut st, stripe, ost_base, r.node, chained_now, r.offset, r.len, active,
+                &mut st,
+                stripe,
+                ost_base,
+                r.node,
+                chained_now,
+                r.offset,
+                r.len,
+                active,
             );
             last_by_rank.insert(r.rank, done.completion);
             out[idx] = done;
@@ -207,7 +232,10 @@ impl TimingEngine {
         active_ranks: usize,
     ) -> IoCompletion {
         if len == 0 {
-            return IoCompletion { completion: now, bytes: 0 };
+            return IoCompletion {
+                completion: now,
+                bytes: 0,
+            };
         }
         let factor = self.sharing_factor(stripe.count, active_ranks);
 
@@ -230,7 +258,10 @@ impl TimingEngine {
         let link_service = len as f64 / self.perf.node_bandwidth();
         let link_done = st.nodes[node].schedule(now, link_service);
 
-        IoCompletion { completion: server_done.max(link_done), bytes: len }
+        IoCompletion {
+            completion: server_done.max(link_done),
+            bytes: len,
+        }
     }
 }
 
@@ -258,7 +289,11 @@ mod tests {
         // 1024 bytes at 1 MB/s = 1.024 ms, plus 1 ms latency.
         let done = e.io(StripeSpec::new(2, 1024), 0, 0, 0.0, 0, 1024);
         let expect = 0.001 + 1024.0 / 1_000_000.0;
-        assert!((done.completion - expect).abs() < 1e-12, "{}", done.completion);
+        assert!(
+            (done.completion - expect).abs() < 1e-12,
+            "{}",
+            done.completion
+        );
     }
 
     #[test]
@@ -267,7 +302,11 @@ mod tests {
         // 2048 bytes over stripes 0 and 1 -> two OSTs, concurrent service.
         let done = e.io(StripeSpec::new(2, 1024), 0, 0, 0.0, 0, 2048);
         let per_chunk = 0.001 + 1024.0 / 1_000_000.0;
-        assert!((done.completion - per_chunk).abs() < 1e-9, "{}", done.completion);
+        assert!(
+            (done.completion - per_chunk).abs() < 1e-9,
+            "{}",
+            done.completion
+        );
     }
 
     #[test]
@@ -276,7 +315,11 @@ mod tests {
         // stripe count 1: both 1024-byte chunks hit OST 0 back-to-back.
         let done = e.io(StripeSpec::new(1, 1024), 0, 0, 0.0, 0, 2048);
         let per_chunk = 0.001 + 1024.0 / 1_000_000.0;
-        assert!((done.completion - 2.0 * per_chunk).abs() < 1e-9, "{}", done.completion);
+        assert!(
+            (done.completion - 2.0 * per_chunk).abs() < 1e-9,
+            "{}",
+            done.completion
+        );
     }
 
     #[test]
@@ -294,7 +337,10 @@ mod tests {
     fn node_queue_shares_among_ranks_of_a_node() {
         let cfg = FsConfig::test_tiny();
         // Make the client side the bottleneck: node bandwidth 0.5 MB/s.
-        let perf = PerfModel { client_bandwidth: 500_000.0, ..cfg.perf };
+        let perf = PerfModel {
+            client_bandwidth: 500_000.0,
+            ..cfg.perf
+        };
         let e = TimingEngine::new(perf, cfg.total_osts);
         let s = StripeSpec::new(4, 1024);
         // Two ranks on node 0 read distinct stripes (different OSTs), so

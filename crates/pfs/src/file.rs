@@ -32,7 +32,14 @@ impl SimFile {
         engine: Arc<TimingEngine>,
         stats: Arc<FsStats>,
     ) -> Self {
-        SimFile { path, stripe, ost_base, data: RwLock::new(Vec::new()), engine, stats }
+        SimFile {
+            path,
+            stripe,
+            ost_base,
+            data: RwLock::new(Vec::new()),
+            engine,
+            stats,
+        }
     }
 
     /// Path within the namespace.
@@ -78,16 +85,28 @@ impl SimFile {
         let data = self.data.read();
         let file_len = data.len() as u64;
         if offset > file_len {
-            return Err(PfsError::InvalidRange { offset, len: buf.len() as u64, file_len });
+            return Err(PfsError::InvalidRange {
+                offset,
+                len: buf.len() as u64,
+                file_len,
+            });
         }
         let n = ((file_len - offset) as usize).min(buf.len());
         buf[..n].copy_from_slice(&data[offset as usize..offset as usize + n]);
         drop(data);
 
-        let done = self
-            .engine
-            .io(self.stripe, self.ost_base, ctx.node, ctx.now, offset, n as u64);
-        self.stats.record_read(n as u64, &crate::layout::chunks_of(self.stripe, offset, n as u64));
+        let done = self.engine.io(
+            self.stripe,
+            self.ost_base,
+            ctx.node,
+            ctx.now,
+            offset,
+            n as u64,
+        );
+        self.stats.record_read(
+            n as u64,
+            &crate::layout::chunks_of(self.stripe, offset, n as u64),
+        );
         Ok(done)
     }
 
@@ -101,11 +120,18 @@ impl SimFile {
             }
             data[offset as usize..end].copy_from_slice(buf);
         }
-        let done = self
-            .engine
-            .io(self.stripe, self.ost_base, ctx.node, ctx.now, offset, buf.len() as u64);
-        self.stats
-            .record_write(buf.len() as u64, &crate::layout::chunks_of(self.stripe, offset, buf.len() as u64));
+        let done = self.engine.io(
+            self.stripe,
+            self.ost_base,
+            ctx.node,
+            ctx.now,
+            offset,
+            buf.len() as u64,
+        );
+        self.stats.record_write(
+            buf.len() as u64,
+            &crate::layout::chunks_of(self.stripe, offset, buf.len() as u64),
+        );
         Ok(done)
     }
 
@@ -124,13 +150,24 @@ impl SimFile {
         let mut clamped = Vec::with_capacity(reqs.len());
         for (r, buf) in reqs.iter().zip(bufs.iter_mut()) {
             if r.offset > file_len {
-                return Err(PfsError::InvalidRange { offset: r.offset, len: r.len, file_len });
+                return Err(PfsError::InvalidRange {
+                    offset: r.offset,
+                    len: r.len,
+                    file_len,
+                });
             }
-            let n = ((file_len - r.offset) as usize).min(buf.len()).min(r.len as usize);
+            let n = ((file_len - r.offset) as usize)
+                .min(buf.len())
+                .min(r.len as usize);
             buf[..n].copy_from_slice(&data[r.offset as usize..r.offset as usize + n]);
-            clamped.push(IoRequest { len: n as u64, ..*r });
-            self.stats
-                .record_read(n as u64, &crate::layout::chunks_of(self.stripe, r.offset, n as u64));
+            clamped.push(IoRequest {
+                len: n as u64,
+                ..*r
+            });
+            self.stats.record_read(
+                n as u64,
+                &crate::layout::chunks_of(self.stripe, r.offset, n as u64),
+            );
         }
         drop(data);
         Ok(self.engine.io_batch(self.stripe, self.ost_base, &clamped))
@@ -229,8 +266,20 @@ mod tests {
         let f = fs.create("b.bin", None).unwrap();
         f.append(vec![7u8; 4096]);
         let reqs = vec![
-            IoRequest { rank: 0, node: 0, now: 0.0, offset: 0, len: 1024 },
-            IoRequest { rank: 1, node: 0, now: 0.0, offset: 1024, len: 1024 },
+            IoRequest {
+                rank: 0,
+                node: 0,
+                now: 0.0,
+                offset: 0,
+                len: 1024,
+            },
+            IoRequest {
+                rank: 1,
+                node: 0,
+                now: 0.0,
+                offset: 1024,
+                len: 1024,
+            },
         ];
         let mut b0 = vec![0u8; 1024];
         let mut b1 = vec![0u8; 1024];

@@ -136,7 +136,9 @@ mod tests {
     #[test]
     fn lustre_honours_stripe_spec() {
         let fs = SimFs::new(FsConfig::lustre_comet());
-        let f = fs.create("striped", Some(StripeSpec::new(64, 32 << 20))).unwrap();
+        let f = fs
+            .create("striped", Some(StripeSpec::new(64, 32 << 20)))
+            .unwrap();
         assert_eq!(f.stripe().count, 64);
         assert_eq!(f.stripe().size, 32 << 20);
     }

@@ -54,7 +54,7 @@ pub fn osts_touched(stripe: StripeSpec, offset: u64, len: u64) -> u32 {
 /// the paper recommends ("parallel file read access will be stripe
 /// aligned").
 pub fn is_stripe_aligned(stripe: StripeSpec, offset: u64) -> bool {
-    offset % stripe.size == 0
+    offset.is_multiple_of(stripe.size)
 }
 
 #[cfg(test)]
@@ -68,7 +68,14 @@ mod tests {
     #[test]
     fn single_stripe_read() {
         let c = chunks_of(spec(4, 1024), 0, 512);
-        assert_eq!(c, vec![Chunk { ost: 0, offset: 0, len: 512 }]);
+        assert_eq!(
+            c,
+            vec![Chunk {
+                ost: 0,
+                offset: 0,
+                len: 512
+            }]
+        );
     }
 
     #[test]
@@ -77,9 +84,21 @@ mod tests {
         assert_eq!(
             c,
             vec![
-                Chunk { ost: 0, offset: 512, len: 512 },
-                Chunk { ost: 1, offset: 1024, len: 1024 },
-                Chunk { ost: 2, offset: 2048, len: 512 },
+                Chunk {
+                    ost: 0,
+                    offset: 512,
+                    len: 512
+                },
+                Chunk {
+                    ost: 1,
+                    offset: 1024,
+                    len: 1024
+                },
+                Chunk {
+                    ost: 2,
+                    offset: 2048,
+                    len: 512
+                },
             ]
         );
     }

@@ -64,7 +64,11 @@ pub enum PfsError {
     /// Path already exists (create with `exclusive`).
     AlreadyExists(String),
     /// Read/write beyond end-of-file or other invalid range.
-    InvalidRange { offset: u64, len: u64, file_len: u64 },
+    InvalidRange {
+        offset: u64,
+        len: u64,
+        file_len: u64,
+    },
     /// A stripe specification was rejected (zero count/size or count above
     /// the filesystem's OST total).
     BadStripe(String),
@@ -75,7 +79,11 @@ impl std::fmt::Display for PfsError {
         match self {
             PfsError::NotFound(p) => write!(f, "no such file: {p}"),
             PfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
-            PfsError::InvalidRange { offset, len, file_len } => write!(
+            PfsError::InvalidRange {
+                offset,
+                len,
+                file_len,
+            } => write!(
                 f,
                 "invalid range: offset {offset} + len {len} exceeds file length {file_len}"
             ),

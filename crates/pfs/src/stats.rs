@@ -41,7 +41,8 @@ impl FsStats {
     }
 
     fn record_chunks(&self, chunks: &[Chunk]) {
-        self.chunk_requests.fetch_add(chunks.len() as u64, Ordering::Relaxed);
+        self.chunk_requests
+            .fetch_add(chunks.len() as u64, Ordering::Relaxed);
         for c in chunks {
             // chunk.ost is file-relative; modulo keeps it in range even if
             // the caller passed global indices.
@@ -79,7 +80,10 @@ impl FsStats {
 
     /// Bytes served per OST slot (file-relative placement).
     pub fn per_ost_bytes(&self) -> Vec<u64> {
-        self.per_ost_bytes.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.per_ost_bytes
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

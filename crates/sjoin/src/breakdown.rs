@@ -52,7 +52,11 @@ impl PhaseTimer {
     /// Starts timing at the rank's current clock.
     pub fn start(comm: &Comm) -> Self {
         let now = comm.now();
-        PhaseTimer { start: now, last: now, breakdown: PhaseBreakdown::default() }
+        PhaseTimer {
+            start: now,
+            last: now,
+            breakdown: PhaseBreakdown::default(),
+        }
     }
 
     fn lap(&mut self, comm: &Comm) -> f64 {
@@ -87,7 +91,7 @@ impl PhaseTimer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvio_msim::{Topology, World, WorldConfig, Work};
+    use mvio_msim::{Topology, Work, World, WorldConfig};
 
     #[test]
     fn timer_attributes_phases() {

@@ -72,7 +72,11 @@ pub fn build_distributed_index(
 
     let local = timer.finish(comm);
     let breakdown = PhaseBreakdown::reduce_max(comm, local);
-    Ok(IndexReport { cell_indexes, indexed, breakdown })
+    Ok(IndexReport {
+        cell_indexes,
+        indexed,
+        breakdown,
+    })
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@ use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
 use mvio_core::partition::{read_features, ReadOptions};
 use mvio_core::reader::WktLineParser;
 use mvio_core::{Feature, Result};
-use mvio_geom::{algo, Rect};
 use mvio_geom::index::RTree;
+use mvio_geom::{algo, Rect};
 use mvio_msim::{Comm, Work};
 use mvio_pfs::SimFs;
 use std::sync::Arc;
@@ -80,7 +80,10 @@ pub fn spatial_join(
     timer.end_partition(comm);
 
     // --- Communication phase: global spatial partitioning. ---------------
-    let ex_opts = ExchangeOptions { map: opts.map, windows: opts.windows };
+    let ex_opts = ExchangeOptions {
+        map: opts.map,
+        windows: opts.windows,
+    };
     let (left_local, _) = exchange_features(comm, left_pairs, grid.num_cells(), &ex_opts)?;
     let (right_local, _) = exchange_features(comm, right_pairs, grid.num_cells(), &ex_opts)?;
     timer.end_communication(comm);
@@ -110,7 +113,12 @@ pub fn spatial_join(
 
     let local = timer.finish(comm);
     let breakdown = PhaseBreakdown::reduce_max(comm, local);
-    Ok(JoinReport { pairs, filter_candidates, refine_tests, breakdown })
+    Ok(JoinReport {
+        pairs,
+        filter_candidates,
+        refine_tests,
+        breakdown,
+    })
 }
 
 /// Projects features to cells and pairs each replica with its owned
@@ -150,7 +158,9 @@ fn join_cell(
         .enumerate()
         .map(|(i, f)| (f.geometry.envelope(), i))
         .collect();
-    comm.charge(Work::RtreeInserts { n: left.len() as u64 });
+    comm.charge(Work::RtreeInserts {
+        n: left.len() as u64,
+    });
     let index = RTree::bulk_load(items);
 
     let mut results = Vec::new();
@@ -178,7 +188,10 @@ fn join_cell(
             }
         }
     }
-    comm.charge(Work::RtreeQueries { n: right.len() as u64, results: total_hits });
+    comm.charge(Work::RtreeQueries {
+        n: right.len() as u64,
+        results: total_hits,
+    });
     results
 }
 
@@ -229,8 +242,7 @@ mod tests {
         let out = World::run(WorldConfig::new(topo), move |comm| {
             spatial_join(comm, &fs, "left.wkt", "right.wkt", &opts).unwrap()
         });
-        let mut pairs: Vec<(String, String)> =
-            out.iter().flat_map(|r| r.pairs.clone()).collect();
+        let mut pairs: Vec<(String, String)> = out.iter().flat_map(|r| r.pairs.clone()).collect();
         pairs.sort();
         (pairs, out[0].breakdown)
     }
@@ -255,7 +267,10 @@ mod tests {
     fn join_is_identical_across_grid_sizes_no_duplicates() {
         // Finer grids replicate more; dedup must keep results exact.
         for cells in [1u32, 2, 8, 32] {
-            let opts = JoinOptions { grid: GridSpec::square(cells), ..Default::default() };
+            let opts = JoinOptions {
+                grid: GridSpec::square(cells),
+                ..Default::default()
+            };
             let (pairs, _) = run_join(Topology::new(2, 2), opts);
             assert_eq!(pairs, expected(), "grid {cells}x{cells}");
         }
@@ -296,11 +311,13 @@ mod tests {
                 .as_bytes(),
         );
         let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
-            let opts = JoinOptions { grid: GridSpec::square(4), ..Default::default() };
+            let opts = JoinOptions {
+                grid: GridSpec::square(4),
+                ..Default::default()
+            };
             spatial_join(comm, &fs, "layer.wkt", "layer.wkt", &opts).unwrap()
         });
-        let mut pairs: Vec<(String, String)> =
-            out.iter().flat_map(|r| r.pairs.clone()).collect();
+        let mut pairs: Vec<(String, String)> = out.iter().flat_map(|r| r.pairs.clone()).collect();
         pairs.sort();
         // A∩A, A∩B, B∩A, B∩B — each exactly once.
         assert_eq!(
@@ -330,8 +347,16 @@ mod tests {
             let r = Rect::new(x, y, x + w, y + h);
             let poly = format!(
                 "POLYGON (({} {}, {} {}, {} {}, {} {}, {} {}))",
-                r.min_x, r.min_y, r.max_x, r.min_y, r.max_x, r.max_y, r.min_x, r.max_y,
-                r.min_x, r.min_y
+                r.min_x,
+                r.min_y,
+                r.max_x,
+                r.min_y,
+                r.max_x,
+                r.max_y,
+                r.min_x,
+                r.max_y,
+                r.min_x,
+                r.min_y
             );
             if i % 2 == 0 {
                 left_wkt.push_str(&format!("{poly}\tL{i}\n"));
@@ -353,14 +378,20 @@ mod tests {
         expect.sort();
 
         let fs = SimFs::new(FsConfig::gpfs_roger());
-        fs.create("l.wkt", None).unwrap().append(left_wkt.as_bytes());
-        fs.create("r.wkt", None).unwrap().append(right_wkt.as_bytes());
+        fs.create("l.wkt", None)
+            .unwrap()
+            .append(left_wkt.as_bytes());
+        fs.create("r.wkt", None)
+            .unwrap()
+            .append(right_wkt.as_bytes());
         let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
-            let opts = JoinOptions { grid: GridSpec::square(6), ..Default::default() };
+            let opts = JoinOptions {
+                grid: GridSpec::square(6),
+                ..Default::default()
+            };
             spatial_join(comm, &fs, "l.wkt", "r.wkt", &opts).unwrap()
         });
-        let mut pairs: Vec<(String, String)> =
-            out.iter().flat_map(|r| r.pairs.clone()).collect();
+        let mut pairs: Vec<(String, String)> = out.iter().flat_map(|r| r.pairs.clone()).collect();
         pairs.sort();
         assert_eq!(pairs, expect);
         let _ = wkt::parse("POINT (0 0)").unwrap(); // keep wkt import used

@@ -50,8 +50,12 @@ pub fn range_query(
         .collect();
     timer.end_partition(comm);
 
-    let (mine, _) =
-        exchange_features(comm, owned, ugrid.num_cells(), &ExchangeOptions { map, windows: 1 })?;
+    let (mine, _) = exchange_features(
+        comm,
+        owned,
+        ugrid.num_cells(),
+        &ExchangeOptions { map, windows: 1 },
+    )?;
     timer.end_communication(comm);
 
     let mut matches = Vec::new();
@@ -70,7 +74,10 @@ pub fn range_query(
         if !mvio_core::framework::claims_reference(&ugrid, *cell, &mbr, &query) {
             continue;
         }
-        comm.charge(Work::RefinePair { verts_a: f.geometry.num_points() as u64, verts_b: 4 });
+        comm.charge(Work::RefinePair {
+            verts_a: f.geometry.num_points() as u64,
+            verts_b: 4,
+        });
         if algo::rect_intersects_geometry(&query, &f.geometry) {
             matches.push(f.userdata.clone());
         }
@@ -80,7 +87,11 @@ pub fn range_query(
     let local = timer.finish(comm);
     let breakdown = PhaseBreakdown::reduce_max(comm, local);
     let total_matches = comm.allreduce_u64(matches.len() as u64, |a, b| a + b);
-    Ok(RangeQueryReport { matches, total_matches, breakdown })
+    Ok(RangeQueryReport {
+        matches,
+        total_matches,
+        breakdown,
+    })
 }
 
 /// Distributed **batch** query: many windows answered in one pass over
@@ -108,8 +119,12 @@ pub fn batch_query(
         .into_iter()
         .map(|(cell, idx)| (cell, features[idx].clone()))
         .collect();
-    let (mine, _) =
-        exchange_features(comm, owned, ugrid.num_cells(), &ExchangeOptions { map, windows: 1 })?;
+    let (mine, _) = exchange_features(
+        comm,
+        owned,
+        ugrid.num_cells(),
+        &ExchangeOptions { map, windows: 1 },
+    )?;
 
     let mut counts = vec![0u64; queries.len()];
     for (cell, f) in &mine {
@@ -213,8 +228,8 @@ mod tests {
         let fs = SimFs::new(FsConfig::gpfs_roger());
         build(&fs);
         let queries = vec![
-            Rect::new(2.5, 2.5, 5.5, 4.5), // 6 lattice points
-            Rect::new(0.0, 0.0, 1.0, 1.0), // 4 corner points
+            Rect::new(2.5, 2.5, 5.5, 4.5),     // 6 lattice points
+            Rect::new(0.0, 0.0, 1.0, 1.0),     // 4 corner points
             Rect::new(50.0, 50.0, 60.0, 60.0), // none
             Rect::new(-1.0, -1.0, 9.5, 9.5),   // 100 points
         ];

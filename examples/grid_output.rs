@@ -17,7 +17,8 @@ fn main() {
     let fs = SimFs::new(FsConfig::lustre_comet());
     let grid_side = 8u32; // 64 cells, one output record per cell
     let cells = grid_side * grid_side;
-    fs.create("overlay.bin", Some(StripeSpec::new(8, 4096))).unwrap();
+    fs.create("overlay.bin", Some(StripeSpec::new(8, 4096)))
+        .unwrap();
 
     // Each rank owns cells round-robin and computes one result rect per
     // owned cell (here: the cell's own rectangle, standing in for an
@@ -57,7 +58,16 @@ fn main() {
         assert_eq!(*r, grid.cell_rect(i as u32), "cell {i} out of order");
     }
 
-    println!("wrote {} cells ({} bytes) from 4 ranks into one row-major file", cells, data.len());
-    println!("max virtual completion: {:.6}s", times.iter().cloned().fold(0.0, f64::max));
-    println!("file verified identical to the sequential layout — the paper's §4.1 output property.");
+    println!(
+        "wrote {} cells ({} bytes) from 4 ranks into one row-major file",
+        cells,
+        data.len()
+    );
+    println!(
+        "max virtual completion: {:.6}s",
+        times.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "file verified identical to the sequential layout — the paper's §4.1 output property."
+    );
 }

@@ -16,7 +16,11 @@ fn make_fs(osts: u32, stripe: u64) -> (std::sync::Arc<SimFs>, u64) {
         .expect("create");
     let mut text = String::new();
     for i in 0..20_000 {
-        text.push_str(&format!("LINESTRING ({} 0, {} 1)\tedge-{i}\n", i % 97, (i + 1) % 97));
+        text.push_str(&format!(
+            "LINESTRING ({} 0, {} 1)\tedge-{i}\n",
+            i % 97,
+            (i + 1) % 97
+        ));
     }
     file.append(text.as_bytes());
     let len = file.len();
@@ -51,11 +55,29 @@ fn main() {
     println!("contiguous reads of one striped WKT file, 16 ranks / 4 nodes:");
     for (osts, label) in [(8u32, "8 OSTs"), (32, "32 OSTs")] {
         let (fs, bytes) = make_fs(osts, block);
-        let l0 = timed_read(&fs, topo, AccessLevel::Level0, BoundaryStrategy::Message, block);
+        let l0 = timed_read(
+            &fs,
+            topo,
+            AccessLevel::Level0,
+            BoundaryStrategy::Message,
+            block,
+        );
         let (fs, _) = make_fs(osts, block);
-        let l1 = timed_read(&fs, topo, AccessLevel::Level1, BoundaryStrategy::Message, block);
+        let l1 = timed_read(
+            &fs,
+            topo,
+            AccessLevel::Level1,
+            BoundaryStrategy::Message,
+            block,
+        );
         let (fs, _) = make_fs(osts, block);
-        let ovl = timed_read(&fs, topo, AccessLevel::Level0, BoundaryStrategy::Overlap, block);
+        let ovl = timed_read(
+            &fs,
+            topo,
+            AccessLevel::Level0,
+            BoundaryStrategy::Overlap,
+            block,
+        );
         println!(
             "  {label}: {bytes} bytes — L0 message {l0:.4}s | L1 collective {l1:.4}s | L0 overlap {ovl:.4}s"
         );

@@ -17,11 +17,25 @@ use mpi_vector_io::prelude::*;
 fn main() {
     let fs = SimFs::new(FsConfig::gpfs_roger());
     let world = Rect::new(-180.0, -90.0, 180.0, 90.0);
-    let dist = SpatialDistribution::Clustered { clusters: 16, skew: 1.0, spread: 0.05 };
+    let dist = SpatialDistribution::Clustered {
+        clusters: 16,
+        skew: 1.0,
+        spread: 0.05,
+    };
     mpi_vector_io::datagen::write_wkt_dataset(
-        &fs, "nodes.wkt", ShapeKind::Point, ShapeGen::small_polygons(), &dist, world, 20_000, 7,
+        &fs,
+        "nodes.wkt",
+        ShapeKind::Point,
+        ShapeGen::small_polygons(),
+        &dist,
+        world,
+        20_000,
+        7,
     );
-    println!("dataset: 20,000 points ({} bytes)", fs.open("nodes.wkt").unwrap().len());
+    println!(
+        "dataset: 20,000 points ({} bytes)",
+        fs.open("nodes.wkt").unwrap().len()
+    );
 
     // Query window: a 30° x 20° box.
     let query = Rect::new(-20.0, -10.0, 10.0, 10.0);
@@ -31,10 +45,12 @@ fn main() {
     let serial = parse_buffer_serial(&text, &WktLineParser)
         .unwrap()
         .iter()
-        .filter(|f| query.contains_point(match &f.geometry {
-            Geometry::Point(p) => p,
-            _ => unreachable!("point dataset"),
-        }))
+        .filter(|f| {
+            query.contains_point(match &f.geometry {
+                Geometry::Point(p) => p,
+                _ => unreachable!("point dataset"),
+            })
+        })
         .count() as u64;
 
     // Distributed query on 2 nodes x 4 ranks.

@@ -15,14 +15,32 @@ use mpi_vector_io::prelude::*;
 fn main() {
     let fs = SimFs::new(FsConfig::gpfs_roger());
     let world = Rect::new(0.0, 0.0, 100.0, 100.0);
-    let dist = SpatialDistribution::Clustered { clusters: 12, skew: 1.1, spread: 0.03 };
+    let dist = SpatialDistribution::Clustered {
+        clusters: 12,
+        skew: 1.1,
+        spread: 0.03,
+    };
 
     // Layer A: lake-like polygons. Layer B: road-like polylines.
     let lakes_bytes = mpi_vector_io::datagen::write_wkt_dataset(
-        &fs, "lakes.wkt", ShapeKind::Polygon, ShapeGen::lake_polygons(), &dist, world, 3000, 42,
+        &fs,
+        "lakes.wkt",
+        ShapeKind::Polygon,
+        ShapeGen::lake_polygons(),
+        &dist,
+        world,
+        3000,
+        42,
     );
     let roads_bytes = mpi_vector_io::datagen::write_wkt_dataset(
-        &fs, "roads.wkt", ShapeKind::Line, ShapeGen::road_edges(), &dist, world, 6000, 43,
+        &fs,
+        "roads.wkt",
+        ShapeKind::Line,
+        ShapeGen::road_edges(),
+        &dist,
+        world,
+        6000,
+        43,
     );
     println!("lakes: 3000 polygons / {lakes_bytes} bytes");
     println!("roads: 6000 polylines / {roads_bytes} bytes");

@@ -1,0 +1,72 @@
+//! Collection strategies: `collection::vec(strategy, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Reason, TestRunner};
+use std::ops::Range;
+
+/// Element-count specification: a fixed count or a half-open range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<Vec<S::Value>, Reason> {
+        let span = self.size.max_exclusive - self.size.min;
+        let len = self.size.min + if span > 0 { runner.pick(span) } else { 0 };
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element_strategy, 1..40)`
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::ProptestConfig;
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut r = TestRunner::new(ProptestConfig::default(), "vec_unit");
+        let s = vec(0u8..10, 2..6);
+        for _ in 0..200 {
+            let v = s.new_value(&mut r).unwrap();
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
+        }
+        let fixed = vec(0u8..10, 3usize);
+        assert_eq!(fixed.new_value(&mut r).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `proptest` crate, implementing the subset of
+//! its API that this workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_filter_map`, `prop_recursive` and `boxed`;
+//! * strategies for integer/float ranges, tuples (arity ≤ 8), [`Just`],
+//!   `any::<T>()` and [`collection::vec`];
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]`,
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
+//!   `prop_assume!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering; since generation is deterministic the case is
+//!   trivially re-runnable.
+//! * **Deterministic by default.** Each test's RNG is seeded from the
+//!   test's name (FNV-1a) mixed with [`ProptestConfig::seed`], so runs
+//!   are bit-reproducible in CI with no `proptest-regressions/`
+//!   machinery. The `PROPTEST_SEED` environment variable overrides the
+//!   mixed seed *verbatim* — paste the seed from a failure message to
+//!   replay that exact stream, or pick any value to explore a new one.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fails the
+/// current case (with no panic unwinding through generation machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// `prop_assume!(cond)` — rejects (skips) the current case without
+/// counting it towards the configured case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![a, b, c]` — uniform choice between strategies of a
+/// common `Value`; `prop_oneof![2 => a, 1 => b]` — weighted choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The test-suite macro. Each `fn name(binding in strategy, ..) { .. }`
+/// becomes a `#[test]` that deterministically generates
+/// `ProptestConfig::cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            let strategy = ($($strat,)+);
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < runner.config().cases {
+                let case = match $crate::strategy::Strategy::new_value(&strategy, &mut runner) {
+                    ::core::result::Result::Ok(v) => v,
+                    ::core::result::Result::Err(reason) => {
+                        rejected += 1;
+                        if rejected > runner.config().max_global_rejects {
+                            panic!(
+                                "proptest '{}': too many generation rejects ({}): {}",
+                                stringify!($name), rejected, reason
+                            );
+                        }
+                        continue;
+                    }
+                };
+                let rendered = format!("{:?}", case);
+                let ($($binding,)+) = case;
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        rejected += 1;
+                        if rejected > runner.config().max_global_rejects {
+                            panic!(
+                                "proptest '{}': too many rejected cases ({})",
+                                stringify!($name), rejected
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest '{}' failed after {} passing case(s)\n  {}\n  inputs: {}\n  seed: {:#x} (set PROPTEST_SEED to reproduce)",
+                            stringify!($name), accepted, msg, rendered, runner.seed()
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,318 @@
+//! The `Strategy` trait and combinators. Generation-only (no shrink
+//! trees): a strategy is a deterministic function of the runner's RNG.
+
+use crate::test_runner::{Reason, TestRunner};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// How many times filtering combinators retry locally before giving up
+/// and reporting a rejection to the runner.
+const LOCAL_REJECT_RETRIES: u32 = 64;
+
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<Reason>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    fn prop_filter_map<O, F>(self, reason: impl Into<Reason>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Recursive strategies of bounded depth. `depth` bounds nesting;
+    /// `desired_size`/`expected_branch_size` are accepted for API
+    /// compatibility (generation-only, so they do not constrain memory).
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // At each level, bias towards recursion but keep leaves
+            // reachable so generated sizes vary.
+            let deeper = recurse(current).boxed();
+            current = Union::new_weighted(vec![(1, leaf.clone()), (3, deeper)]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<T, Reason> {
+        self.0.new_value(runner)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> Result<T, Reason> {
+        Ok(self.0.clone())
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<O, Reason> {
+        self.inner.new_value(runner).map(&self.f)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: Reason,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<S::Value, Reason> {
+        for _ in 0..LOCAL_REJECT_RETRIES {
+            let v = self.inner.new_value(runner)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(self.reason.clone())
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: Reason,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<O, Reason> {
+        for _ in 0..LOCAL_REJECT_RETRIES {
+            let v = self.inner.new_value(runner)?;
+            if let Some(out) = (self.f)(v) {
+                return Ok(out);
+            }
+        }
+        Err(self.reason.clone())
+    }
+}
+
+/// Weighted union over same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! of zero strategies");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<T, Reason> {
+        let mut ticket = runner.pick(self.total_weight as usize) as u64;
+        for (weight, strat) in &self.arms {
+            if ticket < *weight as u64 {
+                return strat.new_value(runner);
+            }
+            ticket -= *weight as u64;
+        }
+        unreachable!("ticket within total weight")
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Reason> {
+                Ok(rand::Rng::gen_range(runner.rng(), self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Reason> {
+                Ok(rand::Rng::gen_range(runner.rng(), self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason> {
+                let ($($name,)+) = self;
+                Ok(($($name.new_value(runner)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::ProptestConfig;
+
+    fn runner() -> TestRunner {
+        TestRunner::new(ProptestConfig::default(), "strategy_unit")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = runner();
+        for _ in 0..500 {
+            let v = (3usize..9).new_value(&mut r).unwrap();
+            assert!((3..9).contains(&v));
+            let f = (0.5f64..2.0).new_value(&mut r).unwrap();
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut r = runner();
+        let s = (0u32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("even>50", |v| *v > 50);
+        for _ in 0..100 {
+            let v = s.new_value(&mut r).unwrap();
+            assert!(v > 50 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = runner();
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.new_value(&mut r).unwrap() as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn recursive_generates_varied_depths() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(c) => 1 + depth(c),
+            }
+        }
+        let mut r = runner();
+        let s = Just(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            inner.prop_map(|t| Tree::Node(Box::new(t)))
+        });
+        let mut max = 0;
+        for _ in 0..200 {
+            let t = s.new_value(&mut r).unwrap();
+            let d = depth(&t);
+            assert!(d <= 4);
+            max = max.max(d);
+        }
+        assert!(max >= 2, "recursion never fired (max depth {max})");
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic test runner state: configuration, RNG, case errors.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// Reason a value (or case) was rejected — carried by filters and
+//  `prop_assume!`.
+#[derive(Debug, Clone)]
+pub struct Reason(pub String);
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Reason {
+    fn from(s: &str) -> Self {
+        Reason(s.to_string())
+    }
+}
+
+impl From<String> for Reason {
+    fn from(s: String) -> Self {
+        Reason(s)
+    }
+}
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assertions failed; the whole test fails.
+    Fail(String),
+    /// The case was vetoed by `prop_assume!`; it is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Compatible with the real crate's common usage
+/// (`ProptestConfig::with_cases(n)`, struct-update syntax off `default()`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must accumulate.
+    pub cases: u32,
+    /// Abort threshold for rejected/filtered cases.
+    pub max_global_rejects: u32,
+    /// Base seed mixed with the test name. Overridden by the
+    /// `PROPTEST_SEED` environment variable when set.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            seed: 0x4d56_494f,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// Pins this suite's RNG stream (mixed per-test with the test name).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-test generation state handed to strategies.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    rng: StdRng,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // PROPTEST_SEED is the *final* seed, used verbatim: failure
+        // messages print the mixed seed, so pasting it back must land
+        // on the identical stream. Without the override, the config's
+        // base seed is mixed with the test name so every test in a
+        // suite explores a distinct stream.
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                s.strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| s.parse())
+                    .ok()
+            })
+            .unwrap_or_else(|| config.seed ^ fnv1a(test_name.as_bytes()));
+        TestRunner {
+            config,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+
+    /// The fully-mixed seed this test is running under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform index in `[0, n)` — used by unions and size ranges.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick from empty set");
+        (self.rng.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new(cfg.clone(), "t");
+        let mut b = TestRunner::new(cfg, "t");
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+    }
+
+    #[test]
+    fn different_names_differ() {
+        if std::env::var("PROPTEST_SEED").is_ok() {
+            return; // verbatim override pins every test to one stream
+        }
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new(cfg.clone(), "t1");
+        let mut b = TestRunner::new(cfg, "t2");
+        assert_ne!(a.rng().next_u64(), b.rng().next_u64());
+    }
+
+    #[test]
+    fn with_seed_changes_stream() {
+        if std::env::var("PROPTEST_SEED").is_ok() {
+            return; // env override takes precedence by design
+        }
+        let mut a = TestRunner::new(ProptestConfig::default(), "t");
+        let mut b = TestRunner::new(ProptestConfig::default().with_seed(99), "t");
+        assert_ne!(a.rng().next_u64(), b.rng().next_u64());
+    }
+}

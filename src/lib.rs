@@ -52,7 +52,9 @@ pub mod prelude {
     pub use mvio_core::exchange::{exchange_features, ExchangeOptions};
     pub use mvio_core::framework::FilterRefine;
     pub use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
-    pub use mvio_core::partition::{read_features, read_partition_text, BoundaryStrategy, ReadOptions};
+    pub use mvio_core::partition::{
+        read_features, read_partition_text, BoundaryStrategy, ReadOptions,
+    };
     pub use mvio_core::reader::{CsvPointParser, GeometryParser, WktLineParser};
     pub use mvio_core::{spops, sptypes, Feature};
     pub use mvio_datagen::{table3, ShapeKind};

@@ -9,7 +9,10 @@ use std::sync::Arc;
 fn generated_fs(denom: u64) -> Arc<SimFs> {
     let fs = SimFs::new(FsConfig::gpfs_roger());
     for name in ["Lakes", "Cemetery"] {
-        let spec = datagen::table3().into_iter().find(|s| s.name == name).unwrap();
+        let spec = datagen::table3()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
         let rep = datagen::catalog::generate(&fs, &spec, denom, 11);
         let bytes = fs.open(&rep.path).unwrap().snapshot();
         fs.create(&format!("{}.wkt", name.to_lowercase()), None)
@@ -37,7 +40,8 @@ fn dataset_generation_is_bit_identical() {
 fn join_results_are_identical_across_runs() {
     let run = || {
         let fs = generated_fs(100_000);
-        let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+
+        World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
             let opts = JoinOptions {
                 grid: GridSpec::square(8),
                 read: ReadOptions::default().with_block_size(128 << 10),
@@ -45,8 +49,7 @@ fn join_results_are_identical_across_runs() {
             };
             let rep = spatial_join(comm, &fs, "lakes.wkt", "cemetery.wkt", &opts).unwrap();
             (rep.pairs, rep.filter_candidates, rep.refine_tests)
-        });
-        out
+        })
     };
     let a = run();
     let b = run();
@@ -79,13 +82,16 @@ fn collective_virtual_times_are_identical_across_runs() {
 fn collective_io_virtual_times_are_identical_across_runs() {
     let run = || {
         let fs = SimFs::new(FsConfig::lustre_comet());
-        let f = fs.create("d.bin", Some(StripeSpec::new(8, 64 << 10))).unwrap();
+        let f = fs
+            .create("d.bin", Some(StripeSpec::new(8, 64 << 10)))
+            .unwrap();
         f.append(vec![9u8; 1 << 20]);
         World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
             let file = MpiFile::open(&fs, "d.bin", Hints::default()).unwrap();
             let chunk = (1usize << 20) / 4;
             let mut buf = vec![0u8; chunk];
-            file.read_at_all(comm, (comm.rank() * chunk) as u64, &mut buf).unwrap();
+            file.read_at_all(comm, (comm.rank() * chunk) as u64, &mut buf)
+                .unwrap();
             comm.now()
         })
     };

@@ -11,7 +11,10 @@ use std::sync::Arc;
 fn catalog_fs(denom: u64) -> Arc<SimFs> {
     let fs = SimFs::new(FsConfig::gpfs_roger());
     for name in ["Lakes", "Cemetery"] {
-        let spec = datagen::table3().into_iter().find(|s| s.name == name).unwrap();
+        let spec = datagen::table3()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
         let rep = datagen::catalog::generate(&fs, &spec, denom, 7);
         // Normalize to simple paths for the tests below.
         let bytes = fs.open(&rep.path).unwrap().snapshot();
@@ -59,8 +62,7 @@ fn distributed_join_matches_brute_force_on_catalog_data() {
             };
             spatial_join(comm, &fs, "lakes.wkt", "cemetery.wkt", &opts).unwrap()
         });
-        let mut pairs: Vec<(String, String)> =
-            out.iter().flat_map(|r| r.pairs.clone()).collect();
+        let mut pairs: Vec<(String, String)> = out.iter().flat_map(|r| r.pairs.clone()).collect();
         pairs.sort();
         assert_eq!(
             pairs, expect,
@@ -91,8 +93,7 @@ fn exchange_preserves_every_feature_with_real_data() {
             .collect();
         let sent = owned.len() as u64;
         let (mine, stats) =
-            exchange_features(comm, owned, grid.num_cells(), &ExchangeOptions::default())
-                .unwrap();
+            exchange_features(comm, owned, grid.num_cells(), &ExchangeOptions::default()).unwrap();
         // Every received pair belongs to a cell this rank owns.
         for (cell, _) in &mine {
             assert_eq!(
@@ -102,7 +103,10 @@ fn exchange_preserves_every_feature_with_real_data() {
         }
         let total_sent = comm.allreduce_u64(sent, |a, b| a + b);
         let total_recv = comm.allreduce_u64(stats.records_received, |a, b| a + b);
-        assert_eq!(total_sent, total_recv, "no pair lost or duplicated in flight");
+        assert_eq!(
+            total_sent, total_recv,
+            "no pair lost or duplicated in flight"
+        );
         mine.len()
     });
     assert!(out.iter().sum::<usize>() > 0);
@@ -115,7 +119,8 @@ fn range_query_matches_serial_filter() {
     let query = {
         // Use the densest region: the global MBR's middle third.
         let text = String::from_utf8(fs.open("lakes.wkt").unwrap().snapshot()).unwrap();
-        let feats = mpi_vector_io::core::reader::parse_buffer_serial(&text, &WktLineParser).unwrap();
+        let feats =
+            mpi_vector_io::core::reader::parse_buffer_serial(&text, &WktLineParser).unwrap();
         let mbr = feats
             .iter()
             .fold(Rect::EMPTY, |a, f| a.union(&f.geometry.envelope()));
@@ -147,7 +152,10 @@ fn range_query_matches_serial_filter() {
         .unwrap()
         .total_matches
     });
-    assert!(out.iter().all(|&n| n == expect), "got {out:?}, want {expect}");
+    assert!(
+        out.iter().all(|&n| n == expect),
+        "got {out:?}, want {expect}"
+    );
 }
 
 #[test]
@@ -179,7 +187,10 @@ fn distributed_index_preserves_feature_multiset() {
         .indexed
     });
     let total: u64 = out.iter().sum();
-    assert_eq!(total, expect, "cell-replicated feature count must match serial projection");
+    assert_eq!(
+        total, expect,
+        "cell-replicated feature count must match serial projection"
+    );
 }
 
 #[test]

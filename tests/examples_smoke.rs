@@ -1,0 +1,73 @@
+//! Smoke test: every program in `examples/` must run to completion and
+//! produce output. `cargo test` already builds the example binaries as
+//! part of its default target selection, so this executes them straight
+//! from the target directory — if an example rots (panics, errors, or
+//! goes silent), this test fails rather than the quickstart docs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example that must keep working. Extend when adding examples.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "spatial_join",
+    "range_query",
+    "grid_output",
+    "io_levels",
+];
+
+/// Locates a built example binary relative to this test executable
+/// (`target/<profile>/deps/this_test` → `target/<profile>/examples/<name>`).
+fn example_path(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("test executable path");
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("examples");
+    p.push(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    for &name in EXAMPLES {
+        let path = example_path(name);
+        assert!(
+            path.exists(),
+            "example binary missing at {} — was the example renamed without updating EXAMPLES?",
+            path.display()
+        );
+        let out = Command::new(&path)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} exited with {:?}\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example {name} ran but printed nothing — quickstart output rotted"
+        );
+    }
+}
+
+#[test]
+fn examples_directory_matches_the_list() {
+    // A new example that isn't in EXAMPLES would silently escape the
+    // smoke test; fail loudly instead.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "rs").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    found.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(found, listed, "examples/ and EXAMPLES list disagree");
+}

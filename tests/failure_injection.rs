@@ -38,13 +38,27 @@ fn corrupted_wkt_record_fails_cleanly_on_every_rank() {
         .map_err(|e| e.to_string())
     });
     let errs: Vec<&String> = results.iter().filter_map(|r| r.as_ref().err()).collect();
-    assert_eq!(errs.len(), 1, "exactly one rank owns the bad record: {results:?}");
+    assert_eq!(
+        errs.len(),
+        1,
+        "exactly one rank owns the bad record: {results:?}"
+    );
     assert!(errs[0].contains("parse error"), "{}", errs[0]);
-    assert!(errs[0].contains("botched"), "error names the record: {}", errs[0]);
+    assert!(
+        errs[0].contains("botched"),
+        "error names the record: {}",
+        errs[0]
+    );
     // Other ranks deliver their clean shares; the failing rank's share
     // (including its good records) is reported through its error.
-    let parsed: usize = results.iter().filter_map(|r| r.as_ref().ok().copied()).sum();
-    assert!((1..=39).contains(&parsed), "clean shares delivered: {parsed}");
+    let parsed: usize = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().copied())
+        .sum();
+    assert!(
+        (1..=39).contains(&parsed),
+        "clean shares delivered: {parsed}"
+    );
 }
 
 #[test]
@@ -54,7 +68,9 @@ fn rank_death_mid_pipeline_aborts_whole_job() {
     // than deadlock.
     let fs = fs_with(
         "ok.wkt",
-        &(0..32).map(|i| format!("POINT ({i} 0)\tp{i}\n")).collect::<String>(),
+        &(0..32)
+            .map(|i| format!("POINT ({i} 0)\tp{i}\n"))
+            .collect::<String>(),
     );
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
@@ -79,7 +95,10 @@ fn rank_death_mid_pipeline_aborts_whole_job() {
         .cloned()
         .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
         .unwrap_or_default();
-    assert!(msg.contains("injected rank death"), "originating panic surfaces: {msg}");
+    assert!(
+        msg.contains("injected rank death"),
+        "originating panic surfaces: {msg}"
+    );
 }
 
 #[test]
@@ -90,14 +109,23 @@ fn truncated_file_yields_short_final_record_not_a_crash() {
     let full = "POINT (1 1)\tp1\nPOINT (2 2)\tp2\nPOLYGON ((3 3, 4 3, 4";
     let fs = fs_with("cut.wkt", full);
     let results = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
-        read_features(comm, &fs, "cut.wkt", &ReadOptions::default(), &WktLineParser)
-            .map(|v| v.len())
-            .map_err(|e| matches!(e, CoreError::Parse { .. }))
+        read_features(
+            comm,
+            &fs,
+            "cut.wkt",
+            &ReadOptions::default(),
+            &WktLineParser,
+        )
+        .map(|v| v.len())
+        .map_err(|e| matches!(e, CoreError::Parse { .. }))
     });
     // The rank owning the tail sees a parse error (flagged true); the
     // other delivers its complete points.
-    assert!(results.iter().any(|r| *r == Err(true)), "{results:?}");
-    assert!(results.iter().any(|r| matches!(r, Ok(n) if *n >= 1)), "{results:?}");
+    assert!(results.contains(&Err(true)), "{results:?}");
+    assert!(
+        results.iter().any(|r| matches!(r, Ok(n) if *n >= 1)),
+        "{results:?}"
+    );
 }
 
 #[test]
@@ -128,7 +156,8 @@ fn oversized_geometry_is_reported_not_mangled() {
     let errs: Vec<&String> = results.iter().filter_map(|r| r.as_ref().err()).collect();
     assert!(!errs.is_empty());
     assert!(
-        errs.iter().any(|e| e.contains("block_size") || e.contains("max_geometry_bytes")),
+        errs.iter()
+            .any(|e| e.contains("block_size") || e.contains("max_geometry_bytes")),
         "error guides the user: {errs:?}"
     );
 }

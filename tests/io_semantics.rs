@@ -143,8 +143,7 @@ fn file_views_tile_with_gaps() {
     f.append(&data);
     World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
         // 8 payload bytes tiled every 16 bytes: the resized-type idiom.
-        let filetype =
-            Datatype::resized(Datatype::contiguous(8, Datatype::Byte), 16);
+        let filetype = Datatype::resized(Datatype::contiguous(8, Datatype::Byte), 16);
         let view = FileView::new(0, filetype).unwrap();
         let mut file = MpiFile::open(&fs, "v.bin", Hints::default()).unwrap();
         file.set_view(view);

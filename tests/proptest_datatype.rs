@@ -18,12 +18,14 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
             // Contiguous
             (1usize..5, inner.clone()).prop_map(|(n, t)| Datatype::contiguous(n, t)),
             // Vector with stride >= blocklen (validated form)
-            (1usize..4, 1usize..4, 0usize..4, inner.clone()).prop_map(|(count, bl, extra, t)| {
-                Datatype::vector(count, bl, bl + extra, t)
-            }),
+            (1usize..4, 1usize..4, 0usize..4, inner.clone())
+                .prop_map(|(count, bl, extra, t)| { Datatype::vector(count, bl, bl + extra, t) }),
             // Indexed with strictly increasing, non-overlapping blocks
-            (proptest::collection::vec((1usize..4, 0usize..4), 1..4), inner.clone()).prop_map(
-                |(blocks, t)| {
+            (
+                proptest::collection::vec((1usize..4, 0usize..4), 1..4),
+                inner.clone()
+            )
+                .prop_map(|(blocks, t)| {
                     let mut displs = Vec::new();
                     let mut lens = Vec::new();
                     let mut at = 0usize;
@@ -34,8 +36,7 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                         at += len;
                     }
                     Datatype::indexed(lens, displs, t)
-                }
-            ),
+                }),
             // Resized with extent >= inner extent
             (inner, 0usize..16).prop_map(|(t, pad)| {
                 let e = t.extent() + pad;
@@ -46,7 +47,9 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    // Seed pinned so CI failures are reproducible; override with
+    // PROPTEST_SEED to explore a different stream.
+    #![proptest_config(ProptestConfig::with_cases(256).with_seed(0x6d76_696f_6474_7970))]
 
     #[test]
     fn generated_datatypes_validate(dt in arb_datatype()) {

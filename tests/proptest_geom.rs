@@ -31,7 +31,9 @@ fn arb_polygon() -> impl Strategy<Value = Polygon> {
         let mut pts = Vec::with_capacity(k + 1);
         let mut s = seed;
         for i in 0..k {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = 0.1 + (s >> 33) as f64 / u32::MAX as f64 * 5.0;
             let a = i as f64 / k as f64 * std::f64::consts::TAU;
             pts.push(Point::new(center.x + r * a.cos(), center.y + r * a.sin()));
@@ -54,7 +56,9 @@ fn arb_geometry() -> impl Strategy<Value = Geometry> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    // Seed pinned so CI failures are reproducible; override with
+    // PROPTEST_SEED to explore a different stream.
+    #![proptest_config(ProptestConfig::with_cases(256).with_seed(0x6d76_696f_6765_6f6d))]
 
     #[test]
     fn wkt_round_trips_exactly(g in arb_geometry()) {

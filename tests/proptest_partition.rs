@@ -40,11 +40,7 @@ impl TestTiny for FsConfig {
     }
 }
 
-fn run_partition(
-    fs: &std::sync::Arc<SimFs>,
-    ranks: usize,
-    opts: ReadOptions,
-) -> Vec<String> {
+fn run_partition(fs: &std::sync::Arc<SimFs>, ranks: usize, opts: ReadOptions) -> Vec<String> {
     let fs = std::sync::Arc::clone(fs);
     let per_rank = World::run(
         WorldConfig::new(Topology::single_node(ranks)),
@@ -60,7 +56,9 @@ fn run_partition(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Seed pinned so CI failures are reproducible; override with
+    // PROPTEST_SEED to explore a different stream.
+    #![proptest_config(ProptestConfig::with_cases(48).with_seed(0x6d76_696f_7061_7274))]
 
     #[test]
     fn message_strategy_delivers_exactly_once(
