@@ -12,7 +12,8 @@
 
 use mvio_bench::experiments::{self as ex, Scale};
 
-const IDS: [&str; 20] = [
+const IDS: [&str; 21] = [
+    "pipeline",
     "table1",
     "table2",
     "table3",
@@ -37,6 +38,7 @@ const IDS: [&str; 20] = [
 
 fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
     Some(match id {
+        "pipeline" => ex::pipeline::run(scale, quick),
         "table1" => ex::table1::run(scale, quick),
         "table2" => ex::table2::run(scale, quick),
         "table3" => ex::table3::run(scale, quick),

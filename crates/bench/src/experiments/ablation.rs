@@ -29,6 +29,7 @@ fn join_with(scale: Scale, procs: usize, cells: u32, map: CellMap, windows: u32)
         map,
         read: ReadOptions::default().with_block_size(64 << 10),
         windows,
+        ..Default::default()
     };
     let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
     let out = World::run(cfg, move |comm| {
@@ -157,6 +158,7 @@ mod tests {
                 map,
                 read: ReadOptions::default().with_block_size(128 << 10),
                 windows: 1,
+                ..Default::default()
             };
             let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
                 spatial_join(comm, &fs, "l.wkt", "r.wkt", &opts)

@@ -30,6 +30,7 @@ pub fn join_run(
         // many ranks split a small scaled layer (Cemetery at 80+ procs).
         read: ReadOptions::default().with_block_size(64 << 10),
         windows: 1,
+        ..Default::default()
     };
     let cfg = WorldConfig::new(topo).with_cost(cost_scaled(scale));
     let out = World::run(cfg, move |comm| {

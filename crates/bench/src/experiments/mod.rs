@@ -15,6 +15,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod pipeline;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -49,13 +49,27 @@ pub struct ExchangeStats {
 }
 
 /// Wire format of one record: `[u64 cell][u32 wkb_len][wkb][u32 ud_len][ud]`.
-fn serialize_record(cell: u32, feature: &Feature, out: &mut Vec<u8>) {
+///
+/// Length fields are checked conversions: a geometry or userdata payload
+/// over `u32::MAX` bytes is an error, not a silently truncated length that
+/// the receiver would misparse as a corrupt stream. (Shared with the
+/// ingest pipeline's worker threads, hence `pub(crate)`.)
+pub(crate) fn serialize_record(cell: u32, feature: &Feature, out: &mut Vec<u8>) -> Result<()> {
+    let too_big = |what: &str, len: usize| {
+        CoreError::Partition(format!(
+            "exchange serialization: {what} of {len} bytes exceeds the u32 wire-format limit"
+        ))
+    };
     out.extend_from_slice(&(cell as u64).to_le_bytes());
     let geom = wkb::encode(&feature.geometry);
-    out.extend_from_slice(&(geom.len() as u32).to_le_bytes());
+    let glen = u32::try_from(geom.len()).map_err(|_| too_big("geometry", geom.len()))?;
+    out.extend_from_slice(&glen.to_le_bytes());
     out.extend_from_slice(&geom);
-    out.extend_from_slice(&(feature.userdata.len() as u32).to_le_bytes());
+    let ulen = u32::try_from(feature.userdata.len())
+        .map_err(|_| too_big("userdata", feature.userdata.len()))?;
+    out.extend_from_slice(&ulen.to_le_bytes());
     out.extend_from_slice(feature.userdata.as_bytes());
+    Ok(())
 }
 
 fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
@@ -123,46 +137,89 @@ pub fn exchange_features(
     for window_pairs in by_window {
         // Serialize per destination rank (charged per object: the paper's
         // "buffer management overhead in serialization").
-        let mut send_bufs: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
-        let mut sent_records = 0u64;
+        let mut batch = SerializedBatch::empty(p);
         for (cell, feature) in &window_pairs {
             let dst = opts.map.rank_of(*cell, num_cells, p);
-            serialize_record(*cell, feature, &mut send_bufs[dst]);
-            sent_records += 1;
+            serialize_record(*cell, feature, &mut batch.bufs[dst])?;
+            batch.records[dst] += 1;
         }
-        stats.records_sent += sent_records;
-        let sent: u64 = send_bufs.iter().map(|b| b.len() as u64).sum();
-        stats.bytes_sent += sent;
         comm.charge(Work::SerializeGeoms {
-            n: sent_records,
-            bytes: sent,
+            n: batch.records.iter().sum(),
+            bytes: batch.bufs.iter().map(|b| b.len() as u64).sum(),
         });
 
-        // Round 1: sizes (MPI_Alltoall).
-        let sizes: Vec<u64> = send_bufs.iter().map(|b| b.len() as u64).collect();
-        let incoming_sizes = comm.alltoall_u64(sizes);
-
-        // Round 2: payloads (MPI_Alltoallv).
-        let recv_bufs = comm.alltoallv(send_bufs);
-        for (src, buf) in recv_bufs.iter().enumerate() {
-            debug_assert_eq!(buf.len() as u64, incoming_sizes[src]);
-        }
-        let got: u64 = recv_bufs.iter().map(|b| b.len() as u64).sum();
-        stats.bytes_received += got;
-
-        let mut got_records = 0u64;
-        for buf in recv_bufs {
-            let mut records = deserialize_records(&buf)?;
-            got_records += records.len() as u64;
-            received.append(&mut records);
-        }
-        stats.records_received += got_records;
-        comm.charge(Work::SerializeGeoms {
-            n: got_records,
-            bytes: got,
-        });
+        // The window's two-round protocol + deserialization is exactly
+        // the pre-serialized exchange.
+        let (mut records, w) = exchange_serialized(comm, batch)?;
+        received.append(&mut records);
+        stats.records_sent += w.records_sent;
+        stats.bytes_sent += w.bytes_sent;
+        stats.records_received += w.records_received;
+        stats.bytes_received += w.bytes_received;
     }
 
+    Ok((received, stats))
+}
+
+/// Per-destination payloads that were already serialized upstream — the
+/// streamed batches the ingest pipeline's worker threads produce
+/// ([`crate::pipeline::partition_chunked`]). One buffer and one record
+/// count per destination rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SerializedBatch {
+    /// Wire-format bytes destined for each rank (`bufs.len() == world size`).
+    pub bufs: Vec<Vec<u8>>,
+    /// Records contained in each destination buffer.
+    pub records: Vec<u64>,
+}
+
+impl SerializedBatch {
+    /// An empty batch for a `p`-rank world.
+    pub fn empty(p: usize) -> Self {
+        SerializedBatch {
+            bufs: vec![Vec::new(); p],
+            records: vec![0; p],
+        }
+    }
+}
+
+/// Single-window exchange of pre-serialized per-destination buffers: the
+/// two-round `Alltoall` + `Alltoallv` protocol of [`exchange_features`]
+/// without the serialization pass, which the caller (the ingest pipeline)
+/// already performed — and already charged to the clock — on its worker
+/// threads. Only the receive-side deserialization is charged here.
+pub fn exchange_serialized(
+    comm: &mut Comm,
+    batch: SerializedBatch,
+) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
+    let p = comm.size();
+    assert_eq!(batch.bufs.len(), p, "one buffer per destination rank");
+    assert_eq!(batch.records.len(), p, "one record count per destination");
+    let mut stats = ExchangeStats {
+        phases: 1,
+        records_sent: batch.records.iter().sum(),
+        bytes_sent: batch.bufs.iter().map(|b| b.len() as u64).sum(),
+        ..Default::default()
+    };
+
+    let sizes: Vec<u64> = batch.bufs.iter().map(|b| b.len() as u64).collect();
+    let incoming_sizes = comm.alltoall_u64(sizes);
+    let recv_bufs = comm.alltoallv(batch.bufs);
+    for (src, buf) in recv_bufs.iter().enumerate() {
+        debug_assert_eq!(buf.len() as u64, incoming_sizes[src]);
+    }
+    stats.bytes_received = recv_bufs.iter().map(|b| b.len() as u64).sum();
+
+    let mut received = Vec::new();
+    for buf in recv_bufs {
+        let mut records = deserialize_records(&buf)?;
+        stats.records_received += records.len() as u64;
+        received.append(&mut records);
+    }
+    comm.charge(Work::SerializeGeoms {
+        n: stats.records_received,
+        bytes: stats.bytes_received,
+    });
     Ok((received, stats))
 }
 
@@ -183,7 +240,7 @@ mod tests {
             "name=park",
         );
         let mut buf = Vec::new();
-        serialize_record(42, &f, &mut buf);
+        serialize_record(42, &f, &mut buf).unwrap();
         let out = deserialize_records(&buf).unwrap();
         assert_eq!(out, vec![(42, f)]);
     }
@@ -192,7 +249,7 @@ mod tests {
     fn deserialize_rejects_truncation() {
         let f = feature(1.0, 2.0, "x");
         let mut buf = Vec::new();
-        serialize_record(1, &f, &mut buf);
+        serialize_record(1, &f, &mut buf).unwrap();
         for cut in [1, 8, 13, buf.len() - 1] {
             assert!(deserialize_records(&buf[..cut]).is_err(), "cut {cut}");
         }

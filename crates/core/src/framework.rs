@@ -44,6 +44,25 @@ impl FilterRefine {
         map: CellMap,
         left: &'a [(u32, Feature)],
         right: &'a [(u32, Feature)],
+        refine: impl FnMut(&mut Comm, RefineTask<'a>) -> Vec<R>,
+    ) -> Vec<R> {
+        Self::run_refine_batched(comm, grid, map, [left], [right], refine)
+    }
+
+    /// Streamed-batch variant of [`FilterRefine::run_refine`]: accepts the
+    /// exchanged pairs as any number of batches per side (e.g. one batch
+    /// per sliding-window phase of the exchange, or per pipeline chunk)
+    /// without requiring the caller to concatenate them into one snapshot
+    /// vector first. Grouping is by cell id, so the batch boundaries do
+    /// not affect the result; within a cell, features keep
+    /// batch-then-offset order, matching the concatenated sequential path
+    /// bit for bit.
+    pub fn run_refine_batched<'a, R>(
+        comm: &mut Comm,
+        grid: &UniformGrid,
+        map: CellMap,
+        left_batches: impl IntoIterator<Item = &'a [(u32, Feature)]>,
+        right_batches: impl IntoIterator<Item = &'a [(u32, Feature)]>,
         mut refine: impl FnMut(&mut Comm, RefineTask<'a>) -> Vec<R>,
     ) -> Vec<R> {
         let rank = comm.rank();
@@ -51,21 +70,25 @@ impl FilterRefine {
         let num_cells = grid.num_cells();
 
         let mut by_cell: BTreeMap<u32, (Vec<&'a Feature>, Vec<&'a Feature>)> = BTreeMap::new();
-        for (cell, f) in left {
-            debug_assert_eq!(
-                map.rank_of(*cell, num_cells, p),
-                rank,
-                "left pair misrouted"
-            );
-            by_cell.entry(*cell).or_default().0.push(f);
+        for batch in left_batches {
+            for (cell, f) in batch {
+                debug_assert_eq!(
+                    map.rank_of(*cell, num_cells, p),
+                    rank,
+                    "left pair misrouted"
+                );
+                by_cell.entry(*cell).or_default().0.push(f);
+            }
         }
-        for (cell, f) in right {
-            debug_assert_eq!(
-                map.rank_of(*cell, num_cells, p),
-                rank,
-                "right pair misrouted"
-            );
-            by_cell.entry(*cell).or_default().1.push(f);
+        for batch in right_batches {
+            for (cell, f) in batch {
+                debug_assert_eq!(
+                    map.rank_of(*cell, num_cells, p),
+                    rank,
+                    "right pair misrouted"
+                );
+                by_cell.entry(*cell).or_default().1.push(f);
+            }
         }
 
         let mut out = Vec::new();

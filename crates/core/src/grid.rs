@@ -40,9 +40,33 @@ impl GridSpec {
         }
     }
 
+    /// Exact total cell count, computed in `u64` so huge specs (e.g.
+    /// `100_000 × 100_000`) cannot overflow.
+    pub fn num_cells_u64(&self) -> u64 {
+        self.cells_x as u64 * self.cells_y as u64
+    }
+
+    /// Total cell count as the `u32` used for cell ids, or `None` when
+    /// the product exceeds `u32::MAX` (such a grid is unusable: cell ids
+    /// themselves are 32-bit).
+    pub fn try_num_cells(&self) -> Option<u32> {
+        u32::try_from(self.num_cells_u64()).ok()
+    }
+
     /// Total cell count.
+    ///
+    /// # Panics
+    /// Panics when `cells_x * cells_y` exceeds `u32::MAX` (previously this
+    /// silently wrapped in release builds, corrupting every downstream
+    /// cell-id computation). Use [`GridSpec::try_num_cells`] or
+    /// [`UniformGrid::try_new`] to handle oversized specs as errors.
     pub fn num_cells(&self) -> u32 {
-        self.cells_x * self.cells_y
+        self.try_num_cells().unwrap_or_else(|| {
+            panic!(
+                "grid of {} x {} cells exceeds u32::MAX cell ids",
+                self.cells_x, self.cells_y
+            )
+        })
     }
 }
 
@@ -58,15 +82,39 @@ pub struct UniformGrid {
 
 impl UniformGrid {
     /// Creates a grid over `bounds` (must be non-empty).
+    ///
+    /// # Panics
+    /// Panics on empty bounds, a zero-cell spec, or a spec whose cell
+    /// count overflows `u32` — see [`UniformGrid::try_new`] for the
+    /// non-panicking variant.
     pub fn new(bounds: Rect, spec: GridSpec) -> Self {
-        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
-        assert!(spec.cells_x > 0 && spec.cells_y > 0, "grid must have cells");
-        UniformGrid {
+        Self::try_new(bounds, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible grid construction: rejects empty bounds, zero-cell specs,
+    /// and specs whose total cell count does not fit the `u32` cell-id
+    /// space.
+    pub fn try_new(bounds: Rect, spec: GridSpec) -> crate::Result<Self> {
+        if bounds.is_empty() {
+            return Err(crate::CoreError::Grid(
+                "grid bounds must be non-empty".into(),
+            ));
+        }
+        if spec.cells_x == 0 || spec.cells_y == 0 {
+            return Err(crate::CoreError::Grid("grid must have cells".into()));
+        }
+        if spec.try_num_cells().is_none() {
+            return Err(crate::CoreError::Grid(format!(
+                "grid of {} x {} cells exceeds u32::MAX cell ids",
+                spec.cells_x, spec.cells_y
+            )));
+        }
+        Ok(UniformGrid {
             bounds,
             spec,
             cell_w: bounds.width() / spec.cells_x as f64,
             cell_h: bounds.height() / spec.cells_y as f64,
-        }
+        })
     }
 
     /// Builds the **global** grid collectively: allreduce the union of
@@ -123,8 +171,19 @@ impl UniformGrid {
 
     /// Cells whose rectangles intersect `rect`, computed arithmetically.
     pub fn cells_overlapping(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.cells_overlapping_into(rect, &mut out);
+        out
+    }
+
+    /// Streaming variant of [`UniformGrid::cells_overlapping`]: clears and
+    /// fills a caller-owned buffer, so hot loops (the ingest pipeline maps
+    /// millions of features) can reuse one allocation across features.
+    /// Cell ids are appended in row-major ascending order.
+    pub fn cells_overlapping_into(&self, rect: &Rect, out: &mut Vec<u32>) {
+        out.clear();
         if rect.is_empty() || !rect.intersects(&self.bounds) {
-            return Vec::new();
+            return;
         }
         let clamp = |v: f64, hi: u32| -> u32 { (v.max(0.0) as u32).min(hi - 1) };
         let c0 = clamp(
@@ -143,13 +202,15 @@ impl UniformGrid {
             (rect.max_y - self.bounds.min_y) / self.cell_h,
             self.spec.cells_y,
         );
-        let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
+        // Span product computed in u64: a rect covering most of a huge
+        // grid would overflow the old u32 arithmetic.
+        let span = (c1 - c0 + 1) as u64 * (r1 - r0 + 1) as u64;
+        out.reserve(span as usize);
         for row in r0..=r1 {
             for col in c0..=c1 {
                 out.push(row * self.spec.cells_x + col);
             }
         }
-        out
     }
 
     /// Builds the R-tree over cell boundaries the paper describes,
@@ -306,6 +367,104 @@ mod tests {
         // A rect spanning a 2x2 block of cells.
         let cells = g.cells_overlapping(&Rect::new(0.5, 0.5, 1.5, 1.5));
         assert_eq!(cells, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn interior_edge_points_map_to_exactly_one_cell() {
+        let g = grid4();
+        // A point exactly on the x=1 edge shared by cells 0 and 1:
+        // half-open cell assignment gives it to the upper cell only.
+        assert_eq!(g.cells_overlapping(&Rect::new(1.0, 0.5, 1.0, 0.5)), vec![1]);
+        // A point on a shared corner touches four cells; exactly one
+        // (up-and-right of the corner) claims it.
+        assert_eq!(
+            g.cells_overlapping(&Rect::new(2.0, 2.0, 2.0, 2.0)),
+            vec![10]
+        );
+        // An envelope *ending* on that edge still replicates across it,
+        // so an edge point and an edge-touching envelope meet in cell 1.
+        assert_eq!(
+            g.cells_overlapping(&Rect::new(0.5, 0.5, 1.0, 0.5)),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn extent_max_corner_maps_to_the_last_cell() {
+        let g = grid4();
+        assert_eq!(
+            g.cells_overlapping(&Rect::new(4.0, 4.0, 4.0, 4.0)),
+            vec![15]
+        );
+        // Max edges (not just the corner) clamp into the last row/column.
+        assert_eq!(g.cells_overlapping(&Rect::new(4.0, 1.5, 4.0, 1.5)), vec![7]);
+        assert_eq!(
+            g.cells_overlapping(&Rect::new(1.5, 4.0, 1.5, 4.0)),
+            vec![13]
+        );
+    }
+
+    #[test]
+    fn degenerate_extents_build_well_formed_global_grids() {
+        // Every rank holds the same single point: the global extent is a
+        // zero-area rect, which build_global pads to a unit square.
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+            let f = Feature::new(mvio_geom::Geometry::Point(Point::new(3.0, 7.0)));
+            let grid =
+                UniformGrid::build_global(comm, std::slice::from_ref(&f), GridSpec::square(4));
+            let cells = grid.cells_overlapping(&f.geometry.envelope());
+            (grid.bounds().area(), cells)
+        });
+        for (area, cells) in &out {
+            assert!(*area > 0.0, "degenerate extent must be padded");
+            assert_eq!(cells.len(), 1, "the lone point must map to one cell");
+        }
+        // Zero-width extent (all data on one vertical line).
+        let out = World::run(WorldConfig::new(Topology::single_node(1)), |comm| {
+            let feats: Vec<Feature> = [0.0, 2.5, 5.0]
+                .iter()
+                .map(|&y| Feature::new(mvio_geom::Geometry::Point(Point::new(2.0, y))))
+                .collect();
+            let grid = UniformGrid::build_global(comm, &feats, GridSpec::square(4));
+            feats
+                .iter()
+                .map(|f| grid.cells_overlapping(&f.geometry.envelope()).len())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(
+            out[0],
+            vec![1, 1, 1],
+            "every point lands in exactly one cell"
+        );
+    }
+
+    #[test]
+    fn oversized_grid_specs_are_rejected_not_wrapped() {
+        let spec = GridSpec {
+            cells_x: 1 << 20,
+            cells_y: 1 << 20,
+        };
+        assert_eq!(spec.num_cells_u64(), 1u64 << 40);
+        assert!(spec.try_num_cells().is_none());
+        let err = UniformGrid::try_new(Rect::new(0.0, 0.0, 1.0, 1.0), spec).unwrap_err();
+        assert!(matches!(err, crate::CoreError::Grid(_)), "{err}");
+        // Near the limit the product is fine: 65536 * 65535 < u32::MAX.
+        let big = GridSpec {
+            cells_x: 1 << 16,
+            cells_y: (1 << 16) - 1,
+        };
+        assert_eq!(big.num_cells() as u64, big.num_cells_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn num_cells_panics_instead_of_wrapping() {
+        // 2^16 * 2^16 = 2^32 wrapped to 0 in release builds before.
+        let _ = GridSpec {
+            cells_x: 1 << 16,
+            cells_y: 1 << 16,
+        }
+        .num_cells();
     }
 
     #[test]

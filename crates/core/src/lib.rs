@@ -41,15 +41,17 @@ pub mod exchange;
 pub mod framework;
 pub mod grid;
 pub mod partition;
+pub mod pipeline;
 pub mod reader;
 pub mod spops;
 pub mod sptypes;
 pub mod views;
 
-pub use exchange::{ExchangeOptions, ExchangeStats};
+pub use exchange::{ExchangeOptions, ExchangeStats, SerializedBatch};
 pub use framework::{FilterRefine, RefineTask};
 pub use grid::{CellMap, GridSpec, UniformGrid};
 pub use partition::{BoundaryStrategy, ReadOptions};
+pub use pipeline::{IngestOutput, PipelineOptions, PipelineStats};
 pub use reader::{CsvPointParser, GeometryParser, WktLineParser};
 
 use mvio_geom::Geometry;
@@ -98,6 +100,9 @@ pub enum CoreError {
     /// File partitioning could not make progress (e.g. a geometry larger
     /// than the block size and the halo).
     Partition(String),
+    /// Grid construction rejected the requested decomposition (empty
+    /// bounds, zero cells, or a cell count overflowing the `u32` id space).
+    Grid(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -110,6 +115,7 @@ impl std::fmt::Display for CoreError {
                 write!(f, "parse error on record {head:?}…: {source}")
             }
             CoreError::Partition(m) => write!(f, "partitioning: {m}"),
+            CoreError::Grid(m) => write!(f, "grid: {m}"),
         }
     }
 }

@@ -1,0 +1,726 @@
+//! The intra-rank streaming ingest pipeline: multi-threaded
+//! parse → cell-map → serialize with deterministic merge.
+//!
+//! The paper's end-to-end win comes from overlapping I/O, parsing and
+//! spatial partitioning. The per-rank path elsewhere in this crate
+//! (`reader` → `grid` → `exchange`) is strictly sequential: parse *all*
+//! records, then map *all* features to cells, then serialize *all*
+//! replicas. This module fans both compute stages out to worker threads:
+//!
+//! 1. the rank's record buffer is split into record-aligned **chunks**
+//!    ([`split_record_chunks`]);
+//! 2. N workers pull chunks from an MPMC channel and parse them into
+//!    per-chunk feature batches ([`parse_chunked`]);
+//! 3. a second fan-out maps each parsed batch onto grid cells and
+//!    serializes the replicas straight into per-destination wire buffers
+//!    ([`partition_chunked`]) — features stream into the exchange format
+//!    without an intermediate `Vec<(u32, Feature)>` snapshot;
+//! 4. [`crate::exchange::exchange_serialized`] ships the buffers with the
+//!    usual two-round `Alltoall` + `Alltoallv` protocol.
+//!
+//! # Determinism
+//!
+//! Output is **bit-identical to the sequential path regardless of worker
+//! count**: chunk boundaries depend only on the input and the chunk-size
+//! knobs (never on the worker count or OS scheduling), and the merge
+//! concatenates per-chunk results in ascending chunk order. The existing
+//! test suite therefore doubles as a correctness oracle for the pipeline.
+//!
+//! Virtual-time accounting is equally deterministic: worker threads
+//! cannot touch the rank's [`Comm`] clock, so each chunk's work is
+//! charged to a [`WorkTally`] and folded into per-worker *lanes* by the
+//! fixed rule `lane = chunk_index % workers`. The rank clock then
+//! advances by the **slowest lane** ([`Comm::advance_parallel`]) — the
+//! virtual wall-time of a perfectly overlapped parallel region. With one
+//! worker the parse stage charges exactly what [`crate::reader::parse_buffer`]
+//! would (the lane is the sequential sum); the partition stage
+//! additionally charges the grid-filter lookup (`Work::RtreeQueries`,
+//! the paper's cell-filter mechanism), which a hand-rolled
+//! `cells_overlapping` loop would not. Either way the reported speedup
+//! at `w` workers is a property of the partitioned work, not of the
+//! host machine.
+//!
+//! # Worker-count knob
+//!
+//! [`PipelineOptions::workers`]`= 0` (the default) resolves through the
+//! `MVIO_PIPELINE_WORKERS` environment variable, falling back to the
+//! host's available parallelism (capped at 8). CI pins the knob to 1 and
+//! 4 and runs the full suite under both.
+
+use crate::exchange::{exchange_serialized, serialize_record, ExchangeStats, SerializedBatch};
+use crate::grid::{CellMap, GridSpec, UniformGrid};
+use crate::partition::{read_partition_text, ReadOptions};
+use crate::reader::{parse_records_into, GeometryParser};
+use crate::{Feature, Result};
+use crossbeam::channel;
+use mvio_msim::{Comm, Work, WorkTally};
+use mvio_pfs::SimFs;
+use std::sync::Arc;
+
+/// Environment variable consulted when [`PipelineOptions::workers`] is 0.
+pub const WORKERS_ENV: &str = "MVIO_PIPELINE_WORKERS";
+
+/// Knobs for the streaming ingest pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Worker threads per stage. `0` = auto: `MVIO_PIPELINE_WORKERS`,
+    /// else the host's available parallelism capped at 8.
+    pub workers: usize,
+    /// Target bytes per parse chunk (record-aligned; a chunk never splits
+    /// a record).
+    pub parse_chunk_bytes: usize,
+    /// Features per cell-map/serialize chunk.
+    pub partition_chunk_records: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            workers: 0,
+            parse_chunk_bytes: 64 << 10,
+            partition_chunk_records: 1024,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Sets an explicit worker count (`0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the parse-chunk size in bytes.
+    pub fn with_parse_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.parse_chunk_bytes = bytes;
+        self
+    }
+
+    /// Sets the partition-chunk size in records.
+    pub fn with_partition_chunk_records(mut self, records: usize) -> Self {
+        self.partition_chunk_records = records;
+        self
+    }
+
+    /// The worker count this configuration resolves to.
+    pub fn effective_workers(&self) -> usize {
+        resolve_workers(self.workers)
+    }
+}
+
+/// Upper bound on the resolved worker count, whatever the source. Each
+/// rank thread spawns its own workers, so a runaway request (a typo'd
+/// `MVIO_PIPELINE_WORKERS=100000`) must clamp rather than exhaust OS
+/// threads inside `thread::scope`.
+pub const MAX_WORKERS: usize = 64;
+
+/// Resolves a requested worker count: explicit values win, `0` consults
+/// [`WORKERS_ENV`], and absent both the host's available parallelism is
+/// used (capped at 8 so huge machines don't fragment small inputs).
+/// Every source is clamped to `1..=`[`MAX_WORKERS`].
+pub fn resolve_workers(requested: usize) -> usize {
+    let raw = if requested > 0 {
+        requested
+    } else if let Some(n) = std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    };
+    raw.clamp(1, MAX_WORKERS)
+}
+
+/// Counters describing one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Record-aligned text chunks parsed.
+    pub parse_chunks: u64,
+    /// Feature chunks cell-mapped and serialized.
+    pub partition_chunks: u64,
+    /// Records parsed.
+    pub records: u64,
+    /// Record bytes parsed (including delimiters).
+    pub record_bytes: u64,
+    /// `(cell, feature)` replicas serialized.
+    pub pairs: u64,
+}
+
+impl PipelineStats {
+    /// Combines the stats of two stages of the same run.
+    fn merge(a: PipelineStats, b: PipelineStats) -> PipelineStats {
+        PipelineStats {
+            workers: a.workers.max(b.workers),
+            parse_chunks: a.parse_chunks + b.parse_chunks,
+            partition_chunks: a.partition_chunks + b.partition_chunks,
+            records: a.records + b.records,
+            record_bytes: a.record_bytes + b.record_bytes,
+            pairs: a.pairs + b.pairs,
+        }
+    }
+}
+
+/// Splits `text` into record-aligned chunks of roughly `target_bytes`
+/// each: every chunk ends on a record delimiter (or the end of input), so
+/// chunks can be parsed independently. Boundaries depend only on the
+/// input and the target — never on the worker count — which is what makes
+/// the parallel merge bit-identical to the sequential scan.
+pub fn split_record_chunks(text: &str, target_bytes: usize) -> Vec<&str> {
+    let target = target_bytes.max(1);
+    let mut out = Vec::new();
+    let mut rest = text;
+    while rest.len() > target {
+        // First newline at or after the target. Newlines are ASCII, so
+        // the byte offset is always a valid char boundary.
+        match rest.as_bytes()[target - 1..]
+            .iter()
+            .position(|&b| b == b'\n')
+        {
+            Some(off) => {
+                let cut = target + off;
+                out.push(&rest[..cut]);
+                rest = &rest[cut..];
+            }
+            None => break,
+        }
+    }
+    if !rest.is_empty() {
+        out.push(rest);
+    }
+    out
+}
+
+/// Runs `job` over `jobs.len()` indexed work items on `workers` threads
+/// fed by an MPMC channel, returning results ordered by job index and the
+/// per-lane virtual-second totals (`lane = index % lanes`). The
+/// single-worker case runs inline — same code path, no threads.
+fn fan_out<J, O>(
+    workers: usize,
+    jobs: Vec<J>,
+    job: impl Fn(&J) -> (O, f64) + Sync,
+) -> (Vec<O>, Vec<f64>)
+where
+    J: Sync,
+    O: Send,
+{
+    let n = jobs.len();
+    let lanes_n = workers.min(n).max(1);
+    let mut secs_by_idx = vec![0.0f64; n];
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+
+    if lanes_n <= 1 {
+        for (i, j) in jobs.iter().enumerate() {
+            let (out, secs) = job(j);
+            secs_by_idx[i] = secs;
+            results[i] = Some(out);
+        }
+    } else {
+        std::thread::scope(|s| {
+            let (job_tx, job_rx) = channel::unbounded::<(usize, &J)>();
+            let (res_tx, res_rx) = channel::unbounded::<(usize, O, f64)>();
+            for _ in 0..lanes_n {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let job = &job;
+                s.spawn(move || {
+                    while let Ok((idx, item)) = job_rx.recv() {
+                        let (out, secs) = job(item);
+                        if res_tx.send((idx, out, secs)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            for pair in jobs.iter().enumerate() {
+                job_tx.send(pair).expect("workers alive");
+            }
+            drop(job_tx);
+            for _ in 0..n {
+                let (idx, out, secs) = res_rx.recv().expect("worker panicked");
+                secs_by_idx[idx] = secs;
+                results[idx] = Some(out);
+            }
+        });
+    }
+    // Deterministic lane accounting: fold per-chunk seconds in ascending
+    // chunk order, never completion order — f64 addition is not
+    // associative, so summing as results arrive would make the virtual
+    // clock depend on OS scheduling at the ULP level.
+    let mut lanes = vec![0.0f64; lanes_n];
+    for (idx, secs) in secs_by_idx.iter().enumerate() {
+        lanes[idx % lanes_n] += secs;
+    }
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect();
+    (results, lanes)
+}
+
+/// Parallel parse stage: splits `text` into record-aligned chunks, parses
+/// them on worker threads, and merges the per-chunk feature batches in
+/// chunk order. The feature vector is bit-identical to
+/// [`crate::reader::parse_buffer`] for any worker count; the clock
+/// advances by the slowest deterministic worker lane.
+pub fn parse_chunked(
+    comm: &mut Comm,
+    text: &str,
+    parser: &dyn GeometryParser,
+    opts: &PipelineOptions,
+) -> Result<(Vec<Feature>, PipelineStats)> {
+    let workers = opts.effective_workers();
+    let chunks = split_record_chunks(text, opts.parse_chunk_bytes);
+    let cost = *comm.cost_model();
+
+    struct ChunkOut {
+        feats: Vec<Feature>,
+        records: u64,
+        bytes: u64,
+    }
+
+    let (results, lanes) = fan_out(workers, chunks, |chunk: &&str| {
+        let mut tally = WorkTally::new(cost);
+        let mut feats = Vec::new();
+        let mut bytes = 0u64;
+        let parsed = parse_records_into(
+            chunk,
+            parser,
+            |b, class| {
+                bytes += b;
+                tally.charge(Work::ParseWkt { bytes: b, class });
+            },
+            &mut feats,
+        );
+        let out = parsed.map(|records| ChunkOut {
+            feats,
+            records,
+            bytes,
+        });
+        (out, tally.seconds())
+    });
+    let parse_chunks = results.len() as u64;
+    // Error of the lowest-index failed chunk — what the sequential scan
+    // would have hit first.
+    let batches = results.into_iter().collect::<Result<Vec<_>>>()?;
+    comm.advance_parallel(&lanes);
+
+    let mut stats = PipelineStats {
+        workers,
+        parse_chunks,
+        ..Default::default()
+    };
+    let total: usize = batches.iter().map(|b| b.feats.len()).sum();
+    let mut features = Vec::with_capacity(total);
+    for b in batches {
+        stats.records += b.records;
+        stats.record_bytes += b.bytes;
+        features.extend(b.feats);
+    }
+    Ok((features, stats))
+}
+
+/// Parallel partition stage: maps feature chunks onto grid cells and
+/// serializes every `(cell, feature)` replica straight into
+/// per-destination wire buffers, merged per destination in chunk order.
+/// One cell-id scratch buffer is reused across all features of a chunk.
+/// The resulting [`SerializedBatch`] is byte-identical for any worker
+/// count and matches what [`crate::exchange::exchange_features`] would
+/// serialize from the equivalent pair list.
+pub fn partition_chunked(
+    comm: &mut Comm,
+    grid: &UniformGrid,
+    map: CellMap,
+    features: &[Feature],
+    opts: &PipelineOptions,
+) -> Result<(SerializedBatch, PipelineStats)> {
+    let workers = opts.effective_workers();
+    let p = comm.size();
+    let num_cells = grid.num_cells();
+    let step = opts.partition_chunk_records.max(1);
+    let cost = *comm.cost_model();
+
+    struct ChunkOut {
+        bufs: Vec<Vec<u8>>,
+        counts: Vec<u64>,
+        pairs: u64,
+    }
+
+    let ranges: Vec<std::ops::Range<usize>> = (0..features.len())
+        .step_by(step)
+        .map(|lo| lo..(lo + step).min(features.len()))
+        .collect();
+
+    let (results, lanes) = fan_out(workers, ranges, |range: &std::ops::Range<usize>| {
+        let mut tally = WorkTally::new(cost);
+        let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); p];
+        let mut counts = vec![0u64; p];
+        let mut cells: Vec<u32> = Vec::new();
+        let mut pairs = 0u64;
+        let mut run = || -> Result<()> {
+            for f in &features[range.clone()] {
+                grid.cells_overlapping_into(&f.geometry.envelope(), &mut cells);
+                pairs += cells.len() as u64;
+                for &cell in &cells {
+                    let dst = map.rank_of(cell, num_cells, p);
+                    serialize_record(cell, f, &mut bufs[dst])?;
+                    counts[dst] += 1;
+                }
+            }
+            Ok(())
+        };
+        let r = run();
+        let bytes: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+        tally.charge(Work::RtreeQueries {
+            n: range.len() as u64,
+            results: pairs,
+        });
+        tally.charge(Work::SerializeGeoms { n: pairs, bytes });
+        let out = r.map(|()| ChunkOut {
+            bufs,
+            counts,
+            pairs,
+        });
+        (out, tally.seconds())
+    });
+    let partition_chunks = results.len() as u64;
+    // Error of the lowest-index failed chunk — what the sequential scan
+    // would have hit first.
+    let batches = results.into_iter().collect::<Result<Vec<_>>>()?;
+    comm.advance_parallel(&lanes);
+
+    let mut out = SerializedBatch::empty(p);
+    let mut stats = PipelineStats {
+        workers,
+        partition_chunks,
+        ..Default::default()
+    };
+    for dst in 0..p {
+        let total: usize = batches.iter().map(|b| b.bufs[dst].len()).sum();
+        out.bufs[dst].reserve(total);
+    }
+    for b in batches {
+        stats.pairs += b.pairs;
+        for dst in 0..p {
+            out.bufs[dst].extend_from_slice(&b.bufs[dst]);
+            out.records[dst] += b.counts[dst];
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Per-rank result of a full pipelined ingest.
+#[derive(Debug)]
+pub struct IngestOutput {
+    /// The collectively built global grid.
+    pub grid: UniformGrid,
+    /// The `(cell, feature)` pairs this rank owns after the exchange —
+    /// bit-identical to the sequential parse→project→exchange path.
+    pub owned: Vec<(u32, Feature)>,
+    /// Features this rank parsed from its file partition.
+    pub local_features: u64,
+    /// Exchange counters.
+    pub exchange: ExchangeStats,
+    /// Pipeline counters.
+    pub stats: PipelineStats,
+}
+
+/// The full streaming per-rank ingest: partitioned read → parallel parse
+/// → collective grid build (`MPI_UNION` extent allreduce) → parallel
+/// cell-map + serialize → `Alltoall`/`Alltoallv` exchange. Collective:
+/// every rank must call it.
+#[allow(clippy::too_many_arguments)]
+pub fn ingest(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    read: &ReadOptions,
+    parser: &dyn GeometryParser,
+    spec: GridSpec,
+    map: CellMap,
+    opts: &PipelineOptions,
+) -> Result<IngestOutput> {
+    let text = read_partition_text(comm, fs, path, read)?;
+    let (features, parse_stats) = parse_chunked(comm, &text, parser, opts)?;
+    drop(text);
+    let grid = UniformGrid::build_global(comm, &features, spec);
+    let (batch, part_stats) = partition_chunked(comm, &grid, map, &features, opts)?;
+    let local_features = features.len() as u64;
+    drop(features);
+    let (owned, exchange) = exchange_serialized(comm, batch)?;
+    Ok(IngestOutput {
+        grid,
+        owned,
+        local_features,
+        exchange,
+        stats: PipelineStats::merge(parse_stats, part_stats),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::{exchange_features, ExchangeOptions};
+    use crate::reader::{parse_buffer, parse_buffer_serial, WktLineParser};
+    use mvio_geom::Rect;
+    use mvio_msim::{Topology, World, WorldConfig};
+
+    /// A deterministic synthetic WKT buffer mixing shapes and userdata.
+    fn sample_text(records: usize) -> String {
+        let mut text = String::new();
+        for i in 0..records {
+            let x = (i % 37) as f64 * 0.7;
+            let y = (i / 37) as f64 * 1.3;
+            match i % 3 {
+                0 => text.push_str(&format!("POINT ({x} {y})\tid={i}\n")),
+                1 => text.push_str(&format!(
+                    "LINESTRING ({x} {y}, {} {})\troad-{i}\n",
+                    x + 2.5,
+                    y + 0.4
+                )),
+                _ => text.push_str(&format!(
+                    "POLYGON (({x} {y}, {} {y}, {} {}, {x} {}, {x} {y}))\tlake-{i}\n",
+                    x + 1.9,
+                    x + 1.9,
+                    y + 1.1,
+                    y + 1.1
+                )),
+            }
+        }
+        text
+    }
+
+    #[test]
+    fn chunks_reassemble_to_the_input_and_respect_records() {
+        let text = sample_text(100);
+        for target in [1, 17, 256, 4096, text.len() + 10] {
+            let chunks = split_record_chunks(&text, target);
+            assert_eq!(chunks.concat(), text, "target {target}");
+            for c in &chunks[..chunks.len().saturating_sub(1)] {
+                assert!(c.ends_with('\n'), "interior chunk must end a record");
+            }
+        }
+        assert!(split_record_chunks("", 64).is_empty());
+    }
+
+    #[test]
+    fn parallel_parse_is_bit_identical_for_any_worker_count() {
+        let text = sample_text(300);
+        let expect = parse_buffer_serial(&text, &WktLineParser).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let text = text.clone();
+            let out = World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+                let opts = PipelineOptions::default()
+                    .with_workers(workers)
+                    .with_parse_chunk_bytes(512);
+                let (feats, stats) = parse_chunked(comm, &text, &WktLineParser, &opts).unwrap();
+                assert_eq!(stats.records, 300);
+                assert!(stats.parse_chunks > 4, "chunk size must fragment input");
+                (feats, comm.now())
+            });
+            assert_eq!(out[0].0, expect, "workers={workers}");
+            assert!(out[0].1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_parse_speedup_is_modelled_deterministically() {
+        // The virtual clock must report the max-lane time: 4 workers over
+        // many uniform chunks ≈ 1/4 of the single-worker time.
+        let text = sample_text(2000);
+        let time_at = |workers: usize| -> f64 {
+            let text = text.clone();
+            World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+                let opts = PipelineOptions::default()
+                    .with_workers(workers)
+                    .with_parse_chunk_bytes(1 << 10);
+                let before = comm.now();
+                parse_chunked(comm, &text, &WktLineParser, &opts).unwrap();
+                comm.now() - before
+            })[0]
+        };
+        let t1 = time_at(1);
+        let t4 = time_at(4);
+        assert!(
+            t1 / t4 >= 1.5,
+            "4-worker virtual speedup {:.2} must be >= 1.5x (t1={t1:.6}, t4={t4:.6})",
+            t1 / t4
+        );
+    }
+
+    #[test]
+    fn single_worker_parse_time_matches_sequential_charge() {
+        let text = sample_text(200);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let before = comm.now();
+            if comm.rank() == 0 {
+                let opts = PipelineOptions::default()
+                    .with_workers(1)
+                    .with_parse_chunk_bytes(777);
+                parse_chunked(comm, &text, &WktLineParser, &opts).unwrap();
+            } else {
+                parse_buffer(comm, &text, &WktLineParser).unwrap();
+            }
+            comm.now() - before
+        });
+        let rel = (out[0] - out[1]).abs() / out[1];
+        assert!(
+            rel < 1e-9,
+            "1-worker pipeline ({}) ~= sequential ({})",
+            out[0],
+            out[1]
+        );
+    }
+
+    #[test]
+    fn parse_errors_surface_the_first_bad_record() {
+        let mut text = sample_text(50);
+        text.push_str("POLYGON ((broken\n");
+        text.push_str(&sample_text(5));
+        text.push_str("POINT (also broken\n");
+        for workers in [1, 4] {
+            let text = text.clone();
+            let msg = World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+                let opts = PipelineOptions::default()
+                    .with_workers(workers)
+                    .with_parse_chunk_bytes(128);
+                parse_chunked(comm, &text, &WktLineParser, &opts)
+                    .unwrap_err()
+                    .to_string()
+            });
+            assert!(
+                msg[0].contains("POLYGON ((broken"),
+                "workers={workers}: must report the first bad record, got {}",
+                msg[0]
+            );
+        }
+    }
+
+    #[test]
+    fn partition_buffers_are_identical_for_any_worker_count_and_match_sequential() {
+        let text = sample_text(240);
+        let feats = parse_buffer_serial(&text, &WktLineParser).unwrap();
+        let run = |workers: usize| {
+            let feats = feats.clone();
+            World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+                let grid = UniformGrid::new(Rect::new(0.0, 0.0, 30.0, 75.0), GridSpec::square(8));
+                let opts = PipelineOptions::default()
+                    .with_workers(workers)
+                    .with_partition_chunk_records(17);
+                partition_chunked(comm, &grid, CellMap::RoundRobin, &feats, &opts).unwrap()
+            })
+        };
+        // Sequential reference: serialize replicas feature-major, cells
+        // ascending — exactly what exchange_features would emit.
+        let reference = {
+            let grid = UniformGrid::new(Rect::new(0.0, 0.0, 30.0, 75.0), GridSpec::square(8));
+            let mut batch = SerializedBatch::empty(3);
+            for f in &feats {
+                for cell in grid.cells_overlapping(&f.geometry.envelope()) {
+                    let dst = CellMap::RoundRobin.rank_of(cell, grid.num_cells(), 3);
+                    serialize_record(cell, f, &mut batch.bufs[dst]).unwrap();
+                    batch.records[dst] += 1;
+                }
+            }
+            batch
+        };
+        let base = run(1);
+        assert_eq!(
+            base[0].0, reference,
+            "1-worker output must match sequential"
+        );
+        for workers in [2, 4, 8] {
+            let out = run(workers);
+            for rank in 0..3 {
+                assert_eq!(out[rank].0, base[rank].0, "workers={workers} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_ingest_matches_the_sequential_exchange_path() {
+        let text = sample_text(180);
+        let fs = SimFs::new(mvio_pfs::FsConfig::lustre_comet());
+        fs.create("data.wkt", None).unwrap().append(text.as_bytes());
+        let spec = GridSpec::square(6);
+        let read = ReadOptions::default().with_block_size(2 << 10);
+
+        let sequential = {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                let feats =
+                    crate::partition::read_features(comm, &fs, "data.wkt", &read, &WktLineParser)
+                        .unwrap();
+                let grid = UniformGrid::build_global(comm, &feats, spec);
+                let pairs: Vec<(u32, Feature)> = feats
+                    .iter()
+                    .flat_map(|f| {
+                        grid.cells_overlapping(&f.geometry.envelope())
+                            .into_iter()
+                            .map(|c| (c, f.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                exchange_features(comm, pairs, grid.num_cells(), &ExchangeOptions::default())
+                    .unwrap()
+                    .0
+            })
+        };
+        for workers in [1, 2, 4, 8] {
+            let fs = Arc::clone(&fs);
+            let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                let opts = PipelineOptions::default()
+                    .with_workers(workers)
+                    .with_parse_chunk_bytes(512)
+                    .with_partition_chunk_records(13);
+                let rep = ingest(
+                    comm,
+                    &fs,
+                    "data.wkt",
+                    &read,
+                    &WktLineParser,
+                    spec,
+                    CellMap::RoundRobin,
+                    &opts,
+                )
+                .unwrap();
+                assert_eq!(rep.exchange.records_sent, rep.stats.pairs);
+                rep.owned
+            });
+            for rank in 0..4 {
+                assert_eq!(out[rank], sequential[rank], "workers={workers} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_resolution_prefers_explicit_over_env() {
+        assert_eq!(resolve_workers(3), 3);
+        // 0 resolves through env/host; both paths yield >= 1.
+        assert!(resolve_workers(0) >= 1);
+        // Runaway requests clamp instead of exhausting OS threads.
+        assert_eq!(resolve_workers(1_000_000), MAX_WORKERS);
+    }
+
+    #[test]
+    fn env_resolved_worker_count_keeps_output_identical() {
+        // Deliberately leaves `workers` at 0 so CI's MVIO_PIPELINE_WORKERS
+        // sweeps (1 and 4) drive this test through different real widths;
+        // the output must not notice.
+        let text = sample_text(150);
+        let expect = parse_buffer_serial(&text, &WktLineParser).unwrap();
+        let out = World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+            let opts = PipelineOptions::default().with_parse_chunk_bytes(512);
+            assert!(opts.effective_workers() >= 1);
+            parse_chunked(comm, &text, &WktLineParser, &opts).unwrap().0
+        });
+        assert_eq!(out[0], expect);
+    }
+}

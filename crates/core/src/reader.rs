@@ -53,7 +53,29 @@ impl GeometryParser for WktLineParser {
             record: record.to_string(),
             source,
         })?;
+        // `f64::from_str` happily produces NaN/inf from "NaN"/"inf"
+        // tokens; a single such coordinate poisons the MPI_UNION extent
+        // allreduce (NaN comparisons) and the grid's cell clamping, so
+        // reject it here like every other malformed record.
+        if !geometry_is_finite(&geometry) {
+            return Err(CoreError::Parse {
+                record: record.to_string(),
+                source: mvio_geom::GeomError::Invalid("non-finite coordinate".to_string()),
+            });
+        }
         Ok(Feature::with_userdata(geometry, userdata))
+    }
+}
+
+/// True when every coordinate of `g` is finite. Linestrings and rings
+/// already validate finiteness in their constructors; bare points (and
+/// points nested in multis/collections) are the remaining hole.
+fn geometry_is_finite(g: &Geometry) -> bool {
+    match g {
+        Geometry::Point(p) => p.is_finite(),
+        Geometry::MultiPoint(mp) => mp.0.iter().all(Point::is_finite),
+        Geometry::GeometryCollection(gc) => gc.0.iter().all(geometry_is_finite),
+        _ => true,
     }
 }
 
@@ -81,6 +103,9 @@ impl GeometryParser for CsvPointParser {
             .trim()
             .parse()
             .map_err(|_| bad("bad y"))?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(bad("non-finite coordinate"));
+        }
         let userdata = parts.next().unwrap_or("").trim_start().to_string();
         Ok(Feature {
             geometry: Geometry::Point(Point::new(x, y)),
@@ -93,6 +118,35 @@ impl GeometryParser for CsvPointParser {
     }
 }
 
+/// The non-blank records of a newline-delimited buffer, with trailing
+/// `\r` stripped — the record stream every parse path iterates.
+pub fn records(text: &str) -> impl Iterator<Item = &str> {
+    text.split('\n')
+        .map(|r| r.trim_end_matches('\r'))
+        .filter(|r| !r.trim().is_empty())
+}
+
+/// Streaming parse core: appends every record of `text` to the reusable
+/// `out` buffer, reporting each record's `(bytes, shape class)` to
+/// `charge` before parsing it. [`parse_buffer`] charges the rank clock
+/// through it; the ingest pipeline's worker threads charge a
+/// [`mvio_msim::WorkTally`] instead. Returns the number of records
+/// appended.
+pub fn parse_records_into(
+    text: &str,
+    parser: &dyn GeometryParser,
+    mut charge: impl FnMut(u64, ShapeClass),
+    out: &mut Vec<Feature>,
+) -> Result<u64> {
+    let mut n = 0u64;
+    for record in records(text) {
+        charge(record.len() as u64 + 1, parser.shape_class(record));
+        out.push(parser.parse(record)?);
+        n += 1;
+    }
+    Ok(n)
+}
+
 /// Parses every newline-delimited record in `text`, charging the rank's
 /// clock the calibrated per-byte parse cost by shape class. Blank records
 /// are skipped. This is the local parsing phase of the pipeline.
@@ -102,18 +156,12 @@ pub fn parse_buffer(
     parser: &dyn GeometryParser,
 ) -> Result<Vec<Feature>> {
     let mut out = Vec::new();
-    for record in text.split('\n') {
-        let record = record.trim_end_matches('\r');
-        if record.trim().is_empty() {
-            continue;
-        }
-        let class = parser.shape_class(record);
-        comm.charge(Work::ParseWkt {
-            bytes: record.len() as u64 + 1,
-            class,
-        });
-        out.push(parser.parse(record)?);
-    }
+    parse_records_into(
+        text,
+        parser,
+        |bytes, class| comm.charge(Work::ParseWkt { bytes, class }),
+        &mut out,
+    )?;
     Ok(out)
 }
 
@@ -121,13 +169,7 @@ pub fn parse_buffer(
 /// tests; identical semantics to [`parse_buffer`] without a communicator.
 pub fn parse_buffer_serial(text: &str, parser: &dyn GeometryParser) -> Result<Vec<Feature>> {
     let mut out = Vec::new();
-    for record in text.split('\n') {
-        let record = record.trim_end_matches('\r');
-        if record.trim().is_empty() {
-            continue;
-        }
-        out.push(parser.parse(record)?);
-    }
+    parse_records_into(text, parser, |_, _| {}, &mut out)?;
     Ok(out)
 }
 
@@ -158,6 +200,27 @@ mod tests {
         assert_eq!(f.userdata, "pickup");
         assert!(CsvPointParser.parse("1.5").is_err());
         assert!(CsvPointParser.parse("a,b").is_err());
+    }
+
+    #[test]
+    fn parsers_reject_non_finite_coordinates() {
+        // `f64::from_str` accepts NaN/inf spellings, which would poison
+        // the MPI_UNION extent allreduce and grid clamping downstream.
+        for bad in [
+            "POINT (NaN 2)",
+            "POINT (1 inf)",
+            "POINT (-inf 0)\tuserdata",
+            "MULTIPOINT ((1 1), (NaN 2))",
+        ] {
+            let err = WktLineParser.parse(bad);
+            assert!(matches!(err, Err(CoreError::Parse { .. })), "{bad}");
+        }
+        for bad in ["NaN,2", "1,inf", "-inf,0,tag", "1,-NaN"] {
+            assert!(CsvPointParser.parse(bad).is_err(), "{bad}");
+        }
+        // Finite scientific notation must still parse.
+        assert!(CsvPointParser.parse("1e3,-2.5e-2").is_ok());
+        assert!(WktLineParser.parse("POINT (1e3 -2.5e-2)").is_ok());
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl Comm {
         self.now += self.shared.cost.cost(work);
     }
 
+    /// Charges a region of work executed by concurrent intra-rank worker
+    /// lanes: the clock advances by the **slowest lane** (the virtual
+    /// wall-time of a perfectly overlapped parallel region). Lane totals
+    /// come from per-worker [`crate::WorkTally`] accounting; callers must
+    /// assign work to lanes deterministically (e.g. `chunk % lanes`) so
+    /// the charge is independent of OS scheduling. An empty slice charges
+    /// nothing.
+    pub fn advance_parallel(&mut self, lane_seconds: &[f64]) {
+        let max = lane_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        debug_assert!(max.is_finite() && max >= 0.0, "lane totals must be finite");
+        self.now += max;
+    }
+
     /// Context handed to the simulated filesystem for independent I/O.
     pub fn io_ctx(&self) -> mvio_pfs::IoCtx {
         mvio_pfs::IoCtx {

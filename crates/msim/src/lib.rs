@@ -57,7 +57,7 @@ pub use datatype::Datatype;
 pub use hints::Hints;
 pub use io::{AccessLevel, MpiFile};
 pub use reduceop::ReduceOp;
-pub use time::{CostModel, ShapeClass, Work};
+pub use time::{CostModel, ShapeClass, Work, WorkTally};
 pub use topology::Topology;
 pub use world::{World, WorldConfig};
 

@@ -161,6 +161,37 @@ impl CostModel {
     }
 }
 
+/// Off-thread [`Work`] accumulator for intra-rank worker threads.
+///
+/// A [`crate::Comm`] is single-threaded by design (it owns the rank's
+/// virtual clock), so pipeline workers running on real OS threads cannot
+/// charge it directly. Each worker instead charges a `WorkTally` — the
+/// same [`CostModel`] conversion a `Comm` would apply — and the rank
+/// merges the per-worker totals deterministically afterwards with
+/// [`crate::Comm::advance_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkTally {
+    cost: CostModel,
+    seconds: f64,
+}
+
+impl WorkTally {
+    /// A zeroed tally converting work through `cost`.
+    pub fn new(cost: CostModel) -> Self {
+        WorkTally { cost, seconds: 0.0 }
+    }
+
+    /// Charges a quantum of work to this tally.
+    pub fn charge(&mut self, work: Work) {
+        self.seconds += self.cost.cost(work);
+    }
+
+    /// Total virtual seconds accumulated so far.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+}
+
 #[inline]
 fn ceil_log2(p: usize) -> f64 {
     if p <= 1 {
@@ -272,5 +303,19 @@ mod tests {
         assert!(b > a);
         let c = m.alltoall(16, 8 << 20, 8 << 20);
         assert!(c > a);
+    }
+
+    #[test]
+    fn work_tally_matches_direct_costing() {
+        let m = CostModel::calibrated();
+        let mut tally = WorkTally::new(m);
+        let w1 = Work::ParseWkt {
+            bytes: 512,
+            class: ShapeClass::Polygon,
+        };
+        let w2 = Work::SerializeGeoms { n: 7, bytes: 900 };
+        tally.charge(w1);
+        tally.charge(w2);
+        assert_eq!(tally.seconds(), m.cost(w1) + m.cost(w2));
     }
 }

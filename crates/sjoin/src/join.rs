@@ -4,7 +4,8 @@ use crate::breakdown::{PhaseBreakdown, PhaseTimer};
 use mvio_core::exchange::{exchange_features, ExchangeOptions};
 use mvio_core::framework::{claims_reference, FilterRefine};
 use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
-use mvio_core::partition::{read_features, ReadOptions};
+use mvio_core::partition::{read_partition_text, ReadOptions};
+use mvio_core::pipeline::{parse_chunked, PipelineOptions};
 use mvio_core::reader::WktLineParser;
 use mvio_core::{Feature, Result};
 use mvio_geom::index::RTree;
@@ -24,6 +25,15 @@ pub struct JoinOptions {
     pub read: ReadOptions,
     /// Sliding-window phases for the exchange.
     pub windows: u32,
+    /// Intra-rank streaming pipeline configuration for the parse stage.
+    /// The parsed features are bit-identical for any worker count, so
+    /// this only affects the virtual-time breakdown, never the join
+    /// result. Defaults to **1 worker** (not the `MVIO_PIPELINE_WORKERS`
+    /// auto knob) so the repro harness's paper figures stay identical
+    /// across hosts and environments; opt into multi-worker parsing with
+    /// `pipeline: PipelineOptions::default().with_workers(n)` (or `0`
+    /// for env/host resolution).
+    pub pipeline: PipelineOptions,
 }
 
 impl Default for JoinOptions {
@@ -33,6 +43,7 @@ impl Default for JoinOptions {
             map: CellMap::RoundRobin,
             read: ReadOptions::default(),
             windows: 1,
+            pipeline: PipelineOptions::default().with_workers(1),
         }
     }
 }
@@ -65,8 +76,16 @@ pub fn spatial_join(
     let mut timer = PhaseTimer::start(comm);
 
     // --- Partitioning phase: read, parse, project to grid cells. ---------
-    let left = read_features(comm, fs, left_path, &opts.read, &WktLineParser)?;
-    let right = read_features(comm, fs, right_path, &opts.read, &WktLineParser)?;
+    // Parsing streams through the multi-worker ingest pipeline; the
+    // worker count only compresses the virtual parse time (max-lane
+    // accounting), the features are bit-identical to a sequential parse.
+    let mut read_and_parse = |path: &str| -> Result<Vec<Feature>> {
+        let text = read_partition_text(comm, fs, path, &opts.read)?;
+        let (features, _) = parse_chunked(comm, &text, &WktLineParser, &opts.pipeline)?;
+        Ok(features)
+    };
+    let left = read_and_parse(left_path)?;
+    let right = read_and_parse(right_path)?;
 
     let local_mbr = left
         .iter()

@@ -52,6 +52,7 @@ fn main() {
         map: CellMap::RoundRobin,
         read: ReadOptions::default(),
         windows: 1,
+        ..Default::default()
     };
     let reports = World::run(WorldConfig::new(topo), move |comm| {
         spatial_join(comm, &fs, "lakes.wkt", "roads.wkt", &opts).expect("join")

@@ -55,6 +55,7 @@ pub mod prelude {
     pub use mvio_core::partition::{
         read_features, read_partition_text, BoundaryStrategy, ReadOptions,
     };
+    pub use mvio_core::pipeline::{self, PipelineOptions, PipelineStats};
     pub use mvio_core::reader::{CsvPointParser, GeometryParser, WktLineParser};
     pub use mvio_core::{spops, sptypes, Feature};
     pub use mvio_datagen::{table3, ShapeKind};

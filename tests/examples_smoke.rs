@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "range_query",
     "grid_output",
     "io_levels",
+    "pipeline",
 ];
 
 /// Locates a built example binary relative to this test executable

@@ -1,0 +1,114 @@
+//! Property-based test of the streaming ingest pipeline: for *any* worker
+//! count, chunk sizes, rank count and input, the pipelined
+//! parse → cell-map → serialize → exchange produces exactly the pairs the
+//! sequential parse → project → exchange path produces.
+
+use mpi_vector_io::core::exchange::{exchange_features, ExchangeOptions};
+use mpi_vector_io::core::grid::{CellMap, GridSpec, UniformGrid};
+use mpi_vector_io::core::pipeline::{self, PipelineOptions};
+use mpi_vector_io::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random WKT dataset (mixed shapes + userdata).
+fn dataset_text(records: usize, salt: u64) -> String {
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut text = String::new();
+    for i in 0..records {
+        let x = next() * 50.0;
+        let y = next() * 30.0;
+        match i % 3 {
+            0 => text.push_str(&format!("POINT ({x} {y})\tp{i}\n")),
+            1 => text.push_str(&format!(
+                "LINESTRING ({x} {y}, {} {})\tl{i}\n",
+                x + next() * 4.0 + 0.1,
+                y + next() * 4.0 + 0.1
+            )),
+            _ => {
+                let w = next() * 3.0 + 0.1;
+                let h = next() * 3.0 + 0.1;
+                text.push_str(&format!(
+                    "POLYGON (({x} {y}, {} {y}, {} {}, {x} {}, {x} {y}))\tg{i}\n",
+                    x + w,
+                    x + w,
+                    y + h,
+                    y + h
+                ));
+            }
+        }
+    }
+    text
+}
+
+proptest! {
+    // Every case spawns 2 worlds of threads; keep the count moderate.
+    // Seed pinned so CI failures are reproducible (PROPTEST_SEED overrides).
+    #![proptest_config(ProptestConfig::with_cases(12).with_seed(0x6d76_696f_7069_7065))]
+
+    #[test]
+    fn pipelined_ingest_equals_the_sequential_path(
+        records in 0usize..150,
+        salt in 0u64..1_000,
+        workers in 1usize..9,
+        ranks in 1usize..4,
+        chunk_bytes in 32usize..2048,
+        chunk_records in 1usize..64,
+    ) {
+        let text = dataset_text(records, salt);
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        fs.create("d.wkt", None).unwrap().append(text.as_bytes());
+        fs.set_active_ranks(ranks);
+        let read = ReadOptions::default().with_block_size(4 << 10);
+        let spec = GridSpec::square(5);
+
+        let sequential = {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(ranks)), move |comm| {
+                let feats = read_features(comm, &fs, "d.wkt", &read, &WktLineParser).unwrap();
+                let grid = UniformGrid::build_global(comm, &feats, spec);
+                let pairs: Vec<(u32, Feature)> = feats
+                    .iter()
+                    .flat_map(|f| {
+                        grid.cells_overlapping(&f.geometry.envelope())
+                            .into_iter()
+                            .map(|c| (c, f.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                exchange_features(comm, pairs, grid.num_cells(), &ExchangeOptions::default())
+                    .unwrap()
+                    .0
+            })
+        };
+
+        let pipelined = {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(ranks)), move |comm| {
+                let opts = PipelineOptions::default()
+                    .with_workers(workers)
+                    .with_parse_chunk_bytes(chunk_bytes)
+                    .with_partition_chunk_records(chunk_records);
+                pipeline::ingest(
+                    comm,
+                    &fs,
+                    "d.wkt",
+                    &read,
+                    &WktLineParser,
+                    spec,
+                    CellMap::RoundRobin,
+                    &opts,
+                )
+                .unwrap()
+                .owned
+            })
+        };
+
+        prop_assert_eq!(sequential, pipelined);
+    }
+}
