@@ -12,8 +12,9 @@
 
 use mvio_bench::experiments::{self as ex, Scale};
 
-const IDS: [&str; 21] = [
+const IDS: [&str; 22] = [
     "pipeline",
+    "decomp",
     "table1",
     "table2",
     "table3",
@@ -39,6 +40,7 @@ const IDS: [&str; 21] = [
 fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
     Some(match id {
         "pipeline" => ex::pipeline::run(scale, quick),
+        "decomp" => ex::decomp::run(scale, quick),
         "table1" => ex::table1::run(scale, quick),
         "table2" => ex::table2::run(scale, quick),
         "table3" => ex::table3::run(scale, quick),

@@ -26,7 +26,7 @@ fn join_with(scale: Scale, procs: usize, cells: u32, map: CellMap, windows: u32)
     install_dataset(&fs, &spec("Cemetery"), scale, "right.wkt", None);
     let opts = JoinOptions {
         grid: GridSpec::square(cells),
-        map,
+        decomp: mvio_core::decomp::DecompPolicy::Uniform(map),
         read: ReadOptions::default().with_block_size(64 << 10),
         windows,
         ..Default::default()
@@ -155,7 +155,7 @@ mod tests {
             install_dataset(&fs, &spec("Cemetery"), scale, "r.wkt", None);
             let opts = JoinOptions {
                 grid: GridSpec::square(8),
-                map,
+                decomp: mvio_core::decomp::DecompPolicy::Uniform(map),
                 read: ReadOptions::default().with_block_size(128 << 10),
                 windows: 1,
                 ..Default::default()

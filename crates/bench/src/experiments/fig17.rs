@@ -25,7 +25,7 @@ pub fn join_run(
     install_dataset(&fs, &spec(right), scale, "right.wkt", None);
     let opts = JoinOptions {
         grid: GridSpec::square(cells_per_side),
-        map: CellMap::RoundRobin,
+        decomp: mvio_core::decomp::DecompPolicy::Uniform(CellMap::RoundRobin),
         // 64 KiB floor keeps blocks above the largest record even when
         // many ranks split a small scaled layer (Cemetery at 80+ procs).
         read: ReadOptions::default().with_block_size(64 << 10),

@@ -24,7 +24,7 @@ pub fn index_run(scale: Scale, procs: usize, cells_per_side: u32) -> (PhaseBreak
             &fs,
             "roadnet.wkt",
             GridSpec::square(cells_per_side),
-            CellMap::RoundRobin,
+            mvio_core::decomp::DecompPolicy::Uniform(CellMap::RoundRobin),
             &ReadOptions::default(),
         )
         .unwrap();

@@ -12,7 +12,8 @@
 
 use super::{cost_scaled, gpfs_scaled, install_dataset, spec, Scale};
 use crate::report::Table;
-use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
+use mvio_core::decomp::{self, DecompConfig};
+use mvio_core::grid::GridSpec;
 use mvio_core::partition::{read_partition_text, ReadOptions};
 use mvio_core::pipeline::{parse_chunked, partition_chunked, PipelineOptions};
 use mvio_core::reader::WktLineParser;
@@ -42,9 +43,12 @@ pub fn ingest_times(
         let (feats, _) = parse_chunked(comm, &text, &WktLineParser, &popts).unwrap();
         drop(text);
         let t2 = comm.now();
-        let grid = UniformGrid::build_global(comm, &feats, GridSpec::square(16));
-        let (batch, _) =
-            partition_chunked(comm, &grid, CellMap::RoundRobin, &feats, &popts).unwrap();
+        let sd = decomp::build_global(
+            comm,
+            &[&feats],
+            &DecompConfig::uniform(GridSpec::square(16)),
+        );
+        let (batch, _) = partition_chunked(comm, &*sd, &feats, &popts).unwrap();
         drop(feats);
         let t3 = comm.now();
         let _ = mvio_core::exchange::exchange_serialized(comm, batch).unwrap();

@@ -6,8 +6,13 @@
 //! MPI_Alltoallv, the processes exchange the buffer related information
 //! among them using MPI_Alltoall which is then used to calculate the
 //! receiver side count and displacement arrays of MPI_Alltoallv."
+//!
+//! Routing is decomposition-agnostic: pairs go to whichever rank the
+//! [`SpatialDecomposition`] assigns their cell to, whether that is the
+//! paper's round-robin uniform grid or one of the skew-aware policies in
+//! [`crate::decomp`].
 
-use crate::grid::CellMap;
+use crate::decomp::SpatialDecomposition;
 use crate::{CoreError, Feature, Result};
 use mvio_geom::wkb;
 use mvio_msim::{Comm, Work};
@@ -15,8 +20,6 @@ use mvio_msim::{Comm, Work};
 /// Options for one exchange.
 #[derive(Debug, Clone, Copy)]
 pub struct ExchangeOptions {
-    /// Cell → rank assignment.
-    pub map: CellMap,
     /// Number of sliding-window phases. 1 = single-shot (the default);
     /// larger values exchange "spatial data contained in a chunk of cells"
     /// per phase to bound peak memory (paper: "Handling large data
@@ -26,10 +29,7 @@ pub struct ExchangeOptions {
 
 impl Default for ExchangeOptions {
     fn default() -> Self {
-        ExchangeOptions {
-            map: CellMap::RoundRobin,
-            windows: 1,
-        }
+        ExchangeOptions { windows: 1 }
     }
 }
 
@@ -52,21 +52,34 @@ pub struct ExchangeStats {
 ///
 /// Length fields are checked conversions: a geometry or userdata payload
 /// over `u32::MAX` bytes is an error, not a silently truncated length that
-/// the receiver would misparse as a corrupt stream. (Shared with the
-/// ingest pipeline's worker threads, hence `pub(crate)`.)
-pub(crate) fn serialize_record(cell: u32, feature: &Feature, out: &mut Vec<u8>) -> Result<()> {
+/// the receiver would misparse as a corrupt stream.
+///
+/// `scratch` is a caller-owned staging buffer reused across records: the
+/// geometry encodes into it behind a [`wkb::encoded_len`] size pre-pass
+/// (one exact `reserve`, no growth checks in the coordinate loop), then
+/// lands in `out` as one bulk copy. Hot loops serialize millions of
+/// records; the old per-record `wkb::encode` allocated and dropped a
+/// fresh `Vec` for every one of them. (Shared with the ingest pipeline's
+/// worker threads, hence `pub(crate)`.)
+pub(crate) fn serialize_record(
+    cell: u32,
+    feature: &Feature,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let too_big = |what: &str, len: usize| {
         CoreError::Partition(format!(
             "exchange serialization: {what} of {len} bytes exceeds the u32 wire-format limit"
         ))
     };
-    out.extend_from_slice(&(cell as u64).to_le_bytes());
-    let geom = wkb::encode(&feature.geometry);
-    let glen = u32::try_from(geom.len()).map_err(|_| too_big("geometry", geom.len()))?;
-    out.extend_from_slice(&glen.to_le_bytes());
-    out.extend_from_slice(&geom);
+    wkb::encode_into_scratch(&feature.geometry, scratch);
+    let glen = u32::try_from(scratch.len()).map_err(|_| too_big("geometry", scratch.len()))?;
     let ulen = u32::try_from(feature.userdata.len())
         .map_err(|_| too_big("userdata", feature.userdata.len()))?;
+    out.reserve(16 + scratch.len() + feature.userdata.len());
+    out.extend_from_slice(&(cell as u64).to_le_bytes());
+    out.extend_from_slice(&glen.to_le_bytes());
+    out.extend_from_slice(scratch);
     out.extend_from_slice(&ulen.to_le_bytes());
     out.extend_from_slice(feature.userdata.as_bytes());
     Ok(())
@@ -105,20 +118,27 @@ fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
 }
 
 /// Exchanges `(cell, feature)` pairs so that every pair lands on the rank
-/// owning its cell. Input pairs may reference any cells; the output
-/// contains exactly the pairs owned by this rank, from all ranks.
+/// owning its cell under `decomp`. Input pairs may reference any cells;
+/// the output contains exactly the pairs owned by this rank, from all
+/// ranks.
 ///
 /// The protocol per window: serialize per destination → `Alltoall` of
 /// byte counts → `Alltoallv` of payloads → deserialize. Serialization and
 /// deserialization charge the rank's clock (they are the "communication
 /// buffer management overhead" in the paper's breakdown figures).
-pub fn exchange_features(
+pub fn exchange_features<D: SpatialDecomposition + ?Sized>(
     comm: &mut Comm,
     pairs: Vec<(u32, Feature)>,
-    num_cells: u32,
+    decomp: &D,
     opts: &ExchangeOptions,
 ) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
     let p = comm.size();
+    debug_assert_eq!(
+        decomp.num_ranks(),
+        p,
+        "decomposition built for a different world size"
+    );
+    let num_cells = decomp.num_cells();
     let windows = opts.windows.max(1).min(num_cells.max(1));
     let mut stats = ExchangeStats {
         phases: windows,
@@ -134,13 +154,14 @@ pub fn exchange_features(
         by_window[w as usize].push((cell, f));
     }
 
+    let mut scratch = Vec::new();
     for window_pairs in by_window {
         // Serialize per destination rank (charged per object: the paper's
         // "buffer management overhead in serialization").
         let mut batch = SerializedBatch::empty(p);
         for (cell, feature) in &window_pairs {
-            let dst = opts.map.rank_of(*cell, num_cells, p);
-            serialize_record(*cell, feature, &mut batch.bufs[dst])?;
+            let dst = decomp.cell_to_rank(*cell);
+            serialize_record(*cell, feature, &mut scratch, &mut batch.bufs[dst])?;
             batch.records[dst] += 1;
         }
         comm.charge(Work::SerializeGeoms {
@@ -226,11 +247,26 @@ pub fn exchange_serialized(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvio_geom::{wkt, Point};
+    use crate::decomp::UniformDecomposition;
+    use crate::grid::{CellMap, GridSpec, UniformGrid};
+    use mvio_geom::{wkt, Point, Rect};
     use mvio_msim::{Topology, World, WorldConfig};
 
     fn feature(x: f64, y: f64, ud: &str) -> Feature {
         Feature::with_userdata(mvio_geom::Geometry::Point(Point::new(x, y)), ud)
+    }
+
+    /// A `cells × 1` uniform decomposition over a unit-height strip, so
+    /// cell ids match the old map-only tests one-to-one.
+    fn strip(cells: u32, map: CellMap, ranks: usize) -> UniformDecomposition {
+        let grid = UniformGrid::new(
+            Rect::new(0.0, 0.0, cells as f64, 1.0),
+            GridSpec {
+                cells_x: cells,
+                cells_y: 1,
+            },
+        );
+        UniformDecomposition::new(grid, map, ranks)
     }
 
     #[test]
@@ -240,7 +276,7 @@ mod tests {
             "name=park",
         );
         let mut buf = Vec::new();
-        serialize_record(42, &f, &mut buf).unwrap();
+        serialize_record(42, &f, &mut Vec::new(), &mut buf).unwrap();
         let out = deserialize_records(&buf).unwrap();
         assert_eq!(out, vec![(42, f)]);
     }
@@ -249,7 +285,7 @@ mod tests {
     fn deserialize_rejects_truncation() {
         let f = feature(1.0, 2.0, "x");
         let mut buf = Vec::new();
-        serialize_record(1, &f, &mut buf).unwrap();
+        serialize_record(1, &f, &mut Vec::new(), &mut buf).unwrap();
         for cut in [1, 8, 13, buf.len() - 1] {
             assert!(deserialize_records(&buf[..cut]).is_err(), "cut {cut}");
         }
@@ -259,6 +295,7 @@ mod tests {
     fn exchange_routes_pairs_to_cell_owners() {
         let num_cells = 8;
         let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let decomp = strip(num_cells, CellMap::RoundRobin, comm.size());
             // Every rank produces one pair for every cell.
             let pairs: Vec<(u32, Feature)> = (0..num_cells)
                 .map(|c| {
@@ -269,7 +306,7 @@ mod tests {
                 })
                 .collect();
             let (mine, stats) =
-                exchange_features(comm, pairs, num_cells, &ExchangeOptions::default()).unwrap();
+                exchange_features(comm, pairs, &decomp, &ExchangeOptions::default()).unwrap();
             (mine, stats)
         });
         for (rank, (mine, stats)) in out.iter().enumerate() {
@@ -287,23 +324,22 @@ mod tests {
     fn sliding_window_preserves_results() {
         let num_cells = 16;
         let single = World::run(WorldConfig::new(Topology::single_node(4)), move |comm| {
+            let decomp = strip(num_cells, CellMap::RoundRobin, comm.size());
             let pairs: Vec<(u32, Feature)> = (0..num_cells)
                 .map(|c| (c, feature(c as f64, 0.0, "")))
                 .collect();
             let (mut mine, stats) =
-                exchange_features(comm, pairs, num_cells, &ExchangeOptions::default()).unwrap();
+                exchange_features(comm, pairs, &decomp, &ExchangeOptions::default()).unwrap();
             mine.sort_by_key(|(c, _)| *c);
             (mine, stats.phases)
         });
         let windowed = World::run(WorldConfig::new(Topology::single_node(4)), move |comm| {
+            let decomp = strip(num_cells, CellMap::RoundRobin, comm.size());
             let pairs: Vec<(u32, Feature)> = (0..num_cells)
                 .map(|c| (c, feature(c as f64, 0.0, "")))
                 .collect();
-            let opts = ExchangeOptions {
-                windows: 4,
-                ..Default::default()
-            };
-            let (mut mine, stats) = exchange_features(comm, pairs, num_cells, &opts).unwrap();
+            let opts = ExchangeOptions { windows: 4 };
+            let (mut mine, stats) = exchange_features(comm, pairs, &decomp, &opts).unwrap();
             mine.sort_by_key(|(c, _)| *c);
             (mine, stats.phases)
         });
@@ -317,8 +353,9 @@ mod tests {
     #[test]
     fn empty_exchange_is_fine() {
         let out = World::run(WorldConfig::new(Topology::single_node(3)), |comm| {
+            let decomp = strip(8, CellMap::RoundRobin, comm.size());
             let (mine, stats) =
-                exchange_features(comm, vec![], 8, &ExchangeOptions::default()).unwrap();
+                exchange_features(comm, vec![], &decomp, &ExchangeOptions::default()).unwrap();
             (mine.len(), stats.bytes_sent)
         });
         assert!(out.iter().all(|&(n, b)| n == 0 && b == 0));
@@ -328,14 +365,12 @@ mod tests {
     fn block_map_exchange() {
         let num_cells = 12;
         let out = World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+            let decomp = strip(num_cells, CellMap::Block, comm.size());
             let pairs: Vec<(u32, Feature)> = (0..num_cells)
                 .map(|c| (c, feature(c as f64, 0.0, "")))
                 .collect();
-            let opts = ExchangeOptions {
-                map: CellMap::Block,
-                windows: 1,
-            };
-            let (mine, _) = exchange_features(comm, pairs, num_cells, &opts).unwrap();
+            let (mine, _) =
+                exchange_features(comm, pairs, &decomp, &ExchangeOptions::default()).unwrap();
             let mut cells: Vec<u32> = mine.iter().map(|(c, _)| *c).collect();
             cells.sort_unstable();
             cells.dedup();

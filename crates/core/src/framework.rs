@@ -3,12 +3,12 @@
 //! "For partitioned data, spatial computation can be carried out by
 //! extending refine interface that receives two collection of geometries
 //! in a cell." This module is that interface: after the grid exchange,
-//! every rank owns complete cells; [`run_refine`] groups the exchanged
+//! every rank owns complete cells; [`FilterRefine::run_refine`] groups the exchanged
 //! pairs by cell and hands each cell's two collections to the
 //! user-supplied refine closure. `mvio-sjoin` supplies the spatial-join
 //! refine; a batch spatial query would supply a different one.
 
-use crate::grid::{CellMap, UniformGrid};
+use crate::decomp::SpatialDecomposition;
 use crate::Feature;
 use mvio_geom::Rect;
 use mvio_msim::Comm;
@@ -40,13 +40,12 @@ impl FilterRefine {
     /// compute work to the virtual clock.
     pub fn run_refine<'a, R>(
         comm: &mut Comm,
-        grid: &UniformGrid,
-        map: CellMap,
+        decomp: &dyn SpatialDecomposition,
         left: &'a [(u32, Feature)],
         right: &'a [(u32, Feature)],
         refine: impl FnMut(&mut Comm, RefineTask<'a>) -> Vec<R>,
     ) -> Vec<R> {
-        Self::run_refine_batched(comm, grid, map, [left], [right], refine)
+        Self::run_refine_batched(comm, decomp, [left], [right], refine)
     }
 
     /// Streamed-batch variant of [`FilterRefine::run_refine`]: accepts the
@@ -59,34 +58,23 @@ impl FilterRefine {
     /// bit for bit.
     pub fn run_refine_batched<'a, R>(
         comm: &mut Comm,
-        grid: &UniformGrid,
-        map: CellMap,
+        decomp: &dyn SpatialDecomposition,
         left_batches: impl IntoIterator<Item = &'a [(u32, Feature)]>,
         right_batches: impl IntoIterator<Item = &'a [(u32, Feature)]>,
         mut refine: impl FnMut(&mut Comm, RefineTask<'a>) -> Vec<R>,
     ) -> Vec<R> {
         let rank = comm.rank();
-        let p = comm.size();
-        let num_cells = grid.num_cells();
 
         let mut by_cell: BTreeMap<u32, (Vec<&'a Feature>, Vec<&'a Feature>)> = BTreeMap::new();
         for batch in left_batches {
             for (cell, f) in batch {
-                debug_assert_eq!(
-                    map.rank_of(*cell, num_cells, p),
-                    rank,
-                    "left pair misrouted"
-                );
+                debug_assert_eq!(decomp.cell_to_rank(*cell), rank, "left pair misrouted");
                 by_cell.entry(*cell).or_default().0.push(f);
             }
         }
         for batch in right_batches {
             for (cell, f) in batch {
-                debug_assert_eq!(
-                    map.rank_of(*cell, num_cells, p),
-                    rank,
-                    "right pair misrouted"
-                );
+                debug_assert_eq!(decomp.cell_to_rank(*cell), rank, "right pair misrouted");
                 by_cell.entry(*cell).or_default().1.push(f);
             }
         }
@@ -95,7 +83,7 @@ impl FilterRefine {
         for (cell, (l, r)) in by_cell {
             let task = RefineTask {
                 cell,
-                cell_rect: grid.cell_rect(cell),
+                cell_rect: decomp.cell_rect(cell),
                 left: l,
                 right: r,
             };
@@ -125,29 +113,29 @@ pub fn is_reference_cell(cell_rect: &Rect, a: &Rect, b: &Rect) -> bool {
     x >= cell_rect.min_x && x < cell_rect.max_x && y >= cell_rect.min_y && y < cell_rect.max_y
 }
 
-/// Grid-aware reference-point rule: like [`is_reference_cell`] but the
-/// cells of the grid's last column/row also claim points lying exactly on
-/// the grid's outer max edge (otherwise results at the global boundary
-/// would be silently dropped).
-pub fn claims_reference(grid: &UniformGrid, cell: u32, a: &Rect, b: &Rect) -> bool {
+/// Decomposition-aware reference-point rule: like [`is_reference_cell`]
+/// but cells on the decomposition's outer max edges
+/// ([`SpatialDecomposition::cell_on_max_edge`]) also claim points lying
+/// exactly on the global max boundary (otherwise results there would be
+/// silently dropped — no neighbouring cell exists to pick them up).
+pub fn claims_reference(decomp: &dyn SpatialDecomposition, cell: u32, a: &Rect, b: &Rect) -> bool {
     let i = a.intersection(b);
     if i.is_empty() {
         return false;
     }
     let (x, y) = (i.min_x, i.min_y);
-    let r = grid.cell_rect(cell);
-    let spec = grid.spec();
-    let col = cell % spec.cells_x;
-    let row = cell / spec.cells_x;
-    let x_ok = x >= r.min_x && (x < r.max_x || (col == spec.cells_x - 1 && x <= r.max_x));
-    let y_ok = y >= r.min_y && (y < r.max_y || (row == spec.cells_y - 1 && y <= r.max_y));
+    let r = decomp.cell_rect(cell);
+    let (max_col, max_row) = decomp.cell_on_max_edge(cell);
+    let x_ok = x >= r.min_x && (x < r.max_x || (max_col && x <= r.max_x));
+    let y_ok = y >= r.min_y && (y < r.max_y || (max_row && y <= r.max_y));
     x_ok && y_ok
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::GridSpec;
+    use crate::decomp::UniformDecomposition;
+    use crate::grid::{CellMap, GridSpec, UniformGrid};
     use mvio_geom::{Geometry, Point};
     use mvio_msim::{Topology, World, WorldConfig};
 
@@ -155,25 +143,54 @@ mod tests {
         Feature::new(Geometry::Point(Point::new(x, y)))
     }
 
+    fn decomp2() -> UniformDecomposition {
+        UniformDecomposition::new(
+            UniformGrid::new(Rect::new(0.0, 0.0, 4.0, 4.0), GridSpec::square(2)),
+            CellMap::RoundRobin,
+            2,
+        )
+    }
+
     #[test]
     fn refine_runs_once_per_populated_cell() {
         let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
-            let grid = UniformGrid::new(Rect::new(0.0, 0.0, 4.0, 4.0), GridSpec::square(2));
-            let map = CellMap::RoundRobin;
+            let decomp = decomp2();
             // Rank r owns cells with c % 2 == r.
-            let my_cells: Vec<u32> = map.cells_of(comm.rank(), 4, 2);
+            let my_cells: Vec<u32> = decomp.cells_of_rank(comm.rank());
             let left: Vec<(u32, Feature)> =
                 my_cells.iter().map(|&c| (c, pt(c as f64, 0.0))).collect();
             let right: Vec<(u32, Feature)> =
                 my_cells.iter().map(|&c| (c, pt(c as f64, 1.0))).collect();
             let mut seen = Vec::new();
-            FilterRefine::run_refine(comm, &grid, map, &left, &right, |_, task| {
+            FilterRefine::run_refine(comm, &decomp, &left, &right, |_, task| {
                 seen.push((task.cell, task.left.len(), task.right.len()));
                 vec![task.cell]
             })
         });
         assert_eq!(out[0], vec![0, 2]);
         assert_eq!(out[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn claims_reference_closes_only_the_outer_max_edges() {
+        let decomp = UniformDecomposition::new(
+            UniformGrid::new(Rect::new(0.0, 0.0, 4.0, 4.0), GridSpec::square(4)),
+            CellMap::RoundRobin,
+            2,
+        );
+        // Reference point exactly on the global max corner: only the last
+        // cell claims it.
+        let a = Rect::new(4.0, 4.0, 4.0, 4.0);
+        let claiming: Vec<u32> = (0..16)
+            .filter(|&c| claims_reference(&decomp, c, &a, &a))
+            .collect();
+        assert_eq!(claiming, vec![15]);
+        // An interior shared corner stays half-open: one claimant.
+        let b = Rect::new(2.0, 2.0, 2.0, 2.0);
+        let claiming: Vec<u32> = (0..16)
+            .filter(|&c| claims_reference(&decomp, c, &b, &b))
+            .collect();
+        assert_eq!(claiming.len(), 1);
     }
 
     #[test]

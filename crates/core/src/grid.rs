@@ -17,12 +17,17 @@
 //! through an R-tree built over the cell boundaries — the paper's actual
 //! mechanism ("an R-tree is first built by inserting the individual cell
 //! boundaries"), kept here for fidelity and exercised by the benchmarks.
+//!
+//! This module is the uniform *building block*; the pluggable
+//! decomposition layer lives in [`crate::decomp`], where
+//! [`UniformGrid`] + [`CellMap`] form the first
+//! [`crate::decomp::SpatialDecomposition`] implementor alongside the
+//! Hilbert-mapped and adaptive-bisection policies.
 
 use crate::spops::UnionRect;
 use crate::Feature;
-use mvio_geom::index::RTree;
 use mvio_geom::Rect;
-use mvio_msim::{Comm, Work};
+use mvio_msim::Comm;
 
 /// Requested grid resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,18 +217,6 @@ impl UniformGrid {
             }
         }
     }
-
-    /// Builds the R-tree over cell boundaries the paper describes,
-    /// charging the rank the insertion cost.
-    pub fn build_cell_rtree(&self, comm: &mut Comm) -> RTree<u32> {
-        let items: Vec<(Rect, u32)> = (0..self.num_cells())
-            .map(|id| (self.cell_rect(id), id))
-            .collect();
-        comm.charge(Work::RtreeInserts {
-            n: self.num_cells() as u64,
-        });
-        RTree::bulk_load(items)
-    }
 }
 
 /// Cell → rank assignment policies.
@@ -288,41 +281,17 @@ impl CellMap {
 
 /// Maps a cell coordinate in `0..cells` onto the curve's `2^ORDER` grid
 /// (cell centers, so the first and last cells stay inside the curve).
-fn scale_to_order(v: u32, cells: u32) -> u32 {
+/// Shared with [`crate::decomp::HilbertDecomposition`], which must agree
+/// with [`CellMap::Hilbert`] about curve positions.
+pub(crate) fn scale_to_order(v: u32, cells: u32) -> u32 {
     let side = 1u64 << mvio_geom::curve::ORDER;
     (((v as u64 * 2 + 1) * side) / (2 * cells.max(1) as u64)) as u32
-}
-
-/// Projects features onto grid cells through the cell R-tree (the paper's
-/// filter mechanism), charging query costs. Returns `(cell, feature
-/// index)` pairs; features spanning k cells appear k times.
-pub fn project_to_cells(
-    comm: &mut Comm,
-    grid: &UniformGrid,
-    rtree: &RTree<u32>,
-    features: &[Feature],
-) -> Vec<(u32, usize)> {
-    let mut out = Vec::with_capacity(features.len());
-    let mut results = 0u64;
-    for (idx, f) in features.iter().enumerate() {
-        let mbr = f.geometry.envelope();
-        let cells = rtree.query(&mbr);
-        results += cells.len() as u64;
-        for &cell in cells {
-            out.push((cell, idx));
-        }
-    }
-    let _ = grid;
-    comm.charge(Work::RtreeQueries {
-        n: features.len() as u64,
-        results,
-    });
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mvio_geom::index::RTree;
     use mvio_geom::{wkt, Point};
     use mvio_msim::{Topology, World, WorldConfig};
 
@@ -571,8 +540,8 @@ mod tests {
     #[test]
     fn projection_replicates_spanners_and_charges_time() {
         let out = World::run(WorldConfig::new(Topology::single_node(1)), |comm| {
-            let g = grid4();
-            let tree = g.build_cell_rtree(comm);
+            let decomp = crate::decomp::UniformDecomposition::new(grid4(), CellMap::RoundRobin, 1);
+            let tree = crate::decomp::build_cell_rtree(comm, &decomp);
             let feats = vec![
                 Feature::new(mvio_geom::Geometry::Point(Point::new(0.5, 0.5))),
                 Feature::new(
@@ -580,7 +549,7 @@ mod tests {
                 ),
             ];
             let before = comm.now();
-            let pairs = project_to_cells(comm, &g, &tree, &feats);
+            let pairs = crate::decomp::project_to_cells(comm, &tree, &feats);
             (pairs, comm.now() - before)
         });
         let (pairs, dt) = &out[0];

@@ -23,10 +23,13 @@
 //!    `MPI_LINE`, `MPI_RECT` derived datatypes and `MPI_MIN`/`MPI_MAX`/
 //!    `MPI_UNION` reduction operators (Table 2), usable in
 //!    reduce/allreduce/scan.
-//! 4. **Grid partitioning** ([`grid`]) — per-rank local MBRs are combined
-//!    with a `MPI_UNION` allreduce into global grid dimensions; every
-//!    geometry is mapped (via an R-tree over cell boundaries) to all
-//!    overlapping cells, replicating spanners.
+//! 4. **Spatial decomposition** ([`decomp`], [`grid`]) — per-rank local
+//!    MBRs are combined with a `MPI_UNION` allreduce into a global cell
+//!    tiling; every geometry is mapped (via an R-tree over cell
+//!    boundaries) to all overlapping cells, replicating spanners. The
+//!    tiling and the cell→rank assignment are pluggable behind the
+//!    [`decomp::SpatialDecomposition`] trait: the paper's uniform grid,
+//!    Hilbert-order runs, or skew-aware adaptive bisection.
 //! 5. **Exchange** ([`exchange`]) — the two-round `Alltoall` (sizes) +
 //!    `Alltoallv` (payload) personalized exchange that produces the global
 //!    spatial partitioning, with a sliding-window variant for
@@ -37,6 +40,7 @@
 //! Non-contiguous file views for fixed-size and variable-length records
 //! (Level-3 access, Figures 15–16) live in [`views`].
 
+pub mod decomp;
 pub mod exchange;
 pub mod framework;
 pub mod grid;
@@ -47,6 +51,10 @@ pub mod spops;
 pub mod sptypes;
 pub mod views;
 
+pub use decomp::{
+    AdaptiveBisection, DecompConfig, DecompPolicy, HilbertDecomposition, SpatialDecomposition,
+    UniformDecomposition,
+};
 pub use exchange::{ExchangeOptions, ExchangeStats, SerializedBatch};
 pub use framework::{FilterRefine, RefineTask};
 pub use grid::{CellMap, GridSpec, UniformGrid};
@@ -103,6 +111,10 @@ pub enum CoreError {
     /// Grid construction rejected the requested decomposition (empty
     /// bounds, zero cells, or a cell count overflowing the `u32` id space).
     Grid(String),
+    /// Caller-supplied options failed validation before any I/O started
+    /// (e.g. a zero block size or zero maximum geometry size, which would
+    /// otherwise divide by zero or silently read empty halos).
+    InvalidOptions(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -116,6 +128,7 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::Partition(m) => write!(f, "partitioning: {m}"),
             CoreError::Grid(m) => write!(f, "grid: {m}"),
+            CoreError::InvalidOptions(m) => write!(f, "invalid options: {m}"),
         }
     }
 }

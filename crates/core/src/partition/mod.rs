@@ -105,12 +105,31 @@ impl ReadOptions {
 ///
 /// Every rank must call this (the collective level and the ring exchanges
 /// require full participation).
+///
+/// # Errors
+/// Returns [`crate::CoreError::InvalidOptions`] without touching the file
+/// when `block_size` is `Some(0)` (the per-iteration divisor) or
+/// `max_geometry_bytes` is `0` (the halo / receive-buffer bound): both
+/// previously produced divide-by-zero panics or silently empty halo reads
+/// deep inside the strategies.
 pub fn read_partition_text(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
     path: &str,
     opts: &ReadOptions,
 ) -> Result<String> {
+    if opts.block_size == Some(0) {
+        return Err(crate::CoreError::InvalidOptions(
+            "block_size must be at least 1 byte (or None for an equal split)".into(),
+        ));
+    }
+    if opts.max_geometry_bytes == 0 {
+        return Err(crate::CoreError::InvalidOptions(
+            "max_geometry_bytes must be nonzero: it bounds record size and sizes the \
+             halo/receive buffers"
+                .into(),
+        ));
+    }
     let file = MpiFile::open(fs, path, opts.hints)?;
     match opts.strategy {
         BoundaryStrategy::Message => read_blocked(comm, &file, opts),
@@ -148,6 +167,39 @@ mod tests {
         assert_eq!(last_delim_pos(b"ab\n", b'\n'), Some(2));
         assert_eq!(last_delim_pos(b"abcdef", b'\n'), None);
         assert_eq!(last_delim_pos(b"", b'\n'), None);
+    }
+
+    #[test]
+    fn zero_options_are_rejected_before_any_io() {
+        use mvio_msim::{Topology, World, WorldConfig};
+        for (strategy, block_size, max_geom) in [
+            (BoundaryStrategy::Message, Some(0u64), 11 << 20),
+            (BoundaryStrategy::Overlap, Some(0), 11 << 20),
+            (BoundaryStrategy::Message, Some(1024), 0u64),
+            (BoundaryStrategy::Overlap, None, 0),
+        ] {
+            let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                let fs = mvio_pfs::SimFs::new(mvio_pfs::FsConfig::gpfs_roger());
+                fs.create("x.wkt", None)
+                    .unwrap()
+                    .append(b"POINT (1 2)\ta\n");
+                let opts = ReadOptions {
+                    strategy,
+                    block_size,
+                    max_geometry_bytes: max_geom,
+                    ..ReadOptions::default()
+                };
+                match read_partition_text(comm, &fs, "x.wkt", &opts) {
+                    Err(crate::CoreError::InvalidOptions(msg)) => msg,
+                    other => panic!("expected InvalidOptions, got {other:?}"),
+                }
+            });
+            assert!(
+                out[0].contains("block_size") || out[0].contains("max_geometry_bytes"),
+                "{:?}",
+                out[0]
+            );
+        }
     }
 
     #[test]

@@ -47,8 +47,8 @@
 //! host's available parallelism (capped at 8). CI pins the knob to 1 and
 //! 4 and runs the full suite under both.
 
+use crate::decomp::{self, DecompConfig, SpatialDecomposition};
 use crate::exchange::{exchange_serialized, serialize_record, ExchangeStats, SerializedBatch};
-use crate::grid::{CellMap, GridSpec, UniformGrid};
 use crate::partition::{read_partition_text, ReadOptions};
 use crate::reader::{parse_records_into, GeometryParser};
 use crate::{Feature, Result};
@@ -327,23 +327,26 @@ pub fn parse_chunked(
     Ok((features, stats))
 }
 
-/// Parallel partition stage: maps feature chunks onto grid cells and
-/// serializes every `(cell, feature)` replica straight into
+/// Parallel partition stage: maps feature chunks onto the decomposition's
+/// cells and serializes every `(cell, feature)` replica straight into
 /// per-destination wire buffers, merged per destination in chunk order.
 /// One cell-id scratch buffer is reused across all features of a chunk.
 /// The resulting [`SerializedBatch`] is byte-identical for any worker
 /// count and matches what [`crate::exchange::exchange_features`] would
 /// serialize from the equivalent pair list.
-pub fn partition_chunked(
+pub fn partition_chunked<D: SpatialDecomposition + ?Sized>(
     comm: &mut Comm,
-    grid: &UniformGrid,
-    map: CellMap,
+    decomp: &D,
     features: &[Feature],
     opts: &PipelineOptions,
 ) -> Result<(SerializedBatch, PipelineStats)> {
     let workers = opts.effective_workers();
     let p = comm.size();
-    let num_cells = grid.num_cells();
+    debug_assert_eq!(
+        decomp.num_ranks(),
+        p,
+        "decomposition built for a different world size"
+    );
     let step = opts.partition_chunk_records.max(1);
     let cost = *comm.cost_model();
 
@@ -364,13 +367,14 @@ pub fn partition_chunked(
         let mut counts = vec![0u64; p];
         let mut cells: Vec<u32> = Vec::new();
         let mut pairs = 0u64;
+        let mut scratch: Vec<u8> = Vec::new();
         let mut run = || -> Result<()> {
             for f in &features[range.clone()] {
-                grid.cells_overlapping_into(&f.geometry.envelope(), &mut cells);
+                decomp.cells_for_rect(&f.geometry.envelope(), &mut cells);
                 pairs += cells.len() as u64;
                 for &cell in &cells {
-                    let dst = map.rank_of(cell, num_cells, p);
-                    serialize_record(cell, f, &mut bufs[dst])?;
+                    let dst = decomp.cell_to_rank(cell);
+                    serialize_record(cell, f, &mut scratch, &mut bufs[dst])?;
                     counts[dst] += 1;
                 }
             }
@@ -419,8 +423,8 @@ pub fn partition_chunked(
 /// Per-rank result of a full pipelined ingest.
 #[derive(Debug)]
 pub struct IngestOutput {
-    /// The collectively built global grid.
-    pub grid: UniformGrid,
+    /// The collectively built global decomposition.
+    pub decomp: Box<dyn SpatialDecomposition>,
     /// The `(cell, feature)` pairs this rank owns after the exchange —
     /// bit-identical to the sequential parse→project→exchange path.
     pub owned: Vec<(u32, Feature)>,
@@ -433,30 +437,29 @@ pub struct IngestOutput {
 }
 
 /// The full streaming per-rank ingest: partitioned read → parallel parse
-/// → collective grid build (`MPI_UNION` extent allreduce) → parallel
-/// cell-map + serialize → `Alltoall`/`Alltoallv` exchange. Collective:
+/// → collective decomposition build (`MPI_UNION` extent allreduce, plus
+/// the histogram allreduce for the adaptive policy) → parallel fused
+/// cell-map/serialize → `Alltoall`/`Alltoallv` exchange. Collective:
 /// every rank must call it.
-#[allow(clippy::too_many_arguments)]
 pub fn ingest(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
     path: &str,
     read: &ReadOptions,
     parser: &dyn GeometryParser,
-    spec: GridSpec,
-    map: CellMap,
+    cfg: &DecompConfig,
     opts: &PipelineOptions,
 ) -> Result<IngestOutput> {
     let text = read_partition_text(comm, fs, path, read)?;
     let (features, parse_stats) = parse_chunked(comm, &text, parser, opts)?;
     drop(text);
-    let grid = UniformGrid::build_global(comm, &features, spec);
-    let (batch, part_stats) = partition_chunked(comm, &grid, map, &features, opts)?;
+    let decomp = decomp::build_global(comm, &[&features], cfg);
+    let (batch, part_stats) = partition_chunked(comm, &*decomp, &features, opts)?;
     let local_features = features.len() as u64;
     drop(features);
     let (owned, exchange) = exchange_serialized(comm, batch)?;
     Ok(IngestOutput {
-        grid,
+        decomp,
         owned,
         local_features,
         exchange,
@@ -467,7 +470,9 @@ pub fn ingest(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decomp::UniformDecomposition;
     use crate::exchange::{exchange_features, ExchangeOptions};
+    use crate::grid::{CellMap, GridSpec, UniformGrid};
     use crate::reader::{parse_buffer, parse_buffer_serial, WktLineParser};
     use mvio_geom::Rect;
     use mvio_msim::{Topology, World, WorldConfig};
@@ -607,25 +612,32 @@ mod tests {
     fn partition_buffers_are_identical_for_any_worker_count_and_match_sequential() {
         let text = sample_text(240);
         let feats = parse_buffer_serial(&text, &WktLineParser).unwrap();
+        let mk_decomp = || {
+            UniformDecomposition::new(
+                UniformGrid::new(Rect::new(0.0, 0.0, 30.0, 75.0), GridSpec::square(8)),
+                CellMap::RoundRobin,
+                3,
+            )
+        };
         let run = |workers: usize| {
             let feats = feats.clone();
             World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
-                let grid = UniformGrid::new(Rect::new(0.0, 0.0, 30.0, 75.0), GridSpec::square(8));
+                let decomp = mk_decomp();
                 let opts = PipelineOptions::default()
                     .with_workers(workers)
                     .with_partition_chunk_records(17);
-                partition_chunked(comm, &grid, CellMap::RoundRobin, &feats, &opts).unwrap()
+                partition_chunked(comm, &decomp, &feats, &opts).unwrap()
             })
         };
         // Sequential reference: serialize replicas feature-major, cells
         // ascending — exactly what exchange_features would emit.
         let reference = {
-            let grid = UniformGrid::new(Rect::new(0.0, 0.0, 30.0, 75.0), GridSpec::square(8));
+            let decomp = mk_decomp();
             let mut batch = SerializedBatch::empty(3);
             for f in &feats {
-                for cell in grid.cells_overlapping(&f.geometry.envelope()) {
-                    let dst = CellMap::RoundRobin.rank_of(cell, grid.num_cells(), 3);
-                    serialize_record(cell, f, &mut batch.bufs[dst]).unwrap();
+                for cell in decomp.cells_for_rect_vec(&f.geometry.envelope()) {
+                    let dst = decomp.cell_to_rank(cell);
+                    serialize_record(cell, f, &mut Vec::new(), &mut batch.bufs[dst]).unwrap();
                     batch.records[dst] += 1;
                 }
             }
@@ -658,17 +670,19 @@ mod tests {
                 let feats =
                     crate::partition::read_features(comm, &fs, "data.wkt", &read, &WktLineParser)
                         .unwrap();
-                let grid = UniformGrid::build_global(comm, &feats, spec);
+                let decomp =
+                    crate::decomp::build_global(comm, &[&feats], &DecompConfig::uniform(spec));
                 let pairs: Vec<(u32, Feature)> = feats
                     .iter()
                     .flat_map(|f| {
-                        grid.cells_overlapping(&f.geometry.envelope())
+                        decomp
+                            .cells_for_rect_vec(&f.geometry.envelope())
                             .into_iter()
                             .map(|c| (c, f.clone()))
                             .collect::<Vec<_>>()
                     })
                     .collect();
-                exchange_features(comm, pairs, grid.num_cells(), &ExchangeOptions::default())
+                exchange_features(comm, pairs, &*decomp, &ExchangeOptions::default())
                     .unwrap()
                     .0
             })
@@ -686,8 +700,7 @@ mod tests {
                     "data.wkt",
                     &read,
                     &WktLineParser,
-                    spec,
-                    CellMap::RoundRobin,
+                    &DecompConfig::uniform(spec),
                     &opts,
                 )
                 .unwrap();
@@ -698,6 +711,54 @@ mod tests {
                 assert_eq!(out[rank], sequential[rank], "workers={workers} rank={rank}");
             }
         }
+    }
+
+    #[test]
+    fn ingest_routes_identically_under_every_decomposition_policy() {
+        // The *partitioning* differs per policy, but the union of all
+        // ranks' owned pairs — and each pair's arrival at its cell's
+        // owner — must hold for every decomposition.
+        let text = sample_text(120);
+        let fs = SimFs::new(mvio_pfs::FsConfig::lustre_comet());
+        fs.create("data.wkt", None).unwrap().append(text.as_bytes());
+        let read = ReadOptions::default().with_block_size(2 << 10);
+        let mut totals = Vec::new();
+        for cfg in [
+            DecompConfig::uniform(GridSpec::square(6)),
+            DecompConfig::hilbert(GridSpec::square(6)),
+            DecompConfig::adaptive(GridSpec::square(6), 4),
+        ] {
+            let fs = Arc::clone(&fs);
+            let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                let rep = ingest(
+                    comm,
+                    &fs,
+                    "data.wkt",
+                    &read,
+                    &WktLineParser,
+                    &cfg,
+                    &PipelineOptions::default().with_workers(2),
+                )
+                .unwrap();
+                for (cell, _) in &rep.owned {
+                    assert_eq!(
+                        rep.decomp.cell_to_rank(*cell),
+                        comm.rank(),
+                        "pair misrouted under {cfg:?}"
+                    );
+                }
+                (rep.owned.len() as u64, rep.local_features)
+            });
+            let pairs: u64 = out.iter().map(|(p, _)| p).sum();
+            let feats: u64 = out.iter().map(|(_, f)| f).sum();
+            assert_eq!(feats, 120, "{cfg:?}");
+            totals.push(pairs);
+        }
+        // Uniform and Hilbert share cells, so replica counts match
+        // exactly; adaptive uses finer cells and replicates at least as
+        // much.
+        assert_eq!(totals[0], totals[1]);
+        assert!(totals[2] >= totals[0]);
     }
 
     #[test]

@@ -225,7 +225,7 @@ pub struct GenReport {
 }
 
 /// Generates a scaled replica of `spec` onto `fs`, returning the report.
-/// All datasets share hotspot centers (see [`WORLD_CENTER_SEED`]); the
+/// All datasets share hotspot centers (`WORLD_CENTER_SEED`); the
 /// per-dataset distribution follows the spec's [`DistPolicy`].
 pub fn generate(fs: &Arc<SimFs>, spec: &DatasetSpec, denominator: u64, seed: u64) -> GenReport {
     let world = Rect::new(-180.0, -90.0, 180.0, 90.0);

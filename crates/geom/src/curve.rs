@@ -54,9 +54,21 @@ pub fn hilbert_key(p: Point, bounds: &Rect) -> u64 {
     hilbert_key_cells(x, y)
 }
 
-/// Hilbert key of integer cell coordinates (standard `xy2d` algorithm).
+/// Hilbert key of integer cell coordinates (standard `xy2d` algorithm)
+/// on the library's fixed order-[`ORDER`] curve.
 pub fn hilbert_key_cells(x: u32, y: u32) -> u64 {
-    let n: u64 = 1 << ORDER;
+    hilbert_key_cells_order(ORDER, x, y)
+}
+
+/// Hilbert key of integer cell coordinates on an order-`order` curve
+/// (a `2^order × 2^order` lattice): the bijection `(x, y) → 0..4^order`.
+/// Coordinates must be below `2^order`. `hilbert_key_cells` is this at
+/// the library's fixed [`ORDER`]; the explicit-order form exists so
+/// `2^k × 2^k` grids can be tested (and keyed) exactly.
+pub fn hilbert_key_cells_order(order: u32, x: u32, y: u32) -> u64 {
+    debug_assert!((1..=31).contains(&order), "order {order} out of range");
+    debug_assert!(x < (1 << order) && y < (1 << order));
+    let n: u64 = 1 << order;
     let (mut x, mut y) = (x as u64, y as u64);
     let mut d: u64 = 0;
     let mut s: u64 = n / 2;

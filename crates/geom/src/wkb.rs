@@ -58,9 +58,50 @@ pub fn encode_to(g: &Geometry, out: &mut Vec<u8>) {
 
 /// Encodes a geometry to a fresh WKB buffer.
 pub fn encode(g: &Geometry) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + g.num_points() * 16);
+    let mut out = Vec::with_capacity(encoded_len(g));
     encode_to(g, &mut out);
     out
+}
+
+/// Encodes a geometry into a caller-owned scratch buffer: clears it,
+/// reserves the exact [`encoded_len`] footprint, then encodes. Hot
+/// serialization loops reuse one scratch across millions of geometries
+/// instead of allocating (and dropping) a fresh [`encode`] `Vec` each
+/// time; the single-call shape keeps the whole traversal compiled as one
+/// unit here, where the capacity reasoning lives.
+pub fn encode_into_scratch(g: &Geometry, scratch: &mut Vec<u8>) {
+    scratch.clear();
+    scratch.reserve(encoded_len(g));
+    encode_to(g, scratch);
+}
+
+/// Exact byte length [`encode_to`] will append for `g`, computed without
+/// allocating. Hot serialization paths (the exchange wire format) use
+/// this as a size pre-pass: reserve once, encode straight into the
+/// destination buffer, no per-geometry intermediate `Vec`.
+pub fn encoded_len(g: &Geometry) -> usize {
+    // 1 byte-order byte + 4 type-code bytes precede every geometry.
+    5 + match g {
+        Geometry::Point(_) => 16,
+        Geometry::LineString(l) => 4 + 16 * l.points().len(),
+        Geometry::Polygon(p) => polygon_body_len(p),
+        Geometry::MultiPoint(m) => 4 + m.0.len() * 21,
+        Geometry::MultiLineString(m) => {
+            4 + m
+                .0
+                .iter()
+                .map(|l| 5 + 4 + 16 * l.points().len())
+                .sum::<usize>()
+        }
+        Geometry::MultiPolygon(m) => 4 + m.0.iter().map(|p| 5 + polygon_body_len(p)).sum::<usize>(),
+        Geometry::GeometryCollection(c) => 4 + c.0.iter().map(encoded_len).sum::<usize>(),
+    }
+}
+
+#[inline]
+fn polygon_body_len(p: &crate::polygon::Polygon) -> usize {
+    let ring = |r: &Ring| 4 + 16 * r.points().len();
+    4 + ring(p.exterior()) + p.interiors().iter().map(ring).sum::<usize>()
 }
 
 /// Decodes one geometry from the front of `buf`, returning it and the
@@ -289,6 +330,23 @@ mod tests {
         round_trip("MULTILINESTRING ((10 10, 20 20), (40 40, 30 30))");
         round_trip("MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)))");
         round_trip("GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20))");
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for s in [
+            "POINT (30 10)",
+            "LINESTRING (30 10, 10 30, 40 40)",
+            "POLYGON ((30 10, 40 40, 20 40, 30 10))",
+            "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))",
+            "MULTIPOINT ((10 40), (40 30))",
+            "MULTILINESTRING ((10 10, 20 20), (40 40, 30 30))",
+            "MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)))",
+            "GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20))",
+        ] {
+            let g = wkt::parse(s).unwrap();
+            assert_eq!(encoded_len(&g), encode(&g).len(), "{s}");
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl Hub {
     }
 
     /// Marks the hub poisoned and wakes every waiter; they panic with
-    /// [`ABORT_MSG`]. Idempotent.
+    /// `ABORT_MSG`. Idempotent.
     pub fn poison(&self) {
         let mut st = self.state.lock();
         st.poisoned = true;

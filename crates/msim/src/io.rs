@@ -509,7 +509,7 @@ impl MpiFile {
 
 /// The aggregator ("reader") selection rule.
 ///
-/// Lustre/ROMIO (paper §5.1.1 and McLay et al. [21]): one aggregator per
+/// Lustre/ROMIO (paper §5.1.1 and McLay et al. \[21\]): one aggregator per
 /// node when the node count divides the stripe count; otherwise, when the
 /// stripe count ≥ node count, the largest divisor of the stripe count that
 /// is ≤ the node count; when the stripe count < node count, one aggregator

@@ -2,8 +2,9 @@
 //! geometries in 137 GB single file in 90 seconds" with 320 processes).
 
 use crate::breakdown::{PhaseBreakdown, PhaseTimer};
+use mvio_core::decomp::{self, DecompConfig, DecompPolicy};
 use mvio_core::exchange::{exchange_features, ExchangeOptions};
-use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
+use mvio_core::grid::GridSpec;
 use mvio_core::partition::{read_features, ReadOptions};
 use mvio_core::reader::WktLineParser;
 use mvio_core::{Feature, Result};
@@ -26,24 +27,25 @@ pub struct IndexReport {
     pub breakdown: PhaseBreakdown,
 }
 
-/// Reads a WKT dataset, globally partitions it over `grid_cells`, and
-/// builds one R-tree per owned cell — the paper's in-memory spatial
-/// indexing workload.
+/// Reads a WKT dataset, globally partitions it under `policy` over
+/// `grid`, and builds one R-tree per owned cell — the paper's in-memory
+/// spatial indexing workload.
 pub fn build_distributed_index(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
     path: &str,
     grid: GridSpec,
-    map: CellMap,
+    policy: DecompPolicy,
     read: &ReadOptions,
 ) -> Result<IndexReport> {
     let mut timer = PhaseTimer::start(comm);
 
     // Partition phase: read + parse + project.
     let features = read_features(comm, fs, path, read, &WktLineParser)?;
-    let ugrid = UniformGrid::build_global(comm, &features, grid);
-    let rtree = ugrid.build_cell_rtree(comm);
-    let pairs = mvio_core::grid::project_to_cells(comm, &ugrid, &rtree, &features);
+    let cfg = DecompConfig { grid, policy };
+    let sd = decomp::build_global(comm, &[&features], &cfg);
+    let rtree = decomp::build_cell_rtree(comm, &*sd);
+    let pairs = decomp::project_to_cells(comm, &rtree, &features);
     let owned: Vec<(u32, Feature)> = pairs
         .into_iter()
         .map(|(cell, idx)| (cell, features[idx].clone()))
@@ -51,8 +53,8 @@ pub fn build_distributed_index(
     timer.end_partition(comm);
 
     // Communication phase.
-    let opts = ExchangeOptions { map, windows: 1 };
-    let (mine, _) = exchange_features(comm, owned, ugrid.num_cells(), &opts)?;
+    let opts = ExchangeOptions { windows: 1 };
+    let (mine, _) = exchange_features(comm, owned, &*sd, &opts)?;
     timer.end_communication(comm);
 
     // Indexing phase: bulk-build one R-tree per owned cell.
@@ -112,7 +114,7 @@ mod tests {
                 &fs,
                 "data.wkt",
                 GridSpec::square(4),
-                CellMap::RoundRobin,
+                DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
                 &ReadOptions::default(),
             )
             .unwrap();
@@ -139,7 +141,7 @@ mod tests {
                 &fs,
                 "data.wkt",
                 GridSpec::square(2),
-                CellMap::RoundRobin,
+                DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
                 &ReadOptions::default(),
             )
             .unwrap();
@@ -169,7 +171,7 @@ mod tests {
                 &fs1,
                 "data.wkt",
                 GridSpec::square(4),
-                CellMap::RoundRobin,
+                DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
                 &ReadOptions::default(),
             )
             .unwrap()
@@ -183,7 +185,7 @@ mod tests {
                 &fs4,
                 "data.wkt",
                 GridSpec::square(4),
-                CellMap::RoundRobin,
+                DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
                 &ReadOptions::default(),
             )
             .unwrap()

@@ -1,9 +1,10 @@
 //! The end-to-end distributed spatial join (paper §5.2, Figures 17–19).
 
 use crate::breakdown::{PhaseBreakdown, PhaseTimer};
+use mvio_core::decomp::{self, DecompConfig, DecompPolicy, SpatialDecomposition};
 use mvio_core::exchange::{exchange_features, ExchangeOptions};
 use mvio_core::framework::{claims_reference, FilterRefine};
-use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
+use mvio_core::grid::GridSpec;
 use mvio_core::partition::{read_partition_text, ReadOptions};
 use mvio_core::pipeline::{parse_chunked, PipelineOptions};
 use mvio_core::reader::WktLineParser;
@@ -19,8 +20,12 @@ use std::sync::Arc;
 pub struct JoinOptions {
     /// Grid resolution (the Figure 17 sweep axis).
     pub grid: GridSpec,
-    /// Cell → rank assignment.
-    pub map: CellMap,
+    /// Spatial decomposition policy (cell tiling + cell→rank assignment).
+    /// Defaults to [`DecompPolicy::from_env`]: the paper's uniform
+    /// round-robin grid unless `MVIO_DECOMP` selects `hilbert` or
+    /// `adaptive`. The join *answer* is identical under every policy —
+    /// only the load distribution and phase times move.
+    pub decomp: DecompPolicy,
     /// File read configuration for both layers.
     pub read: ReadOptions,
     /// Sliding-window phases for the exchange.
@@ -40,7 +45,7 @@ impl Default for JoinOptions {
     fn default() -> Self {
         JoinOptions {
             grid: GridSpec::square(16),
-            map: CellMap::RoundRobin,
+            decomp: DecompPolicy::from_env(),
             read: ReadOptions::default(),
             windows: 1,
             pipeline: PipelineOptions::default().with_workers(1),
@@ -91,43 +96,39 @@ pub fn spatial_join(
         .iter()
         .chain(&right)
         .fold(Rect::EMPTY, |acc, f| acc.union(&f.geometry.envelope()));
-    let grid = UniformGrid::build_global_from_mbr(comm, local_mbr, opts.grid);
-    let rtree = grid.build_cell_rtree(comm);
+    let cfg = DecompConfig {
+        grid: opts.grid,
+        policy: opts.decomp,
+    };
+    let sd = decomp::build_global_from_mbr(comm, local_mbr, &[&left, &right], &cfg);
+    let rtree = decomp::build_cell_rtree(comm, &*sd);
 
-    let left_pairs = project_owned(comm, &grid, &rtree, left);
-    let right_pairs = project_owned(comm, &grid, &rtree, right);
+    let left_pairs = project_owned(comm, &rtree, left);
+    let right_pairs = project_owned(comm, &rtree, right);
     timer.end_partition(comm);
 
     // --- Communication phase: global spatial partitioning. ---------------
     let ex_opts = ExchangeOptions {
-        map: opts.map,
         windows: opts.windows,
     };
-    let (left_local, _) = exchange_features(comm, left_pairs, grid.num_cells(), &ex_opts)?;
-    let (right_local, _) = exchange_features(comm, right_pairs, grid.num_cells(), &ex_opts)?;
+    let (left_local, _) = exchange_features(comm, left_pairs, &*sd, &ex_opts)?;
+    let (right_local, _) = exchange_features(comm, right_pairs, &*sd, &ex_opts)?;
     timer.end_communication(comm);
 
     // --- Join phase: per-cell index, filter, dedup, refine. --------------
     let mut filter_candidates = 0u64;
     let mut refine_tests = 0u64;
-    let pairs = FilterRefine::run_refine(
-        comm,
-        &grid,
-        opts.map,
-        &left_local,
-        &right_local,
-        |comm, task| {
-            join_cell(
-                comm,
-                &grid,
-                task.cell,
-                &task.left,
-                &task.right,
-                &mut filter_candidates,
-                &mut refine_tests,
-            )
-        },
-    );
+    let pairs = FilterRefine::run_refine(comm, &*sd, &left_local, &right_local, |comm, task| {
+        join_cell(
+            comm,
+            &*sd,
+            task.cell,
+            &task.left,
+            &task.right,
+            &mut filter_candidates,
+            &mut refine_tests,
+        )
+    });
     timer.end_compute(comm);
 
     let local = timer.finish(comm);
@@ -144,11 +145,10 @@ pub fn spatial_join(
 /// feature (cloning only for spanning cells).
 fn project_owned(
     comm: &mut Comm,
-    grid: &UniformGrid,
     rtree: &RTree<u32>,
     features: Vec<Feature>,
 ) -> Vec<(u32, Feature)> {
-    let pairs = mvio_core::grid::project_to_cells(comm, grid, rtree, &features);
+    let pairs = decomp::project_to_cells(comm, rtree, &features);
     pairs
         .into_iter()
         .map(|(cell, idx)| (cell, features[idx].clone()))
@@ -160,7 +160,7 @@ fn project_owned(
 #[allow(clippy::too_many_arguments)]
 fn join_cell(
     comm: &mut Comm,
-    grid: &UniformGrid,
+    sd: &dyn SpatialDecomposition,
     cell: u32,
     left: &[&Feature],
     right: &[&Feature],
@@ -194,7 +194,7 @@ fn join_cell(
             *filter_candidates += 1;
             // Duplicate avoidance: only the reference cell reports this
             // candidate (geometries are replicated across cells).
-            if !claims_reference(grid, cell, &l_mbr, &r_mbr) {
+            if !claims_reference(sd, cell, &l_mbr, &r_mbr) {
                 continue;
             }
             *refine_tests += 1;
@@ -298,13 +298,30 @@ mod tests {
     #[test]
     fn join_with_block_map_and_windows() {
         let opts = JoinOptions {
-            map: CellMap::Block,
+            decomp: DecompPolicy::Uniform(mvio_core::grid::CellMap::Block),
             windows: 4,
             grid: GridSpec::square(8),
             ..Default::default()
         };
         let (pairs, _) = run_join(Topology::new(2, 2), opts);
         assert_eq!(pairs, expected());
+    }
+
+    #[test]
+    fn join_answer_is_identical_under_every_decomposition_policy() {
+        for policy in [
+            DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
+            DecompPolicy::Hilbert,
+            DecompPolicy::adaptive(),
+        ] {
+            let opts = JoinOptions {
+                decomp: policy,
+                grid: GridSpec::square(8),
+                ..Default::default()
+            };
+            let (pairs, _) = run_join(Topology::new(2, 2), opts);
+            assert_eq!(pairs, expected(), "{policy:?}");
+        }
     }
 
     #[test]

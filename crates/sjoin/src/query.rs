@@ -4,8 +4,9 @@
 //! application is less compute intensive e.g. range query").
 
 use crate::breakdown::{PhaseBreakdown, PhaseTimer};
+use mvio_core::decomp::{self, DecompConfig};
 use mvio_core::exchange::{exchange_features, ExchangeOptions};
-use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
+use mvio_core::grid::GridSpec;
 use mvio_core::partition::{read_features, ReadOptions};
 use mvio_core::reader::WktLineParser;
 use mvio_core::Result;
@@ -28,7 +29,9 @@ pub struct RangeQueryReport {
 }
 
 /// Finds all features intersecting `query`: filter on cell/MBR overlap,
-/// refine with the exact predicate.
+/// refine with the exact predicate. The decomposition policy comes from
+/// the `MVIO_DECOMP` knob (default: the paper's uniform round-robin
+/// grid); the answer is identical under every policy.
 pub fn range_query(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
@@ -38,29 +41,23 @@ pub fn range_query(
     read: &ReadOptions,
 ) -> Result<RangeQueryReport> {
     let mut timer = PhaseTimer::start(comm);
-    let map = CellMap::RoundRobin;
 
     let features = read_features(comm, fs, path, read, &WktLineParser)?;
-    let ugrid = UniformGrid::build_global(comm, &features, grid);
-    let rtree = ugrid.build_cell_rtree(comm);
-    let pairs = mvio_core::grid::project_to_cells(comm, &ugrid, &rtree, &features);
+    let sd = decomp::build_global(comm, &[&features], &DecompConfig::from_env(grid));
+    let rtree = decomp::build_cell_rtree(comm, &*sd);
+    let pairs = decomp::project_to_cells(comm, &rtree, &features);
     let owned: Vec<(u32, mvio_core::Feature)> = pairs
         .into_iter()
         .map(|(cell, idx)| (cell, features[idx].clone()))
         .collect();
     timer.end_partition(comm);
 
-    let (mine, _) = exchange_features(
-        comm,
-        owned,
-        ugrid.num_cells(),
-        &ExchangeOptions { map, windows: 1 },
-    )?;
+    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions { windows: 1 })?;
     timer.end_communication(comm);
 
     let mut matches = Vec::new();
     for (cell, f) in &mine {
-        let cell_rect = ugrid.cell_rect(*cell);
+        let cell_rect = sd.cell_rect(*cell);
         if !cell_rect.intersects(&query) {
             continue;
         }
@@ -71,7 +68,7 @@ pub fn range_query(
         }
         // Dedup across replicas: claim only in the cell holding the
         // reference corner of (mbr ∩ query).
-        if !mvio_core::framework::claims_reference(&ugrid, *cell, &mbr, &query) {
+        if !mvio_core::framework::claims_reference(&*sd, *cell, &mbr, &query) {
             continue;
         }
         comm.charge(Work::RefinePair {
@@ -110,25 +107,19 @@ pub fn batch_query(
     grid: GridSpec,
     read: &ReadOptions,
 ) -> Result<Vec<u64>> {
-    let map = CellMap::RoundRobin;
     let features = read_features(comm, fs, path, read, &WktLineParser)?;
-    let ugrid = UniformGrid::build_global(comm, &features, grid);
-    let rtree = ugrid.build_cell_rtree(comm);
-    let pairs = mvio_core::grid::project_to_cells(comm, &ugrid, &rtree, &features);
+    let sd = decomp::build_global(comm, &[&features], &DecompConfig::from_env(grid));
+    let rtree = decomp::build_cell_rtree(comm, &*sd);
+    let pairs = decomp::project_to_cells(comm, &rtree, &features);
     let owned: Vec<(u32, mvio_core::Feature)> = pairs
         .into_iter()
         .map(|(cell, idx)| (cell, features[idx].clone()))
         .collect();
-    let (mine, _) = exchange_features(
-        comm,
-        owned,
-        ugrid.num_cells(),
-        &ExchangeOptions { map, windows: 1 },
-    )?;
+    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions { windows: 1 })?;
 
     let mut counts = vec![0u64; queries.len()];
     for (cell, f) in &mine {
-        let cell_rect = ugrid.cell_rect(*cell);
+        let cell_rect = sd.cell_rect(*cell);
         let mbr = f.geometry.envelope();
         for (qi, q) in queries.iter().enumerate() {
             if !cell_rect.intersects(q) {
@@ -138,7 +129,7 @@ pub fn batch_query(
             if !mbr.intersects(q) {
                 continue;
             }
-            if !mvio_core::framework::claims_reference(&ugrid, *cell, &mbr, q) {
+            if !mvio_core::framework::claims_reference(&*sd, *cell, &mbr, q) {
                 continue;
             }
             comm.charge(Work::RefinePair {

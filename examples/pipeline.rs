@@ -68,8 +68,7 @@ fn main() {
                 "demo/buildings.wkt",
                 &read,
                 &WktLineParser,
-                GridSpec::square(8),
-                CellMap::RoundRobin,
+                &mpi_vector_io::core::decomp::DecompConfig::uniform(GridSpec::square(8)),
                 &popts,
             )
             .expect("pipelined ingest");

@@ -49,7 +49,7 @@ fn main() {
     fs.set_active_ranks(topo.ranks());
     let opts = JoinOptions {
         grid: GridSpec::square(16),
-        map: CellMap::RoundRobin,
+        decomp: mpi_vector_io::core::decomp::DecompPolicy::Uniform(CellMap::RoundRobin),
         read: ReadOptions::default(),
         windows: 1,
         ..Default::default()

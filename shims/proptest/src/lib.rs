@@ -3,7 +3,7 @@
 //!
 //! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
 //!   `prop_filter_map`, `prop_recursive` and `boxed`;
-//! * strategies for integer/float ranges, tuples (arity ≤ 8), [`Just`],
+//! * strategies for integer/float ranges, tuples (arity ≤ 8), `Just`,
 //!   `any::<T>()` and [`collection::vec`];
 //! * the [`proptest!`] test macro with `#![proptest_config(..)]`,
 //!   `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
@@ -15,7 +15,7 @@
 //!   `Debug` rendering; since generation is deterministic the case is
 //!   trivially re-runnable.
 //! * **Deterministic by default.** Each test's RNG is seeded from the
-//!   test's name (FNV-1a) mixed with [`ProptestConfig::seed`], so runs
+//!   test's name (FNV-1a) mixed with `ProptestConfig::seed`, so runs
 //!   are bit-reproducible in CI with no `proptest-regressions/`
 //!   machinery. The `PROPTEST_SEED` environment variable overrides the
 //!   mixed seed *verbatim* — paste the seed from a failure message to

@@ -49,6 +49,10 @@ pub use mvio_sjoin as sjoin;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use mvio_core::decomp::{
+        AdaptiveBisection, DecompConfig, DecompPolicy, HilbertDecomposition, SpatialDecomposition,
+        UniformDecomposition,
+    };
     pub use mvio_core::exchange::{exchange_features, ExchangeOptions};
     pub use mvio_core::framework::FilterRefine;
     pub use mvio_core::grid::{CellMap, GridSpec, UniformGrid};

@@ -84,22 +84,23 @@ fn exchange_preserves_every_feature_with_real_data() {
             &WktLineParser,
         )
         .unwrap();
-        let grid = UniformGrid::build_global(comm, &feats, GridSpec::square(8));
-        let rtree = grid.build_cell_rtree(comm);
-        let pairs = mpi_vector_io::core::grid::project_to_cells(comm, &grid, &rtree, &feats);
+        let decomp = mpi_vector_io::core::decomp::build_global(
+            comm,
+            &[&feats],
+            &mpi_vector_io::core::decomp::DecompConfig::uniform(GridSpec::square(8)),
+        );
+        let rtree = mpi_vector_io::core::decomp::build_cell_rtree(comm, &*decomp);
+        let pairs = mpi_vector_io::core::decomp::project_to_cells(comm, &rtree, &feats);
         let owned: Vec<(u32, Feature)> = pairs
             .into_iter()
             .map(|(c, i)| (c, feats[i].clone()))
             .collect();
         let sent = owned.len() as u64;
         let (mine, stats) =
-            exchange_features(comm, owned, grid.num_cells(), &ExchangeOptions::default()).unwrap();
+            exchange_features(comm, owned, &*decomp, &ExchangeOptions::default()).unwrap();
         // Every received pair belongs to a cell this rank owns.
         for (cell, _) in &mine {
-            assert_eq!(
-                CellMap::RoundRobin.rank_of(*cell, grid.num_cells(), comm.size()),
-                comm.rank()
-            );
+            assert_eq!(decomp.cell_to_rank(*cell), comm.rank());
         }
         let total_sent = comm.allreduce_u64(sent, |a, b| a + b);
         let total_recv = comm.allreduce_u64(stats.records_received, |a, b| a + b);
@@ -180,7 +181,7 @@ fn distributed_index_preserves_feature_multiset() {
             &fs,
             "lakes.wkt",
             GridSpec::square(8),
-            CellMap::RoundRobin,
+            mpi_vector_io::core::decomp::DecompPolicy::Uniform(CellMap::RoundRobin),
             &ReadOptions::default().with_block_size(128 << 10),
         )
         .unwrap()

@@ -1,17 +1,37 @@
-//! Property-based tests of the grid/exchange layer: conservation of
-//! features through arbitrary exchanges, maps, windows and rank counts.
+//! Property-based tests of the decomposition/exchange layer: conservation
+//! of features through arbitrary exchanges, decomposition policies,
+//! windows and rank counts.
 
+use mpi_vector_io::core::decomp::{
+    AdaptiveBisection, HilbertDecomposition, SpatialDecomposition, UniformDecomposition,
+};
 use mpi_vector_io::core::exchange::{exchange_features, ExchangeOptions};
 use mpi_vector_io::core::grid::{CellMap, GridSpec, UniformGrid};
 use mpi_vector_io::prelude::*;
 use proptest::prelude::*;
 
-fn arb_map(cells_x: u32) -> impl Strategy<Value = CellMap> {
-    prop_oneof![
-        Just(CellMap::RoundRobin),
-        Just(CellMap::Block),
-        Just(CellMap::Hilbert { cells_x }),
-    ]
+/// Builds one of the five decomposition variants over a `side × side`
+/// grid: the three classic cell maps, Hilbert runs, and an adaptive
+/// bisection over a deterministic synthetic histogram.
+fn mk_decomp(policy: u8, side: u32, ranks: usize) -> Box<dyn SpatialDecomposition> {
+    let grid = UniformGrid::new(
+        Rect::new(0.0, 0.0, side as f64, side as f64),
+        GridSpec::square(side),
+    );
+    match policy {
+        0 => Box::new(UniformDecomposition::new(grid, CellMap::RoundRobin, ranks)),
+        1 => Box::new(UniformDecomposition::new(grid, CellMap::Block, ranks)),
+        2 => Box::new(UniformDecomposition::new(
+            grid,
+            CellMap::Hilbert { cells_x: side },
+            ranks,
+        )),
+        3 => Box::new(HilbertDecomposition::new(grid, ranks)),
+        _ => {
+            let counts: Vec<u64> = (0..grid.num_cells() as u64).map(|c| (c * 7) % 13).collect();
+            Box::new(AdaptiveBisection::from_counts(grid, &counts, ranks))
+        }
+    }
 }
 
 proptest! {
@@ -24,13 +44,14 @@ proptest! {
         ranks in 1usize..5,
         side in 1u32..6,
         windows in 1u32..4,
-        map in arb_map(4),
+        policy in 0u8..5,
         items_per_rank in 0usize..30,
     ) {
         let num_cells = side * side;
         let out = World::run(
             WorldConfig::new(Topology::single_node(ranks)),
             move |comm| {
+                let decomp = mk_decomp(policy, side, comm.size());
                 // Each rank fabricates pairs tagged with origin info.
                 let pairs: Vec<(u32, Feature)> = (0..items_per_rank)
                     .map(|i| {
@@ -42,11 +63,11 @@ proptest! {
                         (cell, f)
                     })
                     .collect();
-                let opts = ExchangeOptions { map, windows };
-                let (mine, stats) = exchange_features(comm, pairs, num_cells, &opts).unwrap();
+                let opts = ExchangeOptions { windows };
+                let (mine, stats) = exchange_features(comm, pairs, &*decomp, &opts).unwrap();
                 // Ownership: every received pair belongs to me.
                 for (cell, _) in &mine {
-                    assert_eq!(map.rank_of(*cell, num_cells, comm.size()), comm.rank());
+                    assert_eq!(decomp.cell_to_rank(*cell), comm.rank());
                 }
                 let tags: Vec<String> =
                     mine.iter().map(|(c, f)| format!("{c}:{}", f.userdata)).collect();
@@ -99,18 +120,18 @@ proptest! {
     }
 
     #[test]
-    fn every_map_partitions_cells(
+    fn every_decomposition_partitions_cells(
         side in 1u32..9,
         ranks in 1usize..9,
-        map in arb_map(6),
+        policy in 0u8..5,
     ) {
-        let num_cells = side * side;
-        let mut seen = vec![0u32; num_cells as usize];
+        let decomp = mk_decomp(policy, side, ranks);
+        let mut seen = vec![0u32; decomp.num_cells() as usize];
         for rank in 0..ranks {
-            for c in map.cells_of(rank, num_cells, ranks) {
+            for c in decomp.cells_of_rank(rank) {
                 seen[c as usize] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&n| n == 1), "{map:?}: {seen:?}");
+        prop_assert!(seen.iter().all(|&n| n == 1), "{decomp:?}: {seen:?}");
     }
 }

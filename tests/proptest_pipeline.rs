@@ -3,8 +3,9 @@
 //! parse → cell-map → serialize → exchange produces exactly the pairs the
 //! sequential parse → project → exchange path produces.
 
+use mpi_vector_io::core::decomp::{self, DecompConfig};
 use mpi_vector_io::core::exchange::{exchange_features, ExchangeOptions};
-use mpi_vector_io::core::grid::{CellMap, GridSpec, UniformGrid};
+use mpi_vector_io::core::grid::GridSpec;
 use mpi_vector_io::core::pipeline::{self, PipelineOptions};
 use mpi_vector_io::prelude::*;
 use proptest::prelude::*;
@@ -71,17 +72,17 @@ proptest! {
             let fs = Arc::clone(&fs);
             World::run(WorldConfig::new(Topology::single_node(ranks)), move |comm| {
                 let feats = read_features(comm, &fs, "d.wkt", &read, &WktLineParser).unwrap();
-                let grid = UniformGrid::build_global(comm, &feats, spec);
+                let sd = decomp::build_global(comm, &[&feats], &DecompConfig::uniform(spec));
                 let pairs: Vec<(u32, Feature)> = feats
                     .iter()
                     .flat_map(|f| {
-                        grid.cells_overlapping(&f.geometry.envelope())
+                        sd.cells_for_rect_vec(&f.geometry.envelope())
                             .into_iter()
                             .map(|c| (c, f.clone()))
                             .collect::<Vec<_>>()
                     })
                     .collect();
-                exchange_features(comm, pairs, grid.num_cells(), &ExchangeOptions::default())
+                exchange_features(comm, pairs, &*sd, &ExchangeOptions::default())
                     .unwrap()
                     .0
             })
@@ -100,8 +101,7 @@ proptest! {
                     "d.wkt",
                     &read,
                     &WktLineParser,
-                    spec,
-                    CellMap::RoundRobin,
+                    &DecompConfig::uniform(spec),
                     &opts,
                 )
                 .unwrap()
