@@ -12,9 +12,10 @@
 
 use mvio_bench::experiments::{self as ex, Scale};
 
-const IDS: [&str; 22] = [
+const IDS: [&str; 23] = [
     "pipeline",
     "decomp",
+    "exchange",
     "table1",
     "table2",
     "table3",
@@ -41,6 +42,7 @@ fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
     Some(match id {
         "pipeline" => ex::pipeline::run(scale, quick),
         "decomp" => ex::decomp::run(scale, quick),
+        "exchange" => ex::exchange::run(scale, quick),
         "table1" => ex::table1::run(scale, quick),
         "table2" => ex::table2::run(scale, quick),
         "table3" => ex::table3::run(scale, quick),

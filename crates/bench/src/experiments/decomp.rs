@@ -35,6 +35,16 @@ pub struct Row {
     pub imbalance: f64,
     /// Max-over-ranks virtual seconds for the full ingest.
     pub wall_s: f64,
+    /// Exchange rounds the busiest rank executed (1 = blocking, more
+    /// when `MVIO_EXCHANGE_CHUNK` pins a finite chunk; identical on
+    /// every rank by protocol).
+    pub exch_rounds: u32,
+    /// Bytes the busiest rank sent through the exchange.
+    pub exch_sent: u64,
+    /// Bytes the busiest rank received from the exchange. "Busiest" is
+    /// the receive-heaviest rank; all three counters come from that one
+    /// rank, so sent/received pairs are coherent.
+    pub exch_received: u64,
 }
 
 /// The two datagen inputs: spatially uniform, and OSM-style clustered
@@ -118,16 +128,29 @@ pub fn measure(scale: Scale, features: u64, rank_counts: &[usize]) -> Vec<Row> {
                         &PipelineOptions::default().with_workers(1),
                     )
                     .unwrap();
-                    (rep.owned.len() as u64, comm.now())
+                    (
+                        rep.owned.len() as u64,
+                        comm.now(),
+                        rep.exchange.rounds,
+                        rep.exchange.bytes_sent,
+                        rep.exchange.bytes_received,
+                    )
                 });
-                let loads: Vec<u64> = out.iter().map(|&(n, _)| n).collect();
-                let wall = out.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+                let loads: Vec<u64> = out.iter().map(|o| o.0).collect();
+                let wall = out.iter().map(|o| o.1).fold(0.0, f64::max);
+                // One coherent rank's counters (the receive-heaviest —
+                // the ownership hotspot), not independent per-column
+                // maxima that no single rank ever exhibited.
+                let busiest = out.iter().max_by_key(|o| o.4).expect("ranks >= 1");
                 rows.push(Row {
                     input,
                     decomp,
                     ranks,
                     imbalance: imbalance_ratio(&loads),
                     wall_s: wall,
+                    exch_rounds: busiest.2,
+                    exch_sent: busiest.3,
+                    exch_received: busiest.4,
                 });
             }
         }
@@ -140,12 +163,15 @@ pub fn to_json(rows: &[Row]) -> String {
     let mut s = String::from("{\n  \"experiment\": \"decomp\",\n  \"metric\": \"max_over_mean_per_rank_features\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"input\": \"{}\", \"decomp\": \"{}\", \"ranks\": {}, \"imbalance\": {:.4}, \"wall_s\": {:.6}}}{}\n",
+            "    {{\"input\": \"{}\", \"decomp\": \"{}\", \"ranks\": {}, \"imbalance\": {:.4}, \"wall_s\": {:.6}, \"exch_rounds\": {}, \"exch_sent\": {}, \"exch_received\": {}}}{}\n",
             r.input,
             r.decomp,
             r.ranks,
             r.imbalance,
             r.wall_s,
+            r.exch_rounds,
+            r.exch_sent,
+            r.exch_received,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -163,7 +189,15 @@ pub fn run(scale: Scale, quick: bool) -> String {
         format!(
             "Decomposition sweep: {features} points, per-rank load imbalance (max/mean) and ingest wall time"
         ),
-        &["input", "ranks", "decomp", "imbalance", "ingest s"],
+        &[
+            "input",
+            "ranks",
+            "decomp",
+            "imbalance",
+            "ingest s",
+            "exch rounds",
+            "exch sent/recv MB",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -172,9 +206,18 @@ pub fn run(scale: Scale, quick: bool) -> String {
             r.decomp.to_string(),
             format!("{:.2}", r.imbalance),
             format!("{:.6}", r.wall_s),
+            r.exch_rounds.to_string(),
+            format!(
+                "{:.2}/{:.2}",
+                r.exch_sent as f64 / (1 << 20) as f64,
+                r.exch_received as f64 / (1 << 20) as f64
+            ),
         ]);
     }
     t.note("imbalance 1.0 = perfect balance; = ranks means everything on one rank");
+    t.note(
+        "exchange counters are the busiest rank's; received bytes mirror the ownership imbalance",
+    );
     t.note("expectation: on clustered input, adaptive >= 2x lower imbalance than uniform at 16 ranks; hilbert keeps locality with balance between the two");
     match std::fs::write("BENCH_decomp.json", to_json(&rows)) {
         Ok(()) => t.note("trajectory written to BENCH_decomp.json"),
@@ -221,6 +264,9 @@ mod tests {
             ranks: 16,
             imbalance: 1.25,
             wall_s: 0.0125,
+            exch_rounds: 1,
+            exch_sent: 2048,
+            exch_received: 4096,
         }];
         let s = to_json(&rows);
         assert!(s.contains("\"experiment\": \"decomp\""));

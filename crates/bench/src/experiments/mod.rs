@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod baseline;
 pub mod decomp;
+pub mod exchange;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;

@@ -21,14 +21,16 @@ use mvio_msim::{Topology, World, WorldConfig};
 use mvio_pfs::SimFs;
 
 /// Per-worker-count measurement: `(parse, partition, exchange, total)`
-/// max-over-ranks virtual seconds for one full ingest of `dataset`.
+/// max-over-ranks virtual seconds for one full ingest of `dataset`, plus
+/// the busiest rank's exchange counters (rounds, sent/received bytes).
+#[allow(clippy::type_complexity)]
 pub fn ingest_times(
     dataset: &str,
     scale: Scale,
     nodes: usize,
     ppn: usize,
     workers: usize,
-) -> (f64, f64, f64, f64) {
+) -> (f64, f64, f64, f64, mvio_core::ExchangeStats) {
     let fs = SimFs::new(gpfs_scaled(scale));
     let topo = Topology::new(nodes, ppn);
     fs.set_active_ranks(topo.ranks());
@@ -51,12 +53,20 @@ pub fn ingest_times(
         let (batch, _) = partition_chunked(comm, &*sd, &feats, &popts).unwrap();
         drop(feats);
         let t3 = comm.now();
-        let _ = mvio_core::exchange::exchange_serialized(comm, batch).unwrap();
+        let (_, stats) = mvio_core::exchange::exchange_serialized(comm, batch).unwrap();
         let t4 = comm.now();
-        (t1 - t0, t2 - t1, t3 - t2, t4 - t3, t4)
+        (t1 - t0, t2 - t1, t3 - t2, t4 - t3, t4, stats)
     });
-    let max = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| out.iter().map(f).fold(0.0, f64::max);
-    (max(|t| t.1), max(|t| t.2), max(|t| t.3), max(|t| t.4))
+    let max = |f: fn(&(f64, f64, f64, f64, f64, mvio_core::ExchangeStats)) -> f64| {
+        out.iter().map(f).fold(0.0, f64::max)
+    };
+    let times = (max(|t| t.1), max(|t| t.2), max(|t| t.3), max(|t| t.4));
+    let busiest = out
+        .iter()
+        .map(|t| t.5.clone())
+        .max_by_key(|s| s.bytes_sent)
+        .unwrap_or_default();
+    (times.0, times.1, times.2, times.3, busiest)
 }
 
 /// Runs the worker sweep and renders the table.
@@ -77,12 +87,14 @@ pub fn run(scale: Scale, quick: bool) -> String {
             "overlap speedup",
             "ingest total s",
             "total speedup",
+            "exch rounds",
+            "exch sent/recv MB",
         ],
     );
     let mut base_overlap = 0.0f64;
     let mut base_total = 0.0f64;
     for workers in [1usize, 2, 4, 8] {
-        let (parse, part, _exch, total) = ingest_times(dataset, scale, nodes, ppn, workers);
+        let (parse, part, _exch, total, xstats) = ingest_times(dataset, scale, nodes, ppn, workers);
         let overlap = parse + part;
         if workers == 1 {
             base_overlap = overlap;
@@ -96,9 +108,16 @@ pub fn run(scale: Scale, quick: bool) -> String {
             format!("{:.2}x", base_overlap / overlap),
             format!("{total:.6}"),
             format!("{:.2}x", base_total / total),
+            xstats.rounds.to_string(),
+            format!(
+                "{:.1}/{:.1}",
+                xstats.bytes_sent as f64 / (1 << 20) as f64,
+                xstats.bytes_received as f64 / (1 << 20) as f64
+            ),
         ]);
     }
     t.note("output is bit-identical at every worker count (asserted by the test suite)");
+    t.note("exchange counters are the busiest rank's; rounds follow the MVIO_EXCHANGE_CHUNK knob (1 = blocking)");
     t.note("expectation: overlap speedup tracks the worker count; total obeys Amdahl (read+exchange stay serial)");
     t.render()
 }
@@ -112,8 +131,11 @@ mod tests {
         let scale = Scale {
             denominator: 20_000,
         };
-        let (p1, s1, _, t1) = ingest_times("Lakes", scale, 1, 2, 1);
-        let (p4, s4, _, t4) = ingest_times("Lakes", scale, 1, 2, 4);
+        let (p1, s1, _, t1, x1) = ingest_times("Lakes", scale, 1, 2, 1);
+        let (p4, s4, _, t4, x4) = ingest_times("Lakes", scale, 1, 2, 4);
+        // The exchanged volume is a property of the data, not the workers.
+        assert_eq!(x1.bytes_sent, x4.bytes_sent);
+        assert!(x1.rounds >= 1 && x1.per_round.len() == x1.rounds as usize);
         let speedup = (p1 + s1) / (p4 + s4);
         assert!(
             speedup >= 1.5,

@@ -1,11 +1,32 @@
 //! The all-to-all geometry exchange (paper §4.2.3): serialization, the
-//! two-round `Alltoall` + `Alltoallv` protocol, and the sliding-window
-//! variant for memory-bounded runs.
+//! two-round `Alltoall` + `Alltoallv` protocol, the sliding-window
+//! variant for memory-bounded runs — and the chunked, overlapped
+//! [`ExchangePlan`] that streams the exchange in bounded rounds over the
+//! nonblocking collectives in [`mvio_msim::request`].
 //!
 //! "Before actually sending the entire co-ordinate data using
 //! MPI_Alltoallv, the processes exchange the buffer related information
 //! among them using MPI_Alltoall which is then used to calculate the
 //! receiver side count and displacement arrays of MPI_Alltoallv."
+//!
+//! ## Chunked overlap
+//!
+//! The blocking protocol ships each rank's whole payload in one
+//! `Alltoallv` round, so upstream serialization, the transfer, and
+//! downstream deserialization are strictly serial. The [`ExchangePlan`]
+//! instead splits every destination payload into record-aligned chunks of
+//! at most [`ExchangeOptions::chunk`] bytes and pipelines the rounds: each
+//! round's `ialltoallv` is posted, then the *next* round's payload is
+//! produced (and the *previous* round's receives deserialized and drained
+//! into the consumer) while the transfer is in flight, and only then is
+//! the round completed with a `wait`. Round `r`'s size exchange carries a
+//! continuation flag in the high bit, so ranks whose payloads need
+//! different round counts agree on termination without a separate
+//! counting collective. With `chunk = unlimited` the plan degenerates to
+//! exactly the single-round blocking protocol — bit-identical received
+//! data *and* virtual time — and for any finite chunk size the collected
+//! result is still bit-identical (per-source streams are reassembled in
+//! source-rank order); only the time moves.
 //!
 //! Routing is decomposition-agnostic: pairs go to whichever rank the
 //! [`SpatialDecomposition`] assigns their cell to, whether that is the
@@ -15,26 +36,117 @@
 use crate::decomp::SpatialDecomposition;
 use crate::{CoreError, Feature, Result};
 use mvio_geom::wkb;
-use mvio_msim::{Comm, Work};
+use mvio_msim::{Comm, ProgressEngine, Work};
+
+/// Environment variable consulted when [`ExchangeOptions::chunk`] is
+/// [`ExchangeChunk::Auto`]: a byte count caps each destination's
+/// per-round payload; `0`, `inf` or `unlimited` (or unset) selects the
+/// single-round blocking protocol.
+pub const CHUNK_ENV: &str = "MVIO_EXCHANGE_CHUNK";
+
+/// High bit of a size-exchange value: "this rank will post at least one
+/// more round after this one".
+const MORE_BIT: u64 = 1 << 63;
+
+/// Per-destination round payload cap for the chunked exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeChunk {
+    /// Resolve through the [`CHUNK_ENV`] environment variable (the
+    /// default); unset means [`ExchangeChunk::Unlimited`].
+    #[default]
+    Auto,
+    /// Single-round blocking protocol (the `chunk = ∞` degenerate case).
+    Unlimited,
+    /// At most this many bytes per destination per round (record-aligned;
+    /// a single record larger than the cap still ships whole).
+    Bytes(u64),
+}
+
+impl ExchangeChunk {
+    /// The byte cap this configuration resolves to (`None` = unlimited).
+    ///
+    /// `Auto` reads [`CHUNK_ENV`]: a byte count with an optional
+    /// `k`/`kb`/`kib` or `m`/`mb`/`mib` suffix (case-insensitive,
+    /// binary multiples), or `0`/`inf`/`unlimited` for the blocking
+    /// single round.
+    ///
+    /// # Panics
+    ///
+    /// `Auto` panics on an unparseable [`CHUNK_ENV`] value: silently
+    /// falling back to the blocking protocol would make every benchmark
+    /// run under a typo'd knob measure the wrong configuration.
+    pub fn resolve(self) -> Option<u64> {
+        match self {
+            ExchangeChunk::Auto => {
+                let v = std::env::var(CHUNK_ENV).ok()?;
+                let t = v.trim();
+                if t == "0" || t.eq_ignore_ascii_case("inf") || t.eq_ignore_ascii_case("unlimited")
+                {
+                    return None;
+                }
+                let lower = t.to_ascii_lowercase();
+                let (digits, unit) = match lower.find(|c: char| !c.is_ascii_digit()) {
+                    Some(pos) => lower.split_at(pos),
+                    None => (lower.as_str(), ""),
+                };
+                let scale = match unit.trim() {
+                    "" => 1u64,
+                    "k" | "kb" | "kib" => 1 << 10,
+                    "m" | "mb" | "mib" => 1 << 20,
+                    _ => panic!(
+                        "invalid {CHUNK_ENV} value {v:?}: expected bytes with an optional \
+                         k/kb/kib or m/mb/mib suffix, or 0/inf/unlimited"
+                    ),
+                };
+                let n: u64 = digits.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "invalid {CHUNK_ENV} value {v:?}: expected bytes with an optional \
+                         k/kb/kib or m/mb/mib suffix, or 0/inf/unlimited"
+                    )
+                });
+                Some(n.saturating_mul(scale).max(1))
+            }
+            ExchangeChunk::Unlimited => None,
+            ExchangeChunk::Bytes(n) => Some(n.max(1)),
+        }
+    }
+}
 
 /// Options for one exchange.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExchangeOptions {
     /// Number of sliding-window phases. 1 = single-shot (the default);
     /// larger values exchange "spatial data contained in a chunk of cells"
     /// per phase to bound peak memory (paper: "Handling large data
-    /// exchange").
+    /// exchange"). `0` is treated as 1.
     pub windows: u32,
+    /// Per-destination byte cap for each pipelined round of the
+    /// [`ExchangePlan`] (within each window).
+    pub chunk: ExchangeChunk,
 }
 
-impl Default for ExchangeOptions {
-    fn default() -> Self {
-        ExchangeOptions { windows: 1 }
+impl ExchangeOptions {
+    /// Single-window options with an explicit chunk policy.
+    pub fn with_chunk(chunk: ExchangeChunk) -> Self {
+        ExchangeOptions { windows: 1, chunk }
     }
 }
 
-/// Counters describing one exchange, used by the breakdown reports.
+/// Counters for one pipelined round of an exchange.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundStats {
+    /// Records this rank sent in the round.
+    pub records_sent: u64,
+    /// Bytes this rank sent in the round.
+    pub bytes_sent: u64,
+    /// Records this rank received in the round.
+    pub records_received: u64,
+    /// Bytes this rank received in the round.
+    pub bytes_received: u64,
+}
+
+/// Counters describing one exchange, used by the breakdown reports.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExchangeStats {
     /// Bytes this rank serialized and sent.
     pub bytes_sent: u64,
@@ -46,6 +158,33 @@ pub struct ExchangeStats {
     pub records_received: u64,
     /// Sliding-window phases executed.
     pub phases: u32,
+    /// Pipelined `Alltoallv` rounds executed across all windows (1 per
+    /// window under the unlimited/blocking degenerate case).
+    pub rounds: u32,
+    /// Per-round sent/received record and byte counts, in round order
+    /// across windows.
+    pub per_round: Vec<RoundStats>,
+    /// Virtual seconds of upstream compute folded into the exchange's
+    /// overlap engine (0 for the non-streamed paths).
+    pub overlapped_compute_s: f64,
+    /// Virtual seconds of communication left exposed on the critical path
+    /// after overlap (the whole transfer time in the blocking case).
+    pub exposed_wait_s: f64,
+}
+
+impl ExchangeStats {
+    /// Folds another exchange's counters into this one (used across
+    /// sliding-window phases).
+    fn absorb(&mut self, other: ExchangeStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.records_sent += other.records_sent;
+        self.records_received += other.records_received;
+        self.rounds += other.rounds;
+        self.per_round.extend(other.per_round);
+        self.overlapped_compute_s += other.overlapped_compute_s;
+        self.exposed_wait_s += other.exposed_wait_s;
+    }
 }
 
 /// Wire format of one record: `[u64 cell][u32 wkb_len][wkb][u32 ud_len][ud]`.
@@ -117,21 +256,140 @@ fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
     Ok(out)
 }
 
+/// Total wire length of the record starting at `buf[pos..]`, without
+/// decoding it — used to cut record-aligned chunks out of a serialized
+/// buffer.
+fn record_len_at(buf: &[u8], pos: usize) -> Result<usize> {
+    let bad = |msg: &str| CoreError::Partition(format!("exchange chunking: {msg}"));
+    let rest = &buf[pos..];
+    if rest.len() < 12 {
+        return Err(bad("truncated record header"));
+    }
+    let glen = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+    if rest.len() < 12 + glen + 4 {
+        return Err(bad("truncated geometry"));
+    }
+    let ulen = u32::from_le_bytes(rest[12 + glen..16 + glen].try_into().unwrap()) as usize;
+    if rest.len() < 16 + glen + ulen {
+        return Err(bad("truncated userdata"));
+    }
+    Ok(16 + glen + ulen)
+}
+
 /// Exchanges `(cell, feature)` pairs so that every pair lands on the rank
 /// owning its cell under `decomp`. Input pairs may reference any cells;
 /// the output contains exactly the pairs owned by this rank, from all
-/// ranks.
+/// ranks, in source-rank order (bit-identical for every chunk policy).
 ///
-/// The protocol per window: serialize per destination → `Alltoall` of
-/// byte counts → `Alltoallv` of payloads → deserialize. Serialization and
-/// deserialization charge the rank's clock (they are the "communication
-/// buffer management overhead" in the paper's breakdown figures).
+/// The protocol per window: serialize per destination → [`ExchangePlan`]
+/// (sizes `Alltoall` + chunked `Alltoallv` rounds) → deserialize.
+/// Serialization and deserialization charge the rank's clock (they are
+/// the "communication buffer management overhead" in the paper's
+/// breakdown figures).
 pub fn exchange_features<D: SpatialDecomposition + ?Sized>(
     comm: &mut Comm,
     pairs: Vec<(u32, Feature)>,
     decomp: &D,
     opts: &ExchangeOptions,
 ) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
+    let p = comm.size();
+    // Reassemble source-rank order *within each window*, appending windows
+    // in order — the exact ordering of the historic blocking protocol for
+    // any window count and chunk policy.
+    let mut collector = PerSourceCollector::new(p);
+    let mut received: Vec<(u32, Feature)> = Vec::new();
+    let mut current_window = 0usize;
+    let stats = exchange_features_inner(comm, pairs, decomp, opts, &mut |window, _, per_src| {
+        if window != current_window {
+            collector.drain_into(&mut received);
+            current_window = window;
+        }
+        collector.collect(per_src);
+        Ok(())
+    })?;
+    collector.drain_into(&mut received);
+    Ok((received, stats))
+}
+
+/// Like [`exchange_features`], but hands the received pairs back as one
+/// batch per sliding window instead of one concatenated vector, so batch
+/// consumers ([`crate::framework::FilterRefine::run_refine_batched`])
+/// can take them without a concatenation pass. Each window's batch is
+/// reassembled in source-rank order, so the batches — and therefore any
+/// order-sensitive consumer — are **bit-identical for every chunk
+/// policy**; the rounds within a window still deserialize incrementally
+/// while later rounds are in flight.
+pub fn exchange_features_windows<D: SpatialDecomposition + ?Sized>(
+    comm: &mut Comm,
+    pairs: Vec<(u32, Feature)>,
+    decomp: &D,
+    opts: &ExchangeOptions,
+) -> Result<(Vec<Vec<(u32, Feature)>>, ExchangeStats)> {
+    let p = comm.size();
+    let mut collector = PerSourceCollector::new(p);
+    let mut batches: Vec<Vec<(u32, Feature)>> = Vec::new();
+    let mut current_window = 0usize;
+    let stats = exchange_features_inner(comm, pairs, decomp, opts, &mut |window, _, per_src| {
+        if window != current_window {
+            let mut batch = Vec::new();
+            collector.drain_into(&mut batch);
+            batches.push(batch);
+            current_window = window;
+        }
+        collector.collect(per_src);
+        Ok(())
+    })?;
+    let mut batch = Vec::new();
+    collector.drain_into(&mut batch);
+    batches.push(batch);
+    Ok((batches, stats))
+}
+
+/// Accumulates per-round, per-source record batches and drains them in
+/// source-rank order — the reassembly rule that keeps every chunk policy
+/// bit-identical to the single-round blocking protocol. Shared by
+/// [`exchange_features`], [`ExchangePlan::run_batch`] and the fused
+/// pipeline stage.
+#[derive(Debug)]
+pub(crate) struct PerSourceCollector {
+    per_src: Vec<Vec<(u32, Feature)>>,
+}
+
+impl PerSourceCollector {
+    pub(crate) fn new(p: usize) -> Self {
+        PerSourceCollector {
+            per_src: (0..p).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Folds one round's received records (indexed by source rank) in.
+    pub(crate) fn collect(&mut self, round: Vec<Vec<(u32, Feature)>>) {
+        debug_assert_eq!(round.len(), self.per_src.len());
+        for (src, mut recs) in round.into_iter().enumerate() {
+            self.per_src[src].append(&mut recs);
+        }
+    }
+
+    /// Appends everything collected so far to `out` in source-rank order
+    /// and resets the collector.
+    pub(crate) fn drain_into(&mut self, out: &mut Vec<(u32, Feature)>) {
+        for src in &mut self.per_src {
+            out.append(src);
+        }
+    }
+}
+
+/// Window loop shared by [`exchange_features`] and
+/// [`exchange_features_windows`]; `sink` receives
+/// `(window, round, per-source records)` for every completed round, in
+/// window-then-round order.
+fn exchange_features_inner<D: SpatialDecomposition + ?Sized>(
+    comm: &mut Comm,
+    pairs: Vec<(u32, Feature)>,
+    decomp: &D,
+    opts: &ExchangeOptions,
+    sink: &mut dyn FnMut(usize, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+) -> Result<ExchangeStats> {
     let p = comm.size();
     debug_assert_eq!(
         decomp.num_ranks(),
@@ -144,7 +402,7 @@ pub fn exchange_features<D: SpatialDecomposition + ?Sized>(
         phases: windows,
         ..Default::default()
     };
-    let mut received: Vec<(u32, Feature)> = Vec::new();
+    let plan = ExchangePlan::new(comm, opts);
 
     // Pre-bucket pairs by window to avoid rescanning per phase.
     let cells_per_window = num_cells.div_ceil(windows).max(1);
@@ -154,32 +412,57 @@ pub fn exchange_features<D: SpatialDecomposition + ?Sized>(
         by_window[w as usize].push((cell, f));
     }
 
+    // A failure in one window must not stop this rank from entering the
+    // remaining windows' collectives — that would strand the peers at
+    // their next rendezvous. The first error is parked here; later
+    // windows run with an empty payload and a discarding sink, and the
+    // error is returned once every window has completed.
+    let mut deferred: Option<CoreError> = None;
     let mut scratch = Vec::new();
-    for window_pairs in by_window {
+    for (window, window_pairs) in by_window.into_iter().enumerate() {
         // Serialize per destination rank (charged per object: the paper's
         // "buffer management overhead in serialization").
         let mut batch = SerializedBatch::empty(p);
-        for (cell, feature) in &window_pairs {
-            let dst = decomp.cell_to_rank(*cell);
-            serialize_record(*cell, feature, &mut scratch, &mut batch.bufs[dst])?;
-            batch.records[dst] += 1;
+        if deferred.is_none() {
+            let mut serialize = || -> Result<()> {
+                for (cell, feature) in &window_pairs {
+                    let dst = decomp.cell_to_rank(*cell);
+                    serialize_record(*cell, feature, &mut scratch, &mut batch.bufs[dst])?;
+                    batch.records[dst] += 1;
+                }
+                Ok(())
+            };
+            if let Err(e) = serialize() {
+                deferred = Some(e);
+                batch = SerializedBatch::empty(p);
+            } else {
+                comm.charge(Work::SerializeGeoms {
+                    n: batch.records.iter().sum(),
+                    bytes: batch.bufs.iter().map(|b| b.len() as u64).sum(),
+                });
+            }
         }
-        comm.charge(Work::SerializeGeoms {
-            n: batch.records.iter().sum(),
-            bytes: batch.bufs.iter().map(|b| b.len() as u64).sum(),
-        });
 
-        // The window's two-round protocol + deserialization is exactly
-        // the pre-serialized exchange.
-        let (mut records, w) = exchange_serialized(comm, batch)?;
-        received.append(&mut records);
-        stats.records_sent += w.records_sent;
-        stats.bytes_sent += w.bytes_sent;
-        stats.records_received += w.records_received;
-        stats.bytes_received += w.bytes_received;
+        // The window's staged protocol + deserialization (run_batch_rounds
+        // itself winds its rounds down on error, so its collectives are
+        // always matched).
+        let failed = deferred.is_some();
+        let result = plan.run_batch_rounds(comm, batch, &mut |round, per_src| {
+            if failed {
+                return Ok(()); // discard receives after a failure
+            }
+            sink(window, round, per_src)
+        });
+        match result {
+            Ok(w) => stats.absorb(w),
+            Err(e) => deferred = deferred.or(Some(e)),
+        }
+    }
+    if let Some(e) = deferred {
+        return Err(e);
     }
 
-    Ok((received, stats))
+    Ok(stats)
 }
 
 /// Per-destination payloads that were already serialized upstream — the
@@ -202,46 +485,439 @@ impl SerializedBatch {
             records: vec![0; p],
         }
     }
+
+    /// Checks that the batch matches a `p`-rank communicator: exactly one
+    /// buffer and one record count per destination.
+    fn validate(&self, p: usize) -> Result<()> {
+        if self.bufs.len() != p || self.records.len() != p {
+            return Err(CoreError::BatchShape {
+                comm_size: p,
+                bufs: self.bufs.len(),
+                records: self.records.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One staged round supplied to [`ExchangePlan::run_streamed`] by an
+/// upstream producer.
+#[derive(Debug)]
+pub struct ExchangeRound {
+    /// Per-destination payloads of this round (`bufs.len()` = world size).
+    pub batch: SerializedBatch,
+    /// Per-lane virtual seconds of the upstream compute that produced
+    /// this round; the plan folds them in *overlapped* with the previous
+    /// round's in-flight `ialltoallv` (slowest-lane rule, as
+    /// [`Comm::advance_parallel`]).
+    pub lanes: Vec<f64>,
+    /// Whether the producer will supply another round after this one.
+    pub more: bool,
+}
+
+/// The staged, chunked, overlapped all-to-all exchange.
+///
+/// Built from an [`ExchangeOptions`]; executed either over a fully
+/// serialized [`SerializedBatch`] ([`ExchangePlan::run_batch`] /
+/// [`ExchangePlan::run_batch_rounds`], which split each destination's
+/// payload into record-aligned chunks) or over a lazy round producer
+/// ([`ExchangePlan::run_streamed`], used by the ingest pipeline to
+/// serialize round `r+1` while round `r` is in flight).
+///
+/// Round protocol: `ialltoall_u64` of this round's byte counts (with a
+/// continuation flag in the high bit) → `ialltoallv` of the payloads →
+/// while that transfer is in flight, produce the next round and
+/// deserialize/drain the previous one → `wait`. Termination is agreed
+/// collectively through the flags, so ranks may contribute different
+/// round counts (drained ranks post empty rounds).
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangePlan {
+    p: usize,
+    chunk: Option<u64>,
+}
+
+impl ExchangePlan {
+    /// Plans an exchange over `comm` with `opts`'s chunk policy.
+    pub fn new(comm: &Comm, opts: &ExchangeOptions) -> Self {
+        ExchangePlan {
+            p: comm.size(),
+            chunk: opts.chunk.resolve(),
+        }
+    }
+
+    /// The resolved per-destination round cap (`None` = single round).
+    pub fn chunk_bytes(&self) -> Option<u64> {
+        self.chunk
+    }
+
+    /// Ships a pre-serialized batch and collects the received pairs in
+    /// source-rank order — bit-identical to the single-round blocking
+    /// protocol for **any** chunk policy.
+    pub fn run_batch(
+        &self,
+        comm: &mut Comm,
+        batch: SerializedBatch,
+    ) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
+        let mut collector = PerSourceCollector::new(self.p);
+        let stats = self.run_batch_rounds(comm, batch, &mut |_, round| {
+            collector.collect(round);
+            Ok(())
+        })?;
+        let mut received = Vec::new();
+        collector.drain_into(&mut received);
+        Ok((received, stats))
+    }
+
+    /// Ships a pre-serialized batch, handing each completed round's
+    /// received records (indexed by source rank) to `sink` while later
+    /// rounds are still in flight.
+    pub fn run_batch_rounds(
+        &self,
+        comm: &mut Comm,
+        batch: SerializedBatch,
+        sink: &mut dyn FnMut(usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+    ) -> Result<ExchangeStats> {
+        if let Err(e) = batch.validate(self.p) {
+            // Still participate (one empty round) so a rank with a
+            // malformed batch cannot strand its peers mid-collective,
+            // then report the typed error.
+            self.run_streamed(comm, &mut |_| Ok(None), sink)?;
+            return Err(e);
+        }
+        match self.chunk {
+            None => {
+                // Degenerate single round: the blocking protocol.
+                let mut whole = Some(batch);
+                self.run_streamed(
+                    comm,
+                    &mut |_| {
+                        Ok(whole.take().map(|batch| ExchangeRound {
+                            batch,
+                            lanes: Vec::new(),
+                            more: false,
+                        }))
+                    },
+                    sink,
+                )
+            }
+            Some(cap) => {
+                let mut splitter = BatchSplitter::new(batch, cap);
+                self.run_streamed(comm, &mut |_| splitter.next_round(), sink)
+            }
+        }
+    }
+
+    /// Runs the full pipelined protocol over a lazy producer.
+    ///
+    /// Round sequencing keeps the paper's sizes-before-payload dependency
+    /// (real `MPI_Alltoallv` needs the receive counts first) while taking
+    /// everything off the critical path that can come off it: round
+    /// `r+1`'s production (`feed`) and its size exchange are posted while
+    /// round `r`'s payload is in flight, and round `r-1`'s drain
+    /// (deserialize + `sink`) runs before either wait completes. `feed`
+    /// reports its compute through [`ExchangeRound::lanes`], which the
+    /// plan folds in overlapped; returning `None` (or a round with
+    /// `more = false`) ends this rank's contribution, and the plan keeps
+    /// posting empty rounds until the continuation flags say every rank
+    /// is done. `sink` receives each round's deserialized records indexed
+    /// by source rank. Collective: every rank must call it.
+    ///
+    /// A per-rank error (from `feed`, `sink`, or a corrupt payload) does
+    /// **not** abandon the protocol mid-flight — that would strand the
+    /// peer ranks at their next collective. The failing rank keeps
+    /// participating with empty rounds (draining and discarding its
+    /// receives) until the flags terminate the exchange globally, then
+    /// returns the original error.
+    pub fn run_streamed(
+        &self,
+        comm: &mut Comm,
+        feed: &mut dyn FnMut(&mut Comm) -> Result<Option<ExchangeRound>>,
+        sink: &mut dyn FnMut(usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+    ) -> Result<ExchangeStats> {
+        let p = self.p;
+        assert_eq!(comm.size(), p, "plan built for a different world size");
+        let mut stats = ExchangeStats {
+            phases: 1,
+            ..Default::default()
+        };
+        let mut engine = ProgressEngine::new(1);
+        let mut local_done = false;
+        // First per-rank error; once set, the rank winds the protocol
+        // down with empty rounds instead of computing further.
+        let mut deferred: Option<CoreError> = None;
+
+        // Round 0 prologue: produce, then the strict blocking two-round
+        // sequencing (sizes exchanged and completed before the payload is
+        // posted) — with one round this is exactly the historic protocol.
+        let (mut batch, more) =
+            produce_round(comm, &mut engine, feed, &mut local_done, p, &mut deferred);
+        let sreq = comm.ialltoall_u64(flagged_sizes(&batch, more));
+        let incoming = engine.drive(comm, sreq);
+        let mut any_more = incoming.iter().any(|&v| v & MORE_BIT != 0);
+        let mut expected_sizes: Vec<u64> = incoming.iter().map(|v| v & !MORE_BIT).collect();
+
+        let mut pending: Option<(usize, mvio_msim::Request<Vec<Vec<u8>>>, Vec<u64>)> = None;
+        let mut round = 0usize;
+        loop {
+            stats.per_round.push(RoundStats {
+                records_sent: batch.records.iter().sum(),
+                bytes_sent: batch.bufs.iter().map(|b| b.len() as u64).sum(),
+                ..Default::default()
+            });
+            stats.records_sent += stats.per_round[round].records_sent;
+            stats.bytes_sent += stats.per_round[round].bytes_sent;
+            stats.rounds += 1;
+            let preq = comm.ialltoallv(std::mem::take(&mut batch).bufs);
+
+            // Pipeline ahead: produce round r+1 and post its size
+            // exchange while round r's payload is in flight.
+            let sreq_next = if any_more {
+                let (next, nmore) =
+                    produce_round(comm, &mut engine, feed, &mut local_done, p, &mut deferred);
+                let req = comm.ialltoall_u64(flagged_sizes(&next, nmore));
+                batch = next;
+                Some(req)
+            } else {
+                None
+            };
+
+            // Drain round r-1 while round r (and r+1's sizes) fly.
+            if let Some((idx, req, expected)) = pending.take() {
+                self.drain_round(
+                    comm,
+                    &mut engine,
+                    idx,
+                    req,
+                    &expected,
+                    &mut stats,
+                    sink,
+                    &mut deferred,
+                );
+            }
+
+            match sreq_next {
+                Some(req) => {
+                    let incoming = engine.drive(comm, req);
+                    any_more = incoming.iter().any(|&v| v & MORE_BIT != 0);
+                    let next_sizes = incoming.iter().map(|v| v & !MORE_BIT).collect();
+                    pending = Some((
+                        round,
+                        preq,
+                        std::mem::replace(&mut expected_sizes, next_sizes),
+                    ));
+                    round += 1;
+                }
+                None => {
+                    self.drain_round(
+                        comm,
+                        &mut engine,
+                        round,
+                        preq,
+                        &expected_sizes,
+                        &mut stats,
+                        sink,
+                        &mut deferred,
+                    );
+                    break;
+                }
+            }
+        }
+        if let Some(err) = deferred {
+            return Err(err);
+        }
+        stats.overlapped_compute_s = engine.overlapped_compute();
+        stats.exposed_wait_s = engine.exposed_wait();
+        Ok(stats)
+    }
+
+    /// Completes one round's payload request, deserializes per source
+    /// (charged to the clock — overlapped with any round still in
+    /// flight), updates counters and hands the records to the sink.
+    /// `expected_sizes` are the byte counts the size exchange advertised
+    /// for this round — the receive-side cross-check of the two-round
+    /// protocol. Errors (corrupt payload, sink failure) are parked in
+    /// `deferred` rather than returned, so the caller's protocol loop
+    /// keeps the collectives matched across ranks; once `deferred` is
+    /// set, later rounds are received and discarded.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_round(
+        &self,
+        comm: &mut Comm,
+        engine: &mut ProgressEngine,
+        idx: usize,
+        req: mvio_msim::Request<Vec<Vec<u8>>>,
+        expected_sizes: &[u64],
+        stats: &mut ExchangeStats,
+        sink: &mut dyn FnMut(usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+        deferred: &mut Option<CoreError>,
+    ) {
+        let bufs = engine.drive(comm, req);
+        if deferred.is_some() {
+            return; // already failed: receive and discard
+        }
+        let run = || -> Result<()> {
+            let mut per_src = Vec::with_capacity(bufs.len());
+            let (mut records, mut bytes) = (0u64, 0u64);
+            for (src, buf) in bufs.into_iter().enumerate() {
+                debug_assert_eq!(
+                    buf.len() as u64,
+                    expected_sizes[src],
+                    "payload from rank {src} disagrees with its advertised size"
+                );
+                let recs = deserialize_records(&buf)?;
+                records += recs.len() as u64;
+                bytes += buf.len() as u64;
+                per_src.push(recs);
+            }
+            comm.charge(Work::SerializeGeoms { n: records, bytes });
+            stats.records_received += records;
+            stats.bytes_received += bytes;
+            let slot = &mut stats.per_round[idx];
+            slot.records_received = records;
+            slot.bytes_received = bytes;
+            sink(idx, per_src)
+        };
+        if let Err(e) = run() {
+            *deferred = Some(e);
+        }
+    }
+}
+
+/// Pulls one round from the feed (empty once this rank is drained or has
+/// failed), folding its reported per-lane compute into the clock —
+/// overlapped with whatever requests are currently in flight. A feed
+/// error is parked in `deferred` and the rank continues with an empty
+/// final round, keeping the collective protocol matched across ranks.
+fn produce_round(
+    comm: &mut Comm,
+    engine: &mut ProgressEngine,
+    feed: &mut dyn FnMut(&mut Comm) -> Result<Option<ExchangeRound>>,
+    local_done: &mut bool,
+    p: usize,
+    deferred: &mut Option<CoreError>,
+) -> (SerializedBatch, bool) {
+    let produced = if *local_done || deferred.is_some() {
+        None
+    } else {
+        match feed(comm) {
+            Ok(r) => r,
+            Err(e) => {
+                *deferred = Some(e);
+                None
+            }
+        }
+    };
+    let (batch, lanes, more) = match produced {
+        Some(r) => {
+            debug_assert_eq!(r.batch.bufs.len(), p, "round batch shape");
+            (r.batch, r.lanes, r.more)
+        }
+        None => (SerializedBatch::empty(p), Vec::new(), false),
+    };
+    *local_done = !more;
+    for (lane, secs) in lanes.iter().enumerate() {
+        engine.charge(lane, *secs);
+    }
+    engine.flush(comm);
+    (batch, more)
+}
+
+/// Size-exchange values for one round: byte counts with the continuation
+/// flag in the high bit.
+fn flagged_sizes(batch: &SerializedBatch, more: bool) -> Vec<u64> {
+    let flag = if more { MORE_BIT } else { 0 };
+    batch
+        .bufs
+        .iter()
+        .map(|b| {
+            debug_assert!((b.len() as u64) < MORE_BIT);
+            b.len() as u64 | flag
+        })
+        .collect()
+}
+
+/// Cuts a fully serialized batch into record-aligned per-destination
+/// pieces of at most `cap` bytes (a single oversized record still ships
+/// whole). Destinations drain independently; the feed ends when every
+/// destination is exhausted.
+struct BatchSplitter {
+    batch: SerializedBatch,
+    offsets: Vec<usize>,
+    cap: u64,
+}
+
+impl BatchSplitter {
+    fn new(batch: SerializedBatch, cap: u64) -> Self {
+        let p = batch.bufs.len();
+        BatchSplitter {
+            batch,
+            offsets: vec![0; p],
+            cap,
+        }
+    }
+
+    fn next_round(&mut self) -> Result<Option<ExchangeRound>> {
+        let p = self.batch.bufs.len();
+        let mut piece = SerializedBatch::empty(p);
+        let mut any = false;
+        for d in 0..p {
+            let buf = &self.batch.bufs[d];
+            let mut pos = self.offsets[d];
+            if pos >= buf.len() {
+                continue;
+            }
+            any = true;
+            let start = pos;
+            let mut records = 0u64;
+            while pos < buf.len() {
+                let len = record_len_at(buf, pos)?;
+                if records > 0 && (pos - start + len) as u64 > self.cap {
+                    break;
+                }
+                pos += len;
+                records += 1;
+            }
+            piece.bufs[d] = buf[start..pos].to_vec();
+            piece.records[d] = records;
+            self.offsets[d] = pos;
+        }
+        if !any {
+            return Ok(None);
+        }
+        let more = self
+            .offsets
+            .iter()
+            .zip(&self.batch.bufs)
+            .any(|(&off, buf)| off < buf.len());
+        Ok(Some(ExchangeRound {
+            batch: piece,
+            lanes: Vec::new(),
+            more,
+        }))
+    }
 }
 
 /// Single-window exchange of pre-serialized per-destination buffers: the
-/// two-round `Alltoall` + `Alltoallv` protocol of [`exchange_features`]
+/// staged `Alltoall` + `Alltoallv` protocol of [`exchange_features`]
 /// without the serialization pass, which the caller (the ingest pipeline)
 /// already performed — and already charged to the clock — on its worker
-/// threads. Only the receive-side deserialization is charged here.
+/// threads. Only the receive-side deserialization is charged here. The
+/// chunk policy resolves through [`CHUNK_ENV`]; use
+/// [`exchange_serialized_with`] to pin it explicitly.
 pub fn exchange_serialized(
     comm: &mut Comm,
     batch: SerializedBatch,
 ) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
-    let p = comm.size();
-    assert_eq!(batch.bufs.len(), p, "one buffer per destination rank");
-    assert_eq!(batch.records.len(), p, "one record count per destination");
-    let mut stats = ExchangeStats {
-        phases: 1,
-        records_sent: batch.records.iter().sum(),
-        bytes_sent: batch.bufs.iter().map(|b| b.len() as u64).sum(),
-        ..Default::default()
-    };
+    exchange_serialized_with(comm, batch, &ExchangeOptions::default())
+}
 
-    let sizes: Vec<u64> = batch.bufs.iter().map(|b| b.len() as u64).collect();
-    let incoming_sizes = comm.alltoall_u64(sizes);
-    let recv_bufs = comm.alltoallv(batch.bufs);
-    for (src, buf) in recv_bufs.iter().enumerate() {
-        debug_assert_eq!(buf.len() as u64, incoming_sizes[src]);
-    }
-    stats.bytes_received = recv_bufs.iter().map(|b| b.len() as u64).sum();
-
-    let mut received = Vec::new();
-    for buf in recv_bufs {
-        let mut records = deserialize_records(&buf)?;
-        stats.records_received += records.len() as u64;
-        received.append(&mut records);
-    }
-    comm.charge(Work::SerializeGeoms {
-        n: stats.records_received,
-        bytes: stats.bytes_received,
-    });
-    Ok((received, stats))
+/// [`exchange_serialized`] with an explicit chunk policy.
+pub fn exchange_serialized_with(
+    comm: &mut Comm,
+    batch: SerializedBatch,
+    opts: &ExchangeOptions,
+) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
+    ExchangePlan::new(comm, opts).run_batch(comm, batch)
 }
 
 #[cfg(test)]
@@ -292,6 +968,25 @@ mod tests {
     }
 
     #[test]
+    fn record_len_walks_the_wire_format() {
+        let mut buf = Vec::new();
+        let mut lens = Vec::new();
+        for i in 0..5 {
+            let before = buf.len();
+            let f = feature(i as f64, 0.0, &"u".repeat(i));
+            serialize_record(i as u32, &f, &mut Vec::new(), &mut buf).unwrap();
+            lens.push(buf.len() - before);
+        }
+        let mut pos = 0;
+        for expect in lens {
+            assert_eq!(record_len_at(&buf, pos).unwrap(), expect);
+            pos += expect;
+        }
+        assert_eq!(pos, buf.len());
+        assert!(record_len_at(&buf, buf.len() - 3).is_err());
+    }
+
+    #[test]
     fn exchange_routes_pairs_to_cell_owners() {
         let num_cells = 8;
         let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
@@ -317,7 +1012,219 @@ mod tests {
             assert_eq!(stats.records_sent, 8);
             assert_eq!(stats.records_received, 8);
             assert!(stats.bytes_sent > 0);
+            assert_eq!(stats.per_round.len(), stats.rounds as usize);
+            let sent: u64 = stats.per_round.iter().map(|r| r.records_sent).sum();
+            assert_eq!(sent, stats.records_sent);
         }
+    }
+
+    /// The tentpole oracle at unit scale: for any chunk size the chunked
+    /// plan returns exactly the blocking result — same pairs, same order.
+    #[test]
+    fn chunked_exchange_is_bit_identical_to_blocking() {
+        let num_cells = 10;
+        let run = |chunk: ExchangeChunk| {
+            World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+                let decomp = strip(num_cells, CellMap::RoundRobin, comm.size());
+                let pairs: Vec<(u32, Feature)> = (0..num_cells)
+                    .map(|c| {
+                        (
+                            c,
+                            feature(
+                                c as f64,
+                                comm.rank() as f64,
+                                &format!("rank{}cell{c}payload-padding", comm.rank()),
+                            ),
+                        )
+                    })
+                    .collect();
+                let opts = ExchangeOptions::with_chunk(chunk);
+                exchange_features(comm, pairs, &decomp, &opts).unwrap()
+            })
+        };
+        let blocking = run(ExchangeChunk::Unlimited);
+        for chunk in [1u64, 40, 100, 1 << 20] {
+            let chunked = run(ExchangeChunk::Bytes(chunk));
+            for rank in 0..3 {
+                assert_eq!(
+                    chunked[rank].0, blocking[rank].0,
+                    "chunk={chunk} rank={rank}"
+                );
+            }
+            // Tiny chunks must actually produce multiple rounds.
+            if chunk == 1 {
+                assert!(chunked[0].1.rounds > 1, "1-byte cap must multi-round");
+            }
+            // Conservation holds per chunking too.
+            let sent: u64 = chunked.iter().map(|(_, s)| s.records_sent).sum();
+            let recv: u64 = chunked.iter().map(|(_, s)| s.records_received).sum();
+            assert_eq!(sent, recv);
+        }
+        assert_eq!(blocking[0].1.rounds, 1);
+    }
+
+    /// With the unlimited chunk the plan must not change the virtual
+    /// clock relative to the historic blocking protocol (which is now
+    /// implemented *as* the degenerate plan — this pins the equivalence).
+    #[test]
+    fn degenerate_plan_has_one_round_and_single_sizes_exchange() {
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+            let decomp = strip(4, CellMap::RoundRobin, comm.size());
+            let pairs: Vec<(u32, Feature)> =
+                (0..4).map(|c| (c, feature(c as f64, 0.0, "x"))).collect();
+            let opts = ExchangeOptions::with_chunk(ExchangeChunk::Unlimited);
+            let (_, stats) = exchange_features(comm, pairs, &decomp, &opts).unwrap();
+            (stats.rounds, stats.per_round.len(), comm.now())
+        });
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[0].1, 1);
+        assert!(out[0].2 > 0.0);
+    }
+
+    #[test]
+    fn ranks_with_unequal_round_counts_terminate_together() {
+        // Rank 0 sends a lot (many rounds), rank 1 sends nothing: the
+        // continuation flags must keep rank 1 participating.
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+            let decomp = strip(6, CellMap::Block, comm.size());
+            let pairs: Vec<(u32, Feature)> = if comm.rank() == 0 {
+                (0..6)
+                    .flat_map(|c| {
+                        (0..4).map(move |i| (c, feature(c as f64, i as f64, "data-0123456789")))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let opts = ExchangeOptions::with_chunk(ExchangeChunk::Bytes(64));
+            let (mine, stats) = exchange_features(comm, pairs, &decomp, &opts).unwrap();
+            (mine.len(), stats.rounds)
+        });
+        // 24 pairs, block map: cells 0..3 -> rank 0, 3..6 -> rank 1.
+        assert_eq!(out[0].0 + out[1].0, 24);
+        // Both ranks executed the same number of rounds.
+        assert_eq!(out[0].1, out[1].1);
+        assert!(out[0].1 > 1, "64-byte cap must take multiple rounds");
+    }
+
+    #[test]
+    fn batch_shape_mismatch_is_a_typed_error() {
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+            // Batch sized for a 3-rank world on a 2-rank communicator.
+            let bad = SerializedBatch::empty(3);
+            match exchange_serialized(comm, bad) {
+                Err(CoreError::BatchShape {
+                    comm_size, bufs, ..
+                }) => (comm_size, bufs),
+                other => panic!("expected BatchShape error, got {other:?}"),
+            }
+        });
+        assert_eq!(out, vec![(2, 3), (2, 3)]);
+        // Mismatched records length alone is also caught.
+        let out = World::run(WorldConfig::new(Topology::single_node(1)), |comm| {
+            let bad = SerializedBatch {
+                bufs: vec![Vec::new()],
+                records: vec![0, 0],
+            };
+            matches!(
+                exchange_serialized(comm, bad),
+                Err(CoreError::BatchShape { .. })
+            )
+        });
+        assert!(out[0]);
+    }
+
+    /// A per-rank failure mid-plan must propagate as a typed error on
+    /// the failing rank while every other rank completes normally — not
+    /// strand the peers at their next collective (which would hang the
+    /// world).
+    #[test]
+    fn per_rank_feed_error_does_not_strand_peers() {
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+            let plan =
+                ExchangePlan::new(comm, &ExchangeOptions::with_chunk(ExchangeChunk::Bytes(32)));
+            if comm.rank() == 0 {
+                // Rank 0's producer fails on its second round while rank 1
+                // still has rounds to send.
+                let mut calls = 0;
+                let mut feed = |_: &mut Comm| {
+                    calls += 1;
+                    if calls == 1 {
+                        let mut batch = SerializedBatch::empty(2);
+                        serialize_record(
+                            0,
+                            &feature(0.0, 0.0, "a"),
+                            &mut Vec::new(),
+                            &mut batch.bufs[0],
+                        )
+                        .unwrap();
+                        batch.records[0] = 1;
+                        Ok(Some(ExchangeRound {
+                            batch,
+                            lanes: vec![],
+                            more: true,
+                        }))
+                    } else {
+                        Err(CoreError::Partition("injected feed failure".into()))
+                    }
+                };
+                let res = plan.run_streamed(comm, &mut feed, &mut |_, _| Ok(()));
+                matches!(res, Err(CoreError::Partition(m)) if m.contains("injected")) as usize
+            } else {
+                // Rank 1 sends three full rounds; it must complete cleanly.
+                let mut pairs = Vec::new();
+                for i in 0..6 {
+                    pairs.push((i % 2, feature(i as f64, 0.0, "0123456789abcdef")));
+                }
+                let decomp = strip(2, CellMap::RoundRobin, comm.size());
+                let (mine, stats) = exchange_features(
+                    comm,
+                    pairs,
+                    &decomp,
+                    &ExchangeOptions::with_chunk(ExchangeChunk::Bytes(32)),
+                )
+                .unwrap();
+                assert!(stats.rounds > 1);
+                mine.len()
+            }
+        });
+        assert_eq!(out[0], 1, "rank 0 must surface the injected error");
+        assert!(out[1] >= 3, "rank 1 must receive its own cell-1 pairs");
+    }
+
+    /// A corrupt pre-serialized buffer on one rank errors there and
+    /// completes everywhere else.
+    #[test]
+    fn corrupt_batch_errors_without_hanging_the_world() {
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+            let mut batch = SerializedBatch::empty(2);
+            if comm.rank() == 0 {
+                batch.bufs[1] = vec![0xFF; 7]; // truncated garbage
+                batch.records[1] = 1;
+            } else {
+                serialize_record(
+                    1,
+                    &feature(1.0, 1.0, "fine"),
+                    &mut Vec::new(),
+                    &mut batch.bufs[1],
+                )
+                .unwrap();
+                batch.records[1] = 1;
+            }
+            let opts = ExchangeOptions::with_chunk(ExchangeChunk::Bytes(16));
+            exchange_serialized_with(comm, batch, &opts).is_err()
+        });
+        // Rank 0's splitter rejects the corrupt buffer; rank 1 receives
+        // only well-formed data and succeeds.
+        assert_eq!(out, vec![true, false]);
+    }
+
+    #[test]
+    fn chunk_env_resolution() {
+        // Explicit policies never consult the environment.
+        assert_eq!(ExchangeChunk::Unlimited.resolve(), None);
+        assert_eq!(ExchangeChunk::Bytes(4096).resolve(), Some(4096));
+        assert_eq!(ExchangeChunk::Bytes(0).resolve(), Some(1), "clamped");
     }
 
     #[test]
@@ -338,7 +1245,10 @@ mod tests {
             let pairs: Vec<(u32, Feature)> = (0..num_cells)
                 .map(|c| (c, feature(c as f64, 0.0, "")))
                 .collect();
-            let opts = ExchangeOptions { windows: 4 };
+            let opts = ExchangeOptions {
+                windows: 4,
+                ..Default::default()
+            };
             let (mut mine, stats) = exchange_features(comm, pairs, &decomp, &opts).unwrap();
             mine.sort_by_key(|(c, _)| *c);
             (mine, stats.phases)
@@ -348,6 +1258,32 @@ mod tests {
         }
         assert_eq!(single[0].1, 1);
         assert_eq!(windowed[0].1, 4);
+    }
+
+    /// Pins the exact output ordering of the historic protocol: windows
+    /// in order, and source-rank order within each window — for the
+    /// blocking and the chunked plan alike. (The sorted comparisons in
+    /// the other window tests would not notice a reordering.)
+    #[test]
+    fn windowed_output_order_is_window_major_then_source_major() {
+        for chunk in [ExchangeChunk::Unlimited, ExchangeChunk::Bytes(32)] {
+            let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                let decomp = strip(4, CellMap::RoundRobin, comm.size());
+                // Every rank sends one pair per cell, tagged with origin.
+                let pairs: Vec<(u32, Feature)> = (0..4)
+                    .map(|c| (c, feature(c as f64, 0.0, &format!("r{}", comm.rank()))))
+                    .collect();
+                let opts = ExchangeOptions { windows: 2, chunk };
+                let (mine, _) = exchange_features(comm, pairs, &decomp, &opts).unwrap();
+                mine.iter()
+                    .map(|(c, f)| format!("{c}:{}", f.userdata))
+                    .collect::<Vec<_>>()
+            });
+            // Rank 0 owns cells 0 and 2; window 0 covers cells 0..2,
+            // window 1 covers 2..4. Within each window: src 0 then src 1.
+            assert_eq!(out[0], vec!["0:r0", "0:r1", "2:r0", "2:r1"], "{chunk:?}");
+            assert_eq!(out[1], vec!["1:r0", "1:r1", "3:r0", "3:r1"], "{chunk:?}");
+        }
     }
 
     #[test]
@@ -380,5 +1316,40 @@ mod tests {
         assert_eq!(out[0], vec![0, 1, 2, 3]);
         assert_eq!(out[1], vec![4, 5, 6, 7]);
         assert_eq!(out[2], vec![8, 9, 10, 11]);
+    }
+
+    /// The batched variant must hand back one batch per window whose
+    /// concatenation equals [`exchange_features`]'s vector exactly — for
+    /// blocking and chunked policies alike (the chunked rounds are
+    /// reassembled in source order before the batch is emitted).
+    #[test]
+    fn window_batches_concatenate_to_the_flat_exchange() {
+        let num_cells = 6;
+        for chunk in [ExchangeChunk::Unlimited, ExchangeChunk::Bytes(48)] {
+            for windows in [1u32, 3] {
+                let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                    let mk_pairs = |rank: usize| -> Vec<(u32, Feature)> {
+                        (0..num_cells)
+                            .map(|c| (c, feature(c as f64, rank as f64, "0123456789abcdef")))
+                            .collect()
+                    };
+                    let decomp = strip(num_cells, CellMap::RoundRobin, comm.size());
+                    let opts = ExchangeOptions { windows, chunk };
+                    let (batches, stats) =
+                        exchange_features_windows(comm, mk_pairs(comm.rank()), &decomp, &opts)
+                            .unwrap();
+                    let (flat, _) =
+                        exchange_features(comm, mk_pairs(comm.rank()), &decomp, &opts).unwrap();
+                    (batches, flat, stats.rounds)
+                });
+                for (batches, flat, rounds) in &out {
+                    assert_eq!(batches.len(), windows as usize, "{chunk:?}");
+                    assert_eq!(&batches.concat(), flat, "{chunk:?} windows={windows}");
+                    if chunk != ExchangeChunk::Unlimited {
+                        assert!(*rounds > 1, "48-byte cap must multi-round");
+                    }
+                }
+            }
+        }
     }
 }

@@ -55,7 +55,9 @@ pub use decomp::{
     AdaptiveBisection, DecompConfig, DecompPolicy, HilbertDecomposition, SpatialDecomposition,
     UniformDecomposition,
 };
-pub use exchange::{ExchangeOptions, ExchangeStats, SerializedBatch};
+pub use exchange::{
+    ExchangeChunk, ExchangeOptions, ExchangePlan, ExchangeRound, ExchangeStats, SerializedBatch,
+};
 pub use framework::{FilterRefine, RefineTask};
 pub use grid::{CellMap, GridSpec, UniformGrid};
 pub use partition::{BoundaryStrategy, ReadOptions};
@@ -115,6 +117,19 @@ pub enum CoreError {
     /// (e.g. a zero block size or zero maximum geometry size, which would
     /// otherwise divide by zero or silently read empty halos).
     InvalidOptions(String),
+    /// A pre-serialized exchange batch did not match the communicator: a
+    /// [`SerializedBatch`] must carry exactly one buffer and one record
+    /// count per destination rank. Caught before any collective is
+    /// posted, so a malformed producer cannot truncate payloads or
+    /// deadlock the exchange.
+    BatchShape {
+        /// World size of the communicator the batch was submitted to.
+        comm_size: usize,
+        /// `bufs.len()` of the offending batch.
+        bufs: usize,
+        /// `records.len()` of the offending batch.
+        records: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -129,6 +144,15 @@ impl std::fmt::Display for CoreError {
             CoreError::Partition(m) => write!(f, "partitioning: {m}"),
             CoreError::Grid(m) => write!(f, "grid: {m}"),
             CoreError::InvalidOptions(m) => write!(f, "invalid options: {m}"),
+            CoreError::BatchShape {
+                comm_size,
+                bufs,
+                records,
+            } => write!(
+                f,
+                "serialized batch shaped for the wrong world: {bufs} buffers / \
+                 {records} record counts on a {comm_size}-rank communicator"
+            ),
         }
     }
 }

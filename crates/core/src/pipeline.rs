@@ -16,7 +16,11 @@
 //!    ([`partition_chunked`]) — features stream into the exchange format
 //!    without an intermediate `Vec<(u32, Feature)>` snapshot;
 //! 4. [`crate::exchange::exchange_serialized`] ships the buffers with the
-//!    usual two-round `Alltoall` + `Alltoallv` protocol.
+//!    usual two-round `Alltoall` + `Alltoallv` protocol — or, when a
+//!    finite `MVIO_EXCHANGE_CHUNK` is in force, the partition and
+//!    exchange stages fuse into [`partition_exchange_overlapped`] and
+//!    stream through the chunked [`crate::exchange::ExchangePlan`], each
+//!    round's `ialltoallv` overlapping the next round's serialization.
 //!
 //! # Determinism
 //!
@@ -48,7 +52,10 @@
 //! 4 and runs the full suite under both.
 
 use crate::decomp::{self, DecompConfig, SpatialDecomposition};
-use crate::exchange::{exchange_serialized, serialize_record, ExchangeStats, SerializedBatch};
+use crate::exchange::{
+    exchange_serialized_with, serialize_record, ExchangeOptions, ExchangePlan, ExchangeRound,
+    ExchangeStats, SerializedBatch,
+};
 use crate::partition::{read_partition_text, ReadOptions};
 use crate::reader::{parse_records_into, GeometryParser};
 use crate::{Feature, Result};
@@ -327,6 +334,63 @@ pub fn parse_chunked(
     Ok((features, stats))
 }
 
+/// Record-range boundaries of the partition stage: depends only on the
+/// feature count and the chunk-size knob, never on the worker count.
+fn partition_ranges(features: usize, step: usize) -> Vec<std::ops::Range<usize>> {
+    (0..features)
+        .step_by(step.max(1))
+        .map(|lo| lo..(lo + step.max(1)).min(features))
+        .collect()
+}
+
+/// Serializes one partition chunk: maps each feature in `range` onto the
+/// decomposition's cells and appends every `(cell, feature)` replica to
+/// the per-destination `bufs`/`records`, charging the cell lookup
+/// (`Work::RtreeQueries`) and the wire serialization
+/// (`Work::SerializeGeoms`) to `tally`. The single body behind both the
+/// unfused [`partition_chunked`] stage and the fused
+/// [`partition_exchange_overlapped`] feed — the byte streams are
+/// identical by construction because this *is* the same code. Returns
+/// the number of replicas produced. (The work is charged even when a
+/// record fails mid-chunk, matching what the serializer executed.)
+#[allow(clippy::too_many_arguments)]
+fn serialize_partition_chunk<D: SpatialDecomposition + ?Sized>(
+    decomp: &D,
+    features: &[Feature],
+    range: std::ops::Range<usize>,
+    tally: &mut WorkTally,
+    cells: &mut Vec<u32>,
+    scratch: &mut Vec<u8>,
+    bufs: &mut [Vec<u8>],
+    records: &mut [u64],
+) -> (Result<()>, u64) {
+    let before: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+    let mut pairs = 0u64;
+    let mut run = || -> Result<()> {
+        for f in &features[range.clone()] {
+            decomp.cells_for_rect(&f.geometry.envelope(), cells);
+            pairs += cells.len() as u64;
+            for &cell in cells.iter() {
+                let dst = decomp.cell_to_rank(cell);
+                serialize_record(cell, f, scratch, &mut bufs[dst])?;
+                records[dst] += 1;
+            }
+        }
+        Ok(())
+    };
+    let r = run();
+    let after: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+    tally.charge(Work::RtreeQueries {
+        n: range.len() as u64,
+        results: pairs,
+    });
+    tally.charge(Work::SerializeGeoms {
+        n: pairs,
+        bytes: after - before,
+    });
+    (r, pairs)
+}
+
 /// Parallel partition stage: maps feature chunks onto the decomposition's
 /// cells and serializes every `(cell, feature)` replica straight into
 /// per-destination wire buffers, merged per destination in chunk order.
@@ -356,37 +420,22 @@ pub fn partition_chunked<D: SpatialDecomposition + ?Sized>(
         pairs: u64,
     }
 
-    let ranges: Vec<std::ops::Range<usize>> = (0..features.len())
-        .step_by(step)
-        .map(|lo| lo..(lo + step).min(features.len()))
-        .collect();
+    let ranges = partition_ranges(features.len(), step);
 
     let (results, lanes) = fan_out(workers, ranges, |range: &std::ops::Range<usize>| {
         let mut tally = WorkTally::new(cost);
         let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); p];
         let mut counts = vec![0u64; p];
-        let mut cells: Vec<u32> = Vec::new();
-        let mut pairs = 0u64;
-        let mut scratch: Vec<u8> = Vec::new();
-        let mut run = || -> Result<()> {
-            for f in &features[range.clone()] {
-                decomp.cells_for_rect(&f.geometry.envelope(), &mut cells);
-                pairs += cells.len() as u64;
-                for &cell in &cells {
-                    let dst = decomp.cell_to_rank(cell);
-                    serialize_record(cell, f, &mut scratch, &mut bufs[dst])?;
-                    counts[dst] += 1;
-                }
-            }
-            Ok(())
-        };
-        let r = run();
-        let bytes: u64 = bufs.iter().map(|b| b.len() as u64).sum();
-        tally.charge(Work::RtreeQueries {
-            n: range.len() as u64,
-            results: pairs,
-        });
-        tally.charge(Work::SerializeGeoms { n: pairs, bytes });
+        let (r, pairs) = serialize_partition_chunk(
+            decomp,
+            features,
+            range.clone(),
+            &mut tally,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut bufs,
+            &mut counts,
+        );
         let out = r.map(|()| ChunkOut {
             bufs,
             counts,
@@ -420,6 +469,110 @@ pub fn partition_chunked<D: SpatialDecomposition + ?Sized>(
     Ok((out, stats))
 }
 
+/// Fused partition + exchange stage with communication/compute overlap:
+/// serializes the features' cell replicas chunk by chunk into
+/// per-destination wire buffers and ships them through the chunked
+/// [`ExchangePlan`], so round `r`'s `ialltoallv` is in flight while the
+/// serializer produces round `r+1` (and round `r-1`'s receives
+/// deserialize). A round closes once any destination's buffer reaches
+/// `chunk_bytes`.
+///
+/// The serialized byte streams are identical to
+/// [`partition_chunked`]'s (same chunk boundaries, same order), and the
+/// collected result is reassembled in source-rank order, so the owned
+/// pairs are **bit-identical** to the unfused
+/// `partition_chunked` → `exchange_serialized` path — only the virtual
+/// time moves, because serialization lanes (per-chunk [`WorkTally`]
+/// totals under the same `chunk % workers` rule) are folded in overlapped
+/// with the in-flight rounds. Collective: every rank must call it.
+pub fn partition_exchange_overlapped<D: SpatialDecomposition + ?Sized>(
+    comm: &mut Comm,
+    decomp: &D,
+    features: &[Feature],
+    opts: &PipelineOptions,
+    chunk_bytes: u64,
+) -> Result<(Vec<(u32, Feature)>, PipelineStats, ExchangeStats)> {
+    let workers = opts.effective_workers();
+    let p = comm.size();
+    debug_assert_eq!(
+        decomp.num_ranks(),
+        p,
+        "decomposition built for a different world size"
+    );
+    let step = opts.partition_chunk_records.max(1);
+    let cost = *comm.cost_model();
+    let chunk_bytes = chunk_bytes.max(1);
+
+    let ranges = partition_ranges(features.len(), step);
+
+    let mut stats = PipelineStats {
+        workers,
+        ..Default::default()
+    };
+    let mut next = 0usize;
+    let mut cells: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+
+    // Serializes partition chunks into one exchange round until a
+    // destination fills up, reporting each chunk's work on its
+    // deterministic lane. Runs between the plan's post and wait, so the
+    // reported lane seconds overlap the in-flight round. A round always
+    // carries at least one chunk per worker lane (when that many remain):
+    // closing on the byte cap alone could shrink rounds to a single
+    // chunk, serializing on one lane what the unfused stage spreads over
+    // all of them.
+    let mut feed = |_: &mut Comm| -> Result<Option<ExchangeRound>> {
+        if next >= ranges.len() {
+            return Ok(None);
+        }
+        let mut batch = SerializedBatch::empty(p);
+        let mut lanes = vec![0.0f64; workers];
+        let mut chunks_in_round = 0usize;
+        while next < ranges.len() {
+            let mut tally = WorkTally::new(cost);
+            let (r, pairs) = serialize_partition_chunk(
+                decomp,
+                features,
+                ranges[next].clone(),
+                &mut tally,
+                &mut cells,
+                &mut scratch,
+                &mut batch.bufs,
+                &mut batch.records,
+            );
+            r?;
+            lanes[next % workers] += tally.seconds();
+            stats.partition_chunks += 1;
+            stats.pairs += pairs;
+            next += 1;
+            chunks_in_round += 1;
+            if chunks_in_round >= workers
+                && batch.bufs.iter().any(|b| b.len() as u64 >= chunk_bytes)
+            {
+                break;
+            }
+        }
+        Ok(Some(ExchangeRound {
+            batch,
+            lanes,
+            more: next < ranges.len(),
+        }))
+    };
+
+    let plan = ExchangePlan::new(
+        comm,
+        &ExchangeOptions::with_chunk(crate::exchange::ExchangeChunk::Bytes(chunk_bytes)),
+    );
+    let mut collector = crate::exchange::PerSourceCollector::new(p);
+    let ex_stats = plan.run_streamed(comm, &mut feed, &mut |_, round| {
+        collector.collect(round);
+        Ok(())
+    })?;
+    let mut owned = Vec::new();
+    collector.drain_into(&mut owned);
+    Ok((owned, stats, ex_stats))
+}
+
 /// Per-rank result of a full pipelined ingest.
 #[derive(Debug)]
 pub struct IngestOutput {
@@ -438,9 +591,11 @@ pub struct IngestOutput {
 
 /// The full streaming per-rank ingest: partitioned read → parallel parse
 /// → collective decomposition build (`MPI_UNION` extent allreduce, plus
-/// the histogram allreduce for the adaptive policy) → parallel fused
-/// cell-map/serialize → `Alltoall`/`Alltoallv` exchange. Collective:
-/// every rank must call it.
+/// the histogram allreduce for the adaptive policy) → fused
+/// cell-map/serialize + staged `Alltoall`/`Alltoallv` exchange. The
+/// chunk policy resolves through [`crate::exchange::CHUNK_ENV`]; use
+/// [`ingest_with_exchange`] to pin it explicitly. Collective: every rank
+/// must call it.
 pub fn ingest(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
@@ -450,14 +605,65 @@ pub fn ingest(
     cfg: &DecompConfig,
     opts: &PipelineOptions,
 ) -> Result<IngestOutput> {
+    ingest_with_exchange(
+        comm,
+        fs,
+        path,
+        read,
+        parser,
+        cfg,
+        opts,
+        &ExchangeOptions::default(),
+    )
+}
+
+/// [`ingest`] with an explicit exchange configuration. With an unlimited
+/// chunk the partition stage fully serializes on worker threads before a
+/// single blocking exchange round (the historic path, bit-identical in
+/// data and virtual time); with a finite chunk the partition and
+/// exchange stages fuse into [`partition_exchange_overlapped`], whose
+/// owned pairs are still bit-identical — only the ingest time shrinks by
+/// whatever communication hides under the pipelined serialization.
+///
+/// Only [`ExchangeOptions::chunk`] applies here: the sliding-window
+/// variant ([`ExchangeOptions::windows`]) is a
+/// [`crate::exchange::exchange_features`] feature, so `windows > 1` is
+/// rejected with [`crate::CoreError::InvalidOptions`] rather than
+/// silently ignored.
+#[allow(clippy::too_many_arguments)]
+pub fn ingest_with_exchange(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    read: &ReadOptions,
+    parser: &dyn GeometryParser,
+    cfg: &DecompConfig,
+    opts: &PipelineOptions,
+    exchange_opts: &ExchangeOptions,
+) -> Result<IngestOutput> {
+    if exchange_opts.windows > 1 {
+        return Err(crate::CoreError::InvalidOptions(format!(
+            "ingest does not support sliding windows (windows = {}); \
+             use exchange_features for the windowed exchange",
+            exchange_opts.windows
+        )));
+    }
     let text = read_partition_text(comm, fs, path, read)?;
     let (features, parse_stats) = parse_chunked(comm, &text, parser, opts)?;
     drop(text);
     let decomp = decomp::build_global(comm, &[&features], cfg);
-    let (batch, part_stats) = partition_chunked(comm, &*decomp, &features, opts)?;
     let local_features = features.len() as u64;
-    drop(features);
-    let (owned, exchange) = exchange_serialized(comm, batch)?;
+    let (owned, part_stats, exchange) = match exchange_opts.chunk.resolve() {
+        Some(chunk_bytes) => {
+            partition_exchange_overlapped(comm, &*decomp, &features, opts, chunk_bytes)?
+        }
+        None => {
+            let (batch, part_stats) = partition_chunked(comm, &*decomp, &features, opts)?;
+            drop(features);
+            let (owned, exchange) = exchange_serialized_with(comm, batch, exchange_opts)?;
+            (owned, part_stats, exchange)
+        }
+    };
     Ok(IngestOutput {
         decomp,
         owned,
@@ -759,6 +965,78 @@ mod tests {
         // much.
         assert_eq!(totals[0], totals[1]);
         assert!(totals[2] >= totals[0]);
+    }
+
+    #[test]
+    fn overlapped_ingest_is_bit_identical_to_the_blocking_path() {
+        use crate::exchange::{ExchangeChunk, ExchangeOptions};
+        let text = sample_text(200);
+        let fs = SimFs::new(mvio_pfs::FsConfig::lustre_comet());
+        fs.create("data.wkt", None).unwrap().append(text.as_bytes());
+        let spec = GridSpec::square(5);
+        let read = ReadOptions::default().with_block_size(2 << 10);
+        let run = |chunk: ExchangeChunk, workers: usize| {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                let rep = ingest_with_exchange(
+                    comm,
+                    &fs,
+                    "data.wkt",
+                    &read,
+                    &WktLineParser,
+                    &DecompConfig::uniform(spec),
+                    &PipelineOptions::default()
+                        .with_workers(workers)
+                        .with_partition_chunk_records(11),
+                    &ExchangeOptions::with_chunk(chunk),
+                )
+                .unwrap();
+                (rep.owned, rep.exchange.rounds, rep.stats.pairs, comm.now())
+            })
+        };
+        let blocking = run(ExchangeChunk::Unlimited, 2);
+        assert!(blocking.iter().all(|r| r.1 == 1), "unlimited = one round");
+        for chunk in [64u64, 700, 1 << 20] {
+            for workers in [1usize, 4] {
+                let fused = run(ExchangeChunk::Bytes(chunk), workers);
+                for rank in 0..4 {
+                    assert_eq!(
+                        fused[rank].0, blocking[rank].0,
+                        "chunk={chunk} workers={workers} rank={rank}"
+                    );
+                    assert_eq!(fused[rank].2, blocking[rank].2, "pair counts");
+                }
+                if chunk == 64 {
+                    assert!(fused[0].1 > 1, "small cap must take multiple rounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_sliding_windows() {
+        use crate::exchange::ExchangeOptions;
+        let fs = SimFs::new(mvio_pfs::FsConfig::lustre_comet());
+        fs.create("data.wkt", None)
+            .unwrap()
+            .append(b"POINT (1 1)\tp\n");
+        let out = World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+            let res = ingest_with_exchange(
+                comm,
+                &fs,
+                "data.wkt",
+                &ReadOptions::default(),
+                &WktLineParser,
+                &DecompConfig::uniform(GridSpec::square(2)),
+                &PipelineOptions::default().with_workers(1),
+                &ExchangeOptions {
+                    windows: 4,
+                    ..Default::default()
+                },
+            );
+            matches!(res, Err(crate::CoreError::InvalidOptions(m)) if m.contains("windows"))
+        });
+        assert!(out[0]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::collective::Hub;
 use crate::reduceop::{fold_in_rank_order, scan_in_rank_order, ReduceOp};
+use crate::request::{ReqInner, Request};
 use crate::time::{CostModel, Work};
 use crate::topology::Topology;
 use crossbeam::channel::{Receiver, Sender};
@@ -137,9 +138,19 @@ impl Comm {
     /// after the local buffer is handed off; the sender is charged the
     /// message-injection overhead (α plus a per-byte copy).
     pub fn send(&mut self, dst: usize, tag: u64, data: &[u8]) {
+        let req = self.isend(dst, tag, data);
+        self.wait(req);
+    }
+
+    /// Nonblocking send (`MPI_Isend`): the message is injected with the
+    /// current timestamp but the sender's clock does not advance until the
+    /// returned request completes, so compute charged in between overlaps
+    /// the injection overhead.
+    pub fn isend(&mut self, dst: usize, tag: u64, data: &[u8]) -> Request<()> {
         assert!(dst < self.size(), "send to rank {dst} out of range");
         let send_time = self.now;
-        self.now += self.shared.cost.comm_latency
+        let done = self.now
+            + self.shared.cost.comm_latency
             + self.shared.cost.cost(Work::CopyBytes {
                 n: data.len() as u64,
             });
@@ -151,26 +162,105 @@ impl Comm {
                 send_time,
             })
             .expect("receiver outlives the job");
+        Request::ready(done, ())
     }
 
     /// Blocking receive of the next message from `src` with `tag`
     /// (non-overtaking per (src, tag) pair). Returns the payload; its
     /// length is the `MPI_Get_count` value.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<u8> {
-        let env = self.take_matching(src, tag);
-        let arrival = env.send_time + self.shared.cost.p2p(env.data.len() as u64);
-        self.advance_to(arrival);
-        env.data
+        let req = self.irecv(src, tag);
+        self.wait(req)
     }
 
-    /// Blocks until a message from `(src, tag)` is available and returns
-    /// its byte count without consuming it (`MPI_Probe` + `MPI_Get_count`).
-    pub fn probe(&mut self, src: usize, tag: u64) -> usize {
+    /// Nonblocking receive (`MPI_Irecv`): matching is deferred to
+    /// completion, so posting receives before the corresponding sends —
+    /// the symmetric-exchange pattern that deadlocks with blocking calls —
+    /// is safe, and compute charged before [`Comm::wait`] overlaps the
+    /// message flight.
+    pub fn irecv(&mut self, src: usize, tag: u64) -> Request<Vec<u8>> {
+        assert!(src < self.size(), "recv from rank {src} out of range");
+        Request::pending_recv(src, tag)
+    }
+
+    // ----- request completion ---------------------------------------------
+
+    /// Resolves a request to `(completion_time, value)` without touching
+    /// the clock.
+    fn resolve<T>(&mut self, req: Request<T>) -> (f64, T) {
+        match req.inner {
+            ReqInner::Ready { at, value } => (at, value),
+            ReqInner::PendingRecv { src, tag, wrap } => {
+                let env = self.take_matching(src, tag);
+                let arrival = env.send_time + self.shared.cost.p2p(env.data.len() as u64);
+                (arrival, wrap(env.data))
+            }
+        }
+    }
+
+    /// `MPI_Wait`: completes `req`, advancing the clock to the operation's
+    /// completion instant if that lies in the future (compute performed
+    /// since initiation therefore overlaps the transfer).
+    pub fn wait<T>(&mut self, req: Request<T>) -> T {
+        let (at, value) = self.resolve(req);
+        self.advance_to(at);
+        value
+    }
+
+    /// `MPI_Waitall`: completes every request, advances the clock once to
+    /// the latest completion, and returns the values in *request order*
+    /// (never completion order). The final clock is independent of the
+    /// order requests are listed in.
+    pub fn waitall<T>(&mut self, reqs: impl IntoIterator<Item = Request<T>>) -> Vec<T> {
+        let mut latest = self.now;
+        let mut out = Vec::new();
+        for req in reqs {
+            let (at, value) = self.resolve(req);
+            latest = latest.max(at);
+            out.push(value);
+        }
+        self.advance_to(latest);
+        out
+    }
+
+    /// `MPI_Test`: completes `req` and returns its value iff the operation
+    /// has finished by the current *virtual* time; otherwise hands the
+    /// request back untouched. Never advances the clock. The outcome
+    /// depends only on deterministic virtual timestamps (for a pending
+    /// receive this may physically block until the peer's message exists,
+    /// like every blocking primitive in the runtime — see the
+    /// [`crate::request`] module docs).
+    pub fn test<T>(&mut self, req: Request<T>) -> std::result::Result<T, Request<T>> {
+        match req.inner {
+            ReqInner::Ready { at, value } => {
+                if at <= self.now {
+                    Ok(value)
+                } else {
+                    Err(Request::ready(at, value))
+                }
+            }
+            ReqInner::PendingRecv { src, tag, wrap } => {
+                let len = self.stash_matching(src, tag);
+                let pos = self.stash_pos(src, tag).expect("just stashed");
+                let arrival = self.stash[pos].send_time + self.shared.cost.p2p(len as u64);
+                if arrival <= self.now {
+                    let env = self.stash.remove(pos);
+                    Ok(wrap(env.data))
+                } else {
+                    Err(Request {
+                        inner: ReqInner::PendingRecv { src, tag, wrap },
+                    })
+                }
+            }
+        }
+    }
+
+    /// Ensures a message from `(src, tag)` sits in the stash (pumping the
+    /// channel as needed) and returns its byte length. Does not advance
+    /// the clock.
+    fn stash_matching(&mut self, src: usize, tag: u64) -> usize {
         if let Some(pos) = self.stash_pos(src, tag) {
-            let (send_time, len) = (self.stash[pos].send_time, self.stash[pos].data.len());
-            let arrival = send_time + self.shared.cost.p2p(len as u64);
-            self.advance_to(arrival);
-            return len;
+            return self.stash[pos].data.len();
         }
         loop {
             let env = self.rx.recv().expect("world alive");
@@ -179,13 +269,21 @@ impl Comm {
             }
             let matched = env.src == src && env.tag == tag;
             let len = env.data.len();
-            let arrival = env.send_time + self.shared.cost.p2p(len as u64);
             self.stash.push(env);
             if matched {
-                self.advance_to(arrival);
                 return len;
             }
         }
+    }
+
+    /// Blocks until a message from `(src, tag)` is available and returns
+    /// its byte count without consuming it (`MPI_Probe` + `MPI_Get_count`).
+    pub fn probe(&mut self, src: usize, tag: u64) -> usize {
+        let len = self.stash_matching(src, tag);
+        let pos = self.stash_pos(src, tag).expect("just stashed");
+        let arrival = self.stash[pos].send_time + self.shared.cost.p2p(len as u64);
+        self.advance_to(arrival);
+        len
     }
 
     fn stash_pos(&self, src: usize, tag: u64) -> Option<usize> {
@@ -308,6 +406,15 @@ impl Comm {
     /// of the paper's two-round exchange (peers swap buffer sizes before
     /// the payload `Alltoallv`).
     pub fn alltoall_u64(&mut self, sends: Vec<u64>) -> Vec<u64> {
+        let req = self.ialltoall_u64(sends);
+        self.wait(req)
+    }
+
+    /// Nonblocking [`Comm::alltoall_u64`] (`MPI_Ialltoall`): the exchange
+    /// is initiated at the current timestamp; the clock does not advance
+    /// until the returned request completes, so compute charged in between
+    /// overlaps the collective.
+    pub fn ialltoall_u64(&mut self, sends: Vec<u64>) -> Request<Vec<u64>> {
         assert_eq!(sends.len(), self.size(), "one value per destination");
         let gen = self.next_gen();
         let p = self.size();
@@ -331,8 +438,7 @@ impl Comm {
                 (matrix, vec![exit; times.len()])
             },
         );
-        self.now = exit;
-        result[rank].clone()
+        Request::ready(exit, result[rank].clone())
     }
 
     /// `MPI_Alltoallv` over byte buffers: element `d` of `sends` goes to
@@ -340,6 +446,17 @@ impl Comm {
     /// sizes may differ arbitrarily — the variable-length-geometry case
     /// the paper §3 calls out as painful with raw MPI datatypes.
     pub fn alltoallv(&mut self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let req = self.ialltoallv(sends);
+        self.wait(req)
+    }
+
+    /// Nonblocking [`Comm::alltoallv`] (`MPI_Ialltoallv`), the core of the
+    /// chunked overlapped exchange: post one round's payloads, keep
+    /// computing (serializing the next round), then [`Comm::wait`]. Like
+    /// every collective here the initiation physically rendezvouses with
+    /// the peers, but the *virtual* completion — per-rank, sized by that
+    /// rank's send and receive volumes — is deferred to the wait.
+    pub fn ialltoallv(&mut self, sends: Vec<Vec<u8>>) -> Request<Vec<Vec<u8>>> {
         assert_eq!(sends.len(), self.size(), "one buffer per destination");
         let gen = self.next_gen();
         let p = self.size();
@@ -374,8 +491,7 @@ impl Comm {
                 (matrix, exits)
             },
         );
-        self.now = exit;
-        result[rank].clone()
+        Request::ready(exit, result[rank].clone())
     }
 
     /// `MPI_Reduce` with a user-defined operator; the result is returned at

@@ -15,6 +15,12 @@
 //!   `MPI_UNION` spatial reduction plugs into). Non-commutative but
 //!   associative operators are honoured by combining strictly in rank
 //!   order.
+//! * **Nonblocking operations** — `isend`/`irecv`/`ialltoall_u64`/
+//!   `ialltoallv` return [`request::Request`] handles completed by
+//!   `wait`/`waitall`/`test`; compute charged between initiation and
+//!   completion overlaps the transfer deterministically, with
+//!   [`request::ProgressEngine`] extending the pipeline's per-lane
+//!   [`time::WorkTally`] accounting into overlap regions.
 //! * **Derived datatypes** — contiguous, vector, indexed and struct
 //!   ([`datatype::Datatype`]), with size/extent, pack/unpack, and
 //!   flattening into file-view fragments.
@@ -48,6 +54,7 @@ pub mod datatype;
 pub mod hints;
 pub mod io;
 pub mod reduceop;
+pub mod request;
 pub mod time;
 pub mod topology;
 pub mod world;
@@ -57,6 +64,7 @@ pub use datatype::Datatype;
 pub use hints::Hints;
 pub use io::{AccessLevel, MpiFile};
 pub use reduceop::ReduceOp;
+pub use request::{ProgressEngine, Request};
 pub use time::{CostModel, ShapeClass, Work, WorkTally};
 pub use topology::Topology;
 pub use world::{World, WorldConfig};

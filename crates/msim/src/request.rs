@@ -1,0 +1,402 @@
+//! Nonblocking operation handles and the overlap progress engine.
+//!
+//! MPI programs hide communication latency behind compute by splitting
+//! every operation into an *initiation* (`MPI_Isend`, `MPI_Irecv`,
+//! `MPI_Ialltoallv`, …) that returns a request handle immediately and a
+//! *completion* (`MPI_Wait`/`MPI_Test`) that blocks until the transfer
+//! finished. This module is that split for the simulator.
+//!
+//! ## Virtual-time semantics
+//!
+//! Initiating an operation never advances the caller's clock. The
+//! operation's completion instant is fixed by the same cost models the
+//! blocking calls use, measured from the *initiation* time; compute
+//! charged between initiation and [`Comm::wait`] therefore overlaps the
+//! transfer, and `wait` advances the clock to
+//! `max(clock, completion)` — the classic overlap identity. A blocking
+//! call is exactly its nonblocking twin followed by an immediate `wait`
+//! (and that is how [`Comm::send`], [`Comm::alltoallv`] and friends are
+//! implemented), so the degenerate no-overlap schedule is bit-identical
+//! in both data and virtual time.
+//!
+//! ## Physical-time caveat
+//!
+//! Like every blocking operation in this runtime, initiation of a
+//! nonblocking *collective* physically rendezvouses with the other ranks
+//! (the hub needs all inputs before it can combine them); only the
+//! *virtual* completion is deferred to `wait`. `irecv` defers its
+//! matching to completion, so the symmetric
+//! `irecv → isend → wait` exchange pattern that would deadlock with
+//! blocking calls works. [`Comm::test`] may likewise physically block
+//! until the peer's message exists, but its *answer* — complete or not —
+//! depends only on deterministic virtual times, never on OS scheduling.
+
+use crate::comm::Comm;
+use crate::time::WorkTally;
+
+/// Handle for an in-flight nonblocking operation returning a `T` on
+/// completion. Produced by [`Comm::isend`], [`Comm::irecv`],
+/// [`Comm::ialltoall_u64`] and [`Comm::ialltoallv`]; consumed by
+/// [`Comm::wait`], [`Comm::waitall`] or [`Comm::test`].
+#[derive(Debug)]
+#[must_use = "a Request must be completed with wait/waitall/test"]
+pub struct Request<T> {
+    pub(crate) inner: ReqInner<T>,
+}
+
+#[derive(Debug)]
+pub(crate) enum ReqInner<T> {
+    /// Result already determined (sends and collectives resolve their
+    /// payload at initiation; only the completion *time* is deferred).
+    Ready { at: f64, value: T },
+    /// A receive whose matching message is found at completion time.
+    PendingRecv {
+        src: usize,
+        tag: u64,
+        wrap: fn(Vec<u8>) -> T,
+    },
+}
+
+impl<T> Request<T> {
+    pub(crate) fn ready(at: f64, value: T) -> Self {
+        Request {
+            inner: ReqInner::Ready { at, value },
+        }
+    }
+}
+
+impl Request<Vec<u8>> {
+    pub(crate) fn pending_recv(src: usize, tag: u64) -> Self {
+        Request {
+            inner: ReqInner::PendingRecv {
+                src,
+                tag,
+                wrap: |data| data,
+            },
+        }
+    }
+}
+
+/// Deterministic progress engine for compute/communication overlap.
+///
+/// Worker threads cannot touch the rank clock, so overlapped regions
+/// charge per-lane [`WorkTally`] totals here (same fixed
+/// `work-item % lanes` rule as [`Comm::advance_parallel`]) while one or
+/// more [`Request`]s are in flight. [`ProgressEngine::drive`] then folds
+/// the slowest lane into the clock and completes the request, so the
+/// rank's time advances to `max(compute, communication)` — and the
+/// engine records how much communication was hidden under compute versus
+/// exposed on the critical path, the quantity the overlap benchmarks
+/// report.
+#[derive(Debug)]
+pub struct ProgressEngine {
+    lanes: Vec<f64>,
+    overlapped_compute: f64,
+    exposed_wait: f64,
+}
+
+impl ProgressEngine {
+    /// An engine folding overlapped compute into `lanes` worker lanes
+    /// (`lanes >= 1`; one lane models a single-threaded overlap region).
+    pub fn new(lanes: usize) -> Self {
+        ProgressEngine {
+            lanes: vec![0.0; lanes.max(1)],
+            overlapped_compute: 0.0,
+            exposed_wait: 0.0,
+        }
+    }
+
+    /// Number of lanes the engine folds compute into.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Charges `seconds` of overlapped compute to `lane`, growing the lane
+    /// set on demand (callers typically assign `work-item % workers`, the
+    /// same deterministic rule as [`Comm::advance_parallel`]).
+    pub fn charge(&mut self, lane: usize, seconds: f64) {
+        debug_assert!(seconds.is_finite() && seconds >= 0.0);
+        if lane >= self.lanes.len() {
+            self.lanes.resize(lane + 1, 0.0);
+        }
+        self.lanes[lane] += seconds;
+    }
+
+    /// Charges a worker's accumulated [`WorkTally`] to `lane`.
+    pub fn absorb(&mut self, lane: usize, tally: &WorkTally) {
+        self.charge(lane, tally.seconds());
+    }
+
+    /// Folds the pending lane totals into the clock (slowest lane, as
+    /// [`Comm::advance_parallel`]) and resets them.
+    pub fn flush(&mut self, comm: &mut Comm) {
+        let max = self.lanes.iter().fold(0.0f64, |a, &b| a.max(b));
+        self.overlapped_compute += max;
+        comm.advance_parallel(&self.lanes);
+        self.lanes.iter_mut().for_each(|l| *l = 0.0);
+    }
+
+    /// Flushes pending compute, then completes `req`, accounting how much
+    /// of the communication was hidden under the compute charged so far
+    /// versus exposed (the clock advance `wait` itself caused).
+    pub fn drive<T>(&mut self, comm: &mut Comm, req: Request<T>) -> T {
+        self.flush(comm);
+        let before = comm.now();
+        let value = comm.wait(req);
+        self.exposed_wait += comm.now() - before;
+        value
+    }
+
+    /// Total compute seconds folded in through this engine.
+    pub fn overlapped_compute(&self) -> f64 {
+        self.overlapped_compute
+    }
+
+    /// Communication seconds that remained on the critical path (the
+    /// clock advance caused by `drive`'s waits after compute was folded
+    /// in). Zero means every driven transfer finished under compute.
+    pub fn exposed_wait(&self) -> f64 {
+        self.exposed_wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Work;
+    use crate::topology::Topology;
+    use crate::world::{World, WorldConfig};
+
+    fn cfg(ranks: usize) -> WorldConfig {
+        WorldConfig::new(Topology::single_node(ranks))
+    }
+
+    #[test]
+    fn isend_irecv_round_trip_matches_blocking() {
+        // Same payloads, same clocks as the blocking pair.
+        let nb = World::run(cfg(2), |comm| {
+            if comm.rank() == 0 {
+                let r = comm.isend(1, 9, b"abc");
+                comm.wait(r);
+                (Vec::new(), comm.now())
+            } else {
+                let r = comm.irecv(0, 9);
+                (comm.wait(r), comm.now())
+            }
+        });
+        let blocking = World::run(cfg(2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, b"abc");
+                (Vec::new(), comm.now())
+            } else {
+                (comm.recv(0, 9), comm.now())
+            }
+        });
+        assert_eq!(nb, blocking);
+        assert_eq!(nb[1].0, b"abc");
+    }
+
+    #[test]
+    fn symmetric_irecv_isend_exchange_does_not_deadlock() {
+        // Both ranks post the receive first — fatal with blocking recv,
+        // the canonical use of nonblocking point-to-point.
+        let out = World::run(cfg(2), |comm| {
+            let peer = 1 - comm.rank();
+            let rx = comm.irecv(peer, 0);
+            let tx = comm.isend(peer, 0, &[comm.rank() as u8; 4]);
+            let got = comm.wait(rx);
+            comm.wait(tx);
+            got
+        });
+        assert_eq!(out[0], vec![1u8; 4]);
+        assert_eq!(out[1], vec![0u8; 4]);
+    }
+
+    #[test]
+    fn compute_overlaps_communication() {
+        // A rank that computes for much longer than the message flight
+        // between isend/irecv and wait pays only the compute time.
+        let out = World::run(cfg(2), |comm| {
+            let peer = 1 - comm.rank();
+            let rx = comm.irecv(peer, 0);
+            let tx = comm.isend(peer, 0, &vec![7u8; 1 << 10]);
+            let t0 = comm.now();
+            comm.charge(Work::Seconds(1.0)); // dwarfs the ~3us flight
+            comm.wait(tx);
+            let _ = comm.wait(rx);
+            comm.now() - t0
+        });
+        for dt in out {
+            assert!(
+                (dt - 1.0).abs() < 1e-6,
+                "communication must hide under compute, took {dt}"
+            );
+        }
+    }
+
+    #[test]
+    fn ialltoallv_matches_blocking_alltoallv() {
+        let run = |nonblocking: bool| {
+            World::run(cfg(3), move |comm| {
+                let sends: Vec<Vec<u8>> = (0..3).map(|d| vec![comm.rank() as u8; d + 1]).collect();
+                let got = if nonblocking {
+                    let req = comm.ialltoallv(sends);
+                    comm.wait(req)
+                } else {
+                    comm.alltoallv(sends)
+                };
+                (got, comm.now())
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn ialltoall_u64_matches_blocking() {
+        let run = |nonblocking: bool| {
+            World::run(cfg(4), move |comm| {
+                let sends: Vec<u64> = (0..4).map(|d| (comm.rank() * 10 + d) as u64).collect();
+                let got = if nonblocking {
+                    let req = comm.ialltoall_u64(sends);
+                    comm.wait(req)
+                } else {
+                    comm.alltoall_u64(sends)
+                };
+                (got, comm.now())
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn waitall_is_order_independent_and_returns_in_request_order() {
+        // Three tagged messages with very different flight times. Whatever
+        // order the requests are listed in, waitall must land the clock at
+        // the same instant (max completion) and hand payloads back in
+        // *request-list* order, not completion order.
+        let run = |order: [u64; 3]| {
+            let out = World::run(cfg(2), move |comm| {
+                if comm.rank() == 0 {
+                    for (tag, len) in [(0u64, 10usize), (1, 100_000), (2, 1000)] {
+                        comm.send(1, tag, &vec![tag as u8; len]);
+                    }
+                    (Vec::new(), 0.0)
+                } else {
+                    let reqs: Vec<Request<Vec<u8>>> =
+                        order.iter().map(|&t| comm.irecv(0, t)).collect();
+                    let got = comm.waitall(reqs);
+                    let tags: Vec<u8> = got.iter().map(|d| d[0]).collect();
+                    (tags, comm.now())
+                }
+            });
+            out.into_iter().nth(1).unwrap()
+        };
+        let (tags_fwd, t_fwd) = run([0, 1, 2]);
+        let (tags_rev, t_rev) = run([2, 1, 0]);
+        let (tags_mix, t_mix) = run([1, 2, 0]);
+        assert_eq!(tags_fwd, vec![0, 1, 2], "payloads follow request order");
+        assert_eq!(tags_rev, vec![2, 1, 0]);
+        assert_eq!(tags_mix, vec![1, 2, 0]);
+        assert!((t_fwd - t_rev).abs() < 1e-15 && (t_fwd - t_mix).abs() < 1e-15);
+    }
+
+    #[test]
+    fn test_completes_only_once_virtual_time_catches_up() {
+        let out = World::run(cfg(2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, &vec![1u8; 1 << 20]); // ~175us flight
+                0usize
+            } else {
+                let req = comm.irecv(0, 5);
+                // Immediately after posting, the flight has not virtually
+                // completed: test must decline.
+                let req = match comm.test(req) {
+                    Ok(_) => panic!("message cannot have arrived at t=0"),
+                    Err(req) => req,
+                };
+                // After enough compute, the same test succeeds.
+                comm.charge(Work::Seconds(1.0));
+                match comm.test(req) {
+                    Ok(data) => data.len(),
+                    Err(_) => panic!("message must have arrived after 1s"),
+                }
+            }
+        });
+        assert_eq!(out[1], 1 << 20);
+    }
+
+    #[test]
+    fn progress_engine_accounts_hidden_and_exposed_time() {
+        // Transfer takes ~latency + 1MiB/6GBps ~= 178us. Charging 1s of
+        // compute hides it completely; charging nothing exposes it fully.
+        let flight = {
+            let out = World::run(cfg(2), |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, &vec![0u8; 1 << 20]);
+                    0.0
+                } else {
+                    let t0 = comm.now();
+                    let _ = comm.recv(0, 1);
+                    comm.now() - t0
+                }
+            });
+            out[1]
+        };
+        let out = World::run(cfg(2), move |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &vec![0u8; 1 << 20]);
+                // Catch up past the receiver's 1.25s of compute so the
+                // second message is genuinely still in flight at its wait.
+                comm.charge(Work::Seconds(2.0));
+                comm.send(1, 2, &vec![0u8; 1 << 20]);
+                (0.0, 0.0, 0.0)
+            } else {
+                // Round 1: fully hidden under 1s of 2-lane compute.
+                let mut eng = ProgressEngine::new(2);
+                let rx = comm.irecv(0, 1);
+                eng.charge(0, 1.0);
+                eng.charge(1, 0.25);
+                let _ = eng.drive(comm, rx);
+                let hidden_exposed = eng.exposed_wait();
+                // Round 2: no compute, the wait is fully exposed.
+                let rx = comm.irecv(0, 2);
+                let t0 = comm.now();
+                let _ = eng.drive(comm, rx);
+                (hidden_exposed, eng.exposed_wait(), comm.now() - t0)
+            }
+        });
+        let (after_hidden, total_exposed, second_wait) = out[1];
+        assert!(
+            after_hidden < 1e-9,
+            "1s of compute must hide a {flight}s flight, exposed {after_hidden}"
+        );
+        assert!(second_wait > 0.0, "uncovered wait must advance the clock");
+        assert!(
+            (total_exposed - second_wait).abs() < 1e-12,
+            "exposed_wait must equal the uncovered clock advance"
+        );
+    }
+
+    #[test]
+    fn progress_engine_overlap_identity_max_of_compute_and_comm() {
+        // The driven clock advance is max(compute, comm) for compute both
+        // above and below the transfer time.
+        let out = World::run(cfg(2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &vec![0u8; 6_000_000]); // ~1ms transfer
+                (0.0, 0.0)
+            } else {
+                let mut eng = ProgressEngine::new(1);
+                let rx = comm.irecv(0, 1);
+                let t0 = comm.now();
+                eng.charge(0, 1e-4); // less than the flight: comm-bound
+                let _ = eng.drive(comm, rx);
+                let commbound = comm.now() - t0;
+                (commbound, eng.overlapped_compute())
+            }
+        });
+        let (commbound, folded) = out[1];
+        assert!(commbound > 9e-4, "comm-bound region is the transfer time");
+        assert!((folded - 1e-4).abs() < 1e-12);
+    }
+}

@@ -52,8 +52,10 @@ pub fn build_distributed_index(
         .collect();
     timer.end_partition(comm);
 
-    // Communication phase.
-    let opts = ExchangeOptions { windows: 1 };
+    // Communication phase. Default options: single window, chunk policy
+    // from the `MVIO_EXCHANGE_CHUNK` knob (the received pairs are
+    // bit-identical under every policy).
+    let opts = ExchangeOptions::default();
     let (mine, _) = exchange_features(comm, owned, &*sd, &opts)?;
     timer.end_communication(comm);
 

@@ -2,7 +2,7 @@
 
 use crate::breakdown::{PhaseBreakdown, PhaseTimer};
 use mvio_core::decomp::{self, DecompConfig, DecompPolicy, SpatialDecomposition};
-use mvio_core::exchange::{exchange_features, ExchangeOptions};
+use mvio_core::exchange::{exchange_features_windows, ExchangeChunk, ExchangeOptions};
 use mvio_core::framework::{claims_reference, FilterRefine};
 use mvio_core::grid::GridSpec;
 use mvio_core::partition::{read_partition_text, ReadOptions};
@@ -30,6 +30,12 @@ pub struct JoinOptions {
     pub read: ReadOptions,
     /// Sliding-window phases for the exchange.
     pub windows: u32,
+    /// Per-destination byte cap for each pipelined exchange round.
+    /// Defaults to [`ExchangeChunk::Auto`] (the `MVIO_EXCHANGE_CHUNK`
+    /// knob); the join *answer* is identical for every chunk policy —
+    /// finite chunks only overlap the transfer with serialization and
+    /// stream the received rounds into the refine phase incrementally.
+    pub chunk: ExchangeChunk,
     /// Intra-rank streaming pipeline configuration for the parse stage.
     /// The parsed features are bit-identical for any worker count, so
     /// this only affects the virtual-time breakdown, never the join
@@ -48,6 +54,7 @@ impl Default for JoinOptions {
             decomp: DecompPolicy::from_env(),
             read: ReadOptions::default(),
             windows: 1,
+            chunk: ExchangeChunk::Auto,
             pipeline: PipelineOptions::default().with_workers(1),
         }
     }
@@ -108,27 +115,39 @@ pub fn spatial_join(
     timer.end_partition(comm);
 
     // --- Communication phase: global spatial partitioning. ---------------
+    // The staged exchange deserializes each chunked round while later
+    // rounds are in flight and hands back one source-ordered batch per
+    // sliding window; the batches feed the refine phase without a
+    // concatenation pass, and are bit-identical for every chunk policy,
+    // so the join result never depends on the MVIO_EXCHANGE_CHUNK knob.
     let ex_opts = ExchangeOptions {
         windows: opts.windows,
+        chunk: opts.chunk,
     };
-    let (left_local, _) = exchange_features(comm, left_pairs, &*sd, &ex_opts)?;
-    let (right_local, _) = exchange_features(comm, right_pairs, &*sd, &ex_opts)?;
+    let (left_batches, _) = exchange_features_windows(comm, left_pairs, &*sd, &ex_opts)?;
+    let (right_batches, _) = exchange_features_windows(comm, right_pairs, &*sd, &ex_opts)?;
     timer.end_communication(comm);
 
     // --- Join phase: per-cell index, filter, dedup, refine. --------------
     let mut filter_candidates = 0u64;
     let mut refine_tests = 0u64;
-    let pairs = FilterRefine::run_refine(comm, &*sd, &left_local, &right_local, |comm, task| {
-        join_cell(
-            comm,
-            &*sd,
-            task.cell,
-            &task.left,
-            &task.right,
-            &mut filter_candidates,
-            &mut refine_tests,
-        )
-    });
+    let pairs = FilterRefine::run_refine_batched(
+        comm,
+        &*sd,
+        left_batches.iter().map(|b| b.as_slice()),
+        right_batches.iter().map(|b| b.as_slice()),
+        |comm, task| {
+            join_cell(
+                comm,
+                &*sd,
+                task.cell,
+                &task.left,
+                &task.right,
+                &mut filter_candidates,
+                &mut refine_tests,
+            )
+        },
+    );
     timer.end_compute(comm);
 
     let local = timer.finish(comm);
@@ -305,6 +324,36 @@ mod tests {
         };
         let (pairs, _) = run_join(Topology::new(2, 2), opts);
         assert_eq!(pairs, expected());
+    }
+
+    #[test]
+    fn join_answer_is_identical_for_every_chunk_policy() {
+        // Finite chunks pipeline the exchange in rounds, but each
+        // window's batch is reassembled in source order before refine —
+        // so the per-rank output must be identical *unsorted*, not just
+        // as a set, to the blocking configuration.
+        let run_raw = |chunk: ExchangeChunk| -> Vec<Vec<(String, String)>> {
+            let fs = SimFs::new(FsConfig::gpfs_roger());
+            build_layers(&fs);
+            let mut opts = JoinOptions {
+                chunk,
+                grid: GridSpec::square(8),
+                ..Default::default()
+            };
+            opts.read.block_size = Some(512);
+            World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                spatial_join(comm, &fs, "left.wkt", "right.wkt", &opts)
+                    .unwrap()
+                    .pairs
+            })
+        };
+        let blocking = run_raw(ExchangeChunk::Unlimited);
+        for chunk in [ExchangeChunk::Bytes(64), ExchangeChunk::Bytes(4096)] {
+            assert_eq!(run_raw(chunk), blocking, "{chunk:?}");
+        }
+        let mut all: Vec<(String, String)> = blocking.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, expected());
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn range_query(
         .collect();
     timer.end_partition(comm);
 
-    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions { windows: 1 })?;
+    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions::default())?;
     timer.end_communication(comm);
 
     let mut matches = Vec::new();
@@ -115,7 +115,7 @@ pub fn batch_query(
         .into_iter()
         .map(|(cell, idx)| (cell, features[idx].clone()))
         .collect();
-    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions { windows: 1 })?;
+    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions::default())?;
 
     let mut counts = vec![0u64; queries.len()];
     for (cell, f) in &mine {

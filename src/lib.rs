@@ -53,7 +53,9 @@ pub mod prelude {
         AdaptiveBisection, DecompConfig, DecompPolicy, HilbertDecomposition, SpatialDecomposition,
         UniformDecomposition,
     };
-    pub use mvio_core::exchange::{exchange_features, ExchangeOptions};
+    pub use mvio_core::exchange::{
+        exchange_features, ExchangeChunk, ExchangeOptions, ExchangePlan,
+    };
     pub use mvio_core::framework::FilterRefine;
     pub use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
     pub use mvio_core::partition::{
@@ -65,8 +67,8 @@ pub mod prelude {
     pub use mvio_datagen::{table3, ShapeKind};
     pub use mvio_geom::{wkt, Geometry, LineString, Point, Polygon, Rect};
     pub use mvio_msim::{
-        AccessLevel, Comm, CostModel, Datatype, Hints, MpiFile, ShapeClass, Topology, Work, World,
-        WorldConfig,
+        AccessLevel, Comm, CostModel, Datatype, Hints, MpiFile, ProgressEngine, Request,
+        ShapeClass, Topology, Work, World, WorldConfig,
     };
     pub use mvio_pfs::{FsConfig, FsKind, SimFs, StripeSpec};
     pub use mvio_sjoin::{build_distributed_index, range_query, spatial_join, JoinOptions};

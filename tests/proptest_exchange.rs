@@ -5,8 +5,10 @@
 use mpi_vector_io::core::decomp::{
     AdaptiveBisection, HilbertDecomposition, SpatialDecomposition, UniformDecomposition,
 };
-use mpi_vector_io::core::exchange::{exchange_features, ExchangeOptions};
-use mpi_vector_io::core::grid::{CellMap, GridSpec, UniformGrid};
+use mpi_vector_io::core::exchange::{
+    exchange_features, exchange_serialized_with, ExchangeChunk, ExchangeOptions,
+};
+use mpi_vector_io::core::pipeline::{partition_chunked, partition_exchange_overlapped};
 use mpi_vector_io::prelude::*;
 use proptest::prelude::*;
 
@@ -63,7 +65,10 @@ proptest! {
                         (cell, f)
                     })
                     .collect();
-                let opts = ExchangeOptions { windows };
+                let opts = ExchangeOptions {
+                    windows,
+                    ..Default::default()
+                };
                 let (mine, stats) = exchange_features(comm, pairs, &*decomp, &opts).unwrap();
                 // Ownership: every received pair belongs to me.
                 for (cell, _) in &mine {
@@ -117,6 +122,100 @@ proptest! {
                 prop_assert!(grid.cell_rect(c).intersects(&r));
             }
         }
+    }
+
+    /// The PR's oracle: for arbitrary chunk sizes, windows and
+    /// decomposition policies, the chunked overlapped exchange returns
+    /// exactly — bit for bit, order included — what the single-round
+    /// blocking protocol returns.
+    #[test]
+    fn chunked_exchange_is_bit_identical_to_blocking(
+        ranks in 1usize..5,
+        side in 1u32..6,
+        windows in 1u32..3,
+        policy in 0u8..5,
+        chunk in prop_oneof![1u64..48, 48u64..4096],
+        items_per_rank in 0usize..30,
+    ) {
+        let num_cells = side * side;
+        let run = |chunk: ExchangeChunk| {
+            World::run(
+                WorldConfig::new(Topology::single_node(ranks)),
+                move |comm| {
+                    let decomp = mk_decomp(policy, side, comm.size());
+                    let pairs: Vec<(u32, Feature)> = (0..items_per_rank)
+                        .map(|i| {
+                            let cell = ((comm.rank() * 31 + i * 7) as u32) % num_cells;
+                            let f = Feature::with_userdata(
+                                Geometry::Point(Point::new(i as f64, comm.rank() as f64)),
+                                format!("r{}i{}", comm.rank(), i),
+                            );
+                            (cell, f)
+                        })
+                        .collect();
+                    let opts = ExchangeOptions { windows, chunk };
+                    exchange_features(comm, pairs, &*decomp, &opts).unwrap().0
+                },
+            )
+        };
+        let blocking = run(ExchangeChunk::Unlimited);
+        let chunked = run(ExchangeChunk::Bytes(chunk));
+        prop_assert_eq!(chunked, blocking);
+    }
+
+    /// Same oracle for the fused partition+exchange overlap path: the
+    /// owned pairs match the unfused serialize-everything-then-block
+    /// pipeline for any chunk size, worker count and policy.
+    #[test]
+    fn overlapped_partition_exchange_matches_unfused(
+        ranks in 1usize..4,
+        side in 2u32..6,
+        policy in 0u8..5,
+        workers in 1usize..5,
+        chunk in prop_oneof![1u64..64, 64u64..8192],
+        features_per_rank in 0usize..25,
+    ) {
+        let mk_features = |rank: usize| -> Vec<Feature> {
+            (0..features_per_rank)
+                .map(|i| {
+                    let x = ((rank * 17 + i * 3) % (side as usize * 10)) as f64 / 10.0;
+                    let y = ((rank * 5 + i * 11) % (side as usize * 10)) as f64 / 10.0;
+                    Feature::with_userdata(
+                        Geometry::Point(Point::new(x, y)),
+                        format!("r{rank}f{i}"),
+                    )
+                })
+                .collect()
+        };
+        let popts = PipelineOptions::default()
+            .with_workers(workers)
+            .with_partition_chunk_records(7);
+        let unfused = World::run(
+            WorldConfig::new(Topology::single_node(ranks)),
+            move |comm| {
+                let decomp = mk_decomp(policy, side, comm.size());
+                let feats = mk_features(comm.rank());
+                let (batch, _) = partition_chunked(comm, &*decomp, &feats, &popts).unwrap();
+                exchange_serialized_with(
+                    comm,
+                    batch,
+                    &ExchangeOptions::with_chunk(ExchangeChunk::Unlimited),
+                )
+                .unwrap()
+                .0
+            },
+        );
+        let fused = World::run(
+            WorldConfig::new(Topology::single_node(ranks)),
+            move |comm| {
+                let decomp = mk_decomp(policy, side, comm.size());
+                let feats = mk_features(comm.rank());
+                partition_exchange_overlapped(comm, &*decomp, &feats, &popts, chunk)
+                    .unwrap()
+                    .0
+            },
+        );
+        prop_assert_eq!(fused, unfused);
     }
 
     #[test]
