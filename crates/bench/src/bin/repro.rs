@@ -9,13 +9,19 @@
 //!
 //! `--scale D` sets the workload denominator (default 1000 = 1/1000 of the
 //! paper's dataset sizes). `--quick` trims the sweeps for smoke runs.
+//! `--list` prints the valid experiment names. The special target `gate`
+//! runs the bench-regression gate (tracked speedup ratios vs their
+//! asserted floors; ignores `--scale`/`--quick`) and exits nonzero on a
+//! regression. An unknown experiment name is rejected up front with a
+//! usage message and a nonzero exit — nothing runs.
 
 use mvio_bench::experiments::{self as ex, Scale};
 
-const IDS: [&str; 23] = [
+const IDS: [&str; 24] = [
     "pipeline",
     "decomp",
     "exchange",
+    "io",
     "table1",
     "table2",
     "table3",
@@ -43,6 +49,7 @@ fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
         "pipeline" => ex::pipeline::run(scale, quick),
         "decomp" => ex::decomp::run(scale, quick),
         "exchange" => ex::exchange::run(scale, quick),
+        "io" => ex::io::run(scale, quick),
         "table1" => ex::table1::run(scale, quick),
         "table2" => ex::table2::run(scale, quick),
         "table3" => ex::table3::run(scale, quick),
@@ -88,6 +95,13 @@ fn main() {
             }
             "--quick" => quick = true,
             "--help" | "-h" => usage(""),
+            "--list" => {
+                for id in IDS {
+                    println!("{id}");
+                }
+                println!("gate");
+                return;
+            }
             "all" => targets.extend(IDS.iter().map(|s| s.to_string())),
             other => targets.push(other.to_string()),
         }
@@ -97,6 +111,15 @@ fn main() {
         usage("no experiment selected");
     }
     targets.dedup();
+    // Reject unknown names before running anything: a typo'd batch job
+    // must fail fast, not after an hour of the experiments it did spell
+    // correctly.
+    if let Some(bad) = targets
+        .iter()
+        .find(|t| *t != "gate" && !IDS.contains(&t.as_str()))
+    {
+        usage(&format!("unknown experiment {bad:?}"));
+    }
 
     println!(
         "MPI-Vector-IO reproduction — scale 1/{}, {} mode\n",
@@ -105,16 +128,19 @@ fn main() {
     );
     let mut failed = false;
     for id in &targets {
+        if id == "gate" {
+            let (out, pass) = ex::gate::run();
+            println!("{out}");
+            failed |= !pass;
+            continue;
+        }
         match dispatch(id, scale, quick) {
             Some(out) => println!("{out}"),
-            None => {
-                eprintln!("unknown experiment {id:?}; valid: {IDS:?}");
-                failed = true;
-            }
+            None => unreachable!("targets validated above"),
         }
     }
     if failed {
-        std::process::exit(2);
+        std::process::exit(1);
     }
 }
 
@@ -122,7 +148,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: repro [--scale D] [--quick] <experiment...|all>");
+    eprintln!("usage: repro [--scale D] [--quick] [--list] <experiment...|all|gate>");
     eprintln!("experiments: {IDS:?}");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

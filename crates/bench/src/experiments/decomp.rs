@@ -81,19 +81,15 @@ fn configs() -> [(&'static str, DecompConfig); 3] {
 /// raw WKT bytes. The bytes depend only on `(dist, features)`, so each
 /// input is generated once and installed onto a **fresh** fs per
 /// measurement — cold simulated OST queues every run, identical data.
-fn dataset_bytes(scale: Scale, dist: &SpatialDistribution, features: u64) -> Vec<u8> {
-    let fs = SimFs::new(gpfs_scaled(scale));
-    writer::write_wkt_dataset(
-        &fs,
-        "decomp.wkt",
+fn dataset_bytes(dist: &SpatialDistribution, features: u64) -> Vec<u8> {
+    writer::wkt_dataset_bytes(
         ShapeKind::Point,
         ShapeGen::small_polygons(),
         dist,
         Rect::new(-180.0, -90.0, 180.0, 90.0),
         features,
         0xDEC0_4001,
-    );
-    fs.open("decomp.wkt").expect("generated").snapshot()
+    )
 }
 
 /// Installs cached dataset bytes onto a fresh cold filesystem.
@@ -110,7 +106,7 @@ fn fresh_fs(scale: Scale, bytes: &[u8], ranks: usize) -> Arc<SimFs> {
 pub fn measure(scale: Scale, features: u64, rank_counts: &[usize]) -> Vec<Row> {
     let mut rows = Vec::new();
     for (input, dist) in distributions() {
-        let bytes = dataset_bytes(scale, &dist, features);
+        let bytes = dataset_bytes(&dist, features);
         for &ranks in rank_counts {
             for (decomp, cfg) in configs() {
                 let fs = fresh_fs(scale, &bytes, ranks);

@@ -1,0 +1,135 @@
+//! Bench-regression gate: re-measures the tracked speedup ratios and
+//! fails when any drops below its asserted floor.
+//!
+//! CI runs this (`repro -- gate`) as a dedicated job: it regenerates
+//! `BENCH_decomp.json`, `BENCH_exchange.json` and `BENCH_io.json`
+//! (uploaded as artifacts) and exits nonzero on a regression, so a PR
+//! that silently loses one of the asserted wins fails before review.
+//! The measurement parameters are pinned to the same configurations the
+//! unit-test floors use — the gate deliberately ignores `--scale` and
+//! `--quick`, because a floor is only meaningful at the configuration it
+//! was asserted under. All quantities are deterministic virtual times,
+//! so there is no run-to-run noise to filter.
+
+use super::{decomp, exchange, io, Scale};
+use crate::report::Table;
+
+/// One tracked ratio with its floor.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Which tracked ratio this is.
+    pub name: &'static str,
+    /// Measured value.
+    pub value: f64,
+    /// Asserted floor the value must meet or beat.
+    pub floor: f64,
+}
+
+impl Check {
+    /// Whether the measured value clears the floor.
+    pub fn passes(&self) -> bool {
+        self.value >= self.floor
+    }
+}
+
+/// Runs all tracked measurements and returns the checks. Also rewrites
+/// the three `BENCH_*.json` trajectory files from the measured rows.
+pub fn checks() -> Vec<Check> {
+    let mut out = Vec::new();
+
+    // Decomposition: adaptive must cut clustered imbalance >= 2x vs the
+    // uniform grid at 16 ranks (same parameters as the unit-test floor).
+    let rows = decomp::measure(
+        Scale {
+            denominator: 10_000,
+        },
+        3_000,
+        &[16],
+    );
+    let find = |input: &str, policy: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.input == input && r.decomp == policy)
+            .expect("measured row")
+            .imbalance
+    };
+    out.push(Check {
+        name: "decomp: uniform/adaptive clustered imbalance @16 ranks",
+        value: find("clustered", "uniform") / find("clustered", "adaptive"),
+        floor: 2.0,
+    });
+    let _ = std::fs::write("BENCH_decomp.json", decomp::to_json(&rows));
+
+    // Exchange: the chunked overlapped plan must beat blocking ingest by
+    // >= 1.02x at 16 ranks.
+    let rows = exchange::measure(Scale { denominator: 1000 }, 320, &[16, 64]);
+    let ingest = |ranks: usize, unlimited: bool| -> f64 {
+        rows.iter()
+            .find(|r| r.ranks == ranks && (r.chunk == "unlimited") == unlimited)
+            .expect("measured row")
+            .ingest_s
+    };
+    out.push(Check {
+        name: "exchange: blocking/chunked ingest @16 ranks",
+        value: ingest(16, true) / ingest(16, false),
+        floor: 1.02,
+    });
+    let _ = std::fs::write("BENCH_exchange.json", exchange::to_json(&rows));
+
+    // Collective I/O: widening the write aggregators must beat a single
+    // aggregator by >= 1.2x at 16 ranks.
+    let rows = io::measure(Scale { denominator: 1000 }, 600, &[16], &[1, 4]);
+    out.push(Check {
+        name: "io: 1-agg/best-agg snapshot write @16 ranks",
+        value: io::best_write_speedup(&rows, 16),
+        floor: 1.2,
+    });
+    let _ = std::fs::write("BENCH_io.json", io::to_json(&rows));
+
+    out
+}
+
+/// Runs the gate; the rendered table plus `true` when every check
+/// cleared its floor.
+pub fn run() -> (String, bool) {
+    let checks = checks();
+    let mut t = Table::new(
+        "Bench-regression gate: tracked speedup ratios vs asserted floors",
+        &["check", "measured", "floor", "status"],
+    );
+    let mut pass = true;
+    for c in &checks {
+        pass &= c.passes();
+        t.row(vec![
+            c.name.to_string(),
+            format!("{:.3}x", c.value),
+            format!("{:.2}x", c.floor),
+            if c.passes() { "ok" } else { "REGRESSION" }.to_string(),
+        ]);
+    }
+    t.note("BENCH_decomp.json / BENCH_exchange.json / BENCH_io.json rewritten from these rows");
+    if !pass {
+        t.note("at least one tracked ratio fell below its floor — failing the gate");
+    }
+    (t.render(), pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_floor_logic() {
+        let c = Check {
+            name: "x",
+            value: 2.5,
+            floor: 2.0,
+        };
+        assert!(c.passes());
+        let c = Check {
+            name: "x",
+            value: 1.9,
+            floor: 2.0,
+        };
+        assert!(!c.passes());
+    }
+}

@@ -17,6 +17,8 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod gate;
+pub mod io;
 pub mod pipeline;
 pub mod table1;
 pub mod table2;

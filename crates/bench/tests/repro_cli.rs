@@ -1,0 +1,55 @@
+//! Smoke tests of the `repro` binary's CLI contract: `--list` prints the
+//! experiment names, and an unknown experiment fails fast with a usage
+//! message instead of running whatever else was spelled correctly.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn list_prints_every_experiment_name() {
+    let out = repro().arg("--list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in [
+        "pipeline", "decomp", "exchange", "io", "fig8", "table1", "gate",
+    ] {
+        assert!(
+            text.lines().any(|l| l == id),
+            "{id} missing from --list output:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero_with_usage_before_running_anything() {
+    let out = repro()
+        .args(["fig8", "not-an-experiment"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown experiment"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+    assert!(
+        err.contains("\"io\""),
+        "usage must list the valid names: {err}"
+    );
+    // The correctly-spelled fig8 must NOT have run: validation happens
+    // before dispatch.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        !stdout.contains("=="),
+        "no experiment table expected, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = repro().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("no experiment selected"));
+}

@@ -50,6 +50,14 @@ pub trait SpatialDecomposition: Send + Sync + std::fmt::Debug {
     /// Total number of cells.
     fn num_cells(&self) -> u32;
 
+    /// The `cells_x × cells_y` resolution of the cell tiling this
+    /// decomposition assigns ranks over (the *effective* grid: adaptive
+    /// bisection reports its refined histogram grid). Together with
+    /// [`SpatialDecomposition::bounds`] this identifies the cell-id
+    /// space, which is what the binary snapshot format records so a
+    /// persisted partitioning can be re-routed under any rank count.
+    fn grid_spec(&self) -> GridSpec;
+
     /// World size this decomposition was built for.
     fn num_ranks(&self) -> usize;
 
@@ -135,6 +143,10 @@ impl SpatialDecomposition for UniformDecomposition {
 
     fn num_cells(&self) -> u32 {
         self.grid.num_cells()
+    }
+
+    fn grid_spec(&self) -> GridSpec {
+        self.grid.spec()
     }
 
     fn num_ranks(&self) -> usize {
@@ -228,6 +240,10 @@ impl SpatialDecomposition for HilbertDecomposition {
         self.grid.num_cells()
     }
 
+    fn grid_spec(&self) -> GridSpec {
+        self.grid.spec()
+    }
+
     fn num_ranks(&self) -> usize {
         self.ranks
     }
@@ -308,6 +324,10 @@ impl SpatialDecomposition for AdaptiveBisection {
 
     fn num_cells(&self) -> u32 {
         self.grid.num_cells()
+    }
+
+    fn grid_spec(&self) -> GridSpec {
+        self.grid.spec()
     }
 
     fn num_ranks(&self) -> usize {

@@ -258,8 +258,9 @@ fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
 
 /// Total wire length of the record starting at `buf[pos..]`, without
 /// decoding it — used to cut record-aligned chunks out of a serialized
-/// buffer.
-fn record_len_at(buf: &[u8], pos: usize) -> Result<usize> {
+/// buffer (and by the snapshot reader to walk persisted sections, which
+/// use the same wire format).
+pub(crate) fn record_len_at(buf: &[u8], pos: usize) -> Result<usize> {
     let bad = |msg: &str| CoreError::Partition(format!("exchange chunking: {msg}"));
     let rest = &buf[pos..];
     if rest.len() < 12 {

@@ -47,6 +47,7 @@ pub mod grid;
 pub mod partition;
 pub mod pipeline;
 pub mod reader;
+pub mod snapshot;
 pub mod spops;
 pub mod sptypes;
 pub mod views;
@@ -63,6 +64,10 @@ pub use grid::{CellMap, GridSpec, UniformGrid};
 pub use partition::{BoundaryStrategy, ReadOptions};
 pub use pipeline::{IngestOutput, PipelineOptions, PipelineStats};
 pub use reader::{CsvPointParser, GeometryParser, WktLineParser};
+pub use snapshot::{
+    read_partitioned, write_partitioned, SnapshotMeta, SnapshotReadOptions, SnapshotReadReport,
+    SnapshotWriteOptions, SnapshotWriteReport,
+};
 
 use mvio_geom::Geometry;
 
@@ -130,6 +135,11 @@ pub enum CoreError {
         /// `records.len()` of the offending batch.
         records: usize,
     },
+    /// A binary snapshot file was rejected: bad magic, unsupported
+    /// version, a truncated or self-inconsistent header/section table, or
+    /// a payload that disagrees with the decomposition it is being loaded
+    /// under. See [`snapshot`] for the format.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -153,6 +163,7 @@ impl std::fmt::Display for CoreError {
                 "serialized batch shaped for the wrong world: {bufs} buffers / \
                  {records} record counts on a {comm_size}-rank communicator"
             ),
+            CoreError::Snapshot(m) => write!(f, "snapshot: {m}"),
         }
     }
 }

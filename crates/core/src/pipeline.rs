@@ -52,12 +52,18 @@
 //! 4 and runs the full suite under both.
 
 use crate::decomp::{self, DecompConfig, SpatialDecomposition};
+// The persistence half of the pipeline: `ingest` once, `write_partitioned`
+// the result, `read_partitioned` it back on any later run (bit-identically
+// under the same world size and decomposition).
 use crate::exchange::{
     exchange_serialized_with, serialize_record, ExchangeOptions, ExchangePlan, ExchangeRound,
     ExchangeStats, SerializedBatch,
 };
 use crate::partition::{read_partition_text, ReadOptions};
 use crate::reader::{parse_records_into, GeometryParser};
+pub use crate::snapshot::{
+    read_partitioned, write_partitioned, SnapshotReadOptions, SnapshotWriteOptions,
+};
 use crate::{Feature, Result};
 use crossbeam::channel;
 use mvio_msim::{Comm, Work, WorkTally};
@@ -589,6 +595,23 @@ pub struct IngestOutput {
     pub stats: PipelineStats,
 }
 
+impl IngestOutput {
+    /// Persists this ingest's partitioned result as a binary snapshot at
+    /// `path` via the collective two-phase writer
+    /// ([`crate::snapshot::write_partitioned`]), so later runs can
+    /// [`read_partitioned`] it instead of re-ingesting the text.
+    /// Collective: every rank must call it.
+    pub fn write_partitioned(
+        &self,
+        comm: &mut Comm,
+        fs: &Arc<SimFs>,
+        path: &str,
+        opts: &SnapshotWriteOptions,
+    ) -> Result<crate::snapshot::SnapshotWriteReport> {
+        crate::snapshot::write_partitioned(comm, fs, path, &self.owned, &*self.decomp, opts)
+    }
+}
+
 /// The full streaming per-rank ingest: partitioned read → parallel parse
 /// → collective decomposition build (`MPI_UNION` extent allreduce, plus
 /// the histogram allreduce for the adaptive policy) → fused
@@ -1010,6 +1033,57 @@ mod tests {
                     assert!(fused[0].1 > 1, "small cap must take multiple rounds");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ingest_persist_reload_is_bit_identical() {
+        // The persistence loop: ingest text once, snapshot the
+        // partitioned result, re-load it — the records (and their order)
+        // must match the live ingest exactly, for every policy.
+        let text = sample_text(150);
+        let fs = SimFs::new(mvio_pfs::FsConfig::lustre_comet());
+        fs.create("data.wkt", None).unwrap().append(text.as_bytes());
+        let read = ReadOptions::default().with_block_size(2 << 10);
+        for (i, cfg) in [
+            DecompConfig::uniform(GridSpec::square(5)),
+            DecompConfig::hilbert(GridSpec::square(5)),
+            DecompConfig::adaptive(GridSpec::square(5), 2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let fs = Arc::clone(&fs);
+            let snap = format!("snap-{i}.bin");
+            let ok = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                let rep = ingest(
+                    comm,
+                    &fs,
+                    "data.wkt",
+                    &read,
+                    &WktLineParser,
+                    &cfg,
+                    &PipelineOptions::default().with_workers(2),
+                )
+                .unwrap();
+                rep.write_partitioned(
+                    comm,
+                    &fs,
+                    &snap,
+                    &crate::snapshot::SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+                let (back, _) = crate::snapshot::read_partitioned(
+                    comm,
+                    &fs,
+                    &snap,
+                    &*rep.decomp,
+                    &crate::snapshot::SnapshotReadOptions::default(),
+                )
+                .unwrap();
+                back == rep.owned
+            });
+            assert!(ok.iter().all(|&b| b), "{cfg:?}");
         }
     }
 

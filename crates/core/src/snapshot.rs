@@ -1,0 +1,1063 @@
+//! Binary spatial snapshots: a compact persisted form of a partitioned
+//! dataset, written and re-read with collective two-phase I/O.
+//!
+//! Every run so far re-ingested WKT text from scratch; the results of the
+//! partition/exchange pipeline evaporated at the end of the job. This
+//! module closes the loop: [`write_partitioned`] persists each rank's
+//! owned `(cell, feature)` pairs once, and [`read_partitioned`] re-loads
+//! them — bit-identically under the same world size and decomposition,
+//! or re-routed through the exchange under any other rank count.
+//!
+//! ## File format (version 1, all fields little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     8  magic  "MVIOSNAP"
+//!      8     4  version (= 1)
+//!     12     4  sections — writer world size
+//!     16     4  cells_x  ┐ effective decomposition grid; with `bounds`
+//!     20     4  cells_y  ┘ this identifies the cell-id space
+//!     24    32  bounds   (min_x, min_y, max_x, max_y as f64)
+//!     56     8  total records
+//!     64   24×S section table: (offset u64, len u64, records u64) per
+//!               writer rank, ascending non-overlapping offsets
+//!      …        payload: per section, that writer rank's records in the
+//!               exchange wire format `[u64 cell][u32 wkb_len][wkb]
+//!               [u32 ud_len][ud]`; section starts are padded out to
+//!               stripe boundaries (table lengths are exact, padding is
+//!               never parsed)
+//! ```
+//!
+//! The record payload **is** the exchange wire format, so a snapshot
+//! section can be split record-aligned and routed through
+//! [`crate::exchange::ExchangePlan`] without re-serialization: re-reading
+//! under a different rank count costs one routing scan plus the usual
+//! staged all-to-all.
+//!
+//! ## Collective two-phase I/O
+//!
+//! Writes go through [`MpiFile::write_at_all_staged`]: every rank ships
+//! its section to the ROMIO-style aggregators over the nonblocking
+//! request layer, and the aggregators flush large contiguous
+//! stripe-aligned writes (section starts are stripe-padded, so flush
+//! offsets land on stripe boundaries — the access pattern the paper
+//! recommends). Reads use the inverse scatter
+//! ([`MpiFile::read_at_all_staged`]). The aggregator count follows the
+//! [`mvio_msim::select_readers`] heuristic, overridable with the
+//! `MVIO_IO_AGGREGATORS` environment knob
+//! ([`mvio_msim::AGGREGATORS_ENV`]) or [`Hints::cb_nodes`].
+
+use crate::decomp::SpatialDecomposition;
+use crate::exchange::{
+    exchange_serialized_with, record_len_at, serialize_record, ExchangeChunk, ExchangeOptions,
+    ExchangeStats, SerializedBatch,
+};
+use crate::grid::GridSpec;
+use crate::{CoreError, Feature, Result};
+use mvio_geom::Rect;
+use mvio_msim::{aggregators_from_env, Comm, Hints, MpiFile, Work};
+use mvio_pfs::{SimFs, StripeSpec};
+use std::sync::Arc;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"MVIOSNAP";
+
+/// Format version this library writes (and the only one it reads).
+pub const VERSION: u32 = 1;
+
+/// Fixed header length in bytes (the section table follows it).
+pub const HEADER_LEN: u64 = 64;
+
+/// Bytes per section-table entry.
+pub const SECTION_ENTRY_LEN: u64 = 24;
+
+/// One writer rank's byte range within a snapshot file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionEntry {
+    /// Absolute file offset of the section's first record byte.
+    pub offset: u64,
+    /// Exact payload length in bytes (stripe padding excluded).
+    pub len: u64,
+    /// Records contained in the section.
+    pub records: u64,
+}
+
+/// Decoded snapshot header + section table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// Format version found in the file.
+    pub version: u32,
+    /// Effective decomposition grid resolution the cells refer to.
+    pub spec: GridSpec,
+    /// Global extent the grid tiles.
+    pub bounds: Rect,
+    /// Total records across all sections.
+    pub total_records: u64,
+    /// Per-writer-rank sections, indexed by writer rank.
+    pub sections: Vec<SectionEntry>,
+}
+
+impl SnapshotMeta {
+    /// Total exact payload bytes across all sections.
+    pub fn payload_bytes(&self) -> u64 {
+        self.sections.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Options for [`write_partitioned`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotWriteOptions {
+    /// Striping for the created file (honoured on Lustre; GPFS always
+    /// uses the filesystem default). `None` = the filesystem default.
+    pub stripe: Option<StripeSpec>,
+    /// MPI-IO hints for the collective write. The default wires
+    /// `cb_nodes` to the `MVIO_IO_AGGREGATORS` knob.
+    pub hints: Hints,
+}
+
+impl Default for SnapshotWriteOptions {
+    fn default() -> Self {
+        SnapshotWriteOptions {
+            stripe: None,
+            hints: Hints {
+                cb_nodes: aggregators_from_env(),
+                ..Hints::default()
+            },
+        }
+    }
+}
+
+impl SnapshotWriteOptions {
+    /// Sets the stripe spec for the created file.
+    pub fn with_stripe(mut self, stripe: StripeSpec) -> Self {
+        self.stripe = Some(stripe);
+        self
+    }
+
+    /// Sets the MPI-IO hints (aggregator count via `cb_nodes`).
+    pub fn with_hints(mut self, hints: Hints) -> Self {
+        self.hints = hints;
+        self
+    }
+}
+
+/// Options for [`read_partitioned`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotReadOptions {
+    /// MPI-IO hints for the collective read. The default wires
+    /// `cb_nodes` to the `MVIO_IO_AGGREGATORS` knob.
+    pub hints: Hints,
+    /// Chunk policy of the routing exchange that re-partitions the
+    /// records (resolves `MVIO_EXCHANGE_CHUNK` by default).
+    pub chunk: ExchangeChunk,
+}
+
+impl Default for SnapshotReadOptions {
+    fn default() -> Self {
+        SnapshotReadOptions {
+            hints: Hints {
+                cb_nodes: aggregators_from_env(),
+                ..Hints::default()
+            },
+            chunk: ExchangeChunk::Auto,
+        }
+    }
+}
+
+impl SnapshotReadOptions {
+    /// Sets the routing-exchange chunk policy.
+    pub fn with_chunk(mut self, chunk: ExchangeChunk) -> Self {
+        self.chunk = chunk;
+        self
+    }
+}
+
+/// Per-rank result of a collective snapshot write.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotWriteReport {
+    /// This rank's section in the file.
+    pub section: SectionEntry,
+    /// Exact payload bytes across all sections (excluding header/padding).
+    pub bytes_total: u64,
+    /// Records across all sections.
+    pub records_total: u64,
+    /// Virtual seconds the collective write took on this rank (identical
+    /// on every rank: staged writes exit at the global completion).
+    pub write_seconds: f64,
+    /// Aggregate virtual write bandwidth, bytes per virtual second.
+    pub bandwidth: f64,
+}
+
+/// Per-rank result of a collective snapshot read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotReadReport {
+    /// Half-open range of section indices this rank read and routed.
+    pub sections: (usize, usize),
+    /// Payload bytes this rank read from the file.
+    pub bytes_read: u64,
+    /// Records this rank scanned out of its sections (pre-exchange).
+    pub records_scanned: u64,
+    /// Virtual seconds from entering the collective read to holding the
+    /// routed records (includes the routing exchange).
+    pub read_seconds: f64,
+    /// Counters of the routing exchange.
+    pub exchange: ExchangeStats,
+}
+
+fn corrupt(msg: impl Into<String>) -> CoreError {
+    CoreError::Snapshot(msg.into())
+}
+
+fn encode_meta(meta: &SnapshotMeta) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(HEADER_LEN as usize + meta.sections.len() * SECTION_ENTRY_LEN as usize);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&meta.version.to_le_bytes());
+    out.extend_from_slice(&(meta.sections.len() as u32).to_le_bytes());
+    out.extend_from_slice(&meta.spec.cells_x.to_le_bytes());
+    out.extend_from_slice(&meta.spec.cells_y.to_le_bytes());
+    for v in [
+        meta.bounds.min_x,
+        meta.bounds.min_y,
+        meta.bounds.max_x,
+        meta.bounds.max_y,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&meta.total_records.to_le_bytes());
+    debug_assert_eq!(out.len() as u64, HEADER_LEN);
+    for s in &meta.sections {
+        out.extend_from_slice(&s.offset.to_le_bytes());
+        out.extend_from_slice(&s.len.to_le_bytes());
+        out.extend_from_slice(&s.records.to_le_bytes());
+    }
+    out
+}
+
+fn u32_at(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn f64_at(buf: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Decodes and validates a header + section table against the file's
+/// actual length. Every rejection is a typed [`CoreError::Snapshot`].
+fn decode_meta(bytes: &[u8], file_len: u64) -> Result<SnapshotMeta> {
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(corrupt(format!(
+            "truncated header: {} bytes, need {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(corrupt(format!(
+            "bad magic {:?} (not a snapshot file)",
+            &bytes[..8]
+        )));
+    }
+    let version = u32_at(bytes, 8);
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "unsupported version {version} (this build reads {VERSION})"
+        )));
+    }
+    let sections = u32_at(bytes, 12) as usize;
+    let spec = GridSpec {
+        cells_x: u32_at(bytes, 16),
+        cells_y: u32_at(bytes, 20),
+    };
+    if spec.try_num_cells().is_none() {
+        return Err(corrupt(format!(
+            "invalid grid {}x{} (zero or overflowing cell count)",
+            spec.cells_x, spec.cells_y
+        )));
+    }
+    let bounds = Rect::new(
+        f64_at(bytes, 24),
+        f64_at(bytes, 32),
+        f64_at(bytes, 40),
+        f64_at(bytes, 48),
+    );
+    if !(bounds.min_x.is_finite()
+        && bounds.min_y.is_finite()
+        && bounds.max_x.is_finite()
+        && bounds.max_y.is_finite())
+    {
+        return Err(corrupt("non-finite bounds"));
+    }
+    let total_records = u64_at(bytes, 56);
+    let table_end = HEADER_LEN as usize + sections * SECTION_ENTRY_LEN as usize;
+    if bytes.len() < table_end {
+        return Err(corrupt(format!(
+            "truncated section table: {} bytes, need {table_end} for {sections} sections",
+            bytes.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(sections);
+    let mut prev_end = table_end as u64;
+    let mut records = 0u64;
+    for i in 0..sections {
+        let at = HEADER_LEN as usize + i * SECTION_ENTRY_LEN as usize;
+        let s = SectionEntry {
+            offset: u64_at(bytes, at),
+            len: u64_at(bytes, at + 8),
+            records: u64_at(bytes, at + 16),
+        };
+        if s.offset < prev_end {
+            return Err(corrupt(format!(
+                "section {i} at offset {} overlaps the bytes before it (end {prev_end})",
+                s.offset
+            )));
+        }
+        let Some(end) = s.offset.checked_add(s.len) else {
+            return Err(corrupt(format!("section {i} length overflows")));
+        };
+        if end > file_len {
+            return Err(corrupt(format!(
+                "section {i} ends at {end} beyond the file length {file_len}"
+            )));
+        }
+        prev_end = end;
+        records = records
+            .checked_add(s.records)
+            .ok_or_else(|| corrupt("section record counts overflow"))?;
+        out.push(s);
+    }
+    if records != total_records {
+        return Err(corrupt(format!(
+            "section table counts {records} records but the header claims {total_records}"
+        )));
+    }
+    Ok(SnapshotMeta {
+        version,
+        spec,
+        bounds,
+        total_records,
+        sections: out,
+    })
+}
+
+/// Reads the header, then the section table it announces, through a
+/// positioned reader (`read(offset, buf) -> bytes read`), and decodes.
+/// The table allocation is bounded by the file's actual length *before*
+/// the header's section count is trusted, so a corrupt count becomes a
+/// typed error instead of a multi-gigabyte allocation. Shared by
+/// [`read_meta`] (untimed `peek`) and [`read_partitioned`] (timed
+/// `read_at`).
+fn read_meta_with(
+    file_len: u64,
+    mut read: impl FnMut(u64, &mut [u8]) -> Result<usize>,
+) -> Result<SnapshotMeta> {
+    let mut head = vec![0u8; HEADER_LEN as usize];
+    let n = read(0, &mut head)?;
+    head.truncate(n);
+    if n == HEADER_LEN as usize {
+        let sections = u32_at(&head, 12) as u64;
+        let table = sections.saturating_mul(SECTION_ENTRY_LEN);
+        if HEADER_LEN + table > file_len {
+            return Err(corrupt(format!(
+                "section table for {sections} sections extends past the file length {file_len}"
+            )));
+        }
+        head.resize((HEADER_LEN + table) as usize, 0);
+        let got = read(HEADER_LEN, &mut head[HEADER_LEN as usize..])?;
+        head.truncate(HEADER_LEN as usize + got);
+    }
+    decode_meta(&head, file_len)
+}
+
+/// Reads and validates a snapshot's header + section table without
+/// timing (serial inspection: tooling, tests, dataset catalogs).
+pub fn read_meta(fs: &Arc<SimFs>, path: &str) -> Result<SnapshotMeta> {
+    let file = fs.open(path)?;
+    read_meta_with(file.len(), |off, buf| Ok(file.peek(off, buf)))
+}
+
+/// Rounds `at` up to the next multiple of `align`.
+fn align_up(at: u64, align: u64) -> u64 {
+    let align = align.max(1);
+    at.div_ceil(align) * align
+}
+
+/// Collectively persists each rank's owned `(cell, feature)` pairs as a
+/// binary snapshot at `path`, creating the file. The records of rank `r`
+/// become section `r`, in input order, so a later [`read_partitioned`]
+/// under the same world size and decomposition returns exactly the input
+/// (bit-identical pairs, same order), and any other rank count re-routes
+/// the records through the exchange. Collective: every rank must call it.
+///
+/// The payload is shipped through the staged two-phase collective write
+/// ([`MpiFile::write_at_all_staged`]); section starts are padded to the
+/// file's stripe size so every aggregator flush is stripe aligned.
+///
+/// # Errors
+///
+/// [`CoreError::Pfs`] when the path already exists. A serialization
+/// failure on any rank (a record exceeding the u32 wire limit) aborts
+/// the write on **every** rank before any byte reaches the file — the
+/// created path is removed, the failing rank returns the original
+/// [`CoreError::Partition`] and its peers a [`CoreError::Snapshot`] —
+/// rather than persisting a metadata-consistent snapshot silently
+/// missing that rank's records. All outcomes are agreed collectively,
+/// so a failing rank never strands its peers mid-protocol.
+pub fn write_partitioned(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    pairs: &[(u32, Feature)],
+    decomp: &dyn SpatialDecomposition,
+    opts: &SnapshotWriteOptions,
+) -> Result<SnapshotWriteReport> {
+    let p = comm.size();
+    debug_assert_eq!(
+        decomp.num_ranks(),
+        p,
+        "decomposition built for a different world size"
+    );
+
+    // Serialize my section (the exchange wire format). A failure parks
+    // the error and continues with an empty section: the collectives
+    // below must stay matched across ranks.
+    let mut deferred: Option<CoreError> = None;
+    let mut buf = Vec::new();
+    let mut scratch = Vec::new();
+    for (cell, feature) in pairs {
+        if let Err(e) = serialize_record(*cell, feature, &mut scratch, &mut buf) {
+            deferred = Some(e);
+            buf.clear();
+            break;
+        }
+    }
+    let my_records = if deferred.is_some() {
+        0
+    } else {
+        pairs.len() as u64
+    };
+    comm.charge(Work::SerializeGeoms {
+        n: my_records,
+        bytes: buf.len() as u64,
+    });
+
+    // Create on rank 0 and broadcast the outcome, so every rank agrees
+    // on whether to proceed — a failing create must not leave rank 0
+    // returning while its peers (for whom `open` might well succeed,
+    // e.g. on an already-existing path) sail into the collectives alone.
+    let create_err = if comm.rank() == 0 {
+        fs.create(path, opts.stripe).err()
+    } else {
+        None
+    };
+    let word = match &create_err {
+        None => Vec::new(),
+        Some(e) => {
+            let mut v = vec![match e {
+                mvio_pfs::PfsError::AlreadyExists(_) => 1u8,
+                mvio_pfs::PfsError::BadStripe(_) => 2,
+                _ => 3,
+            }];
+            v.extend(e.to_string().as_bytes());
+            v
+        }
+    };
+    let status = comm.bcast(0, word);
+    if let Some(e) = create_err {
+        return Err(e.into()); // rank 0 keeps the original error
+    }
+    if let Some((&code, msg)) = status.split_first() {
+        let msg = String::from_utf8_lossy(msg).into_owned();
+        return Err(match code {
+            1 => mvio_pfs::PfsError::AlreadyExists(path.to_string()).into(),
+            2 => mvio_pfs::PfsError::BadStripe(msg).into(),
+            _ => corrupt(format!("create on rank 0 failed: {msg}")),
+        });
+    }
+    let file = MpiFile::open(fs, path, opts.hints)?;
+    let stripe_size = file.file().stripe().size;
+
+    // Everyone learns every section length — and whether any rank failed
+    // to serialize — and lays the file out identically: header + table,
+    // then stripe-aligned sections.
+    let mut word = [0u8; 17];
+    word[..8].copy_from_slice(&(buf.len() as u64).to_le_bytes());
+    word[8..16].copy_from_slice(&my_records.to_le_bytes());
+    word[16] = deferred.is_some() as u8;
+    let gathered = comm.allgather(word.to_vec());
+    // A serialization failure anywhere aborts the write *before* any
+    // byte reaches the file: persisting a metadata-consistent snapshot
+    // that silently misses one rank's records would be far worse than
+    // failing. Every rank sees the same flags, so the branch — and the
+    // file removal on rank 0 — is symmetric.
+    if let Some(bad) = gathered.iter().position(|w| w[16] != 0) {
+        if comm.rank() == 0 {
+            let _ = fs.remove(path);
+        }
+        return Err(deferred.unwrap_or_else(|| {
+            corrupt(format!(
+                "write aborted: rank {bad} failed to serialize its section"
+            ))
+        }));
+    }
+    let lens: Vec<(u64, u64)> = gathered
+        .into_iter()
+        .map(|w| (u64_at(&w, 0), u64_at(&w, 8)))
+        .collect();
+    let mut sections = Vec::with_capacity(p);
+    let mut at = HEADER_LEN + SECTION_ENTRY_LEN * p as u64;
+    let mut total_records = 0u64;
+    for &(len, records) in &lens {
+        at = align_up(at, stripe_size);
+        sections.push(SectionEntry {
+            offset: at,
+            len,
+            records,
+        });
+        at += len;
+        total_records += records;
+    }
+    let meta = SnapshotMeta {
+        version: VERSION,
+        spec: decomp.grid_spec(),
+        bounds: decomp.bounds(),
+        total_records,
+        sections,
+    };
+
+    // Rank 0 writes the header + table independently; the payload goes
+    // through the staged two-phase collective write.
+    let t0 = comm.now();
+    if comm.rank() == 0 {
+        file.write_at(comm, 0, &encode_meta(&meta))?;
+    }
+    let my_section = meta.sections[comm.rank()];
+    file.write_at_all_staged(comm, my_section.offset, &buf)?;
+    let write_seconds = comm.now() - t0;
+
+    let bytes_total = meta.payload_bytes();
+    Ok(SnapshotWriteReport {
+        section: my_section,
+        bytes_total,
+        records_total: total_records,
+        write_seconds,
+        bandwidth: if write_seconds > 0.0 {
+            bytes_total as f64 / write_seconds
+        } else {
+            0.0
+        },
+    })
+}
+
+/// The contiguous range of section indices rank `rank` of `p` loads:
+/// section `r` exactly when the reader world matches the writer world
+/// (the bit-identical fast path), an even contiguous split otherwise.
+fn reader_sections(sections: usize, rank: usize, p: usize) -> (usize, usize) {
+    if sections == p {
+        (rank, rank + 1)
+    } else {
+        (rank * sections / p, (rank + 1) * sections / p)
+    }
+}
+
+/// Collectively loads a snapshot written by [`write_partitioned`],
+/// routing every record to the rank owning its cell under `decomp`.
+/// Validates that `decomp` tiles the same cell-id space the file was
+/// written under (same grid resolution and bounds). With the writer's
+/// world size and decomposition the result is **bit-identical** to what
+/// was written — same records, same order, zero bytes exchanged; any
+/// other rank count re-routes through the staged exchange. Collective:
+/// every rank must call it.
+pub fn read_partitioned(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    decomp: &dyn SpatialDecomposition,
+    opts: &SnapshotReadOptions,
+) -> Result<(Vec<(u32, Feature)>, SnapshotReadReport)> {
+    let p = comm.size();
+    debug_assert_eq!(
+        decomp.num_ranks(),
+        p,
+        "decomposition built for a different world size"
+    );
+    let t0 = comm.now();
+    let file = MpiFile::open(fs, path, opts.hints)?;
+    let file_len = file.len();
+
+    // Every rank reads and validates the header + table independently;
+    // the bytes are identical, so acceptance is symmetric across ranks
+    // and nobody enters the collectives below unless everybody does.
+    let meta = read_meta_with(file_len, |off, buf| Ok(file.read_at(comm, off, buf)?))?;
+    if meta.spec != decomp.grid_spec() || meta.bounds != decomp.bounds() {
+        return Err(corrupt(format!(
+            "decomposition mismatch: file has grid {}x{} over {:?}, the supplied \
+             decomposition tiles {}x{} over {:?}",
+            meta.spec.cells_x,
+            meta.spec.cells_y,
+            meta.bounds,
+            decomp.grid_spec().cells_x,
+            decomp.grid_spec().cells_y,
+            decomp.bounds(),
+        )));
+    }
+    let num_cells = decomp.num_cells();
+
+    // Collective read of my sections' covering byte range (padding gaps
+    // between sections ride along; the table slices them back out).
+    let (s_lo, s_hi) = reader_sections(meta.sections.len(), comm.rank(), p);
+    let mine = &meta.sections[s_lo..s_hi];
+    let (range_lo, range_hi) = mine
+        .iter()
+        .filter(|s| s.len > 0)
+        .fold((u64::MAX, 0u64), |(lo, hi), s| {
+            (lo.min(s.offset), hi.max(s.offset + s.len))
+        });
+    let mut payload = vec![0u8; range_hi.saturating_sub(range_lo.min(range_hi)) as usize];
+    let read_off = if payload.is_empty() { 0 } else { range_lo };
+    let got = file.read_at_all_staged(comm, read_off, &mut payload)?;
+
+    // Route: walk each section's records, steering the raw wire bytes to
+    // their owner rank under `decomp`. Errors are parked so the routing
+    // exchange below stays matched; the failing rank ships nothing.
+    let mut deferred: Option<CoreError> = None;
+    let mut batch = SerializedBatch::empty(p);
+    let mut bytes_read = 0u64;
+    let mut records_scanned = 0u64;
+    let mut route = |batch: &mut SerializedBatch| -> Result<()> {
+        if got < payload.len() {
+            return Err(corrupt(format!(
+                "payload short read: got {got} of {} bytes",
+                payload.len()
+            )));
+        }
+        for (i, s) in mine.iter().enumerate() {
+            if s.len == 0 {
+                if s.records != 0 {
+                    return Err(corrupt(format!(
+                        "section {} is empty but the table claims {} records",
+                        s_lo + i,
+                        s.records
+                    )));
+                }
+                continue;
+            }
+            let at = (s.offset - range_lo) as usize;
+            let section = &payload[at..at + s.len as usize];
+            let mut pos = 0usize;
+            let mut records = 0u64;
+            while pos < section.len() {
+                let len = record_len_at(section, pos)
+                    .map_err(|_| corrupt(format!("torn record in section {}", s_lo + i)))?;
+                // Range-check the full u64 word before narrowing: a
+                // corrupted high word must not alias a valid cell id.
+                let cell = u64_at(section, pos);
+                if cell >= num_cells as u64 {
+                    return Err(corrupt(format!(
+                        "record cell {cell} out of range (decomposition has {num_cells} cells)"
+                    )));
+                }
+                let dst = decomp.cell_to_rank(cell as u32);
+                batch.bufs[dst].extend_from_slice(&section[pos..pos + len]);
+                batch.records[dst] += 1;
+                pos += len;
+                records += 1;
+            }
+            if records != s.records {
+                return Err(corrupt(format!(
+                    "section {} holds {records} records, table says {}",
+                    s_lo + i,
+                    s.records
+                )));
+            }
+            bytes_read += s.len;
+            records_scanned += records;
+        }
+        Ok(())
+    };
+    if let Err(e) = route(&mut batch) {
+        deferred = Some(e);
+        batch = SerializedBatch::empty(p);
+    }
+    comm.charge(Work::CopyBytes { n: bytes_read });
+
+    // The routing exchange. Under the writer's world size and matching
+    // decomposition every record routes back to its own rank, so this
+    // degenerates to a local pass-through (zero cross-rank bytes) and
+    // the output order is exactly the written order.
+    let ex_opts = ExchangeOptions::with_chunk(opts.chunk);
+    let (owned, exchange) = match exchange_serialized_with(comm, batch, &ex_opts) {
+        Ok(out) => out,
+        Err(e) => return Err(deferred.unwrap_or(e)),
+    };
+    if let Some(e) = deferred {
+        return Err(e);
+    }
+    Ok((
+        owned,
+        SnapshotReadReport {
+            sections: (s_lo, s_hi),
+            bytes_read,
+            records_scanned,
+            read_seconds: comm.now() - t0,
+            exchange,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::UniformDecomposition;
+    use crate::grid::{CellMap, UniformGrid};
+    use mvio_geom::Point;
+    use mvio_msim::{Topology, World, WorldConfig};
+    use mvio_pfs::FsConfig;
+
+    fn decomp(cells: u32, ranks: usize) -> UniformDecomposition {
+        let grid = UniformGrid::new(
+            Rect::new(0.0, 0.0, cells as f64, 1.0),
+            GridSpec {
+                cells_x: cells,
+                cells_y: 1,
+            },
+        );
+        UniformDecomposition::new(grid, CellMap::RoundRobin, ranks)
+    }
+
+    fn pairs_for(rank: usize, ranks: usize, cells: u32, per_cell: usize) -> Vec<(u32, Feature)> {
+        // Only pairs this rank owns (what an exchange would have left).
+        (0..cells)
+            .filter(|c| (*c as usize) % ranks == rank)
+            .flat_map(|c| {
+                (0..per_cell).map(move |i| {
+                    (
+                        c,
+                        Feature::with_userdata(
+                            mvio_geom::Geometry::Point(Point::new(c as f64 + 0.5, 0.5)),
+                            format!("c{c}i{i}"),
+                        ),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_world_round_trip_is_bit_identical_with_no_exchange_traffic() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let d = decomp(10, comm.size());
+            let pairs = pairs_for(comm.rank(), comm.size(), 10, 3);
+            let rep = write_partitioned(
+                comm,
+                &fs,
+                "snap.bin",
+                &pairs,
+                &d,
+                &SnapshotWriteOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(rep.section.records, pairs.len() as u64);
+            assert!(rep.write_seconds > 0.0);
+            let (back, r) =
+                read_partitioned(comm, &fs, "snap.bin", &d, &SnapshotReadOptions::default())
+                    .unwrap();
+            assert_eq!(back, pairs, "rank {}", comm.rank());
+            // Same world: every record routes back to its own rank.
+            assert_eq!(r.exchange.records_received, pairs.len() as u64);
+            assert_eq!(r.exchange.records_sent, pairs.len() as u64);
+            assert_eq!(r.records_scanned, pairs.len() as u64);
+            r.read_seconds
+        });
+        assert!(out.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn cross_world_reload_routes_records_to_their_owners() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        // Write with 4 ranks.
+        let written = {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                let d = decomp(12, comm.size());
+                let pairs = pairs_for(comm.rank(), comm.size(), 12, 2);
+                write_partitioned(
+                    comm,
+                    &fs,
+                    "cross.bin",
+                    &pairs,
+                    &d,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+                pairs
+            })
+        };
+        let mut all_written: Vec<String> = written
+            .iter()
+            .flatten()
+            .map(|(c, f)| format!("{c}:{}", f.userdata))
+            .collect();
+        all_written.sort();
+        // Re-read with 3 ranks.
+        let out = World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+            let d = decomp(12, comm.size());
+            let (back, rep) =
+                read_partitioned(comm, &fs, "cross.bin", &d, &SnapshotReadOptions::default())
+                    .unwrap();
+            for (cell, _) in &back {
+                assert_eq!(d.cell_to_rank(*cell), comm.rank(), "misrouted record");
+            }
+            assert!(rep.records_scanned > 0 || comm.rank() > 0);
+            back
+        });
+        let mut all_back: Vec<String> = out
+            .iter()
+            .flatten()
+            .map(|(c, f)| format!("{c}:{}", f.userdata))
+            .collect();
+        all_back.sort();
+        assert_eq!(all_back, all_written);
+    }
+
+    #[test]
+    fn sections_are_stripe_aligned_and_meta_readable() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        let stripe = StripeSpec::new(4, 1 << 10);
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+                let d = decomp(9, comm.size());
+                let pairs = pairs_for(comm.rank(), comm.size(), 9, 4);
+                write_partitioned(
+                    comm,
+                    &fs,
+                    "aligned.bin",
+                    &pairs,
+                    &d,
+                    &SnapshotWriteOptions::default().with_stripe(stripe),
+                )
+                .unwrap();
+            });
+        }
+        let meta = read_meta(&fs, "aligned.bin").unwrap();
+        assert_eq!(meta.version, VERSION);
+        assert_eq!(meta.sections.len(), 3);
+        assert_eq!(meta.total_records, 9 * 4);
+        for s in &meta.sections {
+            assert!(s.offset.is_multiple_of(1 << 10), "section at {}", s.offset);
+        }
+        // The collective write flushed stripe-aligned ranges.
+        assert!(fs.stats().stripe_aligned_ops() > 0);
+    }
+
+    #[test]
+    fn corrupt_headers_are_typed_errors() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                let d = decomp(4, comm.size());
+                let pairs = pairs_for(comm.rank(), comm.size(), 4, 1);
+                write_partitioned(
+                    comm,
+                    &fs,
+                    "c.bin",
+                    &pairs,
+                    &d,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+            });
+        }
+        let good = fs.open("c.bin").unwrap().snapshot();
+
+        let check = |mutate: &dyn Fn(&mut Vec<u8>), what: &str| {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            let fs2 = SimFs::new(FsConfig::lustre_comet());
+            fs2.create("bad.bin", None).unwrap().set_contents(bad);
+            let err = read_meta(&fs2, "bad.bin").unwrap_err();
+            assert!(
+                matches!(err, CoreError::Snapshot(_)),
+                "{what}: expected Snapshot error, got {err:?}"
+            );
+            err.to_string()
+        };
+
+        assert!(check(&|b| b[0] = b'X', "magic").contains("magic"));
+        assert!(check(&|b| b[8] = 99, "version").contains("version"));
+        assert!(check(&|b| b.truncate(10), "short header").contains("truncated header"));
+        // With 70 bytes the table bound-check fires ("section table …
+        // extends past the file length") before the table is ever read.
+        assert!(check(&|b| b.truncate(70), "short table").contains("section table"));
+        // Section running past EOF.
+        assert!(check(
+            &|b| {
+                let at = HEADER_LEN as usize + 8;
+                b[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            },
+            "oversized section"
+        )
+        .contains("overflows"));
+        // Header/table record-count disagreement.
+        assert!(check(
+            &|b| {
+                let at = HEADER_LEN as usize + 16;
+                let v = u64_at(b, at) + 1;
+                b[at..at + 8].copy_from_slice(&v.to_le_bytes());
+            },
+            "count mismatch"
+        )
+        .contains("claims"));
+        // An absurd section count must be rejected against the file
+        // length, not turned into a multi-gigabyte table allocation.
+        assert!(check(
+            &|b| b[12..16].copy_from_slice(&u32::MAX.to_le_bytes()),
+            "huge section count"
+        )
+        .contains("extends past"));
+        // Per-section record counts whose sum overflows u64.
+        assert!(check(
+            &|b| {
+                for s in 0..2 {
+                    let at = HEADER_LEN as usize + s * SECTION_ENTRY_LEN as usize + 16;
+                    b[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+                }
+            },
+            "record-count overflow"
+        )
+        .contains("overflow"));
+    }
+
+    #[test]
+    fn corrupted_cell_high_word_is_rejected_not_truncated() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+                let d = decomp(4, comm.size());
+                let pairs = pairs_for(comm.rank(), comm.size(), 4, 2);
+                write_partitioned(comm, &fs, "hw.bin", &pairs, &d, &Default::default()).unwrap();
+            });
+        }
+        // Set a high bit above u32 in the first record's cell word: the
+        // low 32 bits still name a valid cell, so a truncating check
+        // would silently accept the corruption.
+        let meta = read_meta(&fs, "hw.bin").unwrap();
+        let at = meta.sections[0].offset + 4;
+        fs.open("hw.bin").unwrap().poke(at, &1u32.to_le_bytes());
+        let out = World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+            let d = decomp(4, comm.size());
+            match read_partitioned(comm, &fs, "hw.bin", &d, &Default::default()) {
+                Err(CoreError::Snapshot(m)) => m.contains("out of range"),
+                other => panic!("expected Snapshot error, got {other:?}"),
+            }
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn mismatched_decomposition_is_rejected() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                let d = decomp(6, comm.size());
+                let pairs = pairs_for(comm.rank(), comm.size(), 6, 1);
+                write_partitioned(
+                    comm,
+                    &fs,
+                    "m.bin",
+                    &pairs,
+                    &d,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+            });
+        }
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let wrong = decomp(8, comm.size()); // different grid resolution
+            matches!(
+                read_partitioned(comm, &fs, "m.bin", &wrong, &SnapshotReadOptions::default()),
+                Err(CoreError::Snapshot(m)) if m.contains("mismatch")
+            )
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn torn_section_payload_errors_without_hanging_peers() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                let d = decomp(4, comm.size());
+                let pairs = pairs_for(comm.rank(), comm.size(), 4, 2);
+                write_partitioned(
+                    comm,
+                    &fs,
+                    "t.bin",
+                    &pairs,
+                    &d,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+            });
+        }
+        // Corrupt section 0's payload (flip a length field deep inside).
+        let meta = read_meta(&fs, "t.bin").unwrap();
+        let at = meta.sections[0].offset + 8;
+        let file = fs.open("t.bin").unwrap();
+        file.poke(at, &u32::MAX.to_le_bytes());
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let d = decomp(4, comm.size());
+            read_partitioned(comm, &fs, "t.bin", &d, &SnapshotReadOptions::default()).is_err()
+        });
+        // Rank 0 (reads section 0) errors; rank 1 completes.
+        assert_eq!(out, vec![true, false]);
+    }
+
+    #[test]
+    fn existing_path_is_a_typed_error_everywhere() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        fs.create("exists.bin", None).unwrap();
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let d = decomp(4, comm.size());
+            let res = write_partitioned(
+                comm,
+                &fs,
+                "exists.bin",
+                &[],
+                &d,
+                &SnapshotWriteOptions::default(),
+            );
+            matches!(res, Err(CoreError::Pfs(_)))
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn reader_section_assignment_covers_everything_exactly_once() {
+        for sections in [0usize, 1, 3, 4, 7, 16] {
+            for p in [1usize, 2, 3, 4, 5, 8] {
+                let mut seen = vec![0u32; sections];
+                for r in 0..p {
+                    let (lo, hi) = reader_sections(sections, r, p);
+                    for slot in &mut seen[lo..hi] {
+                        *slot += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&n| n == 1),
+                    "sections={sections} p={p}: {seen:?}"
+                );
+            }
+        }
+    }
+}

@@ -30,5 +30,6 @@ pub use catalog::{table3, DatasetSpec, DistPolicy, GenReport, ShapeKind};
 pub use distributions::SpatialDistribution;
 pub use shapes::ShapeGen;
 pub use writer::{
-    write_point_records, write_rect_records, write_wkt_dataset, write_wkt_dataset_with_centers,
+    wkt_dataset_bytes, write_point_records, write_rect_records, write_wkt_dataset,
+    write_wkt_dataset_with_centers,
 };

@@ -74,6 +74,32 @@ pub fn write_wkt_dataset_with_centers(
     bytes
 }
 
+/// Generates `count` WKT records straight into memory — the bytes
+/// [`write_wkt_dataset`] would append to a file, without needing a
+/// filesystem. Benchmark harnesses generate a dataset once this way and
+/// install the bytes onto a fresh cold [`SimFs`] per measurement, so
+/// every run sees identical data over empty simulated OST queues.
+pub fn wkt_dataset_bytes(
+    kind: ShapeKind,
+    gen: ShapeGen,
+    dist: &SpatialDistribution,
+    world: Rect,
+    count: u64,
+    seed: u64,
+) -> Vec<u8> {
+    let mut sampler = dist.sampler_with_centers(world, seed ^ 0x9E37_79B9_7F4A_7C15, seed);
+    let mut text = String::new();
+    for i in 0..count {
+        let g = gen.geometry(kind, &mut sampler);
+        wkt::write_to(&g, &mut text);
+        text.push('\t');
+        text.push_str("id=");
+        text.push_str(&i.to_string());
+        text.push('\n');
+    }
+    text.into_bytes()
+}
+
 /// Writes `count` random MBR records (4 little-endian doubles each) for
 /// the binary-file experiments (Figures 12 and 15). Returns the rects.
 pub fn write_rect_records(
@@ -170,6 +196,30 @@ mod tests {
             wkt::parse(w).unwrap();
             assert!(ud.starts_with("id="));
         }
+    }
+
+    #[test]
+    fn in_memory_generation_matches_the_file_writer() {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        write_wkt_dataset(
+            &fs,
+            "f.wkt",
+            ShapeKind::Point,
+            ShapeGen::small_polygons(),
+            &SpatialDistribution::Uniform,
+            world(),
+            40,
+            7,
+        );
+        let mem = wkt_dataset_bytes(
+            ShapeKind::Point,
+            ShapeGen::small_polygons(),
+            &SpatialDistribution::Uniform,
+            world(),
+            40,
+            7,
+        );
+        assert_eq!(fs.open("f.wkt").unwrap().snapshot(), mem);
     }
 
     #[test]

@@ -505,6 +505,378 @@ impl MpiFile {
         );
         Ok(got)
     }
+
+    // ----- Staged two-phase collective I/O over the request layer ---------
+
+    /// Builds the staged plan: allgathers every rank's `(offset, len)`
+    /// span (clamping to `clamp_hi` when given — the read side must not
+    /// plan past EOF), selects the aggregators, and cuts their
+    /// stripe-aligned file domains. Collective.
+    fn staged_plan(
+        &self,
+        comm: &mut Comm,
+        offset: u64,
+        len: u64,
+        clamp_hi: Option<u64>,
+    ) -> StagedPlan {
+        let mut span = (offset, offset + len);
+        if let Some(hi) = clamp_hi {
+            span = (span.0.min(hi), span.1.min(hi));
+        }
+        let mut word = [0u8; 16];
+        word[..8].copy_from_slice(&span.0.to_le_bytes());
+        word[8..].copy_from_slice(&span.1.to_le_bytes());
+        let spans: Vec<(u64, u64)> = comm
+            .allgather(word.to_vec())
+            .into_iter()
+            .map(|w| {
+                (
+                    u64::from_le_bytes(w[..8].try_into().expect("span word")),
+                    u64::from_le_bytes(w[8..16].try_into().expect("span word")),
+                )
+            })
+            .collect();
+        let lo = spans.iter().filter(|s| s.1 > s.0).map(|s| s.0).min();
+        let hi = spans.iter().filter(|s| s.1 > s.0).map(|s| s.1).max();
+        let (domains, agg_ranks) = match (lo, hi) {
+            (Some(lo), Some(hi)) => {
+                let topo = comm.topology();
+                let want = select_readers(
+                    self.fs.config().kind,
+                    self.file.stripe().count,
+                    topo.nodes(),
+                    self.hints.cb_nodes,
+                );
+                let domains = aggregator_domains(lo, hi, self.file.stripe().size, want);
+                let agg_ranks = topo
+                    .node_leaders()
+                    .into_iter()
+                    .cycle()
+                    .take(domains.len())
+                    .collect();
+                (domains, agg_ranks)
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        StagedPlan {
+            spans,
+            agg_ranks,
+            domains,
+        }
+    }
+
+    /// Chops the contiguous byte run `[lo, hi)` into `cb_buffer_size`
+    /// cycles issued by aggregator `rank` at time `now`.
+    fn cb_cycles(&self, rank: usize, node: usize, now: f64, lo: u64, hi: u64) -> Vec<IoRequest> {
+        let cycle = self.hints.cb_buffer_size.max(1);
+        let mut out = Vec::new();
+        let mut pos = lo;
+        while pos < hi {
+            let len = (hi - pos).min(cycle);
+            out.push(IoRequest {
+                rank,
+                node,
+                now,
+                offset: pos,
+                len,
+            });
+            pos += len;
+        }
+        out
+    }
+
+    /// Staged `MPI_File_write_at_all`: ROMIO-style two-phase collective
+    /// write in which the data **physically moves through the runtime**.
+    /// Every rank ships the pieces of its buffer that fall into each
+    /// aggregator's stripe-aligned file domain over [`Comm::isend`]; the
+    /// aggregators collect their pieces with [`Comm::irecv`]/
+    /// [`Comm::waitall`], coalesce contiguous runs, and flush them as
+    /// large contiguous stripe writes in `cb_buffer_size` cycles through
+    /// one deterministic [`SimFile::write_batch`]. All ranks exit at the
+    /// global completion time (the collective-write barrier the
+    /// simulator's other collectives also model).
+    ///
+    /// Aggregator count: the [`select_readers`] heuristic, lowered by the
+    /// `cb_nodes` hint (which the I/O layers above wire to the
+    /// [`AGGREGATORS_ENV`] knob). Overlapping source spans are assembled
+    /// in rank order (later ranks win), matching `MPI_File_write_at_all`'s
+    /// "undefined but deterministic" overlap behaviour.
+    pub fn write_at_all_staged(&self, comm: &mut Comm, offset: u64, buf: &[u8]) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        let plan = self.staged_plan(comm, offset, buf.len() as u64, None);
+        let rank = comm.rank();
+        let my_span = plan.spans[rank];
+
+        // Phase 1: ship my pieces to the aggregators owning them.
+        let mut sends = Vec::new();
+        for (a, &dom) in plan.domains.iter().enumerate() {
+            if let Some((lo, hi)) = intersect(my_span, dom) {
+                let piece = &buf[(lo - offset) as usize..(hi - offset) as usize];
+                sends.push(comm.isend(plan.agg_ranks[a], STAGED_WRITE_TAG, piece));
+            }
+        }
+
+        // Aggregators: collect the pieces of my domain, in rank order.
+        let gathered: Option<(usize, Vec<(u64, Vec<u8>)>)> = plan.agg_index(rank).map(|a| {
+            let dom = plan.domains[a];
+            let mut pieces = Vec::new();
+            let mut reqs = Vec::new();
+            for (src, &span) in plan.spans.iter().enumerate() {
+                if let Some((lo, _)) = intersect(span, dom) {
+                    pieces.push(lo);
+                    reqs.push(comm.irecv(src, STAGED_WRITE_TAG));
+                }
+            }
+            let data = comm.waitall(reqs);
+            (a, pieces.into_iter().zip(data).collect())
+        });
+        comm.waitall(sends);
+
+        // Coalesce each aggregator's pieces into contiguous runs and plan
+        // the cb cycles from its post-gather clock.
+        let my_batch: Option<(Vec<IoRequest>, Vec<Vec<u8>>)> = gathered.map(|(a, mut pieces)| {
+            pieces.sort_by_key(|p| p.0);
+            let mut runs: Vec<(u64, Vec<u8>)> = Vec::new();
+            for (at, bytes) in pieces {
+                match runs.last_mut() {
+                    Some((start, run)) if *start + run.len() as u64 == at => {
+                        run.extend_from_slice(&bytes)
+                    }
+                    _ => runs.push((at, bytes)),
+                }
+            }
+            let now = comm.now();
+            let node = comm.node();
+            let agg_rank = plan.agg_ranks[a];
+            let mut reqs = Vec::new();
+            let mut bufs = Vec::new();
+            for (start, run) in runs {
+                for cyc in self.cb_cycles(agg_rank, node, now, start, start + run.len() as u64) {
+                    let at = (cyc.offset - start) as usize;
+                    bufs.push(run[at..at + cyc.len as usize].to_vec());
+                    reqs.push(cyc);
+                }
+            }
+            (reqs, bufs)
+        });
+
+        // Phase 2: one deterministic global flush. Every aggregator's
+        // cycles are timed (and the bytes placed) in a single
+        // `write_batch` under one engine lock, so the schedule is
+        // independent of thread interleaving; everyone exits at the
+        // global completion.
+        let file = Arc::clone(&self.file);
+        let (_, _) = comm.collective(my_batch, move |inputs, times| {
+            let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut reqs = Vec::new();
+            let mut bufs = Vec::new();
+            for input in inputs.into_iter().flatten() {
+                reqs.extend(input.0);
+                bufs.extend(input.1);
+            }
+            let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+            let done = file
+                .write_batch(&reqs, &slices)
+                .expect("staged write flush")
+                .into_iter()
+                .map(|c| c.completion)
+                .fold(start, f64::max);
+            ((), vec![done; times.len()])
+        });
+        Ok(buf.len())
+    }
+
+    /// Staged `MPI_File_read_at_all`: the inverse scatter of
+    /// [`MpiFile::write_at_all_staged`]. Aggregators read their
+    /// stripe-aligned domains in `cb_buffer_size` cycles through one
+    /// deterministic [`SimFile::read_batch`], then ship each rank the
+    /// pieces of its span over [`Comm::isend`]; ranks assemble their
+    /// buffers from [`Comm::irecv`]s. Spans are clamped to EOF, so the
+    /// returned count is short at end-of-file exactly like
+    /// [`MpiFile::read_at`]. Non-aggregator ranks exit as soon as their
+    /// own pieces have arrived (no write-side barrier is needed on read).
+    pub fn read_at_all_staged(
+        &self,
+        comm: &mut Comm,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<usize> {
+        Self::check_count(buf.len() as u64)?;
+        let file_len = self.file.len();
+        let plan = self.staged_plan(comm, offset.min(file_len), buf.len() as u64, Some(file_len));
+        let rank = comm.rank();
+        let my_span = plan.spans[rank];
+
+        // Phase 1: one deterministic global read of every aggregator's
+        // domain cycles under a single engine lock. The shared result
+        // carries each aggregator's domain bytes; only that aggregator
+        // consumes its entry.
+        let now = comm.now();
+        let node = comm.node();
+        let my_cycles: Option<(usize, Vec<IoRequest>)> = plan.agg_index(rank).map(|a| {
+            let (lo, hi) = plan.domains[a];
+            (a, self.cb_cycles(rank, node, now, lo, hi))
+        });
+        let file = Arc::clone(&self.file);
+        let n_aggs = plan.domains.len();
+        let (read_result, _) = comm.collective(my_cycles, move |inputs, times| {
+            let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            // (domain bytes, completion) per aggregator index.
+            let mut out: Vec<(Vec<u8>, f64)> = (0..n_aggs).map(|_| (Vec::new(), start)).collect();
+            let mut exits = vec![start; times.len()];
+            for (src, input) in inputs.into_iter().enumerate() {
+                let Some((a, reqs)) = input else { continue };
+                let mut data: Vec<Vec<u8>> =
+                    reqs.iter().map(|r| vec![0u8; r.len as usize]).collect();
+                let done = {
+                    let mut slices: Vec<&mut [u8]> =
+                        data.iter_mut().map(|d| d.as_mut_slice()).collect();
+                    file.read_batch(&reqs, &mut slices).expect("staged read")
+                };
+                let mut domain = Vec::new();
+                let mut completion = start;
+                for (piece, c) in data.into_iter().zip(&done) {
+                    domain.extend_from_slice(&piece[..c.bytes as usize]);
+                    completion = completion.max(c.completion);
+                }
+                out[a] = (domain, completion);
+                exits[src] = exits[src].max(completion);
+            }
+            (out, exits)
+        });
+
+        // Phase 2: aggregators scatter each rank's pieces.
+        let mut sends = Vec::new();
+        if let Some(a) = plan.agg_index(rank) {
+            let dom = plan.domains[a];
+            let domain = &read_result[a].0;
+            for (dst, &span) in plan.spans.iter().enumerate() {
+                if let Some((lo, hi)) = intersect(span, dom) {
+                    // Clamp to the bytes the read actually produced.
+                    let avail = dom.0 + domain.len() as u64;
+                    let hi = hi.min(avail);
+                    let piece = if lo < hi {
+                        &domain[(lo - dom.0) as usize..(hi - dom.0) as usize]
+                    } else {
+                        &[][..]
+                    };
+                    sends.push(comm.isend(dst, STAGED_READ_TAG, piece));
+                }
+            }
+        }
+
+        // Assemble my buffer from the aggregators covering my span, in
+        // aggregator order (matching their deterministic send order).
+        let mut got = 0usize;
+        let mut recvs = Vec::new();
+        let mut places = Vec::new();
+        for (a, &dom) in plan.domains.iter().enumerate() {
+            if let Some((lo, _)) = intersect(my_span, dom) {
+                places.push(lo);
+                recvs.push(comm.irecv(plan.agg_ranks[a], STAGED_READ_TAG));
+            }
+        }
+        for (at, piece) in places.into_iter().zip(comm.waitall(recvs)) {
+            let dst = (at - offset) as usize;
+            buf[dst..dst + piece.len()].copy_from_slice(&piece);
+            got += piece.len();
+        }
+        comm.waitall(sends);
+        Ok(got)
+    }
+}
+
+/// Environment variable overriding the aggregator count used by the
+/// staged two-phase collective I/O paths ([`MpiFile::write_at_all_staged`]
+/// / [`MpiFile::read_at_all_staged`]): a positive integer requests that
+/// many aggregator nodes (still capped by the node count and, on Lustre,
+/// the divisor rule); `0`, `auto` or unset defers to the
+/// [`select_readers`] heuristic.
+pub const AGGREGATORS_ENV: &str = "MVIO_IO_AGGREGATORS";
+
+/// Resolves the [`AGGREGATORS_ENV`] knob.
+///
+/// # Panics
+///
+/// Panics on an unparseable value: silently falling back to the
+/// heuristic would make every benchmark run under a typo'd knob measure
+/// the wrong configuration (the same policy as the exchange-chunk knob).
+pub fn aggregators_from_env() -> Option<usize> {
+    let v = std::env::var(AGGREGATORS_ENV).ok()?;
+    let t = v.trim();
+    if t == "0" || t.eq_ignore_ascii_case("auto") {
+        return None;
+    }
+    match t.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => panic!(
+            "invalid {AGGREGATORS_ENV} value {v:?}: expected a positive aggregator \
+             count, or 0/auto for the heuristic"
+        ),
+    }
+}
+
+/// Tag carrying rank→aggregator payloads of a staged collective write.
+const STAGED_WRITE_TAG: u64 = 0x5743;
+/// Tag carrying aggregator→rank payloads of a staged collective read.
+const STAGED_READ_TAG: u64 = 0x5244;
+
+/// Splits the aggregate file domain `[lo, hi)` into at most `aggregators`
+/// contiguous per-aggregator domains whose interior boundaries are
+/// **stripe aligned**: the domain step is the per-aggregator share
+/// rounded *up* to a whole number of stripes, so when `lo` itself sits on
+/// a stripe boundary every aggregator issues stripe-aligned writes — the
+/// access pattern the paper recommends. Alignment can merge trailing
+/// domains, so fewer than `aggregators` entries may come back (never
+/// more, never empty ones).
+pub fn aggregator_domains(
+    lo: u64,
+    hi: u64,
+    stripe_size: u64,
+    aggregators: usize,
+) -> Vec<(u64, u64)> {
+    if hi <= lo {
+        return Vec::new();
+    }
+    let span = hi - lo;
+    let stripe = stripe_size.max(1);
+    let raw = span.div_ceil(aggregators.max(1) as u64).max(1);
+    let step = raw.div_ceil(stripe) * stripe;
+    let mut out = Vec::new();
+    let mut pos = lo;
+    while pos < hi {
+        let end = (pos + step).min(hi);
+        out.push((pos, end));
+        pos = end;
+    }
+    out
+}
+
+/// Half-open interval intersection; `None` when empty.
+fn intersect(a: (u64, u64), b: (u64, u64)) -> Option<(u64, u64)> {
+    let lo = a.0.max(b.0);
+    let hi = a.1.min(b.1);
+    (lo < hi).then_some((lo, hi))
+}
+
+/// The staged two-phase plan shared by [`MpiFile::write_at_all_staged`]
+/// and [`MpiFile::read_at_all_staged`]: every rank's `(offset, len)` span
+/// (allgathered), the aggregator ranks, and their stripe-aligned file
+/// domains.
+struct StagedPlan {
+    /// Per-rank effective spans, indexed by rank (`len == world size`).
+    spans: Vec<(u64, u64)>,
+    /// Aggregator ranks, one per domain (node leaders, in node order).
+    agg_ranks: Vec<usize>,
+    /// Stripe-aligned contiguous file domain of each aggregator.
+    domains: Vec<(u64, u64)>,
+}
+
+impl StagedPlan {
+    /// Index of `rank` in the aggregator set, if it is one.
+    fn agg_index(&self, rank: usize) -> Option<usize> {
+        self.agg_ranks.iter().position(|&r| r == rank)
+    }
 }
 
 /// The aggregator ("reader") selection rule.
@@ -747,6 +1119,154 @@ mod tests {
                 "record {k} corrupted"
             );
         }
+    }
+
+    #[test]
+    fn aggregator_domains_are_stripe_aligned_and_cover_the_span() {
+        let stripe = 1024u64;
+        let d = aggregator_domains(0, 10_000, stripe, 4);
+        assert!(d.len() <= 4 && !d.is_empty());
+        assert_eq!(d.first().unwrap().0, 0);
+        assert_eq!(d.last().unwrap().1, 10_000);
+        for w in d.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "contiguous");
+            assert!(w[0].1.is_multiple_of(stripe), "interior cut aligned");
+        }
+        // Aligned lo keeps every domain start aligned.
+        let d = aggregator_domains(2048, 2048 + 8192, stripe, 3);
+        for (lo, _) in &d {
+            assert!(lo.is_multiple_of(stripe));
+        }
+        // Degenerate cases.
+        assert!(aggregator_domains(5, 5, 1024, 4).is_empty());
+        assert_eq!(aggregator_domains(0, 10, 1024, 4), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn aggregators_env_knob_resolution() {
+        // Only exercise the parse paths that don't touch the process
+        // environment (the suite may run under MVIO_IO_AGGREGATORS).
+        if std::env::var(AGGREGATORS_ENV).is_err() {
+            assert_eq!(aggregators_from_env(), None);
+        }
+    }
+
+    #[test]
+    fn staged_collective_write_assembles_single_file() {
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        fs.create("staged.bin", Some(StripeSpec::new(4, 1024)))
+            .unwrap();
+        World::run(WorldConfig::new(Topology::new(2, 2)), |comm| {
+            let f = MpiFile::open(&fs, "staged.bin", Hints::default()).unwrap();
+            let chunk = vec![comm.rank() as u8 + 1; 4096];
+            let n = f
+                .write_at_all_staged(comm, comm.rank() as u64 * 4096, &chunk)
+                .unwrap();
+            assert_eq!(n, 4096);
+            assert!(comm.now() > 0.0);
+        });
+        let data = fs.open("staged.bin").unwrap().snapshot();
+        assert_eq!(data.len(), 4 * 4096);
+        for rank in 0..4 {
+            assert!(data[rank * 4096..(rank + 1) * 4096]
+                .iter()
+                .all(|&b| b == rank as u8 + 1));
+        }
+        // The aggregators issued stripe-aligned flushes.
+        assert!(fs.stats().stripe_aligned_ops() > 0);
+    }
+
+    #[test]
+    fn staged_write_then_staged_read_round_trips() {
+        let total = 1 << 18;
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        fs.create("rt.bin", Some(StripeSpec::new(8, 16 << 10)))
+            .unwrap();
+        let out = World::run(WorldConfig::new(Topology::new(4, 2)), move |comm| {
+            let f = MpiFile::open(&fs, "rt.bin", Hints::default()).unwrap();
+            let chunk = total / comm.size();
+            let off = (comm.rank() * chunk) as u64;
+            let data: Vec<u8> = (0..chunk)
+                .map(|i| ((comm.rank() * chunk + i) % 251) as u8)
+                .collect();
+            f.write_at_all_staged(comm, off, &data).unwrap();
+            // Read back a *rotated* partition so every rank's bytes cross
+            // rank (and aggregator) boundaries.
+            let r_off = ((comm.rank() + 1) % comm.size()) * chunk;
+            let mut buf = vec![0u8; chunk];
+            let n = f.read_at_all_staged(comm, r_off as u64, &mut buf).unwrap();
+            assert_eq!(n, chunk);
+            for (i, &b) in buf.iter().enumerate() {
+                assert_eq!(b, ((r_off + i) % 251) as u8);
+            }
+            comm.now()
+        });
+        assert!(out.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn staged_read_is_short_at_eof_and_allows_empty_spans() {
+        let fs = make_fs_with_file(3000, StripeSpec::new(2, 1024));
+        World::run(WorldConfig::new(Topology::new(1, 4)), |comm| {
+            let f = MpiFile::open(&fs, "data.bin", Hints::default()).unwrap();
+            // Rank 0 reads past EOF (short); rank 1 starts past EOF
+            // (zero); ranks 2-3 participate with empty buffers.
+            let (off, want) = match comm.rank() {
+                0 => (2000u64, 2048usize),
+                1 => (5000, 64),
+                _ => (0, 0),
+            };
+            let mut buf = vec![0xAAu8; want];
+            let n = f.read_at_all_staged(comm, off, &mut buf).unwrap();
+            match comm.rank() {
+                0 => {
+                    assert_eq!(n, 1000);
+                    for (i, &b) in buf[..1000].iter().enumerate() {
+                        assert_eq!(b, ((2000 + i) % 251) as u8);
+                    }
+                }
+                _ => assert_eq!(n, 0),
+            }
+        });
+    }
+
+    #[test]
+    fn staged_write_is_deterministic_and_faster_with_more_aggregators() {
+        let total = 4 << 20;
+        let run = |cb_nodes: Option<usize>| {
+            let fs = SimFs::new(FsConfig::lustre_comet());
+            fs.create("det.bin", Some(StripeSpec::new(8, 64 << 10)))
+                .unwrap();
+            fs.set_active_ranks(16);
+            // A collective buffer smaller than the per-aggregator domain
+            // forces multiple chained cb cycles — the regime where the
+            // aggregator count matters (a lone aggregator leaves OSTs
+            // idle between its cycles).
+            let hints = Hints {
+                cb_nodes,
+                cb_buffer_size: 256 << 10,
+            };
+            let out = World::run(WorldConfig::new(Topology::new(8, 2)), move |comm| {
+                let f = MpiFile::open(&fs, "det.bin", hints).unwrap();
+                let chunk = total / comm.size();
+                let data = vec![comm.rank() as u8; chunk];
+                f.write_at_all_staged(comm, (comm.rank() * chunk) as u64, &data)
+                    .unwrap();
+                comm.now()
+            });
+            out.into_iter().fold(0.0, f64::max)
+        };
+        // Deterministic across repeated runs (thread interleaving must
+        // not move the virtual clock).
+        assert_eq!(run(Some(4)), run(Some(4)));
+        // One aggregator serializes every cb cycle through one rank; the
+        // divisor-rule width parallelizes across OSTs and node links.
+        let one = run(Some(1));
+        let wide = run(None);
+        assert!(
+            wide < one,
+            "8 aggregators ({wide}) must beat 1 ({one}) for a 4 MiB striped write"
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod world;
 pub use comm::Comm;
 pub use datatype::Datatype;
 pub use hints::Hints;
-pub use io::{AccessLevel, MpiFile};
+pub use io::{
+    aggregator_domains, aggregators_from_env, select_readers, AccessLevel, MpiFile, AGGREGATORS_ENV,
+};
 pub use reduceop::ReduceOp;
 pub use request::{ProgressEngine, Request};
 pub use time::{CostModel, ShapeClass, Work, WorkTally};

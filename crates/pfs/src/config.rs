@@ -132,6 +132,42 @@ impl FsConfig {
         }
     }
 
+    /// Validates the configuration: the OST count, the default stripe
+    /// (including zero stripe count / zero stripe size) and the
+    /// performance constants must all be usable. Returns a typed
+    /// [`PfsError::BadConfig`] / [`PfsError::BadStripe`] instead of
+    /// panicking deep inside the engine, so callers assembling configs
+    /// from user input (CLI flags, env knobs) can reject them up front.
+    pub fn validate(&self) -> Result<(), PfsError> {
+        if self.total_osts == 0 {
+            return Err(PfsError::BadConfig("total_osts must be at least 1".into()));
+        }
+        self.default_stripe.validate(self.total_osts)?;
+        let p = &self.perf;
+        for (name, v) in [
+            ("ost_bandwidth", p.ost_bandwidth),
+            ("link_bandwidth", p.link_bandwidth),
+            ("client_bandwidth", p.client_bandwidth),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(PfsError::BadConfig(format!(
+                    "{name} must be finite and positive, got {v}"
+                )));
+            }
+        }
+        for (name, v) in [
+            ("request_latency", p.request_latency),
+            ("sharing_overhead", p.sharing_overhead),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(PfsError::BadConfig(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// A tiny deterministic configuration for unit tests: small numbers so
     /// hand-computed expectations stay readable.
     pub fn test_tiny() -> Self {
@@ -171,6 +207,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn stripe_new_panics_on_zero() {
         let _ = StripeSpec::new(0, 1024);
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_knobs_with_typed_errors() {
+        assert!(FsConfig::lustre_comet().validate().is_ok());
+        assert!(FsConfig::gpfs_roger().validate().is_ok());
+        assert!(FsConfig::test_tiny().validate().is_ok());
+
+        let mut cfg = FsConfig::test_tiny();
+        cfg.total_osts = 0;
+        assert!(matches!(cfg.validate(), Err(PfsError::BadConfig(_))));
+
+        let mut cfg = FsConfig::test_tiny();
+        cfg.default_stripe = StripeSpec {
+            count: 0,
+            size: 1024,
+        };
+        assert!(matches!(cfg.validate(), Err(PfsError::BadStripe(_))));
+
+        let mut cfg = FsConfig::test_tiny();
+        cfg.default_stripe = StripeSpec { count: 1, size: 0 };
+        assert!(matches!(cfg.validate(), Err(PfsError::BadStripe(_))));
+
+        let mut cfg = FsConfig::test_tiny();
+        cfg.perf.ost_bandwidth = 0.0;
+        assert!(matches!(cfg.validate(), Err(PfsError::BadConfig(_))));
+
+        let mut cfg = FsConfig::test_tiny();
+        cfg.perf.request_latency = f64::NAN;
+        assert!(matches!(cfg.validate(), Err(PfsError::BadConfig(_))));
     }
 
     #[test]

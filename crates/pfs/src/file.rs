@@ -105,6 +105,7 @@ impl SimFile {
         );
         self.stats.record_read(
             n as u64,
+            crate::layout::is_stripe_aligned(self.stripe, offset),
             &crate::layout::chunks_of(self.stripe, offset, n as u64),
         );
         Ok(done)
@@ -130,6 +131,7 @@ impl SimFile {
         );
         self.stats.record_write(
             buf.len() as u64,
+            crate::layout::is_stripe_aligned(self.stripe, offset),
             &crate::layout::chunks_of(self.stripe, offset, buf.len() as u64),
         );
         Ok(done)
@@ -166,11 +168,42 @@ impl SimFile {
             });
             self.stats.record_read(
                 n as u64,
+                crate::layout::is_stripe_aligned(self.stripe, r.offset),
                 &crate::layout::chunks_of(self.stripe, r.offset, n as u64),
             );
         }
         drop(data);
         Ok(self.engine.io_batch(self.stripe, self.ost_base, &clamped))
+    }
+
+    /// Deterministic timed batch write used by collective I/O: the
+    /// aggregators' contiguous stripe flushes. The bytes are placed
+    /// first (extending the file as needed), then every request is timed
+    /// in `(now, rank)` order under one engine lock, exactly like
+    /// [`SimFile::read_batch`] — requests from the same rank chain, which
+    /// is what makes the aggregator count matter. `bufs[i]` supplies the
+    /// data of `reqs[i]` and must be `reqs[i].len` bytes long.
+    pub fn write_batch(&self, reqs: &[IoRequest], bufs: &[&[u8]]) -> Result<Vec<IoCompletion>> {
+        assert_eq!(reqs.len(), bufs.len(), "one buffer per request");
+        {
+            let mut data = self.data.write();
+            for (r, buf) in reqs.iter().zip(bufs.iter()) {
+                assert_eq!(r.len, buf.len() as u64, "request length must match buffer");
+                let end = r.offset as usize + buf.len();
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[r.offset as usize..end].copy_from_slice(buf);
+            }
+        }
+        for r in reqs {
+            self.stats.record_write(
+                r.len,
+                crate::layout::is_stripe_aligned(self.stripe, r.offset),
+                &crate::layout::chunks_of(self.stripe, r.offset, r.len),
+            );
+        }
+        Ok(self.engine.io_batch(self.stripe, self.ost_base, reqs))
     }
 
     /// Untimed whole-file snapshot (diagnostics and tests).
@@ -291,6 +324,100 @@ mod tests {
         assert!(b0.iter().all(|&b| b == 7));
         assert!(b1.iter().all(|&b| b == 7));
         assert!(done[0].completion > 0.0 && done[1].completion > 0.0);
+    }
+
+    #[test]
+    fn write_batch_places_bytes_and_times_deterministically() {
+        let fs = fs();
+        let f = fs.create("wb.bin", Some(StripeSpec::new(2, 1024))).unwrap();
+        // Two aggregator-style contiguous stripe-aligned writes.
+        let a = vec![1u8; 1024];
+        let b = vec![2u8; 1024];
+        let reqs = vec![
+            IoRequest {
+                rank: 0,
+                node: 0,
+                now: 0.0,
+                offset: 0,
+                len: 1024,
+            },
+            IoRequest {
+                rank: 1,
+                node: 1,
+                now: 0.0,
+                offset: 1024,
+                len: 1024,
+            },
+        ];
+        let done = f.write_batch(&reqs, &[&a, &b]).unwrap();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|d| d.completion > 0.0));
+        let data = f.snapshot();
+        assert!(data[..1024].iter().all(|&x| x == 1));
+        assert!(data[1024..].iter().all(|&x| x == 2));
+        // Distinct OSTs and nodes: the two writes run in parallel.
+        assert!((done[0].completion - done[1].completion).abs() < 1e-12);
+        assert_eq!(fs.stats().write_ops(), 2);
+        assert_eq!(fs.stats().stripe_aligned_ops(), 2);
+    }
+
+    #[test]
+    fn write_batch_spanning_a_stripe_boundary_hits_both_osts() {
+        let fs = fs();
+        let f = fs.create("sb.bin", Some(StripeSpec::new(2, 1024))).unwrap();
+        // One write straddling the 1024-byte stripe boundary: two chunks
+        // on two OSTs, recorded as an unaligned op.
+        let buf = vec![7u8; 1024];
+        let reqs = vec![IoRequest {
+            rank: 0,
+            node: 0,
+            now: 0.0,
+            offset: 512,
+            len: 1024,
+        }];
+        f.write_batch(&reqs, &[&buf]).unwrap();
+        assert_eq!(f.len(), 512 + 1024);
+        assert_eq!(fs.stats().chunk_requests(), 2);
+        assert_eq!(fs.stats().unaligned_ops(), 1);
+        let per = fs.stats().per_ost_bytes();
+        assert_eq!(per[0], 512);
+        assert_eq!(per[1], 512);
+    }
+
+    #[test]
+    fn batch_read_shortens_at_eof_and_errors_past_it() {
+        let fs = fs();
+        let f = fs.create("sr.bin", None).unwrap();
+        f.append(vec![9u8; 1500]);
+        // A request ending past EOF is clamped (short read)…
+        let reqs = vec![IoRequest {
+            rank: 0,
+            node: 0,
+            now: 0.0,
+            offset: 1024,
+            len: 1024,
+        }];
+        let mut buf = vec![0u8; 1024];
+        let done = {
+            let mut bufs: Vec<&mut [u8]> = vec![&mut buf];
+            f.read_batch(&reqs, &mut bufs).unwrap()
+        };
+        assert_eq!(done[0].bytes, 1500 - 1024);
+        assert!(buf[..476].iter().all(|&b| b == 9));
+        // …while a request *starting* past EOF is a typed error.
+        let reqs = vec![IoRequest {
+            rank: 0,
+            node: 0,
+            now: 0.0,
+            offset: 2000,
+            len: 8,
+        }];
+        let mut buf = vec![0u8; 8];
+        let mut bufs: Vec<&mut [u8]> = vec![&mut buf];
+        assert!(matches!(
+            f.read_batch(&reqs, &mut bufs),
+            Err(PfsError::InvalidRange { .. })
+        ));
     }
 
     #[test]

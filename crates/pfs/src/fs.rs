@@ -25,14 +25,27 @@ pub struct SimFs {
 
 impl SimFs {
     /// Mounts a fresh filesystem with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`FsConfig::validate`]; use
+    /// [`SimFs::try_new`] for a typed error instead (configs built from
+    /// user input should go through that path).
     pub fn new(cfg: FsConfig) -> Arc<Self> {
-        Arc::new(SimFs {
+        Self::try_new(cfg).expect("invalid filesystem configuration")
+    }
+
+    /// Fallible [`SimFs::new`]: validates the configuration first and
+    /// returns the typed [`PfsError`] on rejection instead of panicking.
+    pub fn try_new(cfg: FsConfig) -> Result<Arc<Self>> {
+        cfg.validate()?;
+        Ok(Arc::new(SimFs {
             cfg,
             engine: Arc::new(TimingEngine::new(cfg.perf, cfg.total_osts)),
             stats: Arc::new(FsStats::new(cfg.total_osts)),
             files: Mutex::new(HashMap::new()),
             next_ost_base: Mutex::new(0),
-        })
+        }))
     }
 
     /// The mounted configuration.
@@ -118,6 +131,17 @@ impl SimFs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_rejects_invalid_configs_with_typed_errors() {
+        let mut cfg = FsConfig::test_tiny();
+        cfg.total_osts = 0;
+        assert!(matches!(SimFs::try_new(cfg), Err(PfsError::BadConfig(_))));
+        let mut cfg = FsConfig::test_tiny();
+        cfg.default_stripe = StripeSpec { count: 2, size: 0 };
+        assert!(matches!(SimFs::try_new(cfg), Err(PfsError::BadStripe(_))));
+        assert!(SimFs::try_new(FsConfig::test_tiny()).is_ok());
+    }
 
     #[test]
     fn create_open_remove_lifecycle() {

@@ -72,6 +72,9 @@ pub enum PfsError {
     /// A stripe specification was rejected (zero count/size or count above
     /// the filesystem's OST total).
     BadStripe(String),
+    /// A filesystem configuration failed validation (zero OST count, a
+    /// non-positive bandwidth, or an invalid default stripe).
+    BadConfig(String),
 }
 
 impl std::fmt::Display for PfsError {
@@ -88,6 +91,7 @@ impl std::fmt::Display for PfsError {
                 "invalid range: offset {offset} + len {len} exceeds file length {file_len}"
             ),
             PfsError::BadStripe(msg) => write!(f, "bad stripe spec: {msg}"),
+            PfsError::BadConfig(msg) => write!(f, "bad filesystem config: {msg}"),
         }
     }
 }

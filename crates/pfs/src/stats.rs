@@ -13,6 +13,8 @@ pub struct FsStats {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     chunk_requests: AtomicU64,
+    stripe_aligned_ops: AtomicU64,
+    unaligned_ops: AtomicU64,
     per_ost_bytes: Vec<AtomicU64>,
 }
 
@@ -24,20 +26,32 @@ impl FsStats {
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             chunk_requests: AtomicU64::new(0),
+            stripe_aligned_ops: AtomicU64::new(0),
+            unaligned_ops: AtomicU64::new(0),
             per_ost_bytes: (0..total_osts).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    pub(crate) fn record_read(&self, bytes: u64, chunks: &[Chunk]) {
+    pub(crate) fn record_read(&self, bytes: u64, aligned: bool, chunks: &[Chunk]) {
         self.read_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.record_alignment(aligned);
         self.record_chunks(chunks);
     }
 
-    pub(crate) fn record_write(&self, bytes: u64, chunks: &[Chunk]) {
+    pub(crate) fn record_write(&self, bytes: u64, aligned: bool, chunks: &[Chunk]) {
         self.write_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.record_alignment(aligned);
         self.record_chunks(chunks);
+    }
+
+    fn record_alignment(&self, aligned: bool) {
+        if aligned {
+            self.stripe_aligned_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.unaligned_ops.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn record_chunks(&self, chunks: &[Chunk]) {
@@ -78,6 +92,18 @@ impl FsStats {
         self.chunk_requests.load(Ordering::Relaxed)
     }
 
+    /// Operations whose start offset fell exactly on a stripe boundary —
+    /// the access pattern the paper recommends and the two-phase
+    /// aggregators are built to produce.
+    pub fn stripe_aligned_ops(&self) -> u64 {
+        self.stripe_aligned_ops.load(Ordering::Relaxed)
+    }
+
+    /// Operations whose start offset was *not* stripe aligned.
+    pub fn unaligned_ops(&self) -> u64 {
+        self.unaligned_ops.load(Ordering::Relaxed)
+    }
+
     /// Bytes served per OST slot (file-relative placement).
     pub fn per_ost_bytes(&self) -> Vec<u64> {
         self.per_ost_bytes
@@ -110,6 +136,24 @@ mod tests {
         assert_eq!(st.bytes_written(), 100);
         // 2048 bytes over 1024-byte stripes = 2 chunks, plus 1 write chunk.
         assert_eq!(st.chunk_requests(), 3);
+        // Both ops started at offset 0 — stripe aligned.
+        assert_eq!(st.stripe_aligned_ops(), 2);
+        assert_eq!(st.unaligned_ops(), 0);
+    }
+
+    #[test]
+    fn alignment_counters_split_on_stripe_boundaries() {
+        let fs = SimFs::new(FsConfig::test_tiny());
+        let f = fs.create("a.bin", Some(StripeSpec::new(2, 1024))).unwrap();
+        f.append(vec![0u8; 4096]);
+        let mut buf = vec![0u8; 16];
+        f.read_at(1024, &mut buf, &IoCtx::serial(0.0)).unwrap(); // aligned
+        f.read_at(1000, &mut buf, &IoCtx::serial(0.0)).unwrap(); // not
+        f.write_at(2048, &buf, &IoCtx::serial(0.0)).unwrap(); // aligned
+        f.write_at(7, &buf, &IoCtx::serial(0.0)).unwrap(); // not
+        let st = fs.stats();
+        assert_eq!(st.stripe_aligned_ops(), 2);
+        assert_eq!(st.unaligned_ops(), 2);
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! The end-to-end distributed spatial join (paper §5.2, Figures 17–19).
 
 use crate::breakdown::{PhaseBreakdown, PhaseTimer};
-use mvio_core::decomp::{self, DecompConfig, DecompPolicy, SpatialDecomposition};
+use mvio_core::decomp::{
+    self, DecompConfig, DecompPolicy, HilbertDecomposition, SpatialDecomposition,
+    UniformDecomposition,
+};
 use mvio_core::exchange::{exchange_features_windows, ExchangeChunk, ExchangeOptions};
 use mvio_core::framework::{claims_reference, FilterRefine};
-use mvio_core::grid::GridSpec;
+use mvio_core::grid::{GridSpec, UniformGrid};
 use mvio_core::partition::{read_partition_text, ReadOptions};
 use mvio_core::pipeline::{parse_chunked, PipelineOptions};
 use mvio_core::reader::WktLineParser;
-use mvio_core::{Feature, Result};
+use mvio_core::snapshot::{self, SnapshotReadOptions};
+use mvio_core::{CoreError, Feature, Result};
 use mvio_geom::index::RTree;
 use mvio_geom::{algo, Rect};
 use mvio_msim::{Comm, Work};
@@ -136,6 +140,114 @@ pub fn spatial_join(
         &*sd,
         left_batches.iter().map(|b| b.as_slice()),
         right_batches.iter().map(|b| b.as_slice()),
+        |comm, task| {
+            join_cell(
+                comm,
+                &*sd,
+                task.cell,
+                &task.left,
+                &task.right,
+                &mut filter_candidates,
+                &mut refine_tests,
+            )
+        },
+    );
+    timer.end_compute(comm);
+
+    let local = timer.finish(comm);
+    let breakdown = PhaseBreakdown::reduce_max(comm, local);
+    Ok(JoinReport {
+        pairs,
+        filter_candidates,
+        refine_tests,
+        breakdown,
+    })
+}
+
+/// Options for a join over two binary snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotJoinOptions {
+    /// Cell→rank assignment rebuilt for the reader world over the
+    /// snapshots' shared grid. Must be [`DecompPolicy::Uniform`] or
+    /// [`DecompPolicy::Hilbert`]: adaptive bisection needs the feature
+    /// histogram, which a snapshot does not carry.
+    pub decomp: DecompPolicy,
+    /// Collective-read + routing-exchange configuration.
+    pub read: SnapshotReadOptions,
+}
+
+impl Default for SnapshotJoinOptions {
+    fn default() -> Self {
+        SnapshotJoinOptions {
+            decomp: DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
+            read: SnapshotReadOptions::default(),
+        }
+    }
+}
+
+/// Runs the distributed spatial join directly off two **binary
+/// snapshots** written by [`mvio_core::snapshot::write_partitioned`] —
+/// no WKT parsing, no cell projection: the persisted records already
+/// carry their cells, so the partitioning phase collapses to a header
+/// read plus the decomposition rebuild, and the communication phase is
+/// the two collective reads (each with its routing exchange). Both
+/// snapshots must tile the same grid over the same bounds (they were
+/// partitioned together, or with the same decomposition). The join
+/// answer is identical to [`spatial_join`] over the original text
+/// layers. Collective: every rank must call it.
+pub fn spatial_join_snapshots(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    left_path: &str,
+    right_path: &str,
+    opts: &SnapshotJoinOptions,
+) -> Result<JoinReport> {
+    let mut timer = PhaseTimer::start(comm);
+
+    // --- Partitioning phase: headers + decomposition rebuild. ------------
+    // Both metas decode from identical bytes on every rank, so every
+    // rejection below is symmetric — nobody enters the collective reads
+    // unless everybody does.
+    let left_meta = snapshot::read_meta(fs, left_path)?;
+    let right_meta = snapshot::read_meta(fs, right_path)?;
+    if left_meta.spec != right_meta.spec || left_meta.bounds != right_meta.bounds {
+        return Err(CoreError::Snapshot(format!(
+            "snapshot layers disagree: left tiles {}x{} over {:?}, right {}x{} over {:?}",
+            left_meta.spec.cells_x,
+            left_meta.spec.cells_y,
+            left_meta.bounds,
+            right_meta.spec.cells_x,
+            right_meta.spec.cells_y,
+            right_meta.bounds,
+        )));
+    }
+    let grid = UniformGrid::try_new(left_meta.bounds, left_meta.spec)?;
+    let sd: Box<dyn SpatialDecomposition> = match opts.decomp {
+        DecompPolicy::Uniform(map) => Box::new(UniformDecomposition::new(grid, map, comm.size())),
+        DecompPolicy::Hilbert => Box::new(HilbertDecomposition::new(grid, comm.size())),
+        DecompPolicy::Adaptive { .. } => {
+            return Err(CoreError::InvalidOptions(
+                "adaptive bisection needs the feature histogram, which a snapshot \
+                 does not carry; join snapshots with the uniform or hilbert policy"
+                    .into(),
+            ))
+        }
+    };
+    timer.end_partition(comm);
+
+    // --- Communication phase: collective reads + routing exchanges. ------
+    let (left, _) = snapshot::read_partitioned(comm, fs, left_path, &*sd, &opts.read)?;
+    let (right, _) = snapshot::read_partitioned(comm, fs, right_path, &*sd, &opts.read)?;
+    timer.end_communication(comm);
+
+    // --- Join phase: identical to the text path. --------------------------
+    let mut filter_candidates = 0u64;
+    let mut refine_tests = 0u64;
+    let pairs = FilterRefine::run_refine_batched(
+        comm,
+        &*sd,
+        std::iter::once(left.as_slice()),
+        std::iter::once(right.as_slice()),
         |comm, task| {
             join_cell(
                 comm,
@@ -371,6 +483,107 @@ mod tests {
             let (pairs, _) = run_join(Topology::new(2, 2), opts);
             assert_eq!(pairs, expected(), "{policy:?}");
         }
+    }
+
+    #[test]
+    fn snapshot_join_matches_the_text_join() {
+        use mvio_core::snapshot::SnapshotWriteOptions;
+        // Reference answer from the text path.
+        let (expect_pairs, _) = run_join(Topology::new(2, 2), JoinOptions::default());
+        assert_eq!(expect_pairs, expected());
+
+        // Persist both layers as snapshots from a single-rank world
+        // (every pair is owned by rank 0 there), sharing one
+        // decomposition so the layers tile the same grid.
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        build_layers(&fs);
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(1)), move |comm| {
+                let read = ReadOptions::default().with_block_size(512);
+                let parse = |comm: &mut mvio_msim::Comm, path: &str| -> Vec<Feature> {
+                    let text = read_partition_text(comm, &fs, path, &read).unwrap();
+                    parse_chunked(comm, &text, &WktLineParser, &PipelineOptions::default())
+                        .unwrap()
+                        .0
+                };
+                let left = parse(comm, "left.wkt");
+                let right = parse(comm, "right.wkt");
+                let mbr = left
+                    .iter()
+                    .chain(&right)
+                    .fold(mvio_geom::Rect::EMPTY, |a, f| {
+                        a.union(&f.geometry.envelope())
+                    });
+                let cfg = DecompConfig::uniform(GridSpec::square(8));
+                let sd = decomp::build_global_from_mbr(comm, mbr, &[&left, &right], &cfg);
+                let pairs_of = |feats: &[Feature]| -> Vec<(u32, Feature)> {
+                    feats
+                        .iter()
+                        .flat_map(|f| {
+                            sd.cells_for_rect_vec(&f.geometry.envelope())
+                                .into_iter()
+                                .map(|c| (c, f.clone()))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect()
+                };
+                snapshot::write_partitioned(
+                    comm,
+                    &fs,
+                    "left.snap",
+                    &pairs_of(&left),
+                    &*sd,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+                snapshot::write_partitioned(
+                    comm,
+                    &fs,
+                    "right.snap",
+                    &pairs_of(&right),
+                    &*sd,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+            });
+        }
+
+        // Join straight off the snapshots, at several world sizes and
+        // rebuild policies: the answer must match the text join exactly.
+        for policy in [
+            DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
+            DecompPolicy::Hilbert,
+        ] {
+            for topo in [Topology::single_node(1), Topology::new(2, 2)] {
+                let fs = Arc::clone(&fs);
+                let out = World::run(WorldConfig::new(topo), move |comm| {
+                    let opts = SnapshotJoinOptions {
+                        decomp: policy,
+                        ..Default::default()
+                    };
+                    spatial_join_snapshots(comm, &fs, "left.snap", "right.snap", &opts).unwrap()
+                });
+                let mut pairs: Vec<(String, String)> =
+                    out.iter().flat_map(|r| r.pairs.clone()).collect();
+                pairs.sort();
+                assert_eq!(pairs, expected(), "{policy:?} {topo:?}");
+                assert!(out[0].breakdown.total > 0.0);
+            }
+        }
+
+        // Adaptive cannot be rebuilt from a snapshot: typed rejection.
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let opts = SnapshotJoinOptions {
+                decomp: DecompPolicy::adaptive(),
+                ..Default::default()
+            };
+            matches!(
+                spatial_join_snapshots(comm, &fs, "left.snap", "right.snap", &opts),
+                Err(mvio_core::CoreError::InvalidOptions(_))
+            )
+        });
+        assert!(out.iter().all(|&ok| ok));
     }
 
     #[test]

@@ -26,5 +26,7 @@ pub mod query;
 
 pub use breakdown::PhaseBreakdown;
 pub use index::{build_distributed_index, IndexReport};
-pub use join::{spatial_join, JoinOptions, JoinReport};
+pub use join::{
+    spatial_join, spatial_join_snapshots, JoinOptions, JoinReport, SnapshotJoinOptions,
+};
 pub use query::{batch_query, range_query, RangeQueryReport};

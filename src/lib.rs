@@ -63,6 +63,10 @@ pub mod prelude {
     };
     pub use mvio_core::pipeline::{self, PipelineOptions, PipelineStats};
     pub use mvio_core::reader::{CsvPointParser, GeometryParser, WktLineParser};
+    pub use mvio_core::snapshot::{
+        read_partitioned, write_partitioned, SnapshotMeta, SnapshotReadOptions,
+        SnapshotWriteOptions,
+    };
     pub use mvio_core::{spops, sptypes, Feature};
     pub use mvio_datagen::{table3, ShapeKind};
     pub use mvio_geom::{wkt, Geometry, LineString, Point, Polygon, Rect};

@@ -1,0 +1,155 @@
+//! Property-based oracle for the binary snapshot subsystem: for *any*
+//! input, writer world size, decomposition policy and exchange chunk
+//! setting, `write_partitioned` → `read_partitioned` under the same
+//! world and decomposition is **bit-identical** to the in-memory
+//! partitioned pairs — and re-reading under a *different* rank count
+//! preserves the record multiset while routing every record to its
+//! cell's owner.
+
+use mpi_vector_io::core::decomp::{DecompConfig, UniformDecomposition};
+use mpi_vector_io::core::exchange::ExchangeChunk;
+use mpi_vector_io::core::grid::CellMap;
+use mpi_vector_io::core::pipeline::{self, PipelineOptions};
+use mpi_vector_io::core::snapshot::{self, SnapshotReadOptions, SnapshotWriteOptions};
+use mpi_vector_io::geom::wkt;
+use mpi_vector_io::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random WKT dataset (mixed shapes + userdata).
+fn dataset_text(records: usize, salt: u64) -> String {
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut text = String::new();
+    for i in 0..records {
+        let x = next() * 40.0;
+        let y = next() * 25.0;
+        match i % 3 {
+            0 => text.push_str(&format!("POINT ({x} {y})\tp{i}\n")),
+            1 => text.push_str(&format!(
+                "LINESTRING ({x} {y}, {} {})\tl{i}\n",
+                x + next() * 5.0 + 0.1,
+                y + next() * 5.0 + 0.1
+            )),
+            _ => {
+                let w = next() * 4.0 + 0.1;
+                let h = next() * 4.0 + 0.1;
+                text.push_str(&format!(
+                    "POLYGON (({x} {y}, {} {y}, {} {}, {x} {}, {x} {y}))\tg{i}\n",
+                    x + w,
+                    x + w,
+                    y + h,
+                    y + h
+                ));
+            }
+        }
+    }
+    text
+}
+
+/// Canonical string form of a routed pair, for multiset comparison.
+fn key(cell: u32, f: &Feature) -> String {
+    format!("{cell}|{}|{}", wkt::write(&f.geometry), f.userdata)
+}
+
+proptest! {
+    // Every case spawns 2-3 worlds of threads; keep the count moderate.
+    // Seed pinned so CI failures are reproducible (PROPTEST_SEED overrides).
+    #![proptest_config(ProptestConfig::with_cases(10).with_seed(0x6d76_696f_736e_6170))]
+
+    #[test]
+    fn snapshot_round_trip_oracle(
+        records in 0usize..120,
+        salt in 0u64..1_000,
+        write_ranks in 1usize..5,
+        read_ranks in 1usize..5,
+        policy in 0usize..3,
+        chunk_bytes in 0u64..4096,
+    ) {
+        let cfg = [
+            DecompConfig::uniform(GridSpec::square(5)),
+            DecompConfig::hilbert(GridSpec::square(5)),
+            DecompConfig::adaptive(GridSpec::square(5), 2),
+        ][policy];
+        // Low values select the blocking single round; the rest sweep
+        // finite record-aligned chunk caps.
+        let chunk = if chunk_bytes < 16 {
+            ExchangeChunk::Unlimited
+        } else {
+            ExchangeChunk::Bytes(chunk_bytes)
+        };
+        let text = dataset_text(records, salt);
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        fs.create("d.wkt", None).unwrap().append(text.as_bytes());
+        let read = ReadOptions::default().with_block_size(4 << 10);
+
+        // Ingest at the writer world size, persist, and re-read under the
+        // same world + decomposition: must be bit-identical (same pairs,
+        // same order), for every chunk policy.
+        let written = {
+            let fs = Arc::clone(&fs);
+            World::run(
+                WorldConfig::new(Topology::single_node(write_ranks)),
+                move |comm| {
+                    let rep = pipeline::ingest(
+                        comm,
+                        &fs,
+                        "d.wkt",
+                        &read,
+                        &WktLineParser,
+                        &cfg,
+                        &PipelineOptions::default().with_workers(2),
+                    )
+                    .unwrap();
+                    let w = rep
+                        .write_partitioned(comm, &fs, "s.bin", &SnapshotWriteOptions::default())
+                        .unwrap();
+                    assert_eq!(w.section.records, rep.owned.len() as u64);
+                    let ropts = SnapshotReadOptions::default().with_chunk(chunk);
+                    let (back, rrep) =
+                        snapshot::read_partitioned(comm, &fs, "s.bin", &*rep.decomp, &ropts)
+                            .unwrap();
+                    assert_eq!(back, rep.owned, "same-world reload must be bit-identical");
+                    assert_eq!(rrep.records_scanned, rep.owned.len() as u64);
+                    rep.owned
+                },
+            )
+        };
+        let mut expect: Vec<String> = written
+            .iter()
+            .flatten()
+            .map(|(c, f)| key(*c, f))
+            .collect();
+        expect.sort();
+
+        // Re-read under a different rank count with a decomposition
+        // rebuilt from the header: the multiset survives and every record
+        // lands on its cell's owner.
+        let reread = {
+            let fs = Arc::clone(&fs);
+            World::run(
+                WorldConfig::new(Topology::single_node(read_ranks)),
+                move |comm| {
+                    let meta = snapshot::read_meta(&fs, "s.bin").unwrap();
+                    let grid = UniformGrid::new(meta.bounds, meta.spec);
+                    let d = UniformDecomposition::new(grid, CellMap::RoundRobin, comm.size());
+                    let ropts = SnapshotReadOptions::default().with_chunk(chunk);
+                    let (back, _) =
+                        snapshot::read_partitioned(comm, &fs, "s.bin", &d, &ropts).unwrap();
+                    for (cell, _) in &back {
+                        assert_eq!(d.cell_to_rank(*cell), comm.rank(), "misrouted record");
+                    }
+                    back
+                },
+            )
+        };
+        let mut got: Vec<String> = reread.iter().flatten().map(|(c, f)| key(*c, f)).collect();
+        got.sort();
+        prop_assert_eq!(got, expect);
+    }
+}
