@@ -27,6 +27,12 @@ use mvio_core::reader::WktLineParser;
 use mvio_msim::{Topology, World, WorldConfig};
 use mvio_pfs::SimFs;
 
+/// Tracked floor: the chunked overlapped exchange must beat blocking
+/// ingest at 16 ranks by at least this factor. Asserted by both the
+/// unit test and the CI bench-regression gate, so the two can never
+/// enforce different thresholds.
+pub const CHUNKED_INGEST_SPEEDUP_FLOOR: f64 = 1.02;
+
 /// One measurement: one chunk policy at one rank count.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -288,8 +294,8 @@ mod tests {
             .unwrap();
         let speedup = b16.ingest_s / c16.ingest_s;
         assert!(
-            speedup >= 1.02,
-            "16 ranks: speedup {speedup:.3}x must be >= 1.02x"
+            speedup >= CHUNKED_INGEST_SPEEDUP_FLOOR,
+            "16 ranks: speedup {speedup:.3}x must be >= {CHUNKED_INGEST_SPEEDUP_FLOOR}x"
         );
     }
 

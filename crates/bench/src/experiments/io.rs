@@ -31,6 +31,13 @@ use mvio_geom::Rect;
 use mvio_msim::{Hints, Topology, World, WorldConfig};
 use mvio_pfs::{SimFs, StripeSpec};
 
+/// Tracked floor: the best aggregator width must beat a single
+/// aggregator on the collective snapshot write at 16 ranks by at least
+/// this factor. Asserted by both the unit test and the CI
+/// bench-regression gate, so the two can never enforce different
+/// thresholds.
+pub const AGGREGATOR_WRITE_SPEEDUP_FLOOR: f64 = 1.2;
+
 /// One measurement: one direction (`write` or `read`) at one aggregator
 /// request and one rank count.
 #[derive(Debug, Clone)]
@@ -150,22 +157,35 @@ fn measure_one(scale: Scale, bytes: &[u8], ranks: usize, aggregators: usize) -> 
 
 /// Sweeps the aggregator counts at every rank count, filling in the
 /// speedups relative to the 1-aggregator rows.
+///
+/// # Panics
+///
+/// Panics when `aggs` does not contain the 1-aggregator baseline — the
+/// speedup ratios (and the regression gate built on them) would be
+/// meaningless without it.
 pub fn measure(scale: Scale, features: u64, rank_counts: &[usize], aggs: &[usize]) -> Vec<Row> {
     let bytes = dataset_bytes(features);
     let mut rows = Vec::new();
     for &ranks in rank_counts {
+        let start = rows.len();
         let mut base: Option<(f64, f64)> = None; // 1-aggregator (write, read)
         for &a in aggs {
-            let (mut w, mut r) = measure_one(scale, &bytes, ranks, a);
+            let (w, r) = measure_one(scale, &bytes, ranks, a);
             if a == 1 {
                 base = Some((w.io_s, r.io_s));
             }
-            if let Some((bw, br)) = base {
-                w.speedup = bw / w.io_s;
-                r.speedup = br / r.io_s;
-            }
             rows.push(w);
             rows.push(r);
+        }
+        // Back-filled after the whole sweep so rows measured before the
+        // 1-aggregator baseline get real ratios too — the baseline's
+        // position in `aggs` must not matter. Without a baseline row the
+        // ratio would be meaningless, so demand one loudly rather than
+        // hand the regression gate a silent 1.0.
+        let (bw, br) = base.expect("aggs must include the 1-aggregator baseline");
+        for row in &mut rows[start..] {
+            let b = if row.op == "write" { bw } else { br };
+            row.speedup = b / row.io_s;
         }
     }
     rows
@@ -258,8 +278,9 @@ mod tests {
         let rows = measure(scale, 600, &[16], &[1, 4]);
         let best = best_write_speedup(&rows, 16);
         assert!(
-            best >= 1.2,
-            "4 aggregators must beat 1 by >= 1.2x, got {best:.3}x"
+            best >= AGGREGATOR_WRITE_SPEEDUP_FLOOR,
+            "4 aggregators must beat 1 by >= {AGGREGATOR_WRITE_SPEEDUP_FLOOR}x, \
+             got {best:.3}x"
         );
         // Bandwidth is coherent with time.
         for r in &rows {

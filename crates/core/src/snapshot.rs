@@ -24,9 +24,10 @@
 //!               writer rank, ascending non-overlapping offsets
 //!      …        payload: per section, that writer rank's records in the
 //!               exchange wire format `[u64 cell][u32 wkb_len][wkb]
-//!               [u32 ud_len][ud]`; section starts are padded out to
-//!               stripe boundaries (table lengths are exact, padding is
-//!               never parsed)
+//!               [u32 ud_len][ud]`; non-empty section starts are padded
+//!               out to stripe boundaries (table lengths are exact,
+//!               padding is never parsed); empty sections sit unpadded at
+//!               the previous section's end so they never point past EOF
 //! ```
 //!
 //! The record payload **is** the exchange wire format, so a snapshot
@@ -56,6 +57,7 @@ use crate::exchange::{
 use crate::grid::GridSpec;
 use crate::{CoreError, Feature, Result};
 use mvio_geom::Rect;
+use mvio_msim::hints::ROMIO_MAX_IO_BYTES;
 use mvio_msim::{aggregators_from_env, Comm, Hints, MpiFile, Work};
 use mvio_pfs::{SimFs, StripeSpec};
 use std::sync::Arc;
@@ -319,7 +321,10 @@ fn decode_meta(bytes: &[u8], file_len: u64) -> Result<SnapshotMeta> {
         let Some(end) = s.offset.checked_add(s.len) else {
             return Err(corrupt(format!("section {i} length overflows")));
         };
-        if end > file_len {
+        // Empty sections carry no bytes, so their offset is allowed to
+        // sit at (or, in files from older writers that stripe-aligned
+        // empty sections, past) the end of the file.
+        if s.len > 0 && end > file_len {
             return Err(corrupt(format!(
                 "section {i} ends at {end} beyond the file length {file_len}"
             )));
@@ -380,6 +385,17 @@ pub fn read_meta(fs: &Arc<SimFs>, path: &str) -> Result<SnapshotMeta> {
     read_meta_with(file.len(), |off, buf| Ok(file.peek(off, buf)))
 }
 
+/// [`read_meta`] with the header/table reads going through the timed
+/// independent [`MpiFile::read_at`], advancing the calling rank's clock
+/// — for simulated pipelines whose phase accounting must include the
+/// header I/O (e.g. the snapshot spatial join's partitioning phase).
+/// Every rank reads identical bytes, so acceptance is symmetric across
+/// ranks.
+pub fn read_meta_timed(comm: &mut Comm, fs: &Arc<SimFs>, path: &str) -> Result<SnapshotMeta> {
+    let file = MpiFile::open(fs, path, Hints::default())?;
+    read_meta_with(file.len(), |off, buf| Ok(file.read_at(comm, off, buf)?))
+}
+
 /// Rounds `at` up to the next multiple of `align`.
 fn align_up(at: u64, align: u64) -> u64 {
     let align = align.max(1);
@@ -394,8 +410,10 @@ fn align_up(at: u64, align: u64) -> u64 {
 /// the records through the exchange. Collective: every rank must call it.
 ///
 /// The payload is shipped through the staged two-phase collective write
-/// ([`MpiFile::write_at_all_staged`]); section starts are padded to the
-/// file's stripe size so every aggregator flush is stripe aligned.
+/// ([`MpiFile::write_at_all_staged`]); non-empty section starts are
+/// padded to the file's stripe size so every aggregator flush is stripe
+/// aligned (empty sections are left unpadded — aligning them could place
+/// their offset past the end of the file).
 ///
 /// # Errors
 ///
@@ -405,8 +423,10 @@ fn align_up(at: u64, align: u64) -> u64 {
 /// created path is removed, the failing rank returns the original
 /// [`CoreError::Partition`] and its peers a [`CoreError::Snapshot`] —
 /// rather than persisting a metadata-consistent snapshot silently
-/// missing that rank's records. All outcomes are agreed collectively,
-/// so a failing rank never strands its peers mid-protocol.
+/// missing that rank's records. All outcomes — the create, the
+/// per-rank serialization, and rank 0's header write — are agreed
+/// collectively, so a failing rank never strands its peers
+/// mid-protocol.
 pub fn write_partitioned(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
@@ -508,11 +528,34 @@ pub fn write_partitioned(
         .into_iter()
         .map(|w| (u64_at(&w, 0), u64_at(&w, 8)))
         .collect();
+    // Symmetric pre-check of the per-call collective I/O limit: every
+    // rank holds the same `lens`, so every rank takes this branch (and
+    // rank 0 removes the file) together. Letting the oversized rank fail
+    // `check_count` inside `write_at_all_staged` alone would strand its
+    // peers in the staged collective.
+    if let Some((bad, &(len, _))) = lens
+        .iter()
+        .enumerate()
+        .find(|&(_, &(len, _))| len > ROMIO_MAX_IO_BYTES)
+    {
+        if comm.rank() == 0 {
+            let _ = fs.remove(path);
+        }
+        return Err(corrupt(format!(
+            "write aborted: rank {bad}'s section is {len} bytes, over the \
+             {ROMIO_MAX_IO_BYTES}-byte collective I/O limit"
+        )));
+    }
     let mut sections = Vec::with_capacity(p);
     let mut at = HEADER_LEN + SECTION_ENTRY_LEN * p as u64;
     let mut total_records = 0u64;
     for &(len, records) in &lens {
-        at = align_up(at, stripe_size);
+        // Only non-empty sections are stripe-aligned: aligning an empty
+        // trailing section would place its offset past the last written
+        // byte and the file would fail the reader's bounds validation.
+        if len > 0 {
+            at = align_up(at, stripe_size);
+        }
         sections.push(SectionEntry {
             offset: at,
             len,
@@ -529,11 +572,36 @@ pub fn write_partitioned(
         sections,
     };
 
-    // Rank 0 writes the header + table independently; the payload goes
-    // through the staged two-phase collective write.
+    // Rank 0 writes the header + table independently, and the outcome is
+    // broadcast (like the create outcome above) before anyone enters the
+    // staged collective: a failing header write must not leave rank 0
+    // returning while its peers sit in the collective waiting for it.
     let t0 = comm.now();
-    if comm.rank() == 0 {
-        file.write_at(comm, 0, &encode_meta(&meta))?;
+    let header_err = if comm.rank() == 0 {
+        file.write_at(comm, 0, &encode_meta(&meta)).err()
+    } else {
+        None
+    };
+    let word = match &header_err {
+        None => Vec::new(),
+        Some(e) => {
+            let mut v = vec![1u8];
+            v.extend(e.to_string().as_bytes());
+            v
+        }
+    };
+    let status = comm.bcast(0, word);
+    if let Some((_, msg)) = status.split_first() {
+        if comm.rank() == 0 {
+            let _ = fs.remove(path);
+        }
+        return Err(match header_err {
+            Some(e) => e.into(), // rank 0 keeps the original error
+            None => corrupt(format!(
+                "header write on rank 0 failed: {}",
+                String::from_utf8_lossy(msg)
+            )),
+        });
     }
     let my_section = meta.sections[comm.rank()];
     file.write_at_all_staged(comm, my_section.offset, &buf)?;
@@ -561,6 +629,22 @@ fn reader_sections(sections: usize, rank: usize, p: usize) -> (usize, usize) {
         (rank, rank + 1)
     } else {
         (rank * sections / p, (rank + 1) * sections / p)
+    }
+}
+
+/// Smallest byte range covering every non-empty section in `slice`
+/// (`(0, 0)` when all are empty or the slice is).
+fn covering_range(slice: &[SectionEntry]) -> (u64, u64) {
+    let (lo, hi) = slice
+        .iter()
+        .filter(|s| s.len > 0)
+        .fold((u64::MAX, 0u64), |(lo, hi), s| {
+            (lo.min(s.offset), hi.max(s.offset + s.len))
+        });
+    if hi == 0 {
+        (0, 0)
+    } else {
+        (lo, hi)
     }
 }
 
@@ -607,19 +691,30 @@ pub fn read_partitioned(
     }
     let num_cells = decomp.num_cells();
 
+    // Symmetric pre-check of the per-call collective I/O limit: every
+    // rank decoded the same table, so every rank can bound every rank's
+    // covering range and reject an oversized one together — one rank
+    // failing `check_count` inside the staged read alone would strand
+    // its peers in the collective.
+    for r in 0..p {
+        let (lo, hi) = reader_sections(meta.sections.len(), r, p);
+        let (range_lo, range_hi) = covering_range(&meta.sections[lo..hi]);
+        let span = range_hi - range_lo;
+        if span > ROMIO_MAX_IO_BYTES {
+            return Err(corrupt(format!(
+                "rank {r}'s covering read range is {span} bytes, over the \
+                 {ROMIO_MAX_IO_BYTES}-byte collective I/O limit"
+            )));
+        }
+    }
+
     // Collective read of my sections' covering byte range (padding gaps
     // between sections ride along; the table slices them back out).
     let (s_lo, s_hi) = reader_sections(meta.sections.len(), comm.rank(), p);
     let mine = &meta.sections[s_lo..s_hi];
-    let (range_lo, range_hi) = mine
-        .iter()
-        .filter(|s| s.len > 0)
-        .fold((u64::MAX, 0u64), |(lo, hi), s| {
-            (lo.min(s.offset), hi.max(s.offset + s.len))
-        });
-    let mut payload = vec![0u8; range_hi.saturating_sub(range_lo.min(range_hi)) as usize];
-    let read_off = if payload.is_empty() { 0 } else { range_lo };
-    let got = file.read_at_all_staged(comm, read_off, &mut payload)?;
+    let (range_lo, range_hi) = covering_range(mine);
+    let mut payload = vec![0u8; (range_hi - range_lo) as usize];
+    let got = file.read_at_all_staged(comm, range_lo, &mut payload)?;
 
     // Route: walk each section's records, steering the raw wire bytes to
     // their owner rank under `decomp`. Errors are parked so the routing
@@ -775,6 +870,122 @@ mod tests {
             r.read_seconds
         });
         assert!(out.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn empty_trailing_rank_round_trips() {
+        // Regression: an empty trailing section used to be stripe-aligned
+        // past the last written byte, and the re-read rejected the file
+        // as "section ends beyond the file length".
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                let d = decomp(4, comm.size());
+                // Clustered input: every record lives on rank 0, rank 1
+                // owns nothing and writes a zero-length section.
+                let pairs = if comm.rank() == 0 {
+                    pairs_for(0, comm.size(), 4, 3)
+                } else {
+                    Vec::new()
+                };
+                let rep = write_partitioned(
+                    comm,
+                    &fs,
+                    "skew.bin",
+                    &pairs,
+                    &d,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(rep.section.records, pairs.len() as u64);
+                let (back, _) =
+                    read_partitioned(comm, &fs, "skew.bin", &d, &SnapshotReadOptions::default())
+                        .unwrap();
+                assert_eq!(back, pairs, "rank {}", comm.rank());
+            });
+        }
+        let meta = read_meta(&fs, "skew.bin").unwrap();
+        assert_eq!(meta.sections[1].len, 0);
+        assert_eq!(meta.sections[1].records, 0);
+        let file = fs.open("skew.bin").unwrap();
+        assert!(
+            meta.sections[1].offset <= file.len(),
+            "empty section at {} points past the file end {}",
+            meta.sections[1].offset,
+            file.len()
+        );
+    }
+
+    #[test]
+    fn all_empty_snapshot_round_trips() {
+        // Zero records anywhere: the file is just a header + table, and
+        // both the meta read and the collective re-read must accept it.
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+                let d = decomp(6, comm.size());
+                let rep = write_partitioned(
+                    comm,
+                    &fs,
+                    "empty.bin",
+                    &[],
+                    &d,
+                    &SnapshotWriteOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(rep.records_total, 0);
+                assert_eq!(rep.bytes_total, 0);
+                let (back, r) =
+                    read_partitioned(comm, &fs, "empty.bin", &d, &SnapshotReadOptions::default())
+                        .unwrap();
+                assert!(back.is_empty());
+                assert_eq!(r.records_scanned, 0);
+            });
+        }
+        let meta = read_meta(&fs, "empty.bin").unwrap();
+        assert_eq!(meta.total_records, 0);
+        assert!(meta.sections.iter().all(|s| s.len == 0));
+    }
+
+    #[test]
+    fn legacy_aligned_empty_trailing_section_is_still_readable() {
+        // Files from the old writer stripe-aligned empty sections too, so
+        // a trailing empty section's offset can sit past EOF. The reader
+        // exempts zero-length sections from the bounds check rather than
+        // declaring such files corrupt.
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                let d = decomp(4, comm.size());
+                let pairs = if comm.rank() == 0 {
+                    pairs_for(0, comm.size(), 4, 2)
+                } else {
+                    Vec::new()
+                };
+                write_partitioned(comm, &fs, "old.bin", &pairs, &d, &Default::default()).unwrap();
+            });
+        }
+        // Rewrite section 1's table entry the way the old writer laid it
+        // out: stripe-aligned past the last written byte.
+        let file = fs.open("old.bin").unwrap();
+        let stripe = file.stripe().size;
+        let past_eof = (file.len() / stripe + 1) * stripe;
+        let at = HEADER_LEN as usize + SECTION_ENTRY_LEN as usize;
+        file.poke(at as u64, &past_eof.to_le_bytes());
+        assert!(past_eof > file.len());
+        let meta = read_meta(&fs, "old.bin").unwrap();
+        assert_eq!(meta.sections[1].len, 0);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let d = decomp(4, comm.size());
+            let (back, _) =
+                read_partitioned(comm, &fs, "old.bin", &d, &Default::default()).unwrap();
+            back.len()
+        });
+        assert_eq!(out[1], 0);
+        assert!(out[0] > 0);
     }
 
     #[test]
@@ -1040,6 +1251,22 @@ mod tests {
             matches!(res, Err(CoreError::Pfs(_)))
         });
         assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn covering_range_skips_empty_sections() {
+        let s = |offset: u64, len: u64| SectionEntry {
+            offset,
+            len,
+            records: 0,
+        };
+        assert_eq!(covering_range(&[]), (0, 0));
+        assert_eq!(covering_range(&[s(100, 0), s(200, 0)]), (0, 0));
+        assert_eq!(covering_range(&[s(100, 8)]), (100, 108));
+        assert_eq!(
+            covering_range(&[s(4096, 0), s(100, 8), s(500, 4)]),
+            (100, 504)
+        );
     }
 
     #[test]

@@ -1,13 +1,38 @@
 //! Dataset writers: WKT-per-line text and fixed-size binary records.
 
 use crate::catalog::ShapeKind;
-use crate::distributions::SpatialDistribution;
+use crate::distributions::{PlacementSampler, SpatialDistribution};
 use crate::shapes::ShapeGen;
 use mvio_geom::{wkt, Point, Rect};
 use mvio_pfs::SimFs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// Derives the cluster-center seed from a dataset seed — the single
+/// definition of the split shared by the file writer and the in-memory
+/// generator, so their datasets can never diverge.
+fn center_seed(seed: u64) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15
+}
+
+/// Appends record `i` (a `WKT \t id=<i>` line) to `out` — the single
+/// definition of the text record format shared by the file writer and
+/// the in-memory generator.
+fn append_wkt_record(
+    kind: ShapeKind,
+    gen: ShapeGen,
+    sampler: &mut PlacementSampler,
+    i: u64,
+    out: &mut String,
+) {
+    let g = gen.geometry(kind, sampler);
+    wkt::write_to(&g, out);
+    out.push('\t');
+    out.push_str("id=");
+    out.push_str(&i.to_string());
+    out.push('\n');
+}
 
 /// Writes `count` WKT records (`WKT \t id=<n>` lines) to `path`, streaming
 /// in 4 MiB batches so generation of large replicas stays memory-flat.
@@ -31,7 +56,7 @@ pub fn write_wkt_dataset(
         dist,
         world,
         count,
-        seed ^ 0x9E37_79B9_7F4A_7C15,
+        center_seed(seed),
         seed,
     )
 }
@@ -57,12 +82,7 @@ pub fn write_wkt_dataset_with_centers(
     let mut batch = String::with_capacity(4 << 20);
     let mut bytes = 0u64;
     for i in 0..count {
-        let g = gen.geometry(kind, &mut sampler);
-        wkt::write_to(&g, &mut batch);
-        batch.push('\t');
-        batch.push_str("id=");
-        batch.push_str(&i.to_string());
-        batch.push('\n');
+        append_wkt_record(kind, gen, &mut sampler, i, &mut batch);
         if batch.len() >= 4 << 20 {
             bytes += batch.len() as u64;
             file.append(batch.as_bytes());
@@ -87,15 +107,10 @@ pub fn wkt_dataset_bytes(
     count: u64,
     seed: u64,
 ) -> Vec<u8> {
-    let mut sampler = dist.sampler_with_centers(world, seed ^ 0x9E37_79B9_7F4A_7C15, seed);
+    let mut sampler = dist.sampler_with_centers(world, center_seed(seed), seed);
     let mut text = String::new();
     for i in 0..count {
-        let g = gen.geometry(kind, &mut sampler);
-        wkt::write_to(&g, &mut text);
-        text.push('\t');
-        text.push_str("id=");
-        text.push_str(&i.to_string());
-        text.push('\n');
+        append_wkt_record(kind, gen, &mut sampler, i, &mut text);
     }
     text.into_bytes()
 }

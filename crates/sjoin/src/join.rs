@@ -207,9 +207,11 @@ pub fn spatial_join_snapshots(
     // --- Partitioning phase: headers + decomposition rebuild. ------------
     // Both metas decode from identical bytes on every rank, so every
     // rejection below is symmetric — nobody enters the collective reads
-    // unless everybody does.
-    let left_meta = snapshot::read_meta(fs, left_path)?;
-    let right_meta = snapshot::read_meta(fs, right_path)?;
+    // unless everybody does. The timed reads charge the header I/O to
+    // this phase (the docs promise partitioning "collapses to a header
+    // read" — it must not cost zero virtual seconds).
+    let left_meta = snapshot::read_meta_timed(comm, fs, left_path)?;
+    let right_meta = snapshot::read_meta_timed(comm, fs, right_path)?;
     if left_meta.spec != right_meta.spec || left_meta.bounds != right_meta.bounds {
         return Err(CoreError::Snapshot(format!(
             "snapshot layers disagree: left tiles {}x{} over {:?}, right {}x{} over {:?}",
