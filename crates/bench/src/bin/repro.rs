@@ -17,11 +17,12 @@
 
 use mvio_bench::experiments::{self as ex, Scale};
 
-const IDS: [&str; 24] = [
+const IDS: [&str; 25] = [
     "pipeline",
     "decomp",
     "exchange",
     "io",
+    "serve",
     "table1",
     "table2",
     "table3",
@@ -50,6 +51,7 @@ fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
         "decomp" => ex::decomp::run(scale, quick),
         "exchange" => ex::exchange::run(scale, quick),
         "io" => ex::io::run(scale, quick),
+        "serve" => ex::serve::run(scale, quick),
         "table1" => ex::table1::run(scale, quick),
         "table2" => ex::table2::run(scale, quick),
         "table3" => ex::table3::run(scale, quick),

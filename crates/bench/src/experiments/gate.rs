@@ -3,7 +3,7 @@
 //!
 //! CI runs this (`repro -- gate`) as a dedicated job: it writes the
 //! measured ratios to `BENCH_gate.json` (uploaded as an artifact next
-//! to the full trajectories the `decomp`/`exchange`/`io` experiments
+//! to the full trajectories the `decomp`/`exchange`/`io`/`serve` experiments
 //! regenerate) and exits nonzero on a regression, so a PR that silently
 //! loses one of the asserted wins fails before review. The gate's
 //! measurement parameters are pinned to the same configurations the
@@ -14,7 +14,7 @@
 //! trajectory files. All quantities are deterministic virtual times, so
 //! there is no run-to-run noise to filter.
 
-use super::{decomp, exchange, io, Scale};
+use super::{decomp, exchange, io, serve, Scale};
 use crate::report::Table;
 
 /// One tracked ratio with its floor.
@@ -107,6 +107,22 @@ pub fn checks() -> Vec<Check> {
         floor: io::AGGREGATOR_WRITE_SPEEDUP_FLOOR,
     });
 
+    // Serving: batched query serving must beat the naive
+    // query-per-call loop in global qps at 64 ranks (same parameters
+    // as the unit-test floor).
+    let rows = serve::measure(Scale { denominator: 1000 }, &[64]);
+    let qps = |mode: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.mode == mode && r.ranks == 64)
+            .expect("measured row")
+            .qps
+    };
+    out.push(Check {
+        name: "serve: batched/naive qps @64 ranks",
+        value: qps("batched") / qps("naive"),
+        floor: serve::BATCHED_SERVE_SPEEDUP_FLOOR,
+    });
+
     out
 }
 
@@ -129,7 +145,7 @@ pub fn run() -> (String, bool) {
         ]);
     }
     match std::fs::write("BENCH_gate.json", to_json(&checks)) {
-        Ok(()) => t.note("gate measurements written to BENCH_gate.json (pinned floor configurations; the full trajectories are written by the decomp/exchange/io experiments)"),
+        Ok(()) => t.note("gate measurements written to BENCH_gate.json (pinned floor configurations; the full trajectories are written by the decomp/exchange/io/serve experiments)"),
         Err(e) => {
             // Failing here keeps CI from uploading a stale checked-in
             // copy as if it were this run's measurements.

@@ -14,7 +14,7 @@ fn list_prints_every_experiment_name() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for id in [
-        "pipeline", "decomp", "exchange", "io", "fig8", "table1", "gate",
+        "pipeline", "decomp", "exchange", "io", "serve", "fig8", "table1", "gate",
     ] {
         assert!(
             text.lines().any(|l| l == id),

@@ -199,8 +199,10 @@ impl ExchangeStats {
 /// lands in `out` as one bulk copy. Hot loops serialize millions of
 /// records; the old per-record `wkb::encode` allocated and dropped a
 /// fresh `Vec` for every one of them. (Shared with the ingest pipeline's
-/// worker threads, hence `pub(crate)`.)
-pub(crate) fn serialize_record(
+/// worker threads and, since the serving layer, with external callers
+/// such as `sjoin`'s `QueryEngine`, which rides queries and result
+/// records over the same wire format.)
+pub fn serialize_record(
     cell: u32,
     feature: &Feature,
     scratch: &mut Vec<u8>,
@@ -578,18 +580,33 @@ impl ExchangePlan {
         batch: SerializedBatch,
         sink: &mut dyn FnMut(usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
     ) -> Result<ExchangeStats> {
+        self.run_batch_rounds_ctx(comm, batch, &mut |_, idx, per_src| sink(idx, per_src))
+    }
+
+    /// [`ExchangePlan::run_batch_rounds`] with communicator access in the
+    /// sink: each completed round arrives together with `&mut Comm`, so
+    /// the sink can charge its own virtual compute — overlapped with the
+    /// rounds still in flight — or serialize follow-up records. The
+    /// serving layer uses this to walk local R-trees while queries are
+    /// still being shipped.
+    pub fn run_batch_rounds_ctx(
+        &self,
+        comm: &mut Comm,
+        batch: SerializedBatch,
+        sink: &mut dyn FnMut(&mut Comm, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+    ) -> Result<ExchangeStats> {
         if let Err(e) = batch.validate(self.p) {
             // Still participate (one empty round) so a rank with a
             // malformed batch cannot strand its peers mid-collective,
             // then report the typed error.
-            self.run_streamed(comm, &mut |_| Ok(None), sink)?;
+            self.run_streamed_ctx(comm, &mut |_| Ok(None), sink)?;
             return Err(e);
         }
         match self.chunk {
             None => {
                 // Degenerate single round: the blocking protocol.
                 let mut whole = Some(batch);
-                self.run_streamed(
+                self.run_streamed_ctx(
                     comm,
                     &mut |_| {
                         Ok(whole.take().map(|batch| ExchangeRound {
@@ -603,7 +620,7 @@ impl ExchangePlan {
             }
             Some(cap) => {
                 let mut splitter = BatchSplitter::new(batch, cap);
-                self.run_streamed(comm, &mut |_| splitter.next_round(), sink)
+                self.run_streamed_ctx(comm, &mut |_| splitter.next_round(), sink)
             }
         }
     }
@@ -634,6 +651,19 @@ impl ExchangePlan {
         comm: &mut Comm,
         feed: &mut dyn FnMut(&mut Comm) -> Result<Option<ExchangeRound>>,
         sink: &mut dyn FnMut(usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+    ) -> Result<ExchangeStats> {
+        self.run_streamed_ctx(comm, feed, &mut |_, idx, per_src| sink(idx, per_src))
+    }
+
+    /// [`ExchangePlan::run_streamed`] with communicator access in the
+    /// sink (see [`ExchangePlan::run_batch_rounds_ctx`]). Sink compute
+    /// charged through the passed `&mut Comm` overlaps any round still in
+    /// flight exactly like deserialization does.
+    pub fn run_streamed_ctx(
+        &self,
+        comm: &mut Comm,
+        feed: &mut dyn FnMut(&mut Comm) -> Result<Option<ExchangeRound>>,
+        sink: &mut dyn FnMut(&mut Comm, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
     ) -> Result<ExchangeStats> {
         let p = self.p;
         assert_eq!(comm.size(), p, "plan built for a different world size");
@@ -749,7 +779,7 @@ impl ExchangePlan {
         req: mvio_msim::Request<Vec<Vec<u8>>>,
         expected_sizes: &[u64],
         stats: &mut ExchangeStats,
-        sink: &mut dyn FnMut(usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+        sink: &mut dyn FnMut(&mut Comm, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
         deferred: &mut Option<CoreError>,
     ) {
         let bufs = engine.drive(comm, req);
@@ -776,7 +806,7 @@ impl ExchangePlan {
             let slot = &mut stats.per_round[idx];
             slot.records_received = records;
             slot.bytes_received = bytes;
-            sink(idx, per_src)
+            sink(comm, idx, per_src)
         };
         if let Err(e) = run() {
             *deferred = Some(e);

@@ -23,11 +23,13 @@
 
 pub mod catalog;
 pub mod distributions;
+pub mod queries;
 pub mod shapes;
 pub mod writer;
 
 pub use catalog::{table3, DatasetSpec, DistPolicy, GenReport, ShapeKind};
 pub use distributions::SpatialDistribution;
+pub use queries::{generate_queries, QueryShape, QueryWorkload};
 pub use shapes::ShapeGen;
 pub use writer::{
     wkt_dataset_bytes, write_point_records, write_rect_records, write_wkt_dataset,

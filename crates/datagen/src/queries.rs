@@ -1,0 +1,221 @@
+//! Zipf-skewed query workloads for the serving layer.
+//!
+//! A serving benchmark needs the traffic shape real query frontends see:
+//! a modest pool of *distinct* queries, drawn with a heavy-tailed
+//! popularity so a few hot queries dominate (which is exactly what a
+//! result cache exploits), placed over the same Zipf hotspots the
+//! synthetic datasets cluster around (so hot queries also land on hot
+//! cells). Everything derives from a seed, bit-for-bit reproducible.
+//!
+//! The crate stays dependency-light (geometry + rand only), so queries
+//! are described by the neutral [`QueryShape`] enum; `sjoin` maps it
+//! onto its own engine query type with a one-line `match`.
+
+use crate::distributions::SpatialDistribution;
+use mvio_geom::{Point, Rect};
+use rand::Rng;
+
+/// One generated query, engine-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryShape {
+    /// An axis-aligned window query.
+    Range(Rect),
+    /// A point-containment query.
+    Point(Point),
+    /// A k-nearest-neighbour query.
+    Knn {
+        /// Query centre.
+        at: Point,
+        /// Neighbours requested.
+        k: u32,
+    },
+}
+
+/// Workload shape: pool size, popularity skew, query-kind mix.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// Distinct queries in the pool; draws repeat pool entries.
+    pub pool: usize,
+    /// Zipf exponent of the popularity distribution over the pool
+    /// (0 = uniform; ≈ 1 = classic web-trace skew).
+    pub popularity_skew: f64,
+    /// Fraction of the pool that are [`QueryShape::Range`] windows.
+    pub range_fraction: f64,
+    /// Fraction of the pool that are [`QueryShape::Point`] probes
+    /// (the remainder are kNN).
+    pub point_fraction: f64,
+    /// `k` used for generated kNN queries.
+    pub knn_k: u32,
+    /// Range-window half-width as a fraction of the world's shorter
+    /// dimension (each window's size varies ±50% around it).
+    pub extent: f64,
+    /// Where query centres land (reuse the dataset's distribution so
+    /// hot queries hit hot cells).
+    pub placement: SpatialDistribution,
+}
+
+impl Default for QueryWorkload {
+    fn default() -> Self {
+        QueryWorkload {
+            pool: 64,
+            popularity_skew: 1.0,
+            range_fraction: 0.7,
+            point_fraction: 0.2,
+            knn_k: 8,
+            extent: 0.05,
+            placement: SpatialDistribution::Clustered {
+                clusters: 12,
+                skew: 1.0,
+                spread: 0.05,
+            },
+        }
+    }
+}
+
+/// Generates `draws` queries over `world` from `seed`: a pool of
+/// `spec.pool` distinct shapes placed by `spec.placement`, then `draws`
+/// Zipf(`spec.popularity_skew`)-weighted picks from the pool — low pool
+/// indices are hot and repeat often.
+pub fn generate_queries(
+    world: Rect,
+    spec: &QueryWorkload,
+    draws: usize,
+    seed: u64,
+) -> Vec<QueryShape> {
+    let mut sampler = spec.placement.sampler(world, seed);
+    let half_base = spec.extent.max(0.0) * world.width().min(world.height()).max(f64::MIN_POSITIVE);
+    let pool_n = spec.pool.max(1);
+    let pool: Vec<QueryShape> = (0..pool_n)
+        .map(|_| {
+            let at = sampler.next_center();
+            let kind: f64 = sampler.rng().gen();
+            if kind < spec.range_fraction {
+                let scale: f64 = sampler.rng().gen_range(0.5..1.5);
+                let half = half_base * scale;
+                QueryShape::Range(Rect::new(
+                    (at.x - half).max(world.min_x),
+                    (at.y - half).max(world.min_y),
+                    (at.x + half).min(world.max_x),
+                    (at.y + half).min(world.max_y),
+                ))
+            } else if kind < spec.range_fraction + spec.point_fraction {
+                QueryShape::Point(at)
+            } else {
+                QueryShape::Knn {
+                    at,
+                    k: spec.knn_k.max(1),
+                }
+            }
+        })
+        .collect();
+
+    // Zipf cumulative weights over pool ranks: pool[0] is the hottest.
+    let mut cum = Vec::with_capacity(pool_n);
+    let mut total = 0.0;
+    for rank in 0..pool_n {
+        total += 1.0 / ((rank + 1) as f64).powf(spec.popularity_skew);
+        cum.push(total);
+    }
+    for c in cum.iter_mut() {
+        *c /= total;
+    }
+
+    (0..draws)
+        .map(|_| {
+            let u: f64 = sampler.rng().gen();
+            let idx = cum.partition_point(|&c| c < u).min(pool_n - 1);
+            pool[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn world() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 50.0)
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let spec = QueryWorkload::default();
+        let a = generate_queries(world(), &spec, 500, 42);
+        let b = generate_queries(world(), &spec, 500, 42);
+        assert_eq!(a, b);
+        let c = generate_queries(world(), &spec, 500, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn queries_stay_in_world_and_mix_kinds() {
+        let spec = QueryWorkload::default();
+        let qs = generate_queries(world(), &spec, 1000, 7);
+        let w = world();
+        let (mut ranges, mut points, mut knns) = (0, 0, 0);
+        for q in &qs {
+            match q {
+                QueryShape::Range(r) => {
+                    ranges += 1;
+                    assert!(r.min_x <= r.max_x && r.min_y <= r.max_y, "{r:?}");
+                    assert!(w.contains(r), "{r:?}");
+                }
+                QueryShape::Point(p) => {
+                    points += 1;
+                    assert!(w.contains_point(p), "{p:?}");
+                }
+                QueryShape::Knn { at, k } => {
+                    knns += 1;
+                    assert!(*k >= 1);
+                    assert!(w.contains_point(at), "{at:?}");
+                }
+            }
+        }
+        assert!(
+            ranges > 0 && points > 0 && knns > 0,
+            "{ranges}/{points}/{knns}"
+        );
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let spec = QueryWorkload {
+            pool: 50,
+            popularity_skew: 1.0,
+            ..Default::default()
+        };
+        let qs = generate_queries(world(), &spec, 5000, 3);
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for q in &qs {
+            *freq.entry(format!("{q:?}")).or_default() += 1;
+        }
+        // Far fewer distinct queries than draws, and the hottest query
+        // well above the uniform share.
+        assert!(freq.len() <= 50);
+        let hottest = freq.values().max().copied().unwrap_or(0);
+        assert!(
+            hottest > 2 * 5000 / 50,
+            "hottest {hottest} not skewed over uniform share"
+        );
+    }
+
+    #[test]
+    fn uniform_skew_spreads_draws() {
+        let spec = QueryWorkload {
+            pool: 10,
+            popularity_skew: 0.0,
+            ..Default::default()
+        };
+        let qs = generate_queries(world(), &spec, 2000, 11);
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for q in &qs {
+            *freq.entry(format!("{q:?}")).or_default() += 1;
+        }
+        assert!(
+            freq.len() >= 9,
+            "uniform draws cover the pool: {}",
+            freq.len()
+        );
+    }
+}

@@ -4,11 +4,13 @@
 //! pairs with rectangle tests ([`crate::Rect::intersects`]) and then
 //! applies the exact predicates in this module to the surviving pairs.
 
+mod distance;
 mod intersects;
 mod orient;
 mod pip;
 mod segint;
 
+pub use distance::{point_geometry_distance, point_segment_distance};
 pub use intersects::{
     intersects, line_intersects_line, line_intersects_polygon, point_in_geometry,
     polygon_intersects_polygon, rect_intersects_geometry,

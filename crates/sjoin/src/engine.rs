@@ -1,0 +1,1061 @@
+//! Resident distributed query serving: the ROADMAP "serve millions of
+//! queries" shape over the partitioned spatial index.
+//!
+//! Everything else in the workspace is one-shot batch ingest→answer;
+//! [`QueryEngine`] is the long-lived counterpart. It is constructed once
+//! — from an [`IngestOutput`] or a binary snapshot — and keeps the
+//! per-rank R-tree and the global [`SpatialDecomposition`] resident
+//! across [`QueryEngine::serve`] calls, so a serving batch costs only
+//! routing + tree walks + two pipelined exchanges instead of a full
+//! read/partition/exchange pass per query.
+//!
+//! ## Serving protocol
+//!
+//! One [`QueryEngine::serve`] call is collective and runs five steps:
+//!
+//! 1. **Validate** every query locally, then agree globally (one
+//!    `allreduce`) whether any rank holds an invalid query. Rejection is
+//!    symmetric: every rank returns a typed
+//!    [`CoreError::InvalidOptions`] and nobody enters the exchange, so a
+//!    bad batch can never strand a peer in a collective. The engine
+//!    stays usable for the next batch.
+//! 2. **Cache lookup**: answers already in the hot-query LRU (see
+//!    [`ServeCache`]) are returned without shipping anything — the peers
+//!    still rendezvous in the exchange, where this rank simply
+//!    contributes fewer records.
+//! 3. **Route + ship**: each remaining query is serialized once per
+//!    destination rank (the owners of the cells overlapping a
+//!    range/point query; every cell-owning rank for kNN) and shipped
+//!    through the chunked nonblocking [`ExchangePlan`]. Received queries
+//!    are answered in the exchange *sink*, so later query rounds are
+//!    still in flight while this rank walks its R-tree — query shipping
+//!    overlaps local tree walks.
+//! 4. **Ship results back** over a second plan run: each match travels
+//!    as one wire record tagged with the issuing rank's query index.
+//! 5. **Merge**: per query, results are sorted (lexicographic for
+//!    matches, by `(distance, userdata)` for kNN) and truncated to `k`
+//!    where applicable, inserted into the cache, and returned aligned
+//!    with the input slice.
+//!
+//! Duplicate-free semantics follow `range_query`'s reference-corner rule
+//! ([`mvio_core::framework::claims_reference`]): a feature replicated
+//! into several cells is claimed by exactly one owner, so an answer
+//! contains each matching feature exactly once — deterministically, in
+//! sorted order, regardless of decomposition policy, chunk size, rank
+//! count, or cache state.
+
+use mvio_core::decomp::{
+    DecompPolicy, HilbertDecomposition, SpatialDecomposition, UniformDecomposition,
+};
+use mvio_core::exchange::{
+    serialize_record, ExchangeChunk, ExchangeOptions, ExchangePlan, ExchangeStats, SerializedBatch,
+};
+use mvio_core::grid::UniformGrid;
+use mvio_core::pipeline::IngestOutput;
+use mvio_core::snapshot::{self, SnapshotReadOptions};
+use mvio_core::{CoreError, Feature, Result};
+use mvio_geom::index::RTree;
+use mvio_geom::{algo, Geometry, LineString, Point, Rect};
+use mvio_msim::{Comm, Work};
+use mvio_pfs::SimFs;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Environment knob selecting the result-cache capacity: unset, `0` or
+/// `off` disables the cache; `on` enables it at the default capacity;
+/// an integer pins the capacity in entries.
+pub const SERVE_CACHE_ENV: &str = "MVIO_SERVE_CACHE";
+
+/// Capacity used when [`SERVE_CACHE_ENV`] is `on` (entries).
+pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
+
+/// One query in a serving batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// All features intersecting the (closed) rectangle.
+    Range(Rect),
+    /// All features containing or touching the point — a degenerate
+    /// [`Query::Range`].
+    Point(Point),
+    /// The `k` nearest features by euclidean point-to-geometry distance
+    /// ([`algo::point_geometry_distance`]); ties break on userdata.
+    Knn {
+        /// Query centre.
+        at: Point,
+        /// Neighbours requested (must be ≥ 1; capped by dataset size).
+        k: u32,
+    },
+}
+
+/// One kNN result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// Euclidean distance from the query centre to the feature.
+    pub distance: f64,
+    /// The feature's userdata.
+    pub userdata: String,
+}
+
+/// The engine's answer to one [`Query`], aligned with the input batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Range/point result: matching userdata, sorted, duplicate-free
+    /// across replicas (multiset: distinct features sharing userdata
+    /// each appear).
+    Matches(Vec<String>),
+    /// kNN result: at most `k` neighbours sorted by
+    /// `(distance, userdata)`.
+    Neighbors(Vec<Neighbor>),
+}
+
+impl QueryAnswer {
+    /// Number of results in the answer.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryAnswer::Matches(v) => v.len(),
+            QueryAnswer::Neighbors(v) => v.len(),
+        }
+    }
+
+    /// Whether the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Result-cache sizing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeCache {
+    /// Resolve through [`SERVE_CACHE_ENV`] (the default); unset means
+    /// off.
+    #[default]
+    Auto,
+    /// No caching.
+    Off,
+    /// LRU over at most this many query→answer entries.
+    Entries(usize),
+}
+
+impl ServeCache {
+    /// The capacity this policy resolves to (`None` = caching off).
+    ///
+    /// # Panics
+    ///
+    /// `Auto` panics on an unparseable [`SERVE_CACHE_ENV`] value —
+    /// silently serving uncached under a typo'd knob would make every
+    /// benchmark measure the wrong configuration (same contract as
+    /// [`ExchangeChunk::resolve`]).
+    pub fn resolve(self) -> Option<usize> {
+        match self {
+            ServeCache::Auto => {
+                let v = std::env::var(SERVE_CACHE_ENV).ok()?;
+                let t = v.trim();
+                if t == "0" || t.eq_ignore_ascii_case("off") {
+                    return None;
+                }
+                if t.eq_ignore_ascii_case("on") {
+                    return Some(DEFAULT_CACHE_ENTRIES);
+                }
+                let n: usize = t.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "invalid {SERVE_CACHE_ENV} value {v:?}: expected an entry count, \
+                         `on`, or 0/off"
+                    )
+                });
+                Some(n.max(1))
+            }
+            ServeCache::Off => None,
+            ServeCache::Entries(n) => Some(n.max(1)),
+        }
+    }
+}
+
+/// Construction-time engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions {
+    /// Per-destination byte cap for each pipelined exchange round used
+    /// by [`QueryEngine::serve`] (both the query and the result trip).
+    pub chunk: ExchangeChunk,
+    /// Hot-query result cache policy.
+    pub cache: ServeCache,
+}
+
+impl EngineOptions {
+    /// Options for a one-shot wrapper: blocking exchange, no cache.
+    pub fn one_shot() -> Self {
+        EngineOptions {
+            chunk: ExchangeChunk::Unlimited,
+            cache: ServeCache::Off,
+        }
+    }
+}
+
+/// Per-rank counters for one [`QueryEngine::serve`] call.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Queries this rank submitted in the batch.
+    pub queries: u64,
+    /// Queries answered straight from the LRU cache (nothing shipped).
+    pub answered_from_cache: u64,
+    /// Queries that went through routing and the exchange.
+    pub routed: u64,
+    /// Query records shipped (one per query per destination rank).
+    pub shipped_records: u64,
+    /// Result records received back for this rank's queries.
+    pub result_records: u64,
+    /// Exchange counters for the query-shipping trip.
+    pub query_exchange: ExchangeStats,
+    /// Exchange counters for the result return trip.
+    pub result_exchange: ExchangeStats,
+}
+
+/// Per-rank outcome of one [`QueryEngine::serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// One answer per submitted query, same order as the input slice.
+    pub answers: Vec<QueryAnswer>,
+    /// Counters for this call.
+    pub stats: ServeStats,
+}
+
+/// Rejects queries the engine cannot answer meaningfully: non-finite or
+/// inverted (`min > max`) range rects, non-finite points, and `k = 0`
+/// kNN requests, each with a typed [`CoreError::InvalidOptions`].
+///
+/// This is the serving boundary's input firewall — the WKT parsers
+/// reject NaN coordinates in *data*, but nothing upstream guards
+/// *queries*, and a NaN rect silently matches nothing while looking like
+/// a valid empty answer.
+pub fn validate_query(q: &Query) -> Result<()> {
+    let bad = |msg: String| Err(CoreError::InvalidOptions(msg));
+    match q {
+        Query::Range(r) => {
+            if !(r.min_x.is_finite()
+                && r.min_y.is_finite()
+                && r.max_x.is_finite()
+                && r.max_y.is_finite())
+            {
+                return bad(format!(
+                    "range query rect has non-finite coordinates: {r:?}"
+                ));
+            }
+            if r.min_x > r.max_x || r.min_y > r.max_y {
+                return bad(format!("range query rect is inverted (min > max): {r:?}"));
+            }
+            Ok(())
+        }
+        Query::Point(p) => {
+            if !p.is_finite() {
+                return bad(format!("point query has non-finite coordinates: {p:?}"));
+            }
+            Ok(())
+        }
+        Query::Knn { at, k } => {
+            if !at.is_finite() {
+                return bad(format!(
+                    "knn query centre has non-finite coordinates: {at:?}"
+                ));
+            }
+            if *k == 0 {
+                return bad("knn query needs k >= 1 (k = 0 selects nothing)".into());
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Hashable identity of a query for the result cache (`f64` coordinates
+/// compared bit-exactly; sound because validation already rejected NaN).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QueryKey {
+    tag: u8,
+    a: u64,
+    b: u64,
+    c: u64,
+    d: u64,
+    k: u32,
+}
+
+fn query_key(q: &Query) -> QueryKey {
+    match q {
+        Query::Range(r) => QueryKey {
+            tag: 0,
+            a: r.min_x.to_bits(),
+            b: r.min_y.to_bits(),
+            c: r.max_x.to_bits(),
+            d: r.max_y.to_bits(),
+            k: 0,
+        },
+        Query::Point(p) => QueryKey {
+            tag: 1,
+            a: p.x.to_bits(),
+            b: p.y.to_bits(),
+            c: 0,
+            d: 0,
+            k: 0,
+        },
+        Query::Knn { at, k } => QueryKey {
+            tag: 2,
+            a: at.x.to_bits(),
+            b: at.y.to_bits(),
+            c: 0,
+            d: 0,
+            k: *k,
+        },
+    }
+}
+
+/// LRU map from query identity to its full answer. Sound because the
+/// dataset is immutable for the engine's lifetime: a cached answer can
+/// never go stale. Recency is tracked with lazy deletion — `get`/
+/// `insert` push `(key, tick)` markers and eviction skips markers whose
+/// tick no longer matches the live entry.
+#[derive(Debug)]
+struct ResultCache {
+    cap: usize,
+    map: HashMap<QueryKey, (QueryAnswer, u64)>,
+    order: VecDeque<(QueryKey, u64)>,
+    tick: u64,
+}
+
+impl ResultCache {
+    fn new(cap: usize) -> Self {
+        ResultCache {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &QueryKey) -> Option<QueryAnswer> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        entry.1 = tick;
+        let ans = entry.0.clone();
+        self.order.push_back((key.clone(), tick));
+        self.compact();
+        Some(ans)
+    }
+
+    fn insert(&mut self, key: QueryKey, ans: QueryAnswer) {
+        self.tick += 1;
+        self.order.push_back((key.clone(), self.tick));
+        self.map.insert(key, (ans, self.tick));
+        while self.map.len() > self.cap {
+            let Some((key, tick)) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.get(&key).is_some_and(|(_, t)| *t == tick) {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Bounds the stale-marker backlog that hit-heavy workloads build up.
+    fn compact(&mut self) {
+        if self.order.len() <= self.cap.saturating_mul(8).max(64) {
+            return;
+        }
+        let mut live: Vec<(QueryKey, u64)> =
+            self.map.iter().map(|(k, (_, t))| (k.clone(), *t)).collect();
+        live.sort_unstable_by_key(|(_, t)| *t);
+        self.order = live.into();
+    }
+}
+
+/// The per-rank resident state: owned replicas, their envelopes, the
+/// R-tree over them, and the global decomposition. Split out from
+/// [`QueryEngine`] so `serve` can walk it from inside exchange sinks
+/// while the cache (a sibling field) stays independently borrowable.
+struct ResidentIndex {
+    sd: Box<dyn SpatialDecomposition>,
+    owned: Vec<(u32, Feature)>,
+    envelopes: Vec<Rect>,
+    rtree: RTree<usize>,
+    /// Whether `owned[i]` is the replica in its feature's reference cell
+    /// — the one copy that represents the feature in kNN scans.
+    reference: Vec<bool>,
+    /// One representative cell per rank (`None` for ranks owning no
+    /// cells), used to route kNN queries to every data-holding rank.
+    rank_cells: Vec<Option<u32>>,
+}
+
+impl ResidentIndex {
+    /// Filter + refine for one rectangle over the local replicas,
+    /// returning the claimed matches' userdata **sorted**. Identical
+    /// claiming rule to `range_query`: cell overlap, MBR overlap,
+    /// reference-corner dedup, exact predicate.
+    fn rect_matches(&self, comm: &mut Comm, query: &Rect) -> Vec<String> {
+        let mut hits: Vec<usize> = Vec::new();
+        self.rtree.query_with(query, &mut |i| hits.push(*i));
+        comm.charge(Work::RtreeQueries {
+            n: 1,
+            results: hits.len() as u64,
+        });
+        let mut out = Vec::new();
+        for i in hits {
+            let (cell, f) = &self.owned[i];
+            if !self.sd.cell_rect(*cell).intersects(query) {
+                continue;
+            }
+            let mbr = &self.envelopes[i];
+            comm.charge(Work::MbrTests { n: 1 });
+            if !mvio_core::framework::claims_reference(&*self.sd, *cell, mbr, query) {
+                continue;
+            }
+            comm.charge(Work::RefinePair {
+                verts_a: f.geometry.num_points() as u64,
+                verts_b: 4,
+            });
+            if algo::rect_intersects_geometry(query, &f.geometry) {
+                out.push(f.userdata.clone());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Local top-`k` by `(distance, userdata)` over the reference
+    /// replicas (each feature counted exactly once globally).
+    fn knn_local(&self, comm: &mut Comm, at: &Point, k: usize) -> Vec<(f64, String)> {
+        let mut verts = 0u64;
+        let mut cands = 0u64;
+        let mut best: Vec<(f64, &str)> = Vec::new();
+        for (i, (_, f)) in self.owned.iter().enumerate() {
+            if !self.reference[i] {
+                continue;
+            }
+            cands += 1;
+            verts += f.geometry.num_points() as u64;
+            best.push((
+                algo::point_geometry_distance(at, &f.geometry),
+                f.userdata.as_str(),
+            ));
+        }
+        comm.charge(Work::MbrTests { n: cands });
+        comm.charge(Work::RefinePair {
+            verts_a: verts,
+            verts_b: 1,
+        });
+        best.sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then_with(|| x.1.cmp(y.1)));
+        best.truncate(k);
+        best.into_iter()
+            .map(|(d, ud)| (d, ud.to_string()))
+            .collect()
+    }
+
+    /// Answers one query record received off the wire, serializing each
+    /// result as a record tagged with the issuer's query index. kNN
+    /// queries ride as a `Point` with `k=<n>` userdata; range and point
+    /// queries as the diagonal of their rect (whose envelope recovers it
+    /// exactly). Result records carry the distance in the point's `x`.
+    fn serve_one(
+        &self,
+        comm: &mut Comm,
+        qid: u32,
+        qf: &Feature,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<u8>,
+        produced: &mut u64,
+    ) -> Result<()> {
+        if let Some(kstr) = qf.userdata.strip_prefix("k=") {
+            let k: usize = kstr.parse().map_err(|_| {
+                CoreError::Partition(format!(
+                    "serve protocol: malformed knn payload {:?}",
+                    qf.userdata
+                ))
+            })?;
+            let at = match &qf.geometry {
+                Geometry::Point(p) => *p,
+                g => {
+                    return Err(CoreError::Partition(format!(
+                        "serve protocol: knn query carries a {:?} geometry",
+                        g.geometry_type()
+                    )))
+                }
+            };
+            for (distance, userdata) in self.knn_local(comm, &at, k) {
+                let rec =
+                    Feature::with_userdata(Geometry::Point(Point::new(distance, 0.0)), userdata);
+                serialize_record(qid, &rec, scratch, out)?;
+                *produced += 1;
+            }
+        } else {
+            let rect = qf.geometry.envelope();
+            for userdata in self.rect_matches(comm, &rect) {
+                let rec = Feature::with_userdata(Geometry::Point(Point::new(0.0, 0.0)), userdata);
+                serialize_record(qid, &rec, scratch, out)?;
+                *produced += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a query rect as the 2-point diagonal linestring whose
+/// envelope recovers it exactly (WKB coordinates round-trip `f64`s
+/// bit-for-bit).
+fn wire_rect(r: &Rect) -> Feature {
+    let diagonal = LineString::new(vec![
+        Point::new(r.min_x, r.min_y),
+        Point::new(r.max_x, r.max_y),
+    ])
+    .expect("validated rect corners form a linestring");
+    Feature::with_userdata(Geometry::LineString(diagonal), String::new())
+}
+
+/// A resident distributed query engine (see the [module docs](self)).
+///
+/// Collective lifecycle: every rank constructs it together (the
+/// constructors run collective exchanges/reads) and every rank calls
+/// [`QueryEngine::serve`] together, each with its own — possibly empty,
+/// possibly different-sized — query batch.
+pub struct QueryEngine {
+    index: ResidentIndex,
+    chunk: ExchangeChunk,
+    cache: Option<ResultCache>,
+}
+
+impl QueryEngine {
+    /// Builds the engine from an ingest run's output, indexing the owned
+    /// replicas (charged as [`Work::RtreeInserts`]).
+    pub fn from_ingest(comm: &mut Comm, out: IngestOutput, opts: &EngineOptions) -> Self {
+        Self::from_parts(comm, out.decomp, out.owned, opts)
+    }
+
+    /// Builds the engine from an already-partitioned `(cell, feature)`
+    /// set and its decomposition — the seam `range_query` and
+    /// `batch_query` drive after their own read/exchange phases.
+    pub fn from_parts(
+        comm: &mut Comm,
+        sd: Box<dyn SpatialDecomposition>,
+        owned: Vec<(u32, Feature)>,
+        opts: &EngineOptions,
+    ) -> Self {
+        let envelopes: Vec<Rect> = owned.iter().map(|(_, f)| f.geometry.envelope()).collect();
+        comm.charge(Work::RtreeInserts {
+            n: owned.len() as u64,
+        });
+        let rtree = RTree::bulk_load(envelopes.iter().enumerate().map(|(i, r)| (*r, i)).collect());
+        let reference: Vec<bool> = owned
+            .iter()
+            .zip(&envelopes)
+            .map(|((cell, _), mbr)| match sd.reference_cell(mbr) {
+                Some(c) => c == *cell,
+                // Degenerate (out-of-bounds reference corner): claim in
+                // the lowest overlapping cell — deterministic everywhere.
+                None => sd.cells_for_rect_vec(mbr).first() == Some(cell),
+            })
+            .collect();
+        let mut rank_cells: Vec<Option<u32>> = vec![None; sd.num_ranks()];
+        for cell in 0..sd.num_cells() {
+            let r = sd.cell_to_rank(cell);
+            if rank_cells[r].is_none() {
+                rank_cells[r] = Some(cell);
+            }
+        }
+        QueryEngine {
+            index: ResidentIndex {
+                sd,
+                owned,
+                envelopes,
+                rtree,
+                reference,
+                rank_cells,
+            },
+            chunk: opts.chunk,
+            cache: opts.cache.resolve().map(ResultCache::new),
+        }
+    }
+
+    /// Builds the engine from a PR 5 binary snapshot: header read,
+    /// decomposition rebuild under `policy`, collective
+    /// [`snapshot::read_partitioned`]. The adaptive policy is rejected
+    /// with [`CoreError::InvalidOptions`] — a snapshot does not carry
+    /// the feature histogram it needs (same contract as snapshot joins).
+    pub fn from_snapshot(
+        comm: &mut Comm,
+        fs: &Arc<SimFs>,
+        path: &str,
+        policy: DecompPolicy,
+        read: &SnapshotReadOptions,
+        opts: &EngineOptions,
+    ) -> Result<Self> {
+        let meta = snapshot::read_meta_timed(comm, fs, path)?;
+        let grid = UniformGrid::try_new(meta.bounds, meta.spec)?;
+        let sd: Box<dyn SpatialDecomposition> = match policy {
+            DecompPolicy::Uniform(map) => {
+                Box::new(UniformDecomposition::new(grid, map, comm.size()))
+            }
+            DecompPolicy::Hilbert => Box::new(HilbertDecomposition::new(grid, comm.size())),
+            DecompPolicy::Adaptive { .. } => {
+                return Err(CoreError::InvalidOptions(
+                    "adaptive bisection needs the feature histogram, which a snapshot \
+                     does not carry; serve snapshots with the uniform or hilbert policy"
+                        .into(),
+                ))
+            }
+        };
+        let (owned, _) = snapshot::read_partitioned(comm, fs, path, &*sd, read)?;
+        Ok(Self::from_parts(comm, sd, owned, opts))
+    }
+
+    /// The resident decomposition (e.g. for generating in-bounds query
+    /// workloads against `bounds()`).
+    pub fn decomposition(&self) -> &dyn SpatialDecomposition {
+        &*self.index.sd
+    }
+
+    /// Number of feature replicas resident on this rank.
+    pub fn resident_replicas(&self) -> usize {
+        self.index.owned.len()
+    }
+
+    /// Answers one rectangle against this rank's replicas only — no
+    /// communication, no cache. The one-shot `range_query` wrapper uses
+    /// this for its compute phase; the union of every rank's local
+    /// matches is the global answer (duplicate-free by the
+    /// reference-corner rule).
+    pub fn local_range_matches(&self, comm: &mut Comm, query: &Rect) -> Result<Vec<String>> {
+        validate_query(&Query::Range(*query))?;
+        Ok(self.index.rect_matches(comm, query))
+    }
+
+    /// Serves one batch of queries; collective — every rank must call it
+    /// (with its own batch; empty is fine).
+    ///
+    /// Answers come back aligned with `queries`, deterministic and
+    /// duplicate-free (module docs). Invalid queries anywhere in the
+    /// world reject the whole call symmetrically with
+    /// [`CoreError::InvalidOptions`] before any shipping; the engine
+    /// remains usable for the next batch.
+    pub fn serve(&mut self, comm: &mut Comm, queries: &[Query]) -> Result<ServeReport> {
+        let p = comm.size();
+
+        // 1. Validate locally, agree globally. The u32 wire limit on
+        // query indices folds into the same symmetric rejection.
+        let mut local_err = queries.iter().map(validate_query).find_map(Result::err);
+        if local_err.is_none() && queries.len() > u32::MAX as usize {
+            local_err = Some(CoreError::InvalidOptions(format!(
+                "serve batch of {} queries exceeds the u32 wire-format index space",
+                queries.len()
+            )));
+        }
+        let bad_ranks = comm.allreduce_u64(u64::from(local_err.is_some()), |a, b| a + b);
+        if bad_ranks > 0 {
+            return Err(local_err.unwrap_or_else(|| {
+                CoreError::InvalidOptions(format!(
+                    "query batch aborted: {bad_ranks} rank(s) submitted invalid queries"
+                ))
+            }));
+        }
+
+        let mut stats = ServeStats {
+            queries: queries.len() as u64,
+            ..Default::default()
+        };
+
+        // 2. Cache lookups.
+        let mut answers: Vec<Option<QueryAnswer>> = vec![None; queries.len()];
+        let mut routed: Vec<usize> = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            if let Some(cache) = self.cache.as_mut() {
+                if let Some(ans) = cache.get(&query_key(q)) {
+                    answers[qi] = Some(ans);
+                    stats.answered_from_cache += 1;
+                    continue;
+                }
+            }
+            routed.push(qi);
+        }
+        stats.routed = routed.len() as u64;
+
+        // 3. Serialize each routed query once per destination rank.
+        let mut qbatch = SerializedBatch::empty(p);
+        let mut scratch = Vec::new();
+        let mut cells: Vec<u32> = Vec::new();
+        let mut dests: Vec<usize> = Vec::new();
+        for &qi in &routed {
+            let q = &queries[qi];
+            dests.clear();
+            let feat = match q {
+                Query::Range(r) => {
+                    self.index.sd.cells_for_rect(r, &mut cells);
+                    dests.extend(cells.iter().map(|&c| self.index.sd.cell_to_rank(c)));
+                    wire_rect(r)
+                }
+                Query::Point(pt) => {
+                    self.index.sd.cells_for_rect(&pt.envelope(), &mut cells);
+                    dests.extend(cells.iter().map(|&c| self.index.sd.cell_to_rank(c)));
+                    wire_rect(&pt.envelope())
+                }
+                Query::Knn { at, k } => {
+                    dests.extend(
+                        self.index
+                            .rank_cells
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(r, c)| c.map(|_| r)),
+                    );
+                    Feature::with_userdata(Geometry::Point(*at), format!("k={k}"))
+                }
+            };
+            dests.sort_unstable();
+            dests.dedup();
+            for &d in &dests {
+                serialize_record(qi as u32, &feat, &mut scratch, &mut qbatch.bufs[d])?;
+                qbatch.records[d] += 1;
+            }
+        }
+        stats.shipped_records = qbatch.records.iter().sum();
+        comm.charge(Work::SerializeGeoms {
+            n: stats.shipped_records,
+            bytes: qbatch.bufs.iter().map(|b| b.len() as u64).sum(),
+        });
+
+        // 4. Ship queries; answer each received round in the sink while
+        // later rounds fly. Per-rank failures wind down inside the plan
+        // (empty rounds), and this rank still runs the result trip so
+        // the collectives stay matched world-wide.
+        let plan = ExchangePlan::new(comm, &ExchangeOptions::with_chunk(self.chunk));
+        let mut rbatch = SerializedBatch::empty(p);
+        let mut rscratch = Vec::new();
+        let index = &self.index;
+        let mut deferred: Option<CoreError> = None;
+        match plan.run_batch_rounds_ctx(comm, qbatch, &mut |comm, _round, per_src| {
+            for (src, records) in per_src.into_iter().enumerate() {
+                let before = rbatch.bufs[src].len() as u64;
+                let mut produced = 0u64;
+                for (qid, qf) in records {
+                    index.serve_one(
+                        comm,
+                        qid,
+                        &qf,
+                        &mut rscratch,
+                        &mut rbatch.bufs[src],
+                        &mut produced,
+                    )?;
+                }
+                rbatch.records[src] += produced;
+                comm.charge(Work::SerializeGeoms {
+                    n: produced,
+                    bytes: rbatch.bufs[src].len() as u64 - before,
+                });
+            }
+            Ok(())
+        }) {
+            Ok(s) => stats.query_exchange = s,
+            Err(e) => {
+                deferred = Some(e);
+                rbatch = SerializedBatch::empty(p);
+            }
+        }
+
+        // 5. Ship results back to the issuing ranks.
+        let mut collected: Vec<Vec<(f64, String)>> = vec![Vec::new(); queries.len()];
+        match plan.run_batch_rounds_ctx(comm, rbatch, &mut |_, _round, per_src| {
+            for records in per_src {
+                for (qid, f) in records {
+                    let slot = collected.get_mut(qid as usize).ok_or_else(|| {
+                        CoreError::Partition(format!(
+                            "serve protocol: result for unknown query index {qid}"
+                        ))
+                    })?;
+                    let distance = match &f.geometry {
+                        Geometry::Point(pt) => pt.x,
+                        _ => 0.0,
+                    };
+                    slot.push((distance, f.userdata));
+                }
+            }
+            Ok(())
+        }) {
+            Ok(s) => stats.result_exchange = s,
+            Err(e) => {
+                if deferred.is_none() {
+                    deferred = Some(e);
+                }
+            }
+        }
+        if let Some(e) = deferred {
+            return Err(e);
+        }
+        stats.result_records = stats.result_exchange.records_received;
+
+        // 6. Merge, cache, align.
+        for &qi in &routed {
+            let ans = match &queries[qi] {
+                Query::Range(_) | Query::Point(_) => {
+                    let mut v: Vec<String> = collected[qi].drain(..).map(|(_, ud)| ud).collect();
+                    v.sort_unstable();
+                    QueryAnswer::Matches(v)
+                }
+                Query::Knn { k, .. } => {
+                    let mut v = std::mem::take(&mut collected[qi]);
+                    v.sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then_with(|| x.1.cmp(&y.1)));
+                    v.truncate(*k as usize);
+                    QueryAnswer::Neighbors(
+                        v.into_iter()
+                            .map(|(distance, userdata)| Neighbor { distance, userdata })
+                            .collect(),
+                    )
+                }
+            };
+            if let Some(cache) = self.cache.as_mut() {
+                cache.insert(query_key(&queries[qi]), ans.clone());
+            }
+            answers[qi] = Some(ans);
+        }
+        let answers = answers
+            .into_iter()
+            .map(|a| a.unwrap_or(QueryAnswer::Matches(Vec::new())))
+            .collect();
+        Ok(ServeReport { answers, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvio_core::decomp::{self, DecompConfig};
+    use mvio_core::exchange::exchange_features;
+    use mvio_core::grid::{CellMap, GridSpec};
+    use mvio_core::partition::{read_features, ReadOptions};
+    use mvio_core::reader::WktLineParser;
+    use mvio_msim::{Topology, World, WorldConfig};
+    use mvio_pfs::FsConfig;
+
+    fn lattice_fs(n: u32) -> Arc<SimFs> {
+        let fs = SimFs::new(FsConfig::gpfs_roger());
+        let f = fs.create("pts.wkt", None).unwrap();
+        let mut text = String::new();
+        for y in 0..n {
+            for x in 0..n {
+                text.push_str(&format!("POINT ({x} {y})\tp{x}_{y}\n"));
+            }
+        }
+        f.append(text.as_bytes());
+        fs
+    }
+
+    fn build_engine(comm: &mut Comm, fs: &Arc<SimFs>, opts: &EngineOptions) -> QueryEngine {
+        let features =
+            read_features(comm, fs, "pts.wkt", &ReadOptions::default(), &WktLineParser).unwrap();
+        let cfg = DecompConfig {
+            grid: GridSpec::square(4),
+            policy: DecompPolicy::Uniform(CellMap::RoundRobin),
+        };
+        let sd = decomp::build_global(comm, &[&features], &cfg);
+        let rtree = decomp::build_cell_rtree(comm, &*sd);
+        let pairs = decomp::project_to_cells(comm, &rtree, &features);
+        let owned: Vec<(u32, Feature)> = pairs
+            .into_iter()
+            .map(|(cell, idx)| (cell, features[idx].clone()))
+            .collect();
+        let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions::default()).unwrap();
+        QueryEngine::from_parts(comm, sd, mine, opts)
+    }
+
+    #[test]
+    fn serve_answers_mixed_batch_identically_on_every_rank() {
+        let fs = lattice_fs(10);
+        let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+            let mut eng = build_engine(comm, &fs, &EngineOptions::default());
+            let batch = vec![
+                Query::Range(Rect::new(2.5, 2.5, 5.5, 4.5)),
+                Query::Point(Point::new(7.0, 7.0)),
+                Query::Point(Point::new(7.5, 7.5)),
+                Query::Knn {
+                    at: Point::new(0.2, 0.0),
+                    k: 2,
+                },
+            ];
+            eng.serve(comm, &batch).unwrap().answers
+        });
+        for answers in &out {
+            assert_eq!(
+                answers[0],
+                QueryAnswer::Matches(
+                    ["p3_3", "p3_4", "p4_3", "p4_4", "p5_3", "p5_4"]
+                        .map(String::from)
+                        .to_vec()
+                )
+            );
+            assert_eq!(answers[1], QueryAnswer::Matches(vec!["p7_7".into()]));
+            assert_eq!(answers[2], QueryAnswer::Matches(vec![]));
+            let QueryAnswer::Neighbors(nb) = &answers[3] else {
+                panic!("knn answer expected");
+            };
+            let labels: Vec<&str> = nb.iter().map(|n| n.userdata.as_str()).collect();
+            assert_eq!(labels, vec!["p0_0", "p1_0"]);
+        }
+    }
+
+    #[test]
+    fn knn_handles_ties_and_oversized_k() {
+        let fs = lattice_fs(3); // 9 points
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let mut eng = build_engine(comm, &fs, &EngineOptions::default());
+            let batch = vec![
+                // Centre of the lattice: 4 neighbours at distance 1 tie;
+                // ties break lexicographically on userdata.
+                Query::Knn {
+                    at: Point::new(1.0, 1.0),
+                    k: 5,
+                },
+                // k beyond the dataset returns everything.
+                Query::Knn {
+                    at: Point::new(0.0, 0.0),
+                    k: 100,
+                },
+            ];
+            eng.serve(comm, &batch).unwrap().answers
+        });
+        for answers in &out {
+            let QueryAnswer::Neighbors(nb) = &answers[0] else {
+                panic!()
+            };
+            let labels: Vec<&str> = nb.iter().map(|n| n.userdata.as_str()).collect();
+            assert_eq!(labels, vec!["p1_1", "p0_1", "p1_0", "p1_2", "p2_1"]);
+            assert_eq!(answers[1].len(), 9);
+        }
+    }
+
+    #[test]
+    fn cache_hits_preserve_answers() {
+        let fs = lattice_fs(10);
+        let out = World::run(WorldConfig::new(Topology::single_node(4)), move |comm| {
+            let mut eng = build_engine(
+                comm,
+                &fs,
+                &EngineOptions {
+                    cache: ServeCache::Entries(8),
+                    ..Default::default()
+                },
+            );
+            let batch = vec![
+                Query::Range(Rect::new(2.5, 2.5, 5.5, 4.5)),
+                Query::Knn {
+                    at: Point::new(0.0, 0.0),
+                    k: 3,
+                },
+            ];
+            let first = eng.serve(comm, &batch).unwrap();
+            let second = eng.serve(comm, &batch).unwrap();
+            assert_eq!(first.stats.answered_from_cache, 0);
+            assert_eq!(second.stats.answered_from_cache, 2);
+            assert_eq!(second.stats.shipped_records, 0);
+            (first.answers, second.answers)
+        });
+        for (first, second) in &out {
+            assert_eq!(first, second);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entry() {
+        let mut cache = ResultCache::new(2);
+        let k = |i: u32| QueryKey {
+            tag: 0,
+            a: i as u64,
+            b: 0,
+            c: 0,
+            d: 0,
+            k: 0,
+        };
+        cache.insert(k(1), QueryAnswer::Matches(vec!["a".into()]));
+        cache.insert(k(2), QueryAnswer::Matches(vec!["b".into()]));
+        assert!(cache.get(&k(1)).is_some()); // touch 1: now 2 is LRU
+        cache.insert(k(3), QueryAnswer::Matches(vec!["c".into()]));
+        assert!(cache.get(&k(1)).is_some());
+        assert!(cache.get(&k(2)).is_none());
+        assert!(cache.get(&k(3)).is_some());
+    }
+
+    #[test]
+    fn snapshot_engine_matches_ingest_engine() {
+        let fs = lattice_fs(8);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let mut eng = build_engine(comm, &fs, &EngineOptions::default());
+            // Round-trip through a snapshot and serve the same query.
+            let query = vec![Query::Range(Rect::new(1.5, 1.5, 4.5, 4.5))];
+            let direct = eng.serve(comm, &query).unwrap().answers;
+            let owned: Vec<(u32, Feature)> = eng.index.owned.clone();
+            snapshot::write_partitioned(
+                comm,
+                &fs,
+                "pts.snap",
+                &owned,
+                &*eng.index.sd,
+                &Default::default(),
+            )
+            .unwrap();
+            let mut snap_eng = QueryEngine::from_snapshot(
+                comm,
+                &fs,
+                "pts.snap",
+                DecompPolicy::Uniform(CellMap::RoundRobin),
+                &SnapshotReadOptions::default(),
+                &EngineOptions::default(),
+            )
+            .unwrap();
+            let from_snap = snap_eng.serve(comm, &query).unwrap().answers;
+            (direct, from_snap)
+        });
+        for (direct, from_snap) in &out {
+            assert_eq!(direct, from_snap);
+            assert!(!direct[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_engine_rejects_adaptive_policy() {
+        let fs = lattice_fs(4);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let mut eng = build_engine(comm, &fs, &EngineOptions::default());
+            let owned: Vec<(u32, Feature)> = eng.index.owned.clone();
+            snapshot::write_partitioned(
+                comm,
+                &fs,
+                "pts.snap",
+                &owned,
+                &*eng.index.sd,
+                &Default::default(),
+            )
+            .unwrap();
+            // Keep `eng` alive so the borrowck story stays simple.
+            let _ = eng.serve(comm, &[]).unwrap();
+            QueryEngine::from_snapshot(
+                comm,
+                &fs,
+                "pts.snap",
+                DecompPolicy::adaptive(),
+                &SnapshotReadOptions::default(),
+                &EngineOptions::default(),
+            )
+            .err()
+            .map(|e| matches!(e, CoreError::InvalidOptions(_)))
+        });
+        assert_eq!(out, vec![Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_queries() {
+        assert!(validate_query(&Query::Range(Rect::new(0.0, 0.0, 1.0, 1.0))).is_ok());
+        assert!(validate_query(&Query::Range(Rect::new(f64::NAN, 0.0, 1.0, 1.0))).is_err());
+        assert!(validate_query(&Query::Range(Rect::new(2.0, 0.0, 1.0, 1.0))).is_err());
+        assert!(validate_query(&Query::Point(Point::new(f64::INFINITY, 0.0))).is_err());
+        assert!(validate_query(&Query::Knn {
+            at: Point::new(0.0, 0.0),
+            k: 0
+        })
+        .is_err());
+        assert!(validate_query(&Query::Knn {
+            at: Point::new(0.0, 0.0),
+            k: 1
+        })
+        .is_ok());
+    }
+}

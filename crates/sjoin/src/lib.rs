@@ -20,11 +20,16 @@
 //! total).
 
 pub mod breakdown;
+pub mod engine;
 pub mod index;
 pub mod join;
 pub mod query;
 
 pub use breakdown::PhaseBreakdown;
+pub use engine::{
+    EngineOptions, Neighbor, Query, QueryAnswer, QueryEngine, ServeCache, ServeReport, ServeStats,
+    SERVE_CACHE_ENV,
+};
 pub use index::{build_distributed_index, IndexReport};
 pub use join::{
     spatial_join, spatial_join_snapshots, JoinOptions, JoinReport, SnapshotJoinOptions,

@@ -4,16 +4,43 @@
 //! application is less compute intensive e.g. range query").
 
 use crate::breakdown::{PhaseBreakdown, PhaseTimer};
-use mvio_core::decomp::{self, DecompConfig};
+use crate::engine::{self, EngineOptions, Query, QueryEngine};
+use mvio_core::decomp::{self, DecompConfig, SpatialDecomposition};
 use mvio_core::exchange::{exchange_features, ExchangeOptions};
 use mvio_core::grid::GridSpec;
 use mvio_core::partition::{read_features, ReadOptions};
 use mvio_core::reader::WktLineParser;
-use mvio_core::Result;
-use mvio_geom::{algo, Rect};
-use mvio_msim::{Comm, Work};
+use mvio_core::{Feature, Result};
+use mvio_geom::Rect;
+use mvio_msim::Comm;
 use mvio_pfs::SimFs;
 use std::sync::Arc;
+
+/// Shared partition+exchange front half of the one-shot query paths:
+/// read the WKT layer, build the global decomposition (policy from the
+/// `MVIO_DECOMP` knob), project to cells, and exchange to owners.
+fn read_and_partition(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    grid: GridSpec,
+    read: &ReadOptions,
+    timer: Option<&mut PhaseTimer>,
+) -> Result<(Box<dyn SpatialDecomposition>, Vec<(u32, Feature)>)> {
+    let features = read_features(comm, fs, path, read, &WktLineParser)?;
+    let sd = decomp::build_global(comm, &[&features], &DecompConfig::from_env(grid));
+    let rtree = decomp::build_cell_rtree(comm, &*sd);
+    let pairs = decomp::project_to_cells(comm, &rtree, &features);
+    let owned: Vec<(u32, Feature)> = pairs
+        .into_iter()
+        .map(|(cell, idx)| (cell, features[idx].clone()))
+        .collect();
+    if let Some(timer) = timer {
+        timer.end_partition(comm);
+    }
+    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions::default())?;
+    Ok((sd, mine))
+}
 
 /// Per-rank outcome of a distributed range query.
 #[derive(Debug, Clone)]
@@ -32,6 +59,14 @@ pub struct RangeQueryReport {
 /// refine with the exact predicate. The decomposition policy comes from
 /// the `MVIO_DECOMP` knob (default: the paper's uniform round-robin
 /// grid); the answer is identical under every policy.
+///
+/// A one-shot wrapper over [`crate::engine::QueryEngine`]: the
+/// partition/communication phases build a throwaway engine and the
+/// compute phase is its local filter+refine walk, so this path and the
+/// resident serving path share one claiming/refine implementation. The
+/// query rect is validated up front (NaN or inverted rects are a typed
+/// [`mvio_core::CoreError::InvalidOptions`]); every rank passes the same
+/// rect, so rejection is symmetric and nobody is stranded mid-collective.
 pub fn range_query(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
@@ -40,45 +75,13 @@ pub fn range_query(
     grid: GridSpec,
     read: &ReadOptions,
 ) -> Result<RangeQueryReport> {
+    engine::validate_query(&Query::Range(query))?;
     let mut timer = PhaseTimer::start(comm);
-
-    let features = read_features(comm, fs, path, read, &WktLineParser)?;
-    let sd = decomp::build_global(comm, &[&features], &DecompConfig::from_env(grid));
-    let rtree = decomp::build_cell_rtree(comm, &*sd);
-    let pairs = decomp::project_to_cells(comm, &rtree, &features);
-    let owned: Vec<(u32, mvio_core::Feature)> = pairs
-        .into_iter()
-        .map(|(cell, idx)| (cell, features[idx].clone()))
-        .collect();
-    timer.end_partition(comm);
-
-    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions::default())?;
+    let (sd, mine) = read_and_partition(comm, fs, path, grid, read, Some(&mut timer))?;
     timer.end_communication(comm);
 
-    let mut matches = Vec::new();
-    for (cell, f) in &mine {
-        let cell_rect = sd.cell_rect(*cell);
-        if !cell_rect.intersects(&query) {
-            continue;
-        }
-        let mbr = f.geometry.envelope();
-        comm.charge(Work::MbrTests { n: 1 });
-        if !mbr.intersects(&query) {
-            continue;
-        }
-        // Dedup across replicas: claim only in the cell holding the
-        // reference corner of (mbr ∩ query).
-        if !mvio_core::framework::claims_reference(&*sd, *cell, &mbr, &query) {
-            continue;
-        }
-        comm.charge(Work::RefinePair {
-            verts_a: f.geometry.num_points() as u64,
-            verts_b: 4,
-        });
-        if algo::rect_intersects_geometry(&query, &f.geometry) {
-            matches.push(f.userdata.clone());
-        }
-    }
+    let eng = QueryEngine::from_parts(comm, sd, mine, &EngineOptions::one_shot());
+    let matches = eng.local_range_matches(comm, &query)?;
     timer.end_compute(comm);
 
     let local = timer.finish(comm);
@@ -107,52 +110,14 @@ pub fn batch_query(
     grid: GridSpec,
     read: &ReadOptions,
 ) -> Result<Vec<u64>> {
-    let features = read_features(comm, fs, path, read, &WktLineParser)?;
-    let sd = decomp::build_global(comm, &[&features], &DecompConfig::from_env(grid));
-    let rtree = decomp::build_cell_rtree(comm, &*sd);
-    let pairs = decomp::project_to_cells(comm, &rtree, &features);
-    let owned: Vec<(u32, mvio_core::Feature)> = pairs
-        .into_iter()
-        .map(|(cell, idx)| (cell, features[idx].clone()))
-        .collect();
-    let (mine, _) = exchange_features(comm, owned, &*sd, &ExchangeOptions::default())?;
-
-    let mut counts = vec![0u64; queries.len()];
-    for (cell, f) in &mine {
-        let cell_rect = sd.cell_rect(*cell);
-        let mbr = f.geometry.envelope();
-        for (qi, q) in queries.iter().enumerate() {
-            if !cell_rect.intersects(q) {
-                continue;
-            }
-            comm.charge(Work::MbrTests { n: 1 });
-            if !mbr.intersects(q) {
-                continue;
-            }
-            if !mvio_core::framework::claims_reference(&*sd, *cell, &mbr, q) {
-                continue;
-            }
-            comm.charge(Work::RefinePair {
-                verts_a: f.geometry.num_points() as u64,
-                verts_b: 4,
-            });
-            if algo::rect_intersects_geometry(q, &f.geometry) {
-                counts[qi] += 1;
-            }
-        }
-    }
-    // Element-wise global sum.
-    let total = comm.allreduce(counts, (queries.len() * 8) as u64, &SumVec);
-    Ok(total)
-}
-
-/// Element-wise sum over `Vec<u64>` used by the batch-query reduction.
-struct SumVec;
-
-impl mvio_msim::ReduceOp<Vec<u64>> for SumVec {
-    fn combine(&self, a: &Vec<u64>, b: &Vec<u64>) -> Vec<u64> {
-        a.iter().zip(b).map(|(x, y)| x + y).collect()
-    }
+    let (sd, mine) = read_and_partition(comm, fs, path, grid, read, None)?;
+    let mut eng = QueryEngine::from_parts(comm, sd, mine, &EngineOptions::one_shot());
+    // Every rank issues the whole batch, so every rank receives the full
+    // global answer for every query — the counts come out identical
+    // everywhere without a final reduction.
+    let qs: Vec<Query> = queries.iter().map(|r| Query::Range(*r)).collect();
+    let report = eng.serve(comm, &qs)?;
+    Ok(report.answers.iter().map(|a| a.len() as u64).collect())
 }
 
 #[cfg(test)]

@@ -75,5 +75,8 @@ pub mod prelude {
         ShapeClass, Topology, Work, World, WorldConfig,
     };
     pub use mvio_pfs::{FsConfig, FsKind, SimFs, StripeSpec};
-    pub use mvio_sjoin::{build_distributed_index, range_query, spatial_join, JoinOptions};
+    pub use mvio_sjoin::{
+        build_distributed_index, range_query, spatial_join, EngineOptions, JoinOptions, Query,
+        QueryAnswer, QueryEngine, ServeCache,
+    };
 }

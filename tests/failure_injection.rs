@@ -176,3 +176,86 @@ fn empty_and_whitespace_files_are_harmless() {
         assert!(results.iter().all(|&n| n == 0), "content {content:?}");
     }
 }
+
+#[test]
+fn malformed_queries_are_rejected_symmetrically_and_engine_survives() {
+    // NaN rects, inverted rects and k = 0 kNN probes must be rejected
+    // with a typed `InvalidOptions` on EVERY rank — the validation
+    // allreduce runs before any exchange, so no rank is stranded in a
+    // collective — and the engine must keep answering afterwards.
+    use mpi_vector_io::core::decomp::{SpatialDecomposition, UniformDecomposition};
+    use mpi_vector_io::sjoin::{EngineOptions, Query, QueryAnswer, QueryEngine};
+
+    let bad_batches: Vec<Vec<Query>> = vec![
+        vec![Query::Range(Rect::new(f64::NAN, 0.0, 1.0, 1.0))],
+        vec![
+            Query::Range(Rect::new(0.0, 0.0, 4.0, 4.0)), // fine
+            Query::Range(Rect::new(3.0, 3.0, 1.0, 4.0)), // inverted x
+        ],
+        vec![Query::Point(Point::new(0.0, f64::INFINITY))],
+        vec![Query::Knn {
+            at: Point::new(2.0, 2.0),
+            k: 0,
+        }],
+    ];
+    let n_bad = bad_batches.len();
+
+    let out = World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+        // A 6×6 lattice of labelled points, resident under a uniform
+        // round-robin decomposition.
+        let grid = UniformGrid::new(Rect::new(0.0, 0.0, 6.0, 6.0), GridSpec::square(3));
+        let sd: Box<dyn SpatialDecomposition> = Box::new(UniformDecomposition::new(
+            grid,
+            CellMap::RoundRobin,
+            comm.size(),
+        ));
+        let mut owned = Vec::new();
+        for y in 0..6 {
+            for x in 0..6 {
+                let p = Point::new(x as f64, y as f64);
+                for cell in sd.cells_for_rect_vec(&p.envelope()) {
+                    if sd.cell_to_rank(cell) == comm.rank() {
+                        owned.push((
+                            cell,
+                            Feature::with_userdata(Geometry::Point(p), format!("p{x}_{y}")),
+                        ));
+                    }
+                }
+            }
+        }
+        let mut eng = QueryEngine::from_parts(comm, sd, owned, &EngineOptions::default());
+
+        let mut rejections = Vec::new();
+        for batch in &bad_batches {
+            match eng.serve(comm, batch) {
+                Ok(_) => rejections.push(None),
+                Err(e) => rejections.push(Some(matches!(e, CoreError::InvalidOptions(_)))),
+            }
+        }
+        // The engine is not poisoned: the next (valid) batch answers.
+        let rep = eng
+            .serve(comm, &[Query::Range(Rect::new(0.5, 0.5, 2.5, 2.5))])
+            .unwrap();
+        let survived = match &rep.answers[0] {
+            QueryAnswer::Matches(m) => m.clone(),
+            _ => unreachable!("range answers with matches"),
+        };
+        (rejections, survived)
+    });
+
+    for (rank, (rejections, survived)) in out.iter().enumerate() {
+        assert_eq!(rejections.len(), n_bad);
+        for (i, r) in rejections.iter().enumerate() {
+            assert_eq!(
+                *r,
+                Some(true),
+                "rank {rank}: bad batch {i} must be InvalidOptions, got {r:?}"
+            );
+        }
+        assert_eq!(
+            survived,
+            &vec!["p1_1", "p1_2", "p2_1", "p2_2"],
+            "rank {rank}: engine unusable after rejected batches"
+        );
+    }
+}
