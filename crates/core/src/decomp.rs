@@ -649,6 +649,7 @@ pub fn build_global_from_mbr(
 /// Builds the R-tree over cell boundaries the paper describes ("an R-tree
 /// is first built by inserting the individual cell boundaries"), charging
 /// the rank the insertion cost.
+/// Not collective — the communicator is used only to charge local compute.
 pub fn build_cell_rtree(comm: &mut Comm, decomp: &dyn SpatialDecomposition) -> RTree<u32> {
     let items: Vec<(Rect, u32)> = (0..decomp.num_cells())
         .map(|id| (decomp.cell_rect(id), id))
@@ -662,6 +663,7 @@ pub fn build_cell_rtree(comm: &mut Comm, decomp: &dyn SpatialDecomposition) -> R
 /// Projects features onto cells through the cell R-tree (the paper's
 /// filter mechanism), charging query costs. Returns `(cell, feature
 /// index)` pairs; features spanning k cells appear k times.
+/// Not collective — the communicator is used only to charge local compute.
 pub fn project_to_cells(
     comm: &mut Comm,
     rtree: &RTree<u32>,
@@ -697,7 +699,7 @@ pub fn imbalance_ratio(per_rank: &[u64]) -> f64 {
         return 1.0;
     }
     let mean = total as f64 / per_rank.len() as f64;
-    let max = *per_rank.iter().max().unwrap() as f64;
+    let max = per_rank.iter().max().copied().unwrap_or(0) as f64;
     max / mean
 }
 

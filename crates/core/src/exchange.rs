@@ -226,17 +226,47 @@ pub fn serialize_record(
     Ok(())
 }
 
+/// Reads the little-endian `u64` at `buf[at..at + 8]`; the caller has
+/// already bounds-checked the slice.
+fn le_u64(buf: &[u8], at: usize) -> Result<u64> {
+    let bytes = buf
+        .get(at..at + 8)
+        .ok_or_else(|| CoreError::Frame(format!("u64 field at {at} past end of frame")))?;
+    // audit: the slice is exactly 8 bytes by construction of the range.
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Reads the little-endian `u32` length field at `buf[at..at + 4]` as a
+/// checked `usize`.
+fn le_len(buf: &[u8], at: usize) -> Result<usize> {
+    let bytes = buf
+        .get(at..at + 4)
+        .ok_or_else(|| CoreError::Frame(format!("length field at {at} past end of frame")))?;
+    // audit: the slice is exactly 4 bytes by construction of the range.
+    let len = u32::from_le_bytes(bytes.try_into().expect("4-byte slice"));
+    usize::try_from(len)
+        .map_err(|_| CoreError::Frame(format!("length {len} does not fit this target's usize")))
+}
+
+/// Checked narrowing of a wire cell word to the `u32` cell-id space; a
+/// corrupted high word must surface as an error, never alias a valid
+/// cell by truncation.
+fn cell_from_wire(word: u64) -> Result<u32> {
+    u32::try_from(word)
+        .map_err(|_| CoreError::Frame(format!("cell word {word:#x} exceeds the u32 cell-id space")))
+}
+
 fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
     let mut out = Vec::new();
-    let bad = |msg: &str| CoreError::Partition(format!("exchange deserialization: {msg}"));
+    let bad = |msg: &str| CoreError::Frame(format!("exchange deserialization: {msg}"));
     while !buf.is_empty() {
         if buf.len() < 12 {
             return Err(bad("truncated header"));
         }
-        let cell = u64::from_le_bytes(buf[..8].try_into().unwrap()) as u32;
-        let glen = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let cell = cell_from_wire(le_u64(buf, 0)?)?;
+        let glen = le_len(buf, 8)?;
         buf = &buf[12..];
-        if buf.len() < glen + 4 {
+        if buf.len() < glen.saturating_add(4) {
             return Err(bad("truncated geometry"));
         }
         let (geometry, used) = wkb::decode(&buf[..glen]).map_err(|e| CoreError::Parse {
@@ -245,7 +275,7 @@ fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
         })?;
         debug_assert_eq!(used, glen);
         buf = &buf[glen..];
-        let ulen = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        let ulen = le_len(buf, 0)?;
         buf = &buf[4..];
         if buf.len() < ulen {
             return Err(bad("truncated userdata"));
@@ -263,17 +293,19 @@ fn deserialize_records(mut buf: &[u8]) -> Result<Vec<(u32, Feature)>> {
 /// buffer (and by the snapshot reader to walk persisted sections, which
 /// use the same wire format).
 pub(crate) fn record_len_at(buf: &[u8], pos: usize) -> Result<usize> {
-    let bad = |msg: &str| CoreError::Partition(format!("exchange chunking: {msg}"));
+    let bad = |msg: &str| CoreError::Frame(format!("exchange chunking: {msg}"));
     let rest = &buf[pos..];
     if rest.len() < 12 {
         return Err(bad("truncated record header"));
     }
-    let glen = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
-    if rest.len() < 12 + glen + 4 {
+    let glen = le_len(rest, 8)?;
+    // Length fields are u32, so these sums stay far below usize::MAX;
+    // saturating keeps the comparisons safe even against torn input.
+    if rest.len() < glen.saturating_add(16) {
         return Err(bad("truncated geometry"));
     }
-    let ulen = u32::from_le_bytes(rest[12 + glen..16 + glen].try_into().unwrap()) as usize;
-    if rest.len() < 16 + glen + ulen {
+    let ulen = le_len(rest, 12 + glen)?;
+    if rest.len() < 16usize.saturating_add(glen).saturating_add(ulen) {
         return Err(bad("truncated userdata"));
     }
     Ok(16 + glen + ulen)
@@ -289,6 +321,7 @@ pub(crate) fn record_len_at(buf: &[u8], pos: usize) -> Result<usize> {
 /// Serialization and deserialization charge the rank's clock (they are
 /// the "communication buffer management overhead" in the paper's
 /// breakdown figures).
+/// Collective: every rank must call it with its own pairs.
 pub fn exchange_features<D: SpatialDecomposition + ?Sized>(
     comm: &mut Comm,
     pairs: Vec<(u32, Feature)>,
@@ -322,6 +355,7 @@ pub fn exchange_features<D: SpatialDecomposition + ?Sized>(
 /// order-sensitive consumer — are **bit-identical for every chunk
 /// policy**; the rounds within a window still deserialize incrementally
 /// while later rounds are in flight.
+/// Collective: every rank must call it with the same window count.
 pub fn exchange_features_windows<D: SpatialDecomposition + ?Sized>(
     comm: &mut Comm,
     pairs: Vec<(u32, Feature)>,
@@ -556,6 +590,7 @@ impl ExchangePlan {
     /// Ships a pre-serialized batch and collects the received pairs in
     /// source-rank order — bit-identical to the single-round blocking
     /// protocol for **any** chunk policy.
+    /// Collective: every rank must call it with its own batch.
     pub fn run_batch(
         &self,
         comm: &mut Comm,
@@ -574,6 +609,7 @@ impl ExchangePlan {
     /// Ships a pre-serialized batch, handing each completed round's
     /// received records (indexed by source rank) to `sink` while later
     /// rounds are still in flight.
+    /// Collective: every rank must call it with its own batch.
     pub fn run_batch_rounds(
         &self,
         comm: &mut Comm,
@@ -589,6 +625,7 @@ impl ExchangePlan {
     /// rounds still in flight — or serialize follow-up records. The
     /// serving layer uses this to walk local R-trees while queries are
     /// still being shipped.
+    /// Collective: every rank must call it with its own batch.
     pub fn run_batch_rounds_ctx(
         &self,
         comm: &mut Comm,
@@ -659,6 +696,8 @@ impl ExchangePlan {
     /// sink (see [`ExchangePlan::run_batch_rounds_ctx`]). Sink compute
     /// charged through the passed `&mut Comm` overlaps any round still in
     /// flight exactly like deserialization does.
+    /// Collective: every rank must call it (the full contract is on
+    /// [`ExchangePlan::run_streamed`]).
     pub fn run_streamed_ctx(
         &self,
         comm: &mut Comm,
@@ -682,7 +721,9 @@ impl ExchangePlan {
         // posted) — with one round this is exactly the historic protocol.
         let (mut batch, more) =
             produce_round(comm, &mut engine, feed, &mut local_done, p, &mut deferred);
-        let sreq = comm.ialltoall_u64(flagged_sizes(&batch, more));
+        let sreq = comm.labeled("exchange.sizes[round=0]", |c| {
+            c.ialltoall_u64(flagged_sizes(&batch, more))
+        });
         let incoming = engine.drive(comm, sreq);
         let mut any_more = incoming.iter().any(|&v| v & MORE_BIT != 0);
         let mut expected_sizes: Vec<u64> = incoming.iter().map(|v| v & !MORE_BIT).collect();
@@ -698,14 +739,22 @@ impl ExchangePlan {
             stats.records_sent += stats.per_round[round].records_sent;
             stats.bytes_sent += stats.per_round[round].bytes_sent;
             stats.rounds += 1;
-            let preq = comm.ialltoallv(std::mem::take(&mut batch).bufs);
+            // The round index is collective-synchronized (driven by the
+            // flags of the previous size exchange), so these labels match
+            // across ranks — and make a divergent round count show up in
+            // the verifier as a label mismatch, not a silent hang.
+            let preq = comm.labeled(&format!("exchange.payload[round={round}]"), |c| {
+                c.ialltoallv(std::mem::take(&mut batch).bufs)
+            });
 
             // Pipeline ahead: produce round r+1 and post its size
             // exchange while round r's payload is in flight.
             let sreq_next = if any_more {
                 let (next, nmore) =
                     produce_round(comm, &mut engine, feed, &mut local_done, p, &mut deferred);
-                let req = comm.ialltoall_u64(flagged_sizes(&next, nmore));
+                let req = comm.labeled(&format!("exchange.sizes[round={}]", round + 1), |c| {
+                    c.ialltoall_u64(flagged_sizes(&next, nmore))
+                });
                 batch = next;
                 Some(req)
             } else {
@@ -935,6 +984,7 @@ impl BatchSplitter {
 /// threads. Only the receive-side deserialization is charged here. The
 /// chunk policy resolves through [`CHUNK_ENV`]; use
 /// [`exchange_serialized_with`] to pin it explicitly.
+/// Collective: every rank must call it with its own batch.
 pub fn exchange_serialized(
     comm: &mut Comm,
     batch: SerializedBatch,
@@ -943,6 +993,7 @@ pub fn exchange_serialized(
 }
 
 /// [`exchange_serialized`] with an explicit chunk policy.
+/// Collective: every rank must call it with its own batch.
 pub fn exchange_serialized_with(
     comm: &mut Comm,
     batch: SerializedBatch,
@@ -974,6 +1025,53 @@ mod tests {
             },
         );
         UniformDecomposition::new(grid, map, ranks)
+    }
+
+    /// Corrupt frames must surface as typed [`CoreError::Frame`] errors
+    /// from the checked decode path — never as a silently truncated
+    /// narrowing cast or an out-of-bounds panic.
+    #[test]
+    fn malformed_frames_are_rejected_with_typed_errors() {
+        let mut valid = Vec::new();
+        serialize_record(7, &feature(1.0, 2.0, "ud"), &mut Vec::new(), &mut valid).unwrap();
+
+        // Cell word with a corrupted high half: before the checked
+        // conversion this truncated back to a plausible cell id.
+        let mut high_cell = valid.clone();
+        high_cell[4..8].copy_from_slice(&0xdead_beef_u32.to_le_bytes());
+        match deserialize_records(&high_cell) {
+            Err(CoreError::Frame(m)) => assert!(m.contains("cell-id space"), "{m}"),
+            other => panic!("high cell word not rejected: {other:?}"),
+        }
+
+        // Geometry length field pointing far past the end of the buffer.
+        let mut huge_glen = valid.clone();
+        huge_glen[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        match deserialize_records(&huge_glen) {
+            Err(CoreError::Frame(m)) => assert!(m.contains("truncated geometry"), "{m}"),
+            other => panic!("oversized geometry length not rejected: {other:?}"),
+        }
+        match record_len_at(&huge_glen, 0) {
+            Err(CoreError::Frame(m)) => assert!(m.contains("truncated geometry"), "{m}"),
+            other => panic!("record_len_at accepted oversized length: {other:?}"),
+        }
+
+        // Frames cut off mid-header and mid-userdata.
+        for cut in [5, valid.len() - 1] {
+            assert!(
+                matches!(deserialize_records(&valid[..cut]), Err(CoreError::Frame(_))),
+                "truncation at {cut} not rejected"
+            );
+            assert!(
+                matches!(record_len_at(&valid[..cut], 0), Err(CoreError::Frame(_))),
+                "record_len_at accepted truncation at {cut}"
+            );
+        }
+
+        // The intact frame still decodes.
+        let out = deserialize_records(&valid).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 7);
     }
 
     #[test]

@@ -38,6 +38,8 @@ impl FilterRefine {
     ///
     /// `refine` receives the communicator so it can charge its actual
     /// compute work to the virtual clock.
+    /// Not collective — refinement is cell-local; the communicator only
+    /// charges compute.
     pub fn run_refine<'a, R>(
         comm: &mut Comm,
         decomp: &dyn SpatialDecomposition,
@@ -56,6 +58,8 @@ impl FilterRefine {
     /// not affect the result; within a cell, features keep
     /// batch-then-offset order, matching the concatenated sequential path
     /// bit for bit.
+    /// Not collective — refinement is cell-local; the communicator only
+    /// charges compute.
     pub fn run_refine_batched<'a, R>(
         comm: &mut Comm,
         decomp: &dyn SpatialDecomposition,

@@ -140,6 +140,12 @@ pub enum CoreError {
     /// a payload that disagrees with the decomposition it is being loaded
     /// under. See [`snapshot`] for the format.
     Snapshot(String),
+    /// A serialized exchange record frame was corrupt: truncated,
+    /// carrying a length field that does not fit the buffer, or a cell
+    /// word whose value exceeds the `u32` cell-id space. Decoding uses
+    /// checked conversions throughout, so corruption surfaces here
+    /// instead of as a silently truncated cast.
+    Frame(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -164,6 +170,7 @@ impl std::fmt::Display for CoreError {
                  {records} record counts on a {comm_size}-rank communicator"
             ),
             CoreError::Snapshot(m) => write!(f, "snapshot: {m}"),
+            CoreError::Frame(m) => write!(f, "corrupt wire frame: {m}"),
         }
     }
 }

@@ -20,6 +20,7 @@ const SCATTER_TAG: u64 = 0xBA5E;
 /// Baseline 1 — **master read + scatter**: rank 0 reads the whole file
 /// sequentially and sends each rank its share of complete records over
 /// point-to-point messages. Returns this rank's text.
+/// Collective: every rank must call it with the same options.
 pub fn read_master_scatter(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
@@ -59,6 +60,7 @@ pub fn read_master_scatter(
 /// and keeps only its share. No communication, maximal wasted I/O, and
 /// per-rank memory equal to the whole file (the paper's "overwhelmed the
 /// memory capacity" failure mode).
+/// Collective: every rank must call it with the same options.
 pub fn read_redundant(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
@@ -90,6 +92,7 @@ fn split_on_records(buf: &[u8], p: usize, delim: u8) -> Vec<&[u8]> {
     bounds.push(0usize);
     for k in 1..p {
         let target = len * k / p;
+        // audit: `bounds` is seeded with 0 above and only grows.
         let from_prev = *bounds.last().expect("non-empty");
         let start = target.max(from_prev);
         // Advance to just past the next delimiter.

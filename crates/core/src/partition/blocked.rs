@@ -19,6 +19,7 @@ const FRAGMENT_TAG: u64 = 0xF1;
 /// tail of the *last* participant wraps to rank 0 as the carry for the
 /// next iteration (or, after the final iteration, becomes the file's last
 /// record when the file does not end with a delimiter).
+/// Collective: every rank must call it with the same options.
 pub fn read_blocked(comm: &mut Comm, file: &MpiFile, opts: &ReadOptions) -> Result<String> {
     let n = comm.size() as u64;
     let rank = comm.rank() as u64;

@@ -139,6 +139,7 @@ pub fn read_partition_text(
 
 /// The full I/O + parse front half of the pipeline: partitioned read
 /// followed by the local parse phase. Returns this rank's features.
+/// Collective: every rank must call it with the same options.
 pub fn read_features(
     comm: &mut Comm,
     fs: &Arc<SimFs>,

@@ -15,6 +15,7 @@ use mvio_msim::{AccessLevel, Comm, MpiFile, Work};
 /// per iteration, which is exactly why the paper found this strategy
 /// slower ("the overhead of reading 11 MB halo region by each process is
 /// greater than exchanging missing co-ordinates").
+/// Collective: every rank must call it with the same options.
 pub fn read_overlap(comm: &mut Comm, file: &MpiFile, opts: &ReadOptions) -> Result<String> {
     let n = comm.size() as u64;
     let rank = comm.rank() as u64;

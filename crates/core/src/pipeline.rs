@@ -253,10 +253,12 @@ where
             }
             drop(res_tx);
             for pair in jobs.iter().enumerate() {
+                // audit: workers hold the receiver until `job_tx` drops below; a failed send means a worker panicked, and propagating that panic is intended.
                 job_tx.send(pair).expect("workers alive");
             }
             drop(job_tx);
             for _ in 0..n {
+                // audit: a recv error means a worker panicked mid-job; propagating the panic is intended.
                 let (idx, out, secs) = res_rx.recv().expect("worker panicked");
                 secs_by_idx[idx] = secs;
                 results[idx] = Some(out);
@@ -273,6 +275,7 @@ where
     }
     let results = results
         .into_iter()
+        // audit: the collection loop above stored exactly one result per job index.
         .map(|r| r.expect("every job produced a result"))
         .collect();
     (results, lanes)
@@ -283,6 +286,8 @@ where
 /// chunk order. The feature vector is bit-identical to
 /// [`crate::reader::parse_buffer`] for any worker count; the clock
 /// advances by the slowest deterministic worker lane.
+/// Not collective — local parse; the communicator only charges the
+/// worker lanes.
 pub fn parse_chunked(
     comm: &mut Comm,
     text: &str,
@@ -404,6 +409,8 @@ fn serialize_partition_chunk<D: SpatialDecomposition + ?Sized>(
 /// The resulting [`SerializedBatch`] is byte-identical for any worker
 /// count and matches what [`crate::exchange::exchange_features`] would
 /// serialize from the equivalent pair list.
+/// Not collective — local serialization; the communicator only charges
+/// the worker lanes.
 pub fn partition_chunked<D: SpatialDecomposition + ?Sized>(
     comm: &mut Comm,
     decomp: &D,
@@ -654,6 +661,8 @@ pub fn ingest(
 /// rejected with [`crate::CoreError::InvalidOptions`] rather than
 /// silently ignored.
 #[allow(clippy::too_many_arguments)]
+/// Collective: every rank must call it — it chains the partitioned
+/// read, the decomposition reductions, and the exchange.
 pub fn ingest_with_exchange(
     comm: &mut Comm,
     fs: &Arc<SimFs>,

@@ -150,6 +150,8 @@ pub fn parse_records_into(
 /// Parses every newline-delimited record in `text`, charging the rank's
 /// clock the calibrated per-byte parse cost by shape class. Blank records
 /// are skipped. This is the local parsing phase of the pipeline.
+/// Not collective — local parsing; the communicator only charges the
+/// clock.
 pub fn parse_buffer(
     comm: &mut Comm,
     text: &str,

@@ -238,14 +238,17 @@ fn encode_meta(meta: &SnapshotMeta) -> Vec<u8> {
 }
 
 fn u32_at(buf: &[u8], at: usize) -> u32 {
+    // audit: the range is exactly 4 bytes by construction.
     u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
 }
 
 fn u64_at(buf: &[u8], at: usize) -> u64 {
+    // audit: the range is exactly 8 bytes by construction.
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
 }
 
 fn f64_at(buf: &[u8], at: usize) -> f64 {
+    // audit: the range is exactly 8 bytes by construction.
     f64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
 }
 
@@ -270,6 +273,7 @@ fn decode_meta(bytes: &[u8], file_len: u64) -> Result<SnapshotMeta> {
             "unsupported version {version} (this build reads {VERSION})"
         )));
     }
+    // audit: u32 -> usize is lossless on every supported target.
     let sections = u32_at(bytes, 12) as usize;
     let spec = GridSpec {
         cells_x: u32_at(bytes, 16),
@@ -371,6 +375,7 @@ fn read_meta_with(
                 "section table for {sections} sections extends past the file length {file_len}"
             )));
         }
+        // audit: `HEADER_LEN + table` was just checked against the file length.
         head.resize((HEADER_LEN + table) as usize, 0);
         let got = read(HEADER_LEN, &mut head[HEADER_LEN as usize..])?;
         head.truncate(HEADER_LEN as usize + got);
@@ -391,6 +396,8 @@ pub fn read_meta(fs: &Arc<SimFs>, path: &str) -> Result<SnapshotMeta> {
 /// header I/O (e.g. the snapshot spatial join's partitioning phase).
 /// Every rank reads identical bytes, so acceptance is symmetric across
 /// ranks.
+/// Not collective — uses independent reads; any subset of ranks may
+/// call it.
 pub fn read_meta_timed(comm: &mut Comm, fs: &Arc<SimFs>, path: &str) -> Result<SnapshotMeta> {
     let file = MpiFile::open(fs, path, Hints::default())?;
     read_meta_with(file.len(), |off, buf| Ok(file.read_at(comm, off, buf)?))
@@ -486,7 +493,7 @@ pub fn write_partitioned(
             v
         }
     };
-    let status = comm.bcast(0, word);
+    let status = comm.labeled("snapshot.write.create", |c| c.bcast(0, word));
     if let Some(e) = create_err {
         return Err(e.into()); // rank 0 keeps the original error
     }
@@ -507,8 +514,9 @@ pub fn write_partitioned(
     let mut word = [0u8; 17];
     word[..8].copy_from_slice(&(buf.len() as u64).to_le_bytes());
     word[8..16].copy_from_slice(&my_records.to_le_bytes());
+    // audit: bool -> u8 is 0/1, lossless.
     word[16] = deferred.is_some() as u8;
-    let gathered = comm.allgather(word.to_vec());
+    let gathered = comm.labeled("snapshot.write.sections", |c| c.allgather(word.to_vec()));
     // A serialization failure anywhere aborts the write *before* any
     // byte reaches the file: persisting a metadata-consistent snapshot
     // that silently misses one rank's records would be far worse than
@@ -590,7 +598,7 @@ pub fn write_partitioned(
             v
         }
     };
-    let status = comm.bcast(0, word);
+    let status = comm.labeled("snapshot.write.header", |c| c.bcast(0, word));
     if let Some((_, msg)) = status.split_first() {
         if comm.rank() == 0 {
             let _ = fs.remove(path);
@@ -604,7 +612,9 @@ pub fn write_partitioned(
         });
     }
     let my_section = meta.sections[comm.rank()];
-    file.write_at_all_staged(comm, my_section.offset, &buf)?;
+    comm.labeled("snapshot.write.payload", |c| {
+        file.write_at_all_staged(c, my_section.offset, &buf)
+    })?;
     let write_seconds = comm.now() - t0;
 
     let bytes_total = meta.payload_bytes();
@@ -713,8 +723,11 @@ pub fn read_partitioned(
     let (s_lo, s_hi) = reader_sections(meta.sections.len(), comm.rank(), p);
     let mine = &meta.sections[s_lo..s_hi];
     let (range_lo, range_hi) = covering_range(mine);
+    // audit: the span was pre-checked against the 2 GiB collective I/O limit above.
     let mut payload = vec![0u8; (range_hi - range_lo) as usize];
-    let got = file.read_at_all_staged(comm, range_lo, &mut payload)?;
+    let got = comm.labeled("snapshot.read.payload", |c| {
+        file.read_at_all_staged(c, range_lo, &mut payload)
+    })?;
 
     // Route: walk each section's records, steering the raw wire bytes to
     // their owner rank under `decomp`. Errors are parked so the routing
@@ -741,7 +754,9 @@ pub fn read_partitioned(
                 }
                 continue;
             }
+            // audit: `s.offset` lies inside the covering range by construction.
             let at = (s.offset - range_lo) as usize;
+            // audit: section offsets/lengths were validated against the file length, and the covering span is under the 2 GiB collective I/O pre-check.
             let section = &payload[at..at + s.len as usize];
             let mut pos = 0usize;
             let mut records = 0u64;
@@ -756,6 +771,7 @@ pub fn read_partitioned(
                         "record cell {cell} out of range (decomposition has {num_cells} cells)"
                     )));
                 }
+                // audit: range-checked against `num_cells` just above.
                 let dst = decomp.cell_to_rank(cell as u32);
                 batch.bufs[dst].extend_from_slice(&section[pos..pos + len]);
                 batch.records[dst] += 1;
@@ -785,7 +801,9 @@ pub fn read_partitioned(
     // degenerates to a local pass-through (zero cross-rank bytes) and
     // the output order is exactly the written order.
     let ex_opts = ExchangeOptions::with_chunk(opts.chunk);
-    let (owned, exchange) = match exchange_serialized_with(comm, batch, &ex_opts) {
+    let (owned, exchange) = match comm.labeled("snapshot.read.route", |c| {
+        exchange_serialized_with(c, batch, &ex_opts)
+    }) {
         Ok(out) => out,
         Err(e) => return Err(deferred.unwrap_or(e)),
     };

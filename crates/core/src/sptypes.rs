@@ -156,6 +156,7 @@ pub fn encode_points(points: &[Point]) -> Vec<u8> {
 
 #[inline]
 fn f64_at(buf: &[u8], off: usize) -> f64 {
+    // audit: the range is exactly 8 bytes by construction.
     f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
 }
 

@@ -71,6 +71,8 @@ pub fn read_rects_level3(
 }
 
 /// Point-record counterpart of [`read_rects_level3`].
+/// Collective: every rank must call it (Level-3 collective I/O over a
+/// shared file view).
 pub fn read_points_level3(
     comm: &mut Comm,
     file: &mut MpiFile,
@@ -99,6 +101,8 @@ pub fn read_points_level3(
 /// (the paper supports "both formatted as well as unformatted data").
 /// `lengths`/`offsets` come from the preprocessing step; `assigned`
 /// selects this rank's records.
+/// Collective: every rank must call it (Level-3 collective I/O over a
+/// shared file view).
 pub fn read_wkb_geometries_level3(
     comm: &mut Comm,
     file: &mut MpiFile,

@@ -92,6 +92,7 @@ impl ShapeGen {
             })
             .collect();
         pts.push(pts[0]); // close
+                          // audit: stars have >= 3 distinct ring points by construction.
         Polygon::from_coords(pts, vec![]).expect("star construction is valid")
     }
 
@@ -110,6 +111,7 @@ impl ShapeGen {
             cur = Point::new(cur.x + step * heading.cos(), cur.y + step * heading.sin());
             pts.push(cur);
         }
+        // audit: the walk always emits at least two points.
         LineString::new(pts).expect("walk has >= 2 points")
     }
 

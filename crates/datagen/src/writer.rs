@@ -77,6 +77,7 @@ pub fn write_wkt_dataset_with_centers(
 ) -> u64 {
     let file = fs
         .create(path, None)
+        // audit: create fails only when the file exists, so open succeeds.
         .unwrap_or_else(|_| fs.open(path).expect("exists"));
     let mut sampler = dist.sampler_with_centers(world, center_seed, jitter_seed);
     let mut batch = String::with_capacity(4 << 20);
@@ -126,6 +127,7 @@ pub fn write_rect_records(
 ) -> Vec<Rect> {
     let file = fs
         .create(path, None)
+        // audit: create fails only when the file exists, so open succeeds.
         .unwrap_or_else(|_| fs.open(path).expect("exists"));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rects = Vec::with_capacity(count as usize);
@@ -159,6 +161,7 @@ pub fn write_point_records(
 ) -> Vec<Point> {
     let file = fs
         .create(path, None)
+        // audit: create fails only when the file exists, so open succeeds.
         .unwrap_or_else(|_| fs.open(path).expect("exists"));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut points = Vec::with_capacity(count as usize);

@@ -122,6 +122,7 @@ fn rect_to_polygon(r: &Rect) -> Polygon {
         ],
         vec![],
     )
+    // audit: four rectangle corners always form a valid closed ring.
     .expect("rect corners always form a valid ring")
 }
 

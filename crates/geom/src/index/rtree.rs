@@ -284,6 +284,7 @@ fn insert_rec<T>(node: &mut Node<T>, rect: Rect, value: T) -> Option<Node<T>> {
                         })
                 })
                 .map(|(i, _)| i)
+                // audit: construction never produces an empty inner node.
                 .expect("inner node always has children");
             if let Some(sibling) = insert_rec(&mut children[idx], rect, value) {
                 children.push(sibling);

@@ -178,6 +178,7 @@ impl<'a> Cursor<'a> {
 
     fn u32(&mut self, big_endian: bool) -> Result<u32> {
         self.need(4)?;
+        // audit: `need` bounds-checked; the range is exactly 4 bytes.
         let bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
         self.pos += 4;
         Ok(if big_endian {
@@ -189,6 +190,7 @@ impl<'a> Cursor<'a> {
 
     fn f64(&mut self, big_endian: bool) -> Result<f64> {
         self.need(8)?;
+        // audit: `need` bounds-checked; the range is exactly 8 bytes.
         let bytes: [u8; 8] = self.buf[self.pos..self.pos + 8].try_into().unwrap();
         self.pos += 8;
         Ok(if big_endian {

@@ -123,6 +123,7 @@ impl<'a> Parser<'a> {
             return Err(self.error("expected a geometry keyword"));
         }
         Ok(std::str::from_utf8(&self.src[start..self.pos])
+            // audit: the scanned bytes are ASCII letters, always valid UTF-8.
             .expect("ASCII letters are valid UTF-8")
             .to_ascii_uppercase())
     }

@@ -101,6 +101,7 @@ fn push_coord(out: &mut String, p: &Point) {
 
 fn push_f64(out: &mut String, v: f64) {
     use std::fmt::Write;
+    // audit: `write!` to a String is infallible.
     write!(out, "{v}").expect("writing to String cannot fail");
 }
 

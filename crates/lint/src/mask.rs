@@ -1,0 +1,354 @@
+//! Lexical masking: a character-level pass that blanks out string
+//! literals and comments (preserving line structure and delimiters) so
+//! the rule matchers can pattern-match code without tripping over
+//! `"call .unwrap() here"` in a message or a rule name in prose.
+//!
+//! The pass also extracts the three side channels the rules need:
+//! per-line doc-comment text (for the collective-contract rule),
+//! per-line `audit:` markers (the escape hatch for documented
+//! invariants), and the `#[cfg(test)]` item regions to skip.
+
+/// A source file after the masking pass.
+pub struct MaskedFile {
+    /// Raw source lines, 0-indexed.
+    pub raw: Vec<String>,
+    /// Masked code lines: comments blanked, string/char contents blanked
+    /// (delimiters kept), same line count and per-line length as `raw`.
+    pub code: Vec<String>,
+    /// Doc-comment text per line (`///` / `//!` content), `None` for
+    /// non-doc lines.
+    pub doc: Vec<Option<String>>,
+    /// Whether the line carries an `audit:` marker inside a comment.
+    pub audit: Vec<bool>,
+    /// Whether the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl MaskedFile {
+    /// Runs the masking pass over `text`.
+    pub fn new(text: &str) -> Self {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut code = Vec::with_capacity(raw.len());
+        let mut doc = Vec::with_capacity(raw.len());
+        let mut audit = Vec::with_capacity(raw.len());
+
+        let mut state = State::Code;
+        for line in &raw {
+            let (masked, d, a, next) = mask_line(line, state);
+            code.push(masked);
+            doc.push(d);
+            audit.push(a);
+            state = next;
+        }
+        let in_test = test_regions(&code);
+        MaskedFile {
+            raw,
+            code,
+            doc,
+            audit,
+            in_test,
+        }
+    }
+}
+
+/// Masks one line starting in `state`; returns the masked line, any doc
+/// text, whether an `audit:` marker appeared in a comment, and the state
+/// carried into the next line.
+fn mask_line(line: &str, mut state: State) -> (String, Option<String>, bool, State) {
+    let b = line.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut doc: Option<String> = None;
+    let mut audit = false;
+    let mut i = 0usize;
+
+    // A comment's text is scanned (not emitted) for the audit marker.
+    // A block comment continuing from the previous line scans from 0.
+    let mut comment_from: Option<usize> = match state {
+        State::BlockComment(_) => Some(0),
+        _ => None,
+    };
+    let note_comment_end = |from: &mut Option<usize>, to: usize, audit: &mut bool| {
+        if let Some(f) = from.take() {
+            if line[f..to].contains("audit:") {
+                *audit = true;
+            }
+        }
+    };
+
+    while i < b.len() {
+        match state {
+            State::BlockComment(depth) => {
+                if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    i += 2;
+                    if depth == 1 {
+                        note_comment_end(&mut comment_from, i, &mut audit);
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == b'\\' {
+                    i += 2; // escape: skip the escaped byte too
+                } else if b[i] == b'"' {
+                    out[i] = b'"';
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == b'"' && ends_raw(b, i, hashes) {
+                    out[i] = b'"';
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Code => {
+                let c = b[i];
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    // Line comment; classify doc vs plain, keep the text
+                    // for the doc/audit side channels, mask the rest.
+                    let rest = &line[i..];
+                    if let Some(t) = rest.strip_prefix("///").or(rest.strip_prefix("//!")) {
+                        doc = Some(t.trim().to_string());
+                    }
+                    if rest.contains("audit:") {
+                        audit = true;
+                    }
+                    break;
+                } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    comment_from = Some(i);
+                    i += 2;
+                    state = State::BlockComment(1);
+                } else if c == b'"' {
+                    out[i] = b'"';
+                    i += 1;
+                    state = State::Str;
+                } else if (c == b'r' || c == b'b') && is_raw_or_byte_start(b, i) {
+                    let (consumed, next) = enter_raw_or_byte(b, i, &mut out);
+                    i += consumed;
+                    state = next;
+                } else if c == b'\'' {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote after one (possibly escaped) character.
+                    if let Some(len) = char_literal_len(b, i) {
+                        out[i] = b'\'';
+                        out[i + len - 1] = b'\'';
+                        i += len;
+                    } else {
+                        out[i] = b'\'';
+                        i += 1;
+                    }
+                } else {
+                    out[i] = c;
+                    i += 1;
+                }
+            }
+        }
+    }
+    if let State::BlockComment(_) = state {
+        note_comment_end(&mut comment_from, line.len(), &mut audit);
+    }
+    // Strings (plain and raw) and block comments legally span lines in
+    // Rust; the state carries. Line comments never enter a state — the
+    // masking loop breaks at `//` within the line.
+    let next = state;
+    (String::from_utf8(out).unwrap_or_default(), doc, audit, next)
+}
+
+/// Whether `b[i..]` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`), or raw byte string (`br#"`).
+fn is_raw_or_byte_start(b: &[u8], i: usize) -> bool {
+    // Not part of a longer identifier, e.g. `attr"..."` or `var_b"`.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            return true; // byte char literal b'x'
+        }
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Consumes the opening of a raw/byte string (or byte char) at `b[i]`,
+/// marking delimiters in `out`; returns (bytes consumed, next state).
+fn enter_raw_or_byte(b: &[u8], i: usize, out: &mut [u8]) -> (usize, State) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            // Byte char literal: b'x' or b'\n'.
+            if let Some(len) = char_literal_len(b, j) {
+                return (j - i + len, State::Code);
+            }
+            return (j - i + 1, State::Code);
+        }
+    }
+    let mut hashes = 0u32;
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    out[j] = b'"';
+    if b[i..j].contains(&b'r') {
+        (j - i + 1, State::RawStr(hashes))
+    } else {
+        // Plain byte string b"…": ordinary escape rules.
+        (j - i + 1, State::Str)
+    }
+}
+
+/// Whether the `"` at `b[i]` is followed by `hashes` `#`s, closing a raw
+/// string.
+fn ends_raw(b: &[u8], i: usize, hashes: u32) -> bool {
+    let h = hashes as usize;
+    b.len() > i + h && b[i + 1..=i + h].iter().all(|&c| c == b'#')
+}
+
+/// If a char literal starts at the `'` at `b[i]`, its total byte length
+/// (`'x'` → 3, `'\n'` → 4); `None` for lifetimes.
+fn char_literal_len(b: &[u8], i: usize) -> Option<usize> {
+    let rest = &b[i + 1..];
+    match rest.first()? {
+        b'\\' => {
+            // Escaped: find the closing quote within a small window
+            // (covers \n, \', \u{…}).
+            let close = rest.iter().take(12).position(|&c| c == b'\'')?;
+            Some(close + 2)
+        }
+        _ => {
+            // One UTF-8 scalar then a quote. Scan to the continuation
+            // end of the first character.
+            let mut j = 1;
+            while j < rest.len() && rest[j] & 0xC0 == 0x80 {
+                j += 1;
+            }
+            (rest.get(j) == Some(&b'\'')).then_some(j + 2)
+        }
+    }
+}
+
+/// Marks the lines covered by `#[cfg(test)]`-gated items: from each such
+/// attribute through the end of the item it gates (brace-balanced, or
+/// the first `;` for brace-less items like gated `use`s).
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].contains("cfg(test)") || !code[i].contains("#[") {
+            i += 1;
+            continue;
+        }
+        // Walk forward to the gated item's end.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut j = i;
+        while j < code.len() {
+            in_test[j] = true;
+            for ch in code[j].bytes() {
+                match ch {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => depth -= 1,
+                    b';' if !opened && depth == 0 => {
+                        // Brace-less gated item (use/static declaration).
+                        opened = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = MaskedFile::new("let x = \"foo.unwrap()\"; // .unwrap() in prose\nx.unwrap();\n");
+        assert!(!m.code[0].contains("unwrap"));
+        assert!(m.code[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = MaskedFile::new("let s = r#\"a \".expect(\" b\"#; s.expect(\"x\");");
+        let c = &m.code[0];
+        assert_eq!(c.matches(".expect(").count(), 1, "{c}");
+    }
+
+    #[test]
+    fn multiline_block_comments_mask_until_close() {
+        let m = MaskedFile::new("/* start\n .unwrap() inside\n*/ real.unwrap()");
+        assert!(!m.code[1].contains("unwrap"));
+        assert!(m.code[2].contains("real.unwrap()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = MaskedFile::new("fn f<'a>(x: &'a str) { g(b'('); h('\"'); }");
+        // The quote char literal must not open a string that swallows
+        // the rest of the line.
+        assert!(m.code[0].contains('}'));
+    }
+
+    #[test]
+    fn doc_and_audit_side_channels() {
+        let m = MaskedFile::new("/// Collective: all ranks.\nfn f() {}\nx(); // audit: checked\n");
+        assert_eq!(m.doc[0].as_deref(), Some("Collective: all ranks."));
+        assert!(m.audit[2]);
+        assert!(!m.audit[0]);
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_gated_item() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let m = MaskedFile::new(src);
+        assert!(!m.in_test[0]);
+        assert!(m.in_test[1] && m.in_test[2] && m.in_test[3] && m.in_test[4]);
+        assert!(!m.in_test[5]);
+    }
+}

@@ -122,8 +122,10 @@ impl Hub {
                 .map(|slot| {
                     *slot
                         .take()
+                        // audit: the rendezvous gate admitted all ranks, so every slot is filled.
                         .expect("all ranks deposited")
                         .downcast::<T>()
+                        // audit: SPMD ranks run the same code path, so deposited types match.
                         .expect("collective input types must match across ranks")
                 })
                 .collect();
@@ -154,9 +156,11 @@ impl Hub {
         let result = st
             .result
             .as_ref()
+            // audit: the combiner stored the result before distribution began.
             .expect("result present during distribution")
             .clone()
             .downcast::<R>()
+            // audit: the combiner's output type is the same for every rank.
             .expect("collective result types must match across ranks");
         let exit = st.exit_times[rank];
         st.departed += 1;

@@ -1,9 +1,10 @@
 //! The per-rank communicator handle: point-to-point messaging, clock
 //! management, and collectives.
 
+use crate::check::{CollectiveKind, CollectiveSig, CollectiveVerifier};
 use crate::collective::Hub;
 use crate::reduceop::{fold_in_rank_order, scan_in_rank_order, ReduceOp};
-use crate::request::{ReqInner, Request};
+use crate::request::{LeakGuard, ReqInner, Request};
 use crate::time::{CostModel, Work};
 use crate::topology::Topology;
 use crossbeam::channel::{Receiver, Sender};
@@ -27,6 +28,8 @@ pub(crate) struct Shared {
     pub cost: CostModel,
     pub senders: Vec<Sender<Envelope>>,
     pub hub: Hub,
+    /// Collective-protocol verifier; `None` when `MVIO_CHECK` is off.
+    pub check: Option<Arc<CollectiveVerifier>>,
 }
 
 /// The per-rank communicator — the analogue of `MPI_COMM_WORLD` plus the
@@ -44,6 +47,9 @@ pub struct Comm {
     /// Messages received but not yet matched by a `recv` (preserves
     /// per-(src, tag) FIFO order, like MPI's non-overtaking rule).
     stash: Vec<Envelope>,
+    /// Call-site label stack ([`Comm::labeled`]); only maintained while
+    /// the verifier is active.
+    labels: Vec<String>,
 }
 
 impl Comm {
@@ -55,6 +61,7 @@ impl Comm {
             shared,
             rx,
             stash: Vec::new(),
+            labels: Vec::new(),
         }
     }
 
@@ -132,6 +139,82 @@ impl Comm {
         }
     }
 
+    // ----- protocol verification ------------------------------------------
+
+    /// True when the collective-protocol verifier is active
+    /// (`MVIO_CHECK` on or strict; see [`crate::check`]).
+    pub fn check_active(&self) -> bool {
+        self.shared.check.is_some()
+    }
+
+    /// Runs `f` with `label` pushed on the call-site label stack; every
+    /// collective entered inside carries the stack (nested scopes joined
+    /// with `/`) in its verifier signature, and leaked requests report
+    /// it. Free when the verifier is off.
+    ///
+    /// Labels are compared across ranks, so only attach one at a point
+    /// every rank is guaranteed to execute — i.e. inside a function
+    /// whose own contract is collective. A label that some ranks skip
+    /// would itself read as a protocol divergence.
+    pub fn labeled<R>(&mut self, label: &str, f: impl FnOnce(&mut Comm) -> R) -> R {
+        if self.shared.check.is_none() {
+            return f(self);
+        }
+        self.labels.push(label.to_string());
+        let out = f(self);
+        self.labels.pop();
+        out
+    }
+
+    /// Number of collectives this rank has entered (the world's exit
+    /// hook hands it to the verifier to detect stranded peers).
+    pub(crate) fn collectives_entered(&self) -> u64 {
+        self.gen
+    }
+
+    fn label_text(&self) -> String {
+        self.labels.join("/")
+    }
+
+    /// Deposits this rank's signature for collective `gen` with the
+    /// verifier (no-op when the verifier is off).
+    fn record_collective(
+        &self,
+        gen: u64,
+        kind: CollectiveKind,
+        root: Option<usize>,
+        op: Option<&'static str>,
+        parts: Option<usize>,
+    ) {
+        if let Some(v) = &self.shared.check {
+            v.record(
+                self.rank,
+                gen,
+                CollectiveSig {
+                    kind,
+                    root,
+                    op,
+                    parts,
+                    label: self.label_text(),
+                },
+            );
+        }
+    }
+
+    /// Leak-detector context for a request initiated now (`None` when
+    /// the verifier is off).
+    fn leak_guard(&self, op: &'static str) -> Option<LeakGuard> {
+        self.shared.check.as_ref().map(|v| {
+            let label = self.label_text();
+            let op = if label.is_empty() {
+                op.to_string()
+            } else {
+                format!("{op} @ {label}")
+            };
+            LeakGuard::new(Arc::clone(v), self.rank, op)
+        })
+    }
+
     // ----- point-to-point -------------------------------------------------
 
     /// Sends `data` to `dst` with `tag`. Eager semantics: the call returns
@@ -161,8 +244,9 @@ impl Comm {
                 data: data.to_vec(),
                 send_time,
             })
+            // audit: mailbox receivers live in `Shared`, which outlives every rank thread.
             .expect("receiver outlives the job");
-        Request::ready(done, ())
+        Request::ready(done, ()).with_guard(self.leak_guard("isend"))
     }
 
     /// Blocking receive of the next message from `src` with `tag`
@@ -180,15 +264,15 @@ impl Comm {
     /// message flight.
     pub fn irecv(&mut self, src: usize, tag: u64) -> Request<Vec<u8>> {
         assert!(src < self.size(), "recv from rank {src} out of range");
-        Request::pending_recv(src, tag)
+        Request::pending_recv(src, tag).with_guard(self.leak_guard("irecv"))
     }
 
     // ----- request completion ---------------------------------------------
 
     /// Resolves a request to `(completion_time, value)` without touching
     /// the clock.
-    fn resolve<T>(&mut self, req: Request<T>) -> (f64, T) {
-        match req.inner {
+    fn resolve<T>(&mut self, mut req: Request<T>) -> (f64, T) {
+        match req.take_inner() {
             ReqInner::Ready { at, value } => (at, value),
             ReqInner::PendingRecv { src, tag, wrap } => {
                 let env = self.take_matching(src, tag);
@@ -230,26 +314,25 @@ impl Comm {
     /// receive this may physically block until the peer's message exists,
     /// like every blocking primitive in the runtime — see the
     /// [`crate::request`] module docs).
-    pub fn test<T>(&mut self, req: Request<T>) -> std::result::Result<T, Request<T>> {
-        match req.inner {
+    pub fn test<T>(&mut self, mut req: Request<T>) -> std::result::Result<T, Request<T>> {
+        match req.take_inner() {
             ReqInner::Ready { at, value } => {
                 if at <= self.now {
                     Ok(value)
                 } else {
-                    Err(Request::ready(at, value))
+                    Err(req.restore(ReqInner::Ready { at, value }))
                 }
             }
             ReqInner::PendingRecv { src, tag, wrap } => {
                 let len = self.stash_matching(src, tag);
+                // audit: the envelope was pushed onto the stash in the loop above.
                 let pos = self.stash_pos(src, tag).expect("just stashed");
                 let arrival = self.stash[pos].send_time + self.shared.cost.p2p(len as u64);
                 if arrival <= self.now {
                     let env = self.stash.remove(pos);
                     Ok(wrap(env.data))
                 } else {
-                    Err(Request {
-                        inner: ReqInner::PendingRecv { src, tag, wrap },
-                    })
+                    Err(req.restore(ReqInner::PendingRecv { src, tag, wrap }))
                 }
             }
         }
@@ -263,6 +346,7 @@ impl Comm {
             return self.stash[pos].data.len();
         }
         loop {
+            // audit: every peer holds a sender until its thread exits, and the world joins all ranks before dropping mailboxes.
             let env = self.rx.recv().expect("world alive");
             if env.tag == POISON_TAG {
                 panic!("{}", crate::collective::ABORT_MSG);
@@ -280,6 +364,7 @@ impl Comm {
     /// its byte count without consuming it (`MPI_Probe` + `MPI_Get_count`).
     pub fn probe(&mut self, src: usize, tag: u64) -> usize {
         let len = self.stash_matching(src, tag);
+        // audit: the envelope was pushed onto the stash in the loop above.
         let pos = self.stash_pos(src, tag).expect("just stashed");
         let arrival = self.stash[pos].send_time + self.shared.cost.p2p(len as u64);
         self.advance_to(arrival);
@@ -295,6 +380,7 @@ impl Comm {
             return self.stash.remove(pos);
         }
         loop {
+            // audit: every peer holds a sender until its thread exits, and the world joins all ranks before dropping mailboxes.
             let env = self.rx.recv().expect("world alive");
             if env.tag == POISON_TAG {
                 panic!("{}", crate::collective::ABORT_MSG);
@@ -317,6 +403,7 @@ impl Comm {
     /// `MPI_Barrier`.
     pub fn barrier(&mut self) {
         let gen = self.next_gen();
+        self.record_collective(gen, CollectiveKind::Barrier, None, None, None);
         let p = self.size();
         let cost = self.shared.cost.barrier(p);
         let (_, exit) =
@@ -333,6 +420,7 @@ impl Comm {
     /// every rank.
     pub fn bcast(&mut self, root: usize, data: Vec<u8>) -> Vec<u8> {
         let gen = self.next_gen();
+        self.record_collective(gen, CollectiveKind::Bcast, Some(root), None, None);
         let p = self.size();
         let cost_model = self.shared.cost;
         let input = if self.rank == root { Some(data) } else { None };
@@ -346,6 +434,7 @@ impl Comm {
                     .into_iter()
                     .flatten()
                     .next()
+                    // audit: the root deposited its payload into the collective slot above.
                     .expect("root provided bcast payload");
                 let exit = max_time(times) + cost_model.bcast(p, payload.len() as u64);
                 (payload, vec![exit; times.len()])
@@ -359,6 +448,7 @@ impl Comm {
     /// `data`; `root` receives all contributions indexed by rank.
     pub fn gather(&mut self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
         let gen = self.next_gen();
+        self.record_collective(gen, CollectiveKind::Gather, Some(root), None, None);
         let p = self.size();
         let cost_model = self.shared.cost;
         let (result, exit) = self.shared.hub.exchange(
@@ -384,6 +474,7 @@ impl Comm {
     /// contribution.
     pub fn allgather(&mut self, data: Vec<u8>) -> Vec<Vec<u8>> {
         let gen = self.next_gen();
+        self.record_collective(gen, CollectiveKind::Allgather, None, None, None);
         let p = self.size();
         let cost_model = self.shared.cost;
         let (result, exit) = self.shared.hub.exchange(
@@ -417,6 +508,13 @@ impl Comm {
     pub fn ialltoall_u64(&mut self, sends: Vec<u64>) -> Request<Vec<u64>> {
         assert_eq!(sends.len(), self.size(), "one value per destination");
         let gen = self.next_gen();
+        self.record_collective(
+            gen,
+            CollectiveKind::AlltoallU64,
+            None,
+            None,
+            Some(sends.len()),
+        );
         let p = self.size();
         let cost_model = self.shared.cost;
         let rank = self.rank;
@@ -438,7 +536,7 @@ impl Comm {
                 (matrix, vec![exit; times.len()])
             },
         );
-        Request::ready(exit, result[rank].clone())
+        Request::ready(exit, result[rank].clone()).with_guard(self.leak_guard("ialltoall_u64"))
     }
 
     /// `MPI_Alltoallv` over byte buffers: element `d` of `sends` goes to
@@ -459,6 +557,13 @@ impl Comm {
     pub fn ialltoallv(&mut self, sends: Vec<Vec<u8>>) -> Request<Vec<Vec<u8>>> {
         assert_eq!(sends.len(), self.size(), "one buffer per destination");
         let gen = self.next_gen();
+        self.record_collective(
+            gen,
+            CollectiveKind::Alltoallv,
+            None,
+            None,
+            Some(sends.len()),
+        );
         let p = self.size();
         let cost_model = self.shared.cost;
         let rank = self.rank;
@@ -491,7 +596,7 @@ impl Comm {
                 (matrix, exits)
             },
         );
-        Request::ready(exit, result[rank].clone())
+        Request::ready(exit, result[rank].clone()).with_guard(self.leak_guard("ialltoallv"))
     }
 
     /// `MPI_Reduce` with a user-defined operator; the result is returned at
@@ -507,7 +612,7 @@ impl Comm {
     where
         T: Clone + Send + Sync + 'static,
     {
-        let out = self.allreduce_inner(value, bytes_hint, op);
+        let out = self.allreduce_inner(value, bytes_hint, op, CollectiveKind::Reduce, Some(root));
         if self.rank == root {
             Some(out)
         } else {
@@ -520,14 +625,22 @@ impl Comm {
     where
         T: Clone + Send + Sync + 'static,
     {
-        self.allreduce_inner(value, bytes_hint, op)
+        self.allreduce_inner(value, bytes_hint, op, CollectiveKind::Allreduce, None)
     }
 
-    fn allreduce_inner<T>(&mut self, value: T, bytes_hint: u64, op: &dyn ReduceOp<T>) -> T
+    fn allreduce_inner<T>(
+        &mut self,
+        value: T,
+        bytes_hint: u64,
+        op: &dyn ReduceOp<T>,
+        kind: CollectiveKind,
+        root: Option<usize>,
+    ) -> T
     where
         T: Clone + Send + Sync + 'static,
     {
         let gen = self.next_gen();
+        self.record_collective(gen, kind, root, Some(op.tag()), None);
         let p = self.size();
         let cost_model = self.shared.cost;
         let (result, exit) = self.shared.hub.exchange(
@@ -561,6 +674,7 @@ impl Comm {
         T: Clone + Send + Sync + 'static,
     {
         let gen = self.next_gen();
+        self.record_collective(gen, CollectiveKind::Scan, None, Some(op.tag()), None);
         let p = self.size();
         let rank = self.rank;
         let cost_model = self.shared.cost;
@@ -580,14 +694,21 @@ impl Comm {
     }
 
     /// Access to the shared hub generation — used by the I/O layer to run
-    /// its own collectives in the same ordered stream.
-    pub(crate) fn collective<T, R, F>(&mut self, input: T, combine: F) -> (Arc<R>, f64)
+    /// its own collectives in the same ordered stream. `site` names the
+    /// operation in the verifier's signature (e.g. `io.read_at_all`).
+    pub(crate) fn collective<T, R, F>(
+        &mut self,
+        site: &'static str,
+        input: T,
+        combine: F,
+    ) -> (Arc<R>, f64)
     where
         T: Send + 'static,
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>, &[f64]) -> (R, Vec<f64>),
     {
         let gen = self.next_gen();
+        self.record_collective(gen, CollectiveKind::Custom(site), None, None, None);
         let (r, exit) = self
             .shared
             .hub

@@ -157,6 +157,7 @@ impl MpiFile {
 
     /// `MPI_File_read_at`: independent contiguous read. Returns bytes read
     /// (short at EOF). Advances the rank's clock by the modelled I/O time.
+    /// Independent (not collective): any rank may call it alone.
     pub fn read_at(&self, comm: &mut Comm, offset: u64, buf: &mut [u8]) -> Result<usize> {
         Self::check_count(buf.len() as u64)?;
         let done = self.file.read_at(offset, buf, &comm.io_ctx())?;
@@ -165,6 +166,7 @@ impl MpiFile {
     }
 
     /// `MPI_File_write_at`: independent contiguous write.
+    /// Independent (not collective): any rank may call it alone.
     pub fn write_at(&self, comm: &mut Comm, offset: u64, buf: &[u8]) -> Result<usize> {
         Self::check_count(buf.len() as u64)?;
         let done = self.file.write_at(offset, buf, &comm.io_ctx())?;
@@ -194,52 +196,56 @@ impl MpiFile {
         let engine = Arc::clone(self.fs.engine());
         let p = comm.size();
 
-        let (_, _) = comm.collective((offset, got as u64), move |reqs: Vec<(u64, u64)>, times| {
-            let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            // Aggregate file domain spanned by the collective.
-            let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
-            let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
-            let (lo, hi) = match (lo, hi) {
-                (Some(l), Some(h)) => (l, h),
-                _ => return ((), vec![start; reqs.len()]), // nothing to read
-            };
-            let readers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
-            let leaders = topo.node_leaders();
+        let (_, _) = comm.collective(
+            "io.read_at_all",
+            (offset, got as u64),
+            move |reqs: Vec<(u64, u64)>, times| {
+                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                // Aggregate file domain spanned by the collective.
+                let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
+                let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
+                let (lo, hi) = match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => return ((), vec![start; reqs.len()]), // nothing to read
+                };
+                let readers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+                let leaders = topo.node_leaders();
 
-            // Contiguous equal file domains, one per aggregator, read
-            // in cb_buffer_size cycles.
-            let span = hi - lo;
-            let domain = span.div_ceil(readers as u64).max(1);
-            let mut batch = Vec::new();
-            for (i, leader) in leaders.iter().take(readers).enumerate() {
-                let d_lo = lo + i as u64 * domain;
-                let d_hi = (d_lo + domain).min(hi);
-                let mut pos = d_lo;
-                while pos < d_hi {
-                    let len = (d_hi - pos).min(hints.cb_buffer_size);
-                    batch.push(IoRequest {
-                        rank: *leader,
-                        node: topo.node_of(*leader),
-                        now: start,
-                        offset: pos,
-                        len,
-                    });
-                    pos += len;
+                // Contiguous equal file domains, one per aggregator, read
+                // in cb_buffer_size cycles.
+                let span = hi - lo;
+                let domain = span.div_ceil(readers as u64).max(1);
+                let mut batch = Vec::new();
+                for (i, leader) in leaders.iter().take(readers).enumerate() {
+                    let d_lo = lo + i as u64 * domain;
+                    let d_hi = (d_lo + domain).min(hi);
+                    let mut pos = d_lo;
+                    while pos < d_hi {
+                        let len = (d_hi - pos).min(hints.cb_buffer_size);
+                        batch.push(IoRequest {
+                            rank: *leader,
+                            node: topo.node_of(*leader),
+                            now: start,
+                            offset: pos,
+                            len,
+                        });
+                        pos += len;
+                    }
                 }
-            }
-            let completions = engine.io_batch(stripe, ost_base, &batch);
-            let read_done = completions
-                .iter()
-                .map(|c| c.completion)
-                .fold(start, f64::max);
+                let completions = engine.io_batch(stripe, ost_base, &batch);
+                let read_done = completions
+                    .iter()
+                    .map(|c| c.completion)
+                    .fold(start, f64::max);
 
-            // Redistribution: aggregators scatter each rank's bytes.
-            let exits: Vec<f64> = reqs
-                .iter()
-                .map(|&(_, len)| read_done + cost.alltoall(p.min(readers.max(2)), len, len))
-                .collect();
-            ((), exits)
-        });
+                // Redistribution: aggregators scatter each rank's bytes.
+                let exits: Vec<f64> = reqs
+                    .iter()
+                    .map(|&(_, len)| read_done + cost.alltoall(p.min(readers.max(2)), len, len))
+                    .collect();
+                ((), exits)
+            },
+        );
         Ok(got)
     }
 
@@ -264,50 +270,54 @@ impl MpiFile {
         let p = comm.size();
         let len = buf.len() as u64;
 
-        let (_, _) = comm.collective((offset, len), move |reqs: Vec<(u64, u64)>, times| {
-            let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
-            let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
-            let (lo, hi) = match (lo, hi) {
-                (Some(l), Some(h)) => (l, h),
-                _ => return ((), vec![start; reqs.len()]),
-            };
-            let writers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
-            let leaders = topo.node_leaders();
+        let (_, _) = comm.collective(
+            "io.write_at_all",
+            (offset, len),
+            move |reqs: Vec<(u64, u64)>, times| {
+                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lo = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0).min();
+                let hi = reqs.iter().filter(|r| r.1 > 0).map(|r| r.0 + r.1).max();
+                let (lo, hi) = match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => return ((), vec![start; reqs.len()]),
+                };
+                let writers = select_readers(fs_kind, stripe.count, nodes, hints.cb_nodes);
+                let leaders = topo.node_leaders();
 
-            // Phase 1: ranks ship their data to the aggregators.
-            let gather_done = reqs
-                .iter()
-                .map(|&(_, l)| start + cost.alltoall(p.min(writers.max(2)), l, l))
-                .fold(start, f64::max);
+                // Phase 1: ranks ship their data to the aggregators.
+                let gather_done = reqs
+                    .iter()
+                    .map(|&(_, l)| start + cost.alltoall(p.min(writers.max(2)), l, l))
+                    .fold(start, f64::max);
 
-            // Phase 2: aggregators flush contiguous domains in cycles.
-            let span = hi - lo;
-            let domain = span.div_ceil(writers as u64).max(1);
-            let mut batch = Vec::new();
-            for (i, leader) in leaders.iter().take(writers).enumerate() {
-                let d_lo = lo + i as u64 * domain;
-                let d_hi = (d_lo + domain).min(hi);
-                let mut pos = d_lo;
-                while pos < d_hi {
-                    let l = (d_hi - pos).min(hints.cb_buffer_size);
-                    batch.push(IoRequest {
-                        rank: *leader,
-                        node: topo.node_of(*leader),
-                        now: gather_done,
-                        offset: pos,
-                        len: l,
-                    });
-                    pos += l;
+                // Phase 2: aggregators flush contiguous domains in cycles.
+                let span = hi - lo;
+                let domain = span.div_ceil(writers as u64).max(1);
+                let mut batch = Vec::new();
+                for (i, leader) in leaders.iter().take(writers).enumerate() {
+                    let d_lo = lo + i as u64 * domain;
+                    let d_hi = (d_lo + domain).min(hi);
+                    let mut pos = d_lo;
+                    while pos < d_hi {
+                        let l = (d_hi - pos).min(hints.cb_buffer_size);
+                        batch.push(IoRequest {
+                            rank: *leader,
+                            node: topo.node_of(*leader),
+                            now: gather_done,
+                            offset: pos,
+                            len: l,
+                        });
+                        pos += l;
+                    }
                 }
-            }
-            let completions = engine.io_batch(stripe, ost_base, &batch);
-            let done = completions
-                .iter()
-                .map(|c| c.completion)
-                .fold(gather_done, f64::max);
-            ((), vec![done; reqs.len()])
-        });
+                let completions = engine.io_batch(stripe, ost_base, &batch);
+                let done = completions
+                    .iter()
+                    .map(|c| c.completion)
+                    .fold(gather_done, f64::max);
+                ((), vec![done; reqs.len()])
+            },
+        );
         Ok(buf.len())
     }
 
@@ -348,9 +358,11 @@ impl MpiFile {
         let my_bytes: u64 = frags.iter().map(|f| f.1).sum();
         let my_span = frags
             .first()
+            // audit: inside `first().map`, so the fragment list is non-empty.
             .map(|f| (f.0, frags.last().unwrap().0 + frags.last().unwrap().1));
 
         let (_, _) = comm.collective(
+            "io.write_all",
             (my_span, my_bytes, frags.len() as u64),
             move |inputs: Vec<(Option<(u64, u64)>, u64, u64)>, times| {
                 let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -447,9 +459,11 @@ impl MpiFile {
         let my_bytes: u64 = frags.iter().map(|f| f.1).sum();
         let my_span = frags
             .first()
+            // audit: inside `first().map`, so the fragment list is non-empty.
             .map(|f| (f.0, frags.last().unwrap().0 + frags.last().unwrap().1));
 
         let (_, _) = comm.collective(
+            "io.read_all",
             (my_span, my_bytes, frags.len() as u64),
             move |inputs: Vec<(Option<(u64, u64)>, u64, u64)>, times| {
                 let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -527,11 +541,13 @@ impl MpiFile {
         word[..8].copy_from_slice(&span.0.to_le_bytes());
         word[8..].copy_from_slice(&span.1.to_le_bytes());
         let spans: Vec<(u64, u64)> = comm
-            .allgather(word.to_vec())
+            .labeled("io.staged_plan", |c| c.allgather(word.to_vec()))
             .into_iter()
             .map(|w| {
                 (
+                    // audit: span words are 16 bytes; both ranges are exactly 8 bytes.
                     u64::from_le_bytes(w[..8].try_into().expect("span word")),
+                    // audit: the range is exactly 8 bytes by construction.
                     u64::from_le_bytes(w[8..16].try_into().expect("span word")),
                 )
             })
@@ -666,7 +682,7 @@ impl MpiFile {
         // independent of thread interleaving; everyone exits at the
         // global completion.
         let file = Arc::clone(&self.file);
-        let (_, _) = comm.collective(my_batch, move |inputs, times| {
+        let (_, _) = comm.collective("io.staged_write.flush", my_batch, move |inputs, times| {
             let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut reqs = Vec::new();
             let mut bufs = Vec::new();
@@ -677,6 +693,7 @@ impl MpiFile {
             let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
             let done = file
                 .write_batch(&reqs, &slices)
+                // audit: the batched requests were bounds- and count-validated when staged.
                 .expect("staged write flush")
                 .into_iter()
                 .map(|c| c.completion)
@@ -695,6 +712,8 @@ impl MpiFile {
     /// returned count is short at end-of-file exactly like
     /// [`MpiFile::read_at`]. Non-aggregator ranks exit as soon as their
     /// own pieces have arrived (no write-side barrier is needed on read).
+    /// Collective: every rank must call it (staged two-phase collective
+    /// read).
     pub fn read_at_all_staged(
         &self,
         comm: &mut Comm,
@@ -719,31 +738,34 @@ impl MpiFile {
         });
         let file = Arc::clone(&self.file);
         let n_aggs = plan.domains.len();
-        let (read_result, _) = comm.collective(my_cycles, move |inputs, times| {
-            let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            // (domain bytes, completion) per aggregator index.
-            let mut out: Vec<(Vec<u8>, f64)> = (0..n_aggs).map(|_| (Vec::new(), start)).collect();
-            let mut exits = vec![start; times.len()];
-            for (src, input) in inputs.into_iter().enumerate() {
-                let Some((a, reqs)) = input else { continue };
-                let mut data: Vec<Vec<u8>> =
-                    reqs.iter().map(|r| vec![0u8; r.len as usize]).collect();
-                let done = {
-                    let mut slices: Vec<&mut [u8]> =
-                        data.iter_mut().map(|d| d.as_mut_slice()).collect();
-                    file.read_batch(&reqs, &mut slices).expect("staged read")
-                };
-                let mut domain = Vec::new();
-                let mut completion = start;
-                for (piece, c) in data.into_iter().zip(&done) {
-                    domain.extend_from_slice(&piece[..c.bytes as usize]);
-                    completion = completion.max(c.completion);
+        let (read_result, _) =
+            comm.collective("io.staged_read", my_cycles, move |inputs, times| {
+                let start = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                // (domain bytes, completion) per aggregator index.
+                let mut out: Vec<(Vec<u8>, f64)> =
+                    (0..n_aggs).map(|_| (Vec::new(), start)).collect();
+                let mut exits = vec![start; times.len()];
+                for (src, input) in inputs.into_iter().enumerate() {
+                    let Some((a, reqs)) = input else { continue };
+                    let mut data: Vec<Vec<u8>> =
+                        reqs.iter().map(|r| vec![0u8; r.len as usize]).collect();
+                    let done = {
+                        let mut slices: Vec<&mut [u8]> =
+                            data.iter_mut().map(|d| d.as_mut_slice()).collect();
+                        // audit: the batched requests were bounds- and count-validated when staged.
+                        file.read_batch(&reqs, &mut slices).expect("staged read")
+                    };
+                    let mut domain = Vec::new();
+                    let mut completion = start;
+                    for (piece, c) in data.into_iter().zip(&done) {
+                        domain.extend_from_slice(&piece[..c.bytes as usize]);
+                        completion = completion.max(c.completion);
+                    }
+                    out[a] = (domain, completion);
+                    exits[src] = exits[src].max(completion);
                 }
-                out[a] = (domain, completion);
-                exits[src] = exits[src].max(completion);
-            }
-            (out, exits)
-        });
+                (out, exits)
+            });
 
         // Phase 2: aggregators scatter each rank's pieces.
         let mut sends = Vec::new();

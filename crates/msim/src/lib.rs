@@ -48,6 +48,7 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+pub mod check;
 pub mod collective;
 pub mod comm;
 pub mod datatype;
@@ -59,6 +60,7 @@ pub mod time;
 pub mod topology;
 pub mod world;
 
+pub use check::{CheckMode, CollectiveKind, CollectiveSig, CollectiveVerifier, Violation};
 pub use comm::Comm;
 pub use datatype::Datatype;
 pub use hints::Hints;

@@ -19,6 +19,15 @@ pub trait ReduceOp<T>: Send + Sync {
     fn commutative(&self) -> bool {
         true
     }
+
+    /// Stable identifier the collective-protocol verifier compares
+    /// across ranks (see [`crate::check`]). The default — the
+    /// implementor's type name — distinguishes every operator type and
+    /// every closure call site, while staying identical across ranks of
+    /// an SPMD job running the same code path.
+    fn tag(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
 }
 
 /// Blanket adapter so plain closures work as commutative operators:
@@ -52,11 +61,12 @@ pub fn scan_in_rank_order<T: Clone>(values: &[T], op: &dyn ReduceOp<T>) -> Vec<T
     let mut out = Vec::with_capacity(values.len());
     let mut acc: Option<T> = None;
     for v in values {
-        acc = Some(match acc {
+        let next = match acc.take() {
             None => v.clone(),
             Some(a) => op.combine(&a, v),
-        });
-        out.push(acc.clone().unwrap());
+        };
+        out.push(next.clone());
+        acc = Some(next);
     }
     out
 }

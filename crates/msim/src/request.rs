@@ -31,17 +31,28 @@
 //! until the peer's message exists, but its *answer* — complete or not —
 //! depends only on deterministic virtual times, never on OS scheduling.
 
+use crate::check::CollectiveVerifier;
 use crate::comm::Comm;
 use crate::time::WorkTally;
+use std::sync::Arc;
 
 /// Handle for an in-flight nonblocking operation returning a `T` on
 /// completion. Produced by [`Comm::isend`], [`Comm::irecv`],
 /// [`Comm::ialltoall_u64`] and [`Comm::ialltoallv`]; consumed by
 /// [`Comm::wait`], [`Comm::waitall`] or [`Comm::test`].
+///
+/// Dropping a request without completing it is an MPI resource leak;
+/// when the collective-protocol verifier is active (`MVIO_CHECK` on or
+/// strict, see [`crate::check`]) the `Drop` impl reports it as a
+/// [`crate::check::Violation::RequestLeak`] attributed to the rank and
+/// call-site label that initiated the operation.
 #[derive(Debug)]
 #[must_use = "a Request must be completed with wait/waitall/test"]
 pub struct Request<T> {
-    pub(crate) inner: ReqInner<T>,
+    /// `None` once the request has been consumed by `wait`/`test`, so
+    /// `Drop` can tell a completed handle from a leaked one.
+    inner: Option<ReqInner<T>>,
+    guard: Option<LeakGuard>,
 }
 
 #[derive(Debug)]
@@ -57,10 +68,71 @@ pub(crate) enum ReqInner<T> {
     },
 }
 
+/// Context for the leak detector: which rank initiated which operation,
+/// under which call-site label. Only allocated when the verifier is on.
+pub(crate) struct LeakGuard {
+    verifier: Arc<CollectiveVerifier>,
+    rank: usize,
+    op: String,
+}
+
+impl std::fmt::Debug for LeakGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeakGuard")
+            .field("rank", &self.rank)
+            .field("op", &self.op)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LeakGuard {
+    pub(crate) fn new(verifier: Arc<CollectiveVerifier>, rank: usize, op: String) -> Self {
+        LeakGuard { verifier, rank, op }
+    }
+}
+
 impl<T> Request<T> {
     pub(crate) fn ready(at: f64, value: T) -> Self {
         Request {
-            inner: ReqInner::Ready { at, value },
+            inner: Some(ReqInner::Ready { at, value }),
+            guard: None,
+        }
+    }
+
+    /// Attaches leak-detector context (no-op when `guard` is `None`,
+    /// i.e. when the verifier is off).
+    pub(crate) fn with_guard(mut self, guard: Option<LeakGuard>) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Consumes the operation state, marking the request completed so
+    /// `Drop` stays silent.
+    pub(crate) fn take_inner(&mut self) -> ReqInner<T> {
+        // audit: wait/test take the state exactly once by construction;
+        // a second take would be a library bug, not a user error.
+        self.inner.take().expect("request state already consumed")
+    }
+
+    /// Puts the operation state back (used by [`Comm::test`] when the
+    /// operation has not virtually completed yet).
+    pub(crate) fn restore(mut self, inner: ReqInner<T>) -> Self {
+        self.inner = Some(inner);
+        self
+    }
+}
+
+impl<T> Drop for Request<T> {
+    fn drop(&mut self) {
+        if self.inner.is_none() {
+            return;
+        }
+        if let Some(g) = self.guard.take() {
+            // Suppress during unwinding: the job is already aborting and
+            // a panic inside Drop would escalate to a process abort.
+            if !std::thread::panicking() {
+                g.verifier.leak(g.rank, &g.op);
+            }
         }
     }
 }
@@ -68,11 +140,12 @@ impl<T> Request<T> {
 impl Request<Vec<u8>> {
     pub(crate) fn pending_recv(src: usize, tag: u64) -> Self {
         Request {
-            inner: ReqInner::PendingRecv {
+            inner: Some(ReqInner::PendingRecv {
                 src,
                 tag,
                 wrap: |data| data,
-            },
+            }),
+            guard: None,
         }
     }
 }
@@ -129,6 +202,8 @@ impl ProgressEngine {
 
     /// Folds the pending lane totals into the clock (slowest lane, as
     /// [`Comm::advance_parallel`]) and resets them.
+    /// Not itself a collective entry — folds local compute into the clock;
+    /// any collective matching happened when the operations were posted.
     pub fn flush(&mut self, comm: &mut Comm) {
         let max = self.lanes.iter().fold(0.0f64, |a, &b| a.max(b));
         self.overlapped_compute += max;
@@ -139,6 +214,8 @@ impl ProgressEngine {
     /// Flushes pending compute, then completes `req`, accounting how much
     /// of the communication was hidden under the compute charged so far
     /// versus exposed (the clock advance `wait` itself caused).
+    /// Not itself a collective entry — completes an already-posted request;
+    /// the collective (if any) was recorded at post time.
     pub fn drive<T>(&mut self, comm: &mut Comm, req: Request<T>) -> T {
         self.flush(comm);
         let before = comm.now();

@@ -1,5 +1,6 @@
 //! Job launcher: spawns one thread per rank, SPMD-style.
 
+use crate::check::{CheckMode, CollectiveVerifier, Violation};
 use crate::collective::Hub;
 use crate::comm::{Comm, Shared};
 use crate::time::CostModel;
@@ -17,6 +18,9 @@ pub struct WorldConfig {
     /// Stack size per rank thread. Jobs with a thousand ranks need modest
     /// stacks; 1 MiB is ample since the library never recurses deeply.
     pub stack_size: usize,
+    /// Collective-protocol verification mode (see [`crate::check`]);
+    /// `None` resolves `MVIO_CHECK` from the environment at launch.
+    pub check: Option<CheckMode>,
 }
 
 impl WorldConfig {
@@ -26,12 +30,19 @@ impl WorldConfig {
             topology,
             cost: CostModel::calibrated(),
             stack_size: 1 << 20,
+            check: None,
         }
     }
 
     /// Overrides the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Pins the verification mode, overriding `MVIO_CHECK`.
+    pub fn with_check(mut self, mode: CheckMode) -> Self {
+        self.check = Some(mode);
         self
     }
 }
@@ -50,7 +61,25 @@ impl World {
         F: Fn(&mut Comm) -> R + Send + Sync,
         R: Send,
     {
+        Self::run_reporting(cfg, f).0
+    }
+
+    /// Like [`World::run`], but also returns the collective-protocol
+    /// violations the verifier collected (always empty when the mode
+    /// resolves to [`CheckMode::Off`]; under [`CheckMode::Strict`] the
+    /// first violation panics instead of being returned). This is the
+    /// queryable-from-tests surface of `MVIO_CHECK=on`.
+    pub fn run_reporting<F, R>(cfg: WorldConfig, f: F) -> (Vec<R>, Vec<Violation>)
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
         let p = cfg.topology.ranks();
+        let mode = cfg.check.unwrap_or_else(CheckMode::from_env);
+        let check = match mode {
+            CheckMode::Off => None,
+            m => Some(Arc::new(CollectiveVerifier::new(p, m == CheckMode::Strict))),
+        };
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
@@ -63,10 +92,11 @@ impl World {
             cost: cfg.cost,
             senders,
             hub: Hub::new(p),
+            check: check.clone(),
         });
 
         let f = &f;
-        std::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, rx) in receivers.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
@@ -79,7 +109,17 @@ impl World {
                         // so the whole job terminates instead of hanging.
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut comm = Comm::new(rank, Arc::clone(&shared), rx);
-                            f(&mut comm)
+                            let out = f(&mut comm);
+                            // The closure returned: tell the verifier how
+                            // far this rank got, so peers still inside (or
+                            // later entering) a collective this rank never
+                            // joined are reported as stranded. A strict-
+                            // mode panic here still runs the poison path
+                            // below, waking those peers.
+                            if let Some(v) = &shared.check {
+                                v.rank_finished(rank, comm.collectives_entered());
+                            }
+                            out
                         }));
                         if result.is_err() {
                             shared.hub.poison();
@@ -94,11 +134,13 @@ impl World {
                         }
                         result
                     })
+                    // audit: spawn fails only on OS resource exhaustion; no meaningful recovery.
                     .expect("spawn rank thread");
                 handles.push(handle);
             }
             let results: Vec<_> = handles
                 .into_iter()
+                // audit: rank closures run under `catch_unwind`, so the thread body cannot panic.
                 .map(|h| h.join().expect("rank thread itself never panics"))
                 .collect();
             // Prefer the originating panic over secondary abort panics.
@@ -131,7 +173,9 @@ impl World {
                 std::panic::resume_unwind(payload);
             }
             ok
-        })
+        });
+        let violations = check.map(|v| v.reports()).unwrap_or_default();
+        (results, violations)
     }
 }
 

@@ -32,6 +32,7 @@ impl SimFs {
     /// [`SimFs::try_new`] for a typed error instead (configs built from
     /// user input should go through that path).
     pub fn new(cfg: FsConfig) -> Arc<Self> {
+        // audit: documented panicking constructor; `try_new` is the typed-error path.
         Self::try_new(cfg).expect("invalid filesystem configuration")
     }
 

@@ -22,6 +22,7 @@ pub struct PhaseBreakdown {
 impl PhaseBreakdown {
     /// Combines local phase durations into the global max-over-ranks
     /// breakdown (an allreduce per field).
+    /// Collective: every rank must call it (one reduction per field).
     pub fn reduce_max(comm: &mut Comm, local: PhaseBreakdown) -> PhaseBreakdown {
         let max = |a: &f64, b: &f64| a.max(*b);
         PhaseBreakdown {

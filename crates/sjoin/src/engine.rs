@@ -502,6 +502,7 @@ fn wire_rect(r: &Rect) -> Feature {
         Point::new(r.min_x, r.min_y),
         Point::new(r.max_x, r.max_y),
     ])
+    // audit: a validated rectangle's corners always form a >= 2-point linestring.
     .expect("validated rect corners form a linestring");
     Feature::with_userdata(Geometry::LineString(diagonal), String::new())
 }
@@ -521,6 +522,7 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Builds the engine from an ingest run's output, indexing the owned
     /// replicas (charged as [`Work::RtreeInserts`]).
+    /// Collective: every rank must call it.
     pub fn from_ingest(comm: &mut Comm, out: IngestOutput, opts: &EngineOptions) -> Self {
         Self::from_parts(comm, out.decomp, out.owned, opts)
     }
@@ -528,6 +530,7 @@ impl QueryEngine {
     /// Builds the engine from an already-partitioned `(cell, feature)`
     /// set and its decomposition — the seam `range_query` and
     /// `batch_query` drive after their own read/exchange phases.
+    /// Collective: every rank must call it.
     pub fn from_parts(
         comm: &mut Comm,
         sd: Box<dyn SpatialDecomposition>,
@@ -618,6 +621,8 @@ impl QueryEngine {
     /// this for its compute phase; the union of every rank's local
     /// matches is the global answer (duplicate-free by the
     /// reference-corner rule).
+    /// Not collective — answers from this rank's replicas only; the
+    /// communicator only charges the tree walk.
     pub fn local_range_matches(&self, comm: &mut Comm, query: &Rect) -> Result<Vec<String>> {
         validate_query(&Query::Range(*query))?;
         Ok(self.index.rect_matches(comm, query))
@@ -643,7 +648,9 @@ impl QueryEngine {
                 queries.len()
             )));
         }
-        let bad_ranks = comm.allreduce_u64(u64::from(local_err.is_some()), |a, b| a + b);
+        let bad_ranks = comm.labeled("serve.status", |c| {
+            c.allreduce_u64(u64::from(local_err.is_some()), |a, b| a + b)
+        });
         if bad_ranks > 0 {
             return Err(local_err.unwrap_or_else(|| {
                 CoreError::InvalidOptions(format!(
@@ -724,27 +731,29 @@ impl QueryEngine {
         let mut rscratch = Vec::new();
         let index = &self.index;
         let mut deferred: Option<CoreError> = None;
-        match plan.run_batch_rounds_ctx(comm, qbatch, &mut |comm, _round, per_src| {
-            for (src, records) in per_src.into_iter().enumerate() {
-                let before = rbatch.bufs[src].len() as u64;
-                let mut produced = 0u64;
-                for (qid, qf) in records {
-                    index.serve_one(
-                        comm,
-                        qid,
-                        &qf,
-                        &mut rscratch,
-                        &mut rbatch.bufs[src],
-                        &mut produced,
-                    )?;
+        match comm.labeled("serve.queries", |c| {
+            plan.run_batch_rounds_ctx(c, qbatch, &mut |comm, _round, per_src| {
+                for (src, records) in per_src.into_iter().enumerate() {
+                    let before = rbatch.bufs[src].len() as u64;
+                    let mut produced = 0u64;
+                    for (qid, qf) in records {
+                        index.serve_one(
+                            comm,
+                            qid,
+                            &qf,
+                            &mut rscratch,
+                            &mut rbatch.bufs[src],
+                            &mut produced,
+                        )?;
+                    }
+                    rbatch.records[src] += produced;
+                    comm.charge(Work::SerializeGeoms {
+                        n: produced,
+                        bytes: rbatch.bufs[src].len() as u64 - before,
+                    });
                 }
-                rbatch.records[src] += produced;
-                comm.charge(Work::SerializeGeoms {
-                    n: produced,
-                    bytes: rbatch.bufs[src].len() as u64 - before,
-                });
-            }
-            Ok(())
+                Ok(())
+            })
         }) {
             Ok(s) => stats.query_exchange = s,
             Err(e) => {
@@ -755,22 +764,24 @@ impl QueryEngine {
 
         // 5. Ship results back to the issuing ranks.
         let mut collected: Vec<Vec<(f64, String)>> = vec![Vec::new(); queries.len()];
-        match plan.run_batch_rounds_ctx(comm, rbatch, &mut |_, _round, per_src| {
-            for records in per_src {
-                for (qid, f) in records {
-                    let slot = collected.get_mut(qid as usize).ok_or_else(|| {
-                        CoreError::Partition(format!(
-                            "serve protocol: result for unknown query index {qid}"
-                        ))
-                    })?;
-                    let distance = match &f.geometry {
-                        Geometry::Point(pt) => pt.x,
-                        _ => 0.0,
-                    };
-                    slot.push((distance, f.userdata));
+        match comm.labeled("serve.results", |c| {
+            plan.run_batch_rounds_ctx(c, rbatch, &mut |_, _round, per_src| {
+                for records in per_src {
+                    for (qid, f) in records {
+                        let slot = collected.get_mut(qid as usize).ok_or_else(|| {
+                            CoreError::Partition(format!(
+                                "serve protocol: result for unknown query index {qid}"
+                            ))
+                        })?;
+                        let distance = match &f.geometry {
+                            Geometry::Point(pt) => pt.x,
+                            _ => 0.0,
+                        };
+                        slot.push((distance, f.userdata));
+                    }
                 }
-            }
-            Ok(())
+                Ok(())
+            })
         }) {
             Ok(s) => stats.result_exchange = s,
             Err(e) => {

@@ -30,6 +30,7 @@ pub struct IndexReport {
 /// Reads a WKT dataset, globally partitions it under `policy` over
 /// `grid`, and builds one R-tree per owned cell — the paper's in-memory
 /// spatial indexing workload.
+/// Collective: every rank must call it.
 pub fn build_distributed_index(
     comm: &mut Comm,
     fs: &Arc<SimFs>,

@@ -82,6 +82,7 @@ pub struct JoinReport {
 /// Runs the full distributed spatial join of two WKT files. Every rank
 /// must call this; each returns its share of the result pairs plus the
 /// global breakdown.
+/// Collective: every rank must call it with the same options.
 pub fn spatial_join(
     comm: &mut Comm,
     fs: &Arc<SimFs>,

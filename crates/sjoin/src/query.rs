@@ -102,6 +102,7 @@ pub fn range_query(
 /// per-query match count (identical on every rank). Queries are not
 /// exchanged — they are replicated, and each owned cell answers the
 /// queries overlapping it, deduplicated by the reference-point rule.
+/// Collective: every rank must call it with its own batch.
 pub fn batch_query(
     comm: &mut Comm,
     fs: &Arc<SimFs>,
