@@ -17,12 +17,13 @@
 
 use mvio_bench::experiments::{self as ex, Scale};
 
-const IDS: [&str; 25] = [
+const IDS: [&str; 26] = [
     "pipeline",
     "decomp",
     "exchange",
     "io",
     "serve",
+    "refine",
     "table1",
     "table2",
     "table3",
@@ -52,6 +53,7 @@ fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
         "exchange" => ex::exchange::run(scale, quick),
         "io" => ex::io::run(scale, quick),
         "serve" => ex::serve::run(scale, quick),
+        "refine" => ex::refine::run(scale, quick),
         "table1" => ex::table1::run(scale, quick),
         "table2" => ex::table2::run(scale, quick),
         "table3" => ex::table3::run(scale, quick),

@@ -3,8 +3,9 @@
 //!
 //! CI runs this (`repro -- gate`) as a dedicated job: it writes the
 //! measured ratios to `BENCH_gate.json` (uploaded as an artifact next
-//! to the full trajectories the `decomp`/`exchange`/`io`/`serve` experiments
-//! regenerate) and exits nonzero on a regression, so a PR that silently
+//! to the full trajectories the
+//! `decomp`/`exchange`/`io`/`serve`/`refine` experiments regenerate)
+//! and exits nonzero on a regression, so a PR that silently
 //! loses one of the asserted wins fails before review. The gate's
 //! measurement parameters are pinned to the same configurations the
 //! unit-test floors use — smaller sweeps than the full experiments, and
@@ -14,7 +15,7 @@
 //! trajectory files. All quantities are deterministic virtual times, so
 //! there is no run-to-run noise to filter.
 
-use super::{decomp, exchange, io, serve, Scale};
+use super::{decomp, exchange, io, refine, serve, Scale};
 use crate::report::Table;
 
 /// One tracked ratio with its floor.
@@ -123,6 +124,16 @@ pub fn checks() -> Vec<Check> {
         floor: serve::BATCHED_SERVE_SPEEDUP_FLOOR,
     });
 
+    // Read/refine: the zero-copy frame path must beat the owned
+    // deserializing read in end-to-end snapshot-join time at 64 ranks
+    // (best input shape; same parameters as the unit-test floor).
+    let rows = refine::measure(Scale { denominator: 1000 }, &[64]);
+    out.push(Check {
+        name: "refine: owned/zerocopy snapshot-join time @64 ranks",
+        value: refine::best_speedup(&rows, 64),
+        floor: refine::BATCHED_REFINE_SPEEDUP_FLOOR,
+    });
+
     out
 }
 
@@ -145,7 +156,7 @@ pub fn run() -> (String, bool) {
         ]);
     }
     match std::fs::write("BENCH_gate.json", to_json(&checks)) {
-        Ok(()) => t.note("gate measurements written to BENCH_gate.json (pinned floor configurations; the full trajectories are written by the decomp/exchange/io/serve experiments)"),
+        Ok(()) => t.note("gate measurements written to BENCH_gate.json (pinned floor configurations; the full trajectories are written by the decomp/exchange/io/serve/refine experiments)"),
         Err(e) => {
             // Failing here keeps CI from uploading a stale checked-in
             // copy as if it were this run's measurements.

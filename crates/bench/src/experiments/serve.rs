@@ -165,6 +165,7 @@ fn measure_one(
             } else {
                 ServeCache::Off
             },
+            ..Default::default()
         };
         let mut eng = QueryEngine::from_ingest(comm, ing, &opts);
         let bounds = eng.decomposition().bounds();

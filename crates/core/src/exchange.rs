@@ -112,6 +112,60 @@ impl ExchangeChunk {
     }
 }
 
+/// Environment variable consulted when [`ZeroCopy::Auto`] resolves: `on`
+/// / `1` / `true` selects the zero-copy read path (the default when
+/// unset), `off` / `0` / `false` the owned per-record deserialization.
+pub const ZEROCOPY_ENV: &str = "MVIO_ZEROCOPY";
+
+/// Read-path selector for the exchange/snapshot/serve consumers: borrow
+/// received wire frames in place (zero-copy) or materialize owned
+/// [`Feature`]s per record. Results are bit-identical either way; only
+/// the allocation behavior and the charged deserialization time differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ZeroCopy {
+    /// Resolve through [`ZEROCOPY_ENV`] (the default); unset means on.
+    #[default]
+    Auto,
+    /// Force the zero-copy path regardless of the environment.
+    On,
+    /// Force the owned path regardless of the environment.
+    Off,
+}
+
+impl ZeroCopy {
+    /// `true` when the zero-copy path is selected.
+    ///
+    /// # Panics
+    ///
+    /// `Auto` panics on an unrecognized [`ZEROCOPY_ENV`] value: silently
+    /// picking a default would make every run under a typo'd knob measure
+    /// the wrong configuration.
+    pub fn resolve(self) -> bool {
+        match self {
+            ZeroCopy::Auto => match std::env::var(ZEROCOPY_ENV) {
+                Err(_) => true,
+                Ok(v) => {
+                    let t = v.trim();
+                    if t == "1" || t.eq_ignore_ascii_case("on") || t.eq_ignore_ascii_case("true") {
+                        true
+                    } else if t == "0"
+                        || t.eq_ignore_ascii_case("off")
+                        || t.eq_ignore_ascii_case("false")
+                    {
+                        false
+                    } else {
+                        panic!(
+                            "invalid {ZEROCOPY_ENV} value {v:?}: expected on/1/true or off/0/false"
+                        )
+                    }
+                }
+            },
+            ZeroCopy::On => true,
+            ZeroCopy::Off => false,
+        }
+    }
+}
+
 /// Options for one exchange.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExchangeOptions {
@@ -311,6 +365,161 @@ pub(crate) fn record_len_at(buf: &[u8], pos: usize) -> Result<usize> {
     Ok(16 + glen + ulen)
 }
 
+/// One record of the exchange wire format, borrowed in place from a
+/// received (and [`validate_frames`]-checked) buffer: nothing is copied
+/// until a consumer decides the record survives its filter. The geometry
+/// bytes decode on demand through [`wkb::decode_ref`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecordFrame<'a> {
+    /// The record's grid cell.
+    pub cell: u32,
+    /// The WKB geometry bytes (already validated by the zero-copy
+    /// decoder, so `wkb::decode_ref(wkb)` cannot fail).
+    pub wkb: &'a [u8],
+    /// The record's userdata payload (already validated UTF-8).
+    pub userdata: &'a str,
+}
+
+/// Validates one received wire buffer without materializing anything:
+/// walks every frame, bounds-checks the header fields, zero-copy-decodes
+/// the geometry (the full [`wkb::decode_ref`] check set — exactly what
+/// the owned `deserialize_records` enforces) and checks the userdata is
+/// UTF-8. Returns the record count. Corruption surfaces as the same typed
+/// [`CoreError::Frame`] / [`CoreError::Parse`] errors the owned path
+/// produces. Not collective — pure local validation.
+pub fn validate_frames(buf: &[u8]) -> Result<u64> {
+    let bad = |msg: &str| CoreError::Frame(format!("exchange deserialization: {msg}"));
+    let mut pos = 0usize;
+    let mut records = 0u64;
+    while pos < buf.len() {
+        let len = record_len_at(buf, pos)?;
+        cell_from_wire(le_u64(buf, pos)?)?;
+        let glen = le_len(buf, pos + 8)?;
+        let wkb_bytes = &buf[pos + 12..pos + 12 + glen];
+        let (_, used) = wkb::decode_ref(wkb_bytes).map_err(|e| CoreError::Parse {
+            record: "<wkb>".into(),
+            source: e,
+        })?;
+        if used != glen {
+            return Err(bad("geometry length disagrees with its WKB payload"));
+        }
+        let ulen = le_len(buf, pos + 12 + glen)?;
+        let ud = &buf[pos + 16 + glen..pos + 16 + glen + ulen];
+        std::str::from_utf8(ud).map_err(|_| bad("non-UTF8 userdata"))?;
+        pos += len;
+        records += 1;
+    }
+    Ok(records)
+}
+
+/// Iterates the record frames of one buffer previously accepted by
+/// [`validate_frames`]. Walking is infallible: every bound was checked
+/// during validation.
+pub fn record_frames(buf: &[u8]) -> FrameIter<'_> {
+    FrameIter { buf, pos: 0 }
+}
+
+/// Counts the record frames in a buffer by walking its length headers
+/// (no per-record decoding — the frames were already validated).
+fn count_frames(buf: &[u8]) -> Result<u64> {
+    let mut pos = 0usize;
+    let mut n = 0u64;
+    while pos < buf.len() {
+        pos += record_len_at(buf, pos)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Iterator over the borrowed [`RecordFrame`]s of one validated buffer.
+#[derive(Debug, Clone)]
+pub struct FrameIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = RecordFrame<'a>;
+
+    fn next(&mut self) -> Option<RecordFrame<'a>> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        // audit: constructed only over buffers validate_frames accepted.
+        let len = record_len_at(self.buf, self.pos).expect("validated frame");
+        // audit: validate_frames range-checked the cell word of every frame.
+        let cell = cell_from_wire(le_u64(self.buf, self.pos).expect("validated frame"))
+            .expect("validated frame"); // audit: range-checked during validation.
+                                        // audit: validate_frames bounds-checked both length headers.
+        let glen = le_len(self.buf, self.pos + 8).expect("validated frame");
+        let wkb = &self.buf[self.pos + 12..self.pos + 12 + glen];
+        // audit: validate_frames bounds-checked both length headers.
+        let ulen = le_len(self.buf, self.pos + 12 + glen).expect("validated frame");
+        let ud = &self.buf[self.pos + 16 + glen..self.pos + 16 + glen + ulen];
+        // audit: validate_frames checked the userdata is UTF-8.
+        let userdata = std::str::from_utf8(ud).expect("validated frame");
+        self.pos += len;
+        Some(RecordFrame {
+            cell,
+            wkb,
+            userdata,
+        })
+    }
+}
+
+/// The raw, validated wire buffers one exchange (or one sliding window of
+/// it) received, kept per source rank so iteration matches the owned
+/// path's source-rank-order reassembly — the rule that keeps every chunk
+/// policy bit-identical. Rounds append to their source's buffer; nothing
+/// is deserialized.
+#[derive(Debug, Clone, Default)]
+pub struct FrameStore {
+    per_src: Vec<Vec<u8>>,
+    records: u64,
+}
+
+impl FrameStore {
+    /// An empty store for a `p`-rank world.
+    pub fn new(p: usize) -> Self {
+        FrameStore {
+            per_src: vec![Vec::new(); p],
+            records: 0,
+        }
+    }
+
+    /// Folds one completed round's validated buffers (indexed by source
+    /// rank) in. The first round per source moves its buffer wholesale
+    /// (the blocking single-round case stays copy-free); later rounds
+    /// append.
+    fn collect(&mut self, round: Vec<Vec<u8>>, records: u64) {
+        debug_assert_eq!(round.len(), self.per_src.len());
+        for (src, buf) in round.into_iter().enumerate() {
+            if self.per_src[src].is_empty() {
+                self.per_src[src] = buf;
+            } else {
+                self.per_src[src].extend_from_slice(&buf);
+            }
+        }
+        self.records += records;
+    }
+
+    /// Total records across all sources.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total wire bytes held.
+    pub fn bytes(&self) -> u64 {
+        self.per_src.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Iterates every record frame in source-rank order — the exact
+    /// record order of the owned path's collected output.
+    pub fn frames(&self) -> impl Iterator<Item = RecordFrame<'_>> {
+        self.per_src.iter().flat_map(|buf| record_frames(buf))
+    }
+}
+
 /// Exchanges `(cell, feature)` pairs so that every pair lands on the rank
 /// owning its cell under `decomp`. Input pairs may reference any cells;
 /// the output contains exactly the pairs owned by this rank, from all
@@ -335,14 +544,20 @@ pub fn exchange_features<D: SpatialDecomposition + ?Sized>(
     let mut collector = PerSourceCollector::new(p);
     let mut received: Vec<(u32, Feature)> = Vec::new();
     let mut current_window = 0usize;
-    let stats = exchange_features_inner(comm, pairs, decomp, opts, &mut |window, _, per_src| {
-        if window != current_window {
-            collector.drain_into(&mut received);
-            current_window = window;
-        }
-        collector.collect(per_src);
-        Ok(())
-    })?;
+    let stats = exchange_features_inner(
+        comm,
+        pairs,
+        decomp,
+        opts,
+        &mut WindowSink::Records(&mut |window, _, per_src| {
+            if window != current_window {
+                collector.drain_into(&mut received);
+                current_window = window;
+            }
+            collector.collect(per_src);
+            Ok(())
+        }),
+    )?;
     collector.drain_into(&mut received);
     Ok((received, stats))
 }
@@ -366,20 +581,64 @@ pub fn exchange_features_windows<D: SpatialDecomposition + ?Sized>(
     let mut collector = PerSourceCollector::new(p);
     let mut batches: Vec<Vec<(u32, Feature)>> = Vec::new();
     let mut current_window = 0usize;
-    let stats = exchange_features_inner(comm, pairs, decomp, opts, &mut |window, _, per_src| {
-        if window != current_window {
-            let mut batch = Vec::new();
-            collector.drain_into(&mut batch);
-            batches.push(batch);
-            current_window = window;
-        }
-        collector.collect(per_src);
-        Ok(())
-    })?;
+    let stats = exchange_features_inner(
+        comm,
+        pairs,
+        decomp,
+        opts,
+        &mut WindowSink::Records(&mut |window, _, per_src| {
+            if window != current_window {
+                let mut batch = Vec::new();
+                collector.drain_into(&mut batch);
+                batches.push(batch);
+                current_window = window;
+            }
+            collector.collect(per_src);
+            Ok(())
+        }),
+    )?;
     let mut batch = Vec::new();
     collector.drain_into(&mut batch);
     batches.push(batch);
     Ok((batches, stats))
+}
+
+/// The zero-copy counterpart of [`exchange_features_windows`]: one
+/// [`FrameStore`] of validated wire buffers per sliding window, never
+/// materializing owned [`Feature`]s on the receive side. Record order
+/// under [`FrameStore::frames`] matches the owned batches exactly, for
+/// every chunk policy; only the validation scan ([`Work::CopyBytes`]) is
+/// charged where the owned path pays per-record deserialization.
+/// Collective: every rank must call it with its own pairs.
+pub fn exchange_features_frames_windows<D: SpatialDecomposition + ?Sized>(
+    comm: &mut Comm,
+    pairs: Vec<(u32, Feature)>,
+    decomp: &D,
+    opts: &ExchangeOptions,
+) -> Result<(Vec<FrameStore>, ExchangeStats)> {
+    let p = comm.size();
+    let mut stores: Vec<FrameStore> = Vec::new();
+    let mut current = FrameStore::new(p);
+    let mut current_window = 0usize;
+    let stats = exchange_features_inner(
+        comm,
+        pairs,
+        decomp,
+        opts,
+        &mut WindowSink::Frames(&mut |window, _, bufs| {
+            if window != current_window {
+                stores.push(std::mem::replace(&mut current, FrameStore::new(p)));
+                current_window = window;
+            }
+            let records = bufs
+                .iter()
+                .try_fold(0u64, |n, b| Ok::<u64, CoreError>(n + count_frames(b)?))?;
+            current.collect(bufs, records);
+            Ok(())
+        }),
+    )?;
+    stores.push(current);
+    Ok((stores, stats))
 }
 
 /// Accumulates per-round, per-source record batches and drains them in
@@ -416,16 +675,27 @@ impl PerSourceCollector {
     }
 }
 
-/// Window loop shared by [`exchange_features`] and
-/// [`exchange_features_windows`]; `sink` receives
-/// `(window, round, per-source records)` for every completed round, in
+/// The per-window consumers of [`exchange_features_inner`]: owned
+/// per-source records, or validated raw wire buffers. Both receive
+/// `(window, round, payload)` for every completed round, in
 /// window-then-round order.
+enum WindowSink<'s> {
+    /// Owned materialization per record.
+    Records(&'s mut dyn FnMut(usize, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>),
+    /// Validated raw buffers, borrowed in place by the consumer.
+    Frames(&'s mut dyn FnMut(usize, usize, Vec<Vec<u8>>) -> Result<()>),
+}
+
+/// Window loop shared by [`exchange_features`],
+/// [`exchange_features_windows`] and
+/// [`exchange_features_frames_windows`]; `sink` receives every completed
+/// round in window-then-round order.
 fn exchange_features_inner<D: SpatialDecomposition + ?Sized>(
     comm: &mut Comm,
     pairs: Vec<(u32, Feature)>,
     decomp: &D,
     opts: &ExchangeOptions,
-    sink: &mut dyn FnMut(usize, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+    sink: &mut WindowSink<'_>,
 ) -> Result<ExchangeStats> {
     let p = comm.size();
     debug_assert_eq!(
@@ -480,16 +750,28 @@ fn exchange_features_inner<D: SpatialDecomposition + ?Sized>(
             }
         }
 
-        // The window's staged protocol + deserialization (run_batch_rounds
+        // The window's staged protocol + receive side (run_batch_sink
         // itself winds its rounds down on error, so its collectives are
         // always matched).
         let failed = deferred.is_some();
-        let result = plan.run_batch_rounds(comm, batch, &mut |round, per_src| {
-            if failed {
-                return Ok(()); // discard receives after a failure
+        let result = match sink {
+            WindowSink::Records(sink) => {
+                plan.run_batch_rounds(comm, batch, &mut |round, per_src| {
+                    if failed {
+                        return Ok(()); // discard receives after a failure
+                    }
+                    sink(window, round, per_src)
+                })
             }
-            sink(window, round, per_src)
-        });
+            WindowSink::Frames(sink) => {
+                plan.run_batch_rounds_frames(comm, batch, &mut |_, round, bufs| {
+                    if failed {
+                        return Ok(()); // discard receives after a failure
+                    }
+                    sink(window, round, bufs)
+                })
+            }
+        };
         match result {
             Ok(w) => stats.absorb(w),
             Err(e) => deferred = deferred.or(Some(e)),
@@ -632,18 +914,45 @@ impl ExchangePlan {
         batch: SerializedBatch,
         sink: &mut dyn FnMut(&mut Comm, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
     ) -> Result<ExchangeStats> {
+        self.run_batch_sink(comm, batch, &mut RoundSink::Records(sink))
+    }
+
+    /// The zero-copy variant of [`ExchangePlan::run_batch_rounds_ctx`]:
+    /// each completed round's received buffers arrive **validated but not
+    /// deserialized**, indexed by source rank — walk them with
+    /// [`record_frames`] or fold them into a [`FrameStore`]. The receive
+    /// side charges only the validation scan ([`Work::CopyBytes`]), not
+    /// the per-record materialization the owned path pays. Same protocol,
+    /// same rounds, same collective labels as the owned variant.
+    /// Collective: every rank must call it with its own batch.
+    pub fn run_batch_rounds_frames(
+        &self,
+        comm: &mut Comm,
+        batch: SerializedBatch,
+        sink: &mut dyn FnMut(&mut Comm, usize, Vec<Vec<u8>>) -> Result<()>,
+    ) -> Result<ExchangeStats> {
+        self.run_batch_sink(comm, batch, &mut RoundSink::Frames(sink))
+    }
+
+    /// Shared body of the two `run_batch_rounds_*` flavors.
+    fn run_batch_sink(
+        &self,
+        comm: &mut Comm,
+        batch: SerializedBatch,
+        sink: &mut RoundSink<'_>,
+    ) -> Result<ExchangeStats> {
         if let Err(e) = batch.validate(self.p) {
             // Still participate (one empty round) so a rank with a
             // malformed batch cannot strand its peers mid-collective,
             // then report the typed error.
-            self.run_streamed_ctx(comm, &mut |_| Ok(None), sink)?;
+            self.run_streamed_sink(comm, &mut |_| Ok(None), sink)?;
             return Err(e);
         }
         match self.chunk {
             None => {
                 // Degenerate single round: the blocking protocol.
                 let mut whole = Some(batch);
-                self.run_streamed_ctx(
+                self.run_streamed_sink(
                     comm,
                     &mut |_| {
                         Ok(whole.take().map(|batch| ExchangeRound {
@@ -657,7 +966,7 @@ impl ExchangePlan {
             }
             Some(cap) => {
                 let mut splitter = BatchSplitter::new(batch, cap);
-                self.run_streamed_ctx(comm, &mut |_| splitter.next_round(), sink)
+                self.run_streamed_sink(comm, &mut |_| splitter.next_round(), sink)
             }
         }
     }
@@ -703,6 +1012,16 @@ impl ExchangePlan {
         comm: &mut Comm,
         feed: &mut dyn FnMut(&mut Comm) -> Result<Option<ExchangeRound>>,
         sink: &mut dyn FnMut(&mut Comm, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+    ) -> Result<ExchangeStats> {
+        self.run_streamed_sink(comm, feed, &mut RoundSink::Records(sink))
+    }
+
+    /// Shared protocol loop behind the owned and frames sink flavors.
+    fn run_streamed_sink(
+        &self,
+        comm: &mut Comm,
+        feed: &mut dyn FnMut(&mut Comm) -> Result<Option<ExchangeRound>>,
+        sink: &mut RoundSink<'_>,
     ) -> Result<ExchangeStats> {
         let p = self.p;
         assert_eq!(comm.size(), p, "plan built for a different world size");
@@ -810,15 +1129,22 @@ impl ExchangePlan {
         Ok(stats)
     }
 
-    /// Completes one round's payload request, deserializes per source
-    /// (charged to the clock — overlapped with any round still in
-    /// flight), updates counters and hands the records to the sink.
+    /// Completes one round's payload request, checks/deserializes per
+    /// source (charged to the clock — overlapped with any round still in
+    /// flight), updates counters and hands the round to the sink.
     /// `expected_sizes` are the byte counts the size exchange advertised
     /// for this round — the receive-side cross-check of the two-round
     /// protocol. Errors (corrupt payload, sink failure) are parked in
     /// `deferred` rather than returned, so the caller's protocol loop
     /// keeps the collectives matched across ranks; once `deferred` is
     /// set, later rounds are received and discarded.
+    ///
+    /// The two sink flavors are the owned/zero-copy fork of the read
+    /// path: a [`RoundSink::Records`] consumer pays the per-record
+    /// materialization ([`Work::SerializeGeoms`] — one fixed cost per
+    /// record plus the byte copy), a [`RoundSink::Frames`] consumer only
+    /// pays the validation scan over the received bytes
+    /// ([`Work::CopyBytes`]) and borrows the frames in place.
     #[allow(clippy::too_many_arguments)]
     fn drain_round(
         &self,
@@ -828,39 +1154,73 @@ impl ExchangePlan {
         req: mvio_msim::Request<Vec<Vec<u8>>>,
         expected_sizes: &[u64],
         stats: &mut ExchangeStats,
-        sink: &mut dyn FnMut(&mut Comm, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>,
+        sink: &mut RoundSink<'_>,
         deferred: &mut Option<CoreError>,
     ) {
         let bufs = engine.drive(comm, req);
         if deferred.is_some() {
             return; // already failed: receive and discard
         }
-        let run = || -> Result<()> {
-            let mut per_src = Vec::with_capacity(bufs.len());
-            let (mut records, mut bytes) = (0u64, 0u64);
-            for (src, buf) in bufs.into_iter().enumerate() {
-                debug_assert_eq!(
-                    buf.len() as u64,
-                    expected_sizes[src],
-                    "payload from rank {src} disagrees with its advertised size"
-                );
-                let recs = deserialize_records(&buf)?;
-                records += recs.len() as u64;
-                bytes += buf.len() as u64;
-                per_src.push(recs);
+        let run = |sink: &mut RoundSink<'_>| -> Result<()> {
+            match sink {
+                RoundSink::Records(sink) => {
+                    let mut per_src = Vec::with_capacity(bufs.len());
+                    let (mut records, mut bytes) = (0u64, 0u64);
+                    for (src, buf) in bufs.into_iter().enumerate() {
+                        debug_assert_eq!(
+                            buf.len() as u64,
+                            expected_sizes[src],
+                            "payload from rank {src} disagrees with its advertised size"
+                        );
+                        let recs = deserialize_records(&buf)?;
+                        records += recs.len() as u64;
+                        bytes += buf.len() as u64;
+                        per_src.push(recs);
+                    }
+                    comm.charge(Work::SerializeGeoms { n: records, bytes });
+                    update_received(stats, idx, records, bytes);
+                    sink(comm, idx, per_src)
+                }
+                RoundSink::Frames(sink) => {
+                    let (mut records, mut bytes) = (0u64, 0u64);
+                    for (src, buf) in bufs.iter().enumerate() {
+                        debug_assert_eq!(
+                            buf.len() as u64,
+                            expected_sizes[src],
+                            "payload from rank {src} disagrees with its advertised size"
+                        );
+                        records += validate_frames(buf)?;
+                        bytes += buf.len() as u64;
+                    }
+                    comm.charge(Work::CopyBytes { n: bytes });
+                    update_received(stats, idx, records, bytes);
+                    sink(comm, idx, bufs)
+                }
             }
-            comm.charge(Work::SerializeGeoms { n: records, bytes });
-            stats.records_received += records;
-            stats.bytes_received += bytes;
-            let slot = &mut stats.per_round[idx];
-            slot.records_received = records;
-            slot.bytes_received = bytes;
-            sink(comm, idx, per_src)
         };
-        if let Err(e) = run() {
+        if let Err(e) = run(sink) {
             *deferred = Some(e);
         }
     }
+}
+
+/// The two receive-side consumers of a completed round: deserialized
+/// per-source records (the owned path) or raw validated wire buffers (the
+/// zero-copy path).
+enum RoundSink<'s> {
+    /// Owned materialization per record.
+    Records(&'s mut dyn FnMut(&mut Comm, usize, Vec<Vec<(u32, Feature)>>) -> Result<()>),
+    /// Validated raw buffers, borrowed in place by the consumer.
+    Frames(&'s mut dyn FnMut(&mut Comm, usize, Vec<Vec<u8>>) -> Result<()>),
+}
+
+/// Folds one round's received counters into the exchange stats.
+fn update_received(stats: &mut ExchangeStats, idx: usize, records: u64, bytes: u64) {
+    stats.records_received += records;
+    stats.bytes_received += bytes;
+    let slot = &mut stats.per_round[idx];
+    slot.records_received = records;
+    slot.bytes_received = bytes;
 }
 
 /// Pulls one round from the feed (empty once this rank is drained or has
@@ -1000,6 +1360,32 @@ pub fn exchange_serialized_with(
     opts: &ExchangeOptions,
 ) -> Result<(Vec<(u32, Feature)>, ExchangeStats)> {
     ExchangePlan::new(comm, opts).run_batch(comm, batch)
+}
+
+/// The zero-copy counterpart of [`exchange_serialized_with`]: same staged
+/// protocol, same rounds and collective labels, but the received payloads
+/// stay as validated wire buffers in a [`FrameStore`] instead of being
+/// materialized into owned [`Feature`]s. The receive side charges only
+/// the validation scan ([`Work::CopyBytes`]); record order under
+/// [`FrameStore::frames`] is bit-identical to the owned path's output for
+/// every chunk policy.
+/// Collective: every rank must call it with its own batch.
+pub fn exchange_serialized_frames_with(
+    comm: &mut Comm,
+    batch: SerializedBatch,
+    opts: &ExchangeOptions,
+) -> Result<(FrameStore, ExchangeStats)> {
+    let p = comm.size();
+    let mut store = FrameStore::new(p);
+    let stats =
+        ExchangePlan::new(comm, opts).run_batch_rounds_frames(comm, batch, &mut |_, _, bufs| {
+            let records = bufs
+                .iter()
+                .try_fold(0u64, |n, b| Ok::<u64, CoreError>(n + count_frames(b)?))?;
+            store.collect(bufs, records);
+            Ok(())
+        })?;
+    Ok((store, stats))
 }
 
 #[cfg(test)]
@@ -1480,5 +1866,189 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Satellite oracle: walking a buffer with [`record_frames`] and
+    /// materializing each frame must reproduce `deserialize_records`
+    /// exactly — cells, geometries (all shape classes) and userdata.
+    #[test]
+    fn record_frames_match_deserialize_records() {
+        let mut buf = Vec::new();
+        let wkts = [
+            "POINT (3 4)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
+        ];
+        for (i, w) in wkts.iter().enumerate() {
+            let f = Feature::with_userdata(wkt::parse(w).unwrap(), format!("id={i}"));
+            serialize_record(i as u32, &f, &mut Vec::new(), &mut buf).unwrap();
+        }
+        assert_eq!(validate_frames(&buf).unwrap(), wkts.len() as u64);
+        let owned = deserialize_records(&buf).unwrap();
+        let borrowed: Vec<(u32, Feature)> = record_frames(&buf)
+            .map(|fr| {
+                let (g, used) = mvio_geom::wkb::decode_ref(fr.wkb).unwrap();
+                assert_eq!(used, fr.wkb.len());
+                (
+                    fr.cell,
+                    Feature::with_userdata(g.to_geometry(), fr.userdata),
+                )
+            })
+            .collect();
+        assert_eq!(owned, borrowed);
+    }
+
+    /// Corruption anywhere in a buffer must fail [`validate_frames`] with
+    /// the same typed error the owned decoder produces — the zero-copy
+    /// path may skip materialization, never checking.
+    #[test]
+    fn validate_frames_rejects_what_deserialize_rejects() {
+        let mut buf = Vec::new();
+        let f = Feature::with_userdata(wkt::parse("LINESTRING (0 0, 5 5)").unwrap(), "ud");
+        serialize_record(3, &f, &mut Vec::new(), &mut buf).unwrap();
+        serialize_record(4, &feature(1.0, 2.0, "x"), &mut Vec::new(), &mut buf).unwrap();
+
+        // Every truncation point fails both decoders.
+        for cut in 0..buf.len() {
+            if cut == 0 {
+                continue; // empty buffer is trivially valid for both
+            }
+            let owned = deserialize_records(&buf[..cut]);
+            let frames = validate_frames(&buf[..cut]);
+            assert_eq!(owned.is_err(), frames.is_err(), "cut {cut}");
+        }
+
+        // Geometry byte corruption (WKB type code) fails both, same error.
+        let mut bad_type = buf.clone();
+        bad_type[13] = 99; // type code low byte inside the first WKB body
+        let owned = deserialize_records(&bad_type).unwrap_err();
+        let frames = validate_frames(&bad_type).unwrap_err();
+        assert_eq!(owned.to_string(), frames.to_string());
+
+        // Non-UTF8 userdata fails both.
+        let mut bad_ud = buf.clone();
+        let ud_at = buf.len() - 1; // last byte of the trailing "x" userdata
+        bad_ud[ud_at] = 0xff;
+        assert!(deserialize_records(&bad_ud).is_err());
+        assert!(validate_frames(&bad_ud).is_err());
+    }
+
+    /// The zero-copy exchange is the owned exchange, bit for bit: same
+    /// records in the same order, for blocking and chunked policies and
+    /// any window count — only the receive-side representation differs.
+    #[test]
+    fn frames_exchange_is_bit_identical_to_owned() {
+        let num_cells = 6;
+        for chunk in [ExchangeChunk::Unlimited, ExchangeChunk::Bytes(48)] {
+            for windows in [1u32, 3] {
+                let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+                    let mk_pairs = |rank: usize| -> Vec<(u32, Feature)> {
+                        (0..num_cells)
+                            .map(|c| (c, feature(c as f64, rank as f64, "0123456789abcdef")))
+                            .collect()
+                    };
+                    let decomp = strip(num_cells, CellMap::RoundRobin, comm.size());
+                    let opts = ExchangeOptions { windows, chunk };
+                    let (stores, fstats) = exchange_features_frames_windows(
+                        comm,
+                        mk_pairs(comm.rank()),
+                        &decomp,
+                        &opts,
+                    )
+                    .unwrap();
+                    let (batches, ostats) =
+                        exchange_features_windows(comm, mk_pairs(comm.rank()), &decomp, &opts)
+                            .unwrap();
+                    (stores, batches, fstats, ostats)
+                });
+                for (stores, batches, fstats, ostats) in out {
+                    assert_eq!(stores.len(), batches.len(), "{chunk:?}");
+                    for (store, batch) in stores.iter().zip(&batches) {
+                        assert_eq!(store.records(), batch.len() as u64);
+                        let materialized: Vec<(u32, Feature)> = store
+                            .frames()
+                            .map(|fr| {
+                                let (g, _) = mvio_geom::wkb::decode_ref(fr.wkb).unwrap();
+                                (
+                                    fr.cell,
+                                    Feature::with_userdata(g.to_geometry(), fr.userdata),
+                                )
+                            })
+                            .collect();
+                        assert_eq!(&materialized, batch, "{chunk:?} windows={windows}");
+                    }
+                    // Same wire traffic, same rounds; only the receive-side
+                    // compute model differs.
+                    assert_eq!(fstats.bytes_received, ostats.bytes_received);
+                    assert_eq!(fstats.records_received, ostats.records_received);
+                    assert_eq!(fstats.rounds, ostats.rounds);
+                }
+            }
+        }
+    }
+
+    /// [`exchange_serialized_frames_with`] mirrors
+    /// [`exchange_serialized_with`] — the single-window entry point used
+    /// by the snapshot read path.
+    #[test]
+    fn serialized_frames_exchange_matches_owned() {
+        for chunk in [ExchangeChunk::Unlimited, ExchangeChunk::Bytes(64)] {
+            let out = World::run(WorldConfig::new(Topology::single_node(3)), move |comm| {
+                let mk_batch = |rank: usize, p: usize| -> SerializedBatch {
+                    let mut batch = SerializedBatch::empty(p);
+                    for dst in 0..p {
+                        for i in 0..3u32 {
+                            let f = feature(rank as f64, i as f64, &format!("r{rank}d{dst}i{i}"));
+                            serialize_record(dst as u32, &f, &mut Vec::new(), &mut batch.bufs[dst])
+                                .unwrap();
+                            batch.records[dst] += 1;
+                        }
+                    }
+                    batch
+                };
+                let opts = ExchangeOptions { windows: 1, chunk };
+                let p = comm.size();
+                let (store, _) =
+                    exchange_serialized_frames_with(comm, mk_batch(comm.rank(), p), &opts).unwrap();
+                let (owned, _) =
+                    exchange_serialized_with(comm, mk_batch(comm.rank(), p), &opts).unwrap();
+                let materialized: Vec<(u32, Feature)> = store
+                    .frames()
+                    .map(|fr| {
+                        let (g, _) = mvio_geom::wkb::decode_ref(fr.wkb).unwrap();
+                        (
+                            fr.cell,
+                            Feature::with_userdata(g.to_geometry(), fr.userdata),
+                        )
+                    })
+                    .collect();
+                (materialized, owned)
+            });
+            for (materialized, owned) in out {
+                assert_eq!(materialized, owned, "{chunk:?}");
+            }
+        }
+    }
+
+    /// The [`ZeroCopy`] knob resolves like the other exchange knobs:
+    /// explicit settings never consult the environment, `Auto` defers to
+    /// [`ZEROCOPY_ENV`], and an unset environment means **on**.
+    #[test]
+    fn zerocopy_knob_resolution() {
+        assert!(ZeroCopy::On.resolve());
+        assert!(!ZeroCopy::Off.resolve());
+        // `Auto` must agree with whatever the ambient environment says
+        // (CI matrix rows pin it; locally it is usually unset → on).
+        let expect = match std::env::var(ZEROCOPY_ENV) {
+            Err(_) => true,
+            Ok(v) => !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "0" | "off" | "false"
+            ),
+        };
+        assert_eq!(ZeroCopy::Auto.resolve(), expect);
     }
 }

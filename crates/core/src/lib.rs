@@ -57,7 +57,8 @@ pub use decomp::{
     UniformDecomposition,
 };
 pub use exchange::{
-    ExchangeChunk, ExchangeOptions, ExchangePlan, ExchangeRound, ExchangeStats, SerializedBatch,
+    ExchangeChunk, ExchangeOptions, ExchangePlan, ExchangeRound, ExchangeStats, FrameStore,
+    RecordFrame, SerializedBatch, ZeroCopy,
 };
 pub use framework::{FilterRefine, RefineTask};
 pub use grid::{CellMap, GridSpec, UniformGrid};
@@ -65,8 +66,8 @@ pub use partition::{BoundaryStrategy, ReadOptions};
 pub use pipeline::{IngestOutput, PipelineOptions, PipelineStats};
 pub use reader::{CsvPointParser, GeometryParser, WktLineParser};
 pub use snapshot::{
-    read_partitioned, write_partitioned, SnapshotMeta, SnapshotReadOptions, SnapshotReadReport,
-    SnapshotWriteOptions, SnapshotWriteReport,
+    read_partitioned, read_partitioned_frames, write_partitioned, SnapshotMeta,
+    SnapshotReadOptions, SnapshotReadReport, SnapshotWriteOptions, SnapshotWriteReport,
 };
 
 use mvio_geom::Geometry;

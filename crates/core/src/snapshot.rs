@@ -51,8 +51,8 @@
 
 use crate::decomp::SpatialDecomposition;
 use crate::exchange::{
-    exchange_serialized_with, record_len_at, serialize_record, ExchangeChunk, ExchangeOptions,
-    ExchangeStats, SerializedBatch,
+    exchange_serialized_frames_with, exchange_serialized_with, record_len_at, serialize_record,
+    ExchangeChunk, ExchangeOptions, ExchangeStats, FrameStore, SerializedBatch,
 };
 use crate::grid::GridSpec;
 use crate::{CoreError, Feature, Result};
@@ -673,6 +673,109 @@ pub fn read_partitioned(
     decomp: &dyn SpatialDecomposition,
     opts: &SnapshotReadOptions,
 ) -> Result<(Vec<(u32, Feature)>, SnapshotReadReport)> {
+    let RoutedRead {
+        batch,
+        deferred,
+        sections,
+        bytes_read,
+        records_scanned,
+        t0,
+    } = read_and_route(comm, fs, path, decomp, opts)?;
+
+    // The routing exchange. Under the writer's world size and matching
+    // decomposition every record routes back to its own rank, so this
+    // degenerates to a local pass-through (zero cross-rank bytes) and
+    // the output order is exactly the written order.
+    let ex_opts = ExchangeOptions::with_chunk(opts.chunk);
+    let (owned, exchange) = match comm.labeled("snapshot.read.route", |c| {
+        exchange_serialized_with(c, batch, &ex_opts)
+    }) {
+        Ok(out) => out,
+        Err(e) => return Err(deferred.unwrap_or(e)),
+    };
+    if let Some(e) = deferred {
+        return Err(e);
+    }
+    Ok((
+        owned,
+        SnapshotReadReport {
+            sections,
+            bytes_read,
+            records_scanned,
+            read_seconds: comm.now() - t0,
+            exchange,
+        },
+    ))
+}
+
+/// The zero-copy counterpart of [`read_partitioned`]: identical header
+/// validation, staged collective read, routing scan and
+/// `snapshot.read.route` exchange, but the routed records arrive as a
+/// [`FrameStore`] of validated wire buffers — never materialized into
+/// owned [`Feature`]s. Record order under [`FrameStore::frames`] is
+/// bit-identical to the owned variant's output. Collective: every rank
+/// must call it.
+pub fn read_partitioned_frames(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    decomp: &dyn SpatialDecomposition,
+    opts: &SnapshotReadOptions,
+) -> Result<(FrameStore, SnapshotReadReport)> {
+    let RoutedRead {
+        batch,
+        deferred,
+        sections,
+        bytes_read,
+        records_scanned,
+        t0,
+    } = read_and_route(comm, fs, path, decomp, opts)?;
+    let ex_opts = ExchangeOptions::with_chunk(opts.chunk);
+    let (store, exchange) = match comm.labeled("snapshot.read.route", |c| {
+        exchange_serialized_frames_with(c, batch, &ex_opts)
+    }) {
+        Ok(out) => out,
+        Err(e) => return Err(deferred.unwrap_or(e)),
+    };
+    if let Some(e) = deferred {
+        return Err(e);
+    }
+    Ok((
+        store,
+        SnapshotReadReport {
+            sections,
+            bytes_read,
+            records_scanned,
+            read_seconds: comm.now() - t0,
+            exchange,
+        },
+    ))
+}
+
+/// Everything the two `read_partitioned*` flavors share, up to (but not
+/// including) the routing exchange: validated header + table, the staged
+/// collective payload read, and the per-record routing scan into a
+/// per-destination batch. A routing error is parked in `deferred` (with
+/// an emptied batch) so the caller's exchange stays matched across ranks.
+struct RoutedRead {
+    batch: SerializedBatch,
+    deferred: Option<CoreError>,
+    sections: (usize, usize),
+    bytes_read: u64,
+    records_scanned: u64,
+    t0: f64,
+}
+
+/// Shared first half of [`read_partitioned`] /
+/// [`read_partitioned_frames`]. Collective: every rank must call it (it
+/// issues the `snapshot.read.payload` staged read).
+fn read_and_route(
+    comm: &mut Comm,
+    fs: &Arc<SimFs>,
+    path: &str,
+    decomp: &dyn SpatialDecomposition,
+    opts: &SnapshotReadOptions,
+) -> Result<RoutedRead> {
     let p = comm.size();
     debug_assert_eq!(
         decomp.num_ranks(),
@@ -796,30 +899,14 @@ pub fn read_partitioned(
     }
     comm.charge(Work::CopyBytes { n: bytes_read });
 
-    // The routing exchange. Under the writer's world size and matching
-    // decomposition every record routes back to its own rank, so this
-    // degenerates to a local pass-through (zero cross-rank bytes) and
-    // the output order is exactly the written order.
-    let ex_opts = ExchangeOptions::with_chunk(opts.chunk);
-    let (owned, exchange) = match comm.labeled("snapshot.read.route", |c| {
-        exchange_serialized_with(c, batch, &ex_opts)
-    }) {
-        Ok(out) => out,
-        Err(e) => return Err(deferred.unwrap_or(e)),
-    };
-    if let Some(e) = deferred {
-        return Err(e);
-    }
-    Ok((
-        owned,
-        SnapshotReadReport {
-            sections: (s_lo, s_hi),
-            bytes_read,
-            records_scanned,
-            read_seconds: comm.now() - t0,
-            exchange,
-        },
-    ))
+    Ok(RoutedRead {
+        batch,
+        deferred,
+        sections: (s_lo, s_hi),
+        bytes_read,
+        records_scanned,
+        t0,
+    })
 }
 
 #[cfg(test)]
@@ -888,6 +975,67 @@ mod tests {
             r.read_seconds
         });
         assert!(out.iter().all(|&t| t > 0.0));
+    }
+
+    /// The frames read is the owned read, bit for bit — same records in
+    /// the same order once materialized, for the writer's world and a
+    /// re-routed one, blocking and chunked.
+    #[test]
+    fn frames_read_matches_owned_read() {
+        for (write_ranks, read_ranks) in [(3usize, 3usize), (3, 2)] {
+            let fs = SimFs::new(FsConfig::lustre_comet());
+            {
+                let fs = Arc::clone(&fs);
+                World::run(
+                    WorldConfig::new(Topology::single_node(write_ranks)),
+                    move |comm| {
+                        let d = decomp(12, comm.size());
+                        let pairs = pairs_for(comm.rank(), comm.size(), 12, 2);
+                        write_partitioned(
+                            comm,
+                            &fs,
+                            "zc.bin",
+                            &pairs,
+                            &d,
+                            &SnapshotWriteOptions::default(),
+                        )
+                        .unwrap();
+                    },
+                );
+            }
+            for chunk in [ExchangeChunk::Unlimited, ExchangeChunk::Bytes(64)] {
+                let fs = Arc::clone(&fs);
+                World::run(
+                    WorldConfig::new(Topology::single_node(read_ranks)),
+                    move |comm| {
+                        let d = decomp(12, comm.size());
+                        let opts = SnapshotReadOptions {
+                            chunk,
+                            ..Default::default()
+                        };
+                        let (owned, orep) =
+                            read_partitioned(comm, &fs, "zc.bin", &d, &opts).unwrap();
+                        let (store, frep) =
+                            read_partitioned_frames(comm, &fs, "zc.bin", &d, &opts).unwrap();
+                        assert_eq!(store.records(), owned.len() as u64);
+                        let materialized: Vec<(u32, Feature)> = store
+                            .frames()
+                            .map(|fr| {
+                                let (g, _) = mvio_geom::wkb::decode_ref(fr.wkb).unwrap();
+                                (
+                                    fr.cell,
+                                    Feature::with_userdata(g.to_geometry(), fr.userdata),
+                                )
+                            })
+                            .collect();
+                        assert_eq!(materialized, owned, "rank {}", comm.rank());
+                        assert_eq!(frep.records_scanned, orep.records_scanned);
+                        assert_eq!(frep.bytes_read, orep.bytes_read);
+                        assert_eq!(frep.exchange.bytes_received, orep.exchange.bytes_received);
+                    },
+                );
+            }
+        }
     }
 
     #[test]

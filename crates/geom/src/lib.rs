@@ -17,7 +17,10 @@
 //!   intersection, point-in-polygon and exact `intersects`, which implement
 //!   the *refine* half of the filter-and-refine strategy;
 //! * spatial indexes ([`index`]): an STR bulk-loaded R-tree and a region
-//!   quadtree, used for the *filter* half and for grid-cell lookup.
+//!   quadtree, used for the *filter* half and for grid-cell lookup;
+//! * zero-copy borrowed geometry views ([`wkb::GeomRef`], decoded by
+//!   [`wkb::decode_ref`] straight over wire buffers) and the batched
+//!   filter/refine kernels that run over them ([`refkernel`]).
 //!
 //! The crate is dependency-free (std only) and fully deterministic, so every
 //! higher layer of the reproduction can be tested bit-for-bit.
@@ -42,6 +45,7 @@ pub mod multi;
 pub mod point;
 pub mod polygon;
 pub mod rect;
+pub mod refkernel;
 pub mod wkb;
 pub mod wkt;
 

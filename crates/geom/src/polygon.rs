@@ -69,6 +69,14 @@ impl Ring {
     pub fn envelope(&self) -> Rect {
         Rect::from_points(&self.points)
     }
+
+    /// Consumes the ring, returning its (closed) vertex vector. Lets
+    /// scratch-buffer pools ([`crate::refkernel::RefineArena`]) reclaim
+    /// the allocation instead of dropping it.
+    #[inline]
+    pub fn into_points(self) -> Vec<Point> {
+        self.points
+    }
 }
 
 /// A polygon: one exterior ring plus zero or more interior rings (holes).
@@ -136,6 +144,14 @@ impl Polygon {
         self.exterior
             .segments()
             .chain(self.interiors.iter().flat_map(|r| r.segments()))
+    }
+
+    /// Consumes the polygon, returning the exterior shell and the holes —
+    /// the disassembly counterpart of [`Polygon::new`], used by buffer
+    /// pools to reclaim the ring allocations.
+    #[inline]
+    pub fn into_rings(self) -> (Ring, Vec<Ring>) {
+        (self.exterior, self.interiors)
     }
 }
 

@@ -1,0 +1,412 @@
+//! Batched MBR/refine kernels over the zero-copy geometry views.
+//!
+//! The filter half of filter-and-refine is memory-bound: it touches every
+//! received coordinate once to derive an MBR, then compares rectangles.
+//! Doing that per record through an owned [`crate::Geometry`] pays a heap
+//! allocation and a second pass per geometry before the first comparison
+//! happens. The kernels here run straight over the borrowed views of
+//! [`crate::wkb::decode_ref`] instead:
+//!
+//! * [`coords_envelope`] — min/max over a flat coordinate slice with four
+//!   independent accumulator lanes, so the compiler can keep the loop in
+//!   vector registers (the scalar remainder folds into the same lanes);
+//! * [`envelope_batch`] — MBRs for a whole received round at once;
+//! * [`filter_pairs_batch`] — rejects candidate pairs by MBR overlap and
+//!   the caller's reference-cell claim before any point-in-polygon work;
+//! * [`RefineArena`] — a scratch pool of coordinate buffers for the few
+//!   candidates that survive to the exact intersection test, so the refine
+//!   loop's materializations recycle allocations instead of making fresh
+//!   ones per pair. The arena counts what it creates and how many buffers
+//!   are resident at once, which is how the repro experiments *measure*
+//!   the zero-alloc claim instead of asserting it.
+//!
+//! Every kernel is value-compatible with the owned path: envelopes use the
+//! same `f64::min`/`f64::max` folds as [`crate::Rect::expand_point`], and
+//! [`RefineArena::materialize`] rebuilds geometries through the owned
+//! constructors, so results are equal to [`crate::wkb::decode`]'s.
+
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::multi::{GeometryCollection, MultiLineString, MultiPoint, MultiPolygon};
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::rect::Rect;
+use crate::wkb::{CoordsRef, GeomRef};
+
+/// MBR of a flat coordinate slice (16 bytes per point: x then y, in the
+/// given byte order), computed with four independent accumulator lanes.
+///
+/// The lanes carry no sequential dependency across points, so the 4-wide
+/// body auto-vectorizes; the final merge unions the lanes. The folds are
+/// the same `f64::min`/`f64::max` as [`Rect::expand_point`], so the result
+/// equals (under `==`) the owned `Rect::from_points` over the same
+/// coordinates. An empty slice yields [`Rect::EMPTY`].
+pub fn coords_envelope(data: &[u8], be: bool) -> Rect {
+    let n = data.len() / 16;
+    let rd = |i: usize, off: usize| -> f64 {
+        // audit: `i < n` and `off ∈ {0, 8}`, so the range ends at most at
+        // `16 · n ≤ data.len()`.
+        let bytes: [u8; 8] = data[i * 16 + off..i * 16 + off + 8]
+            .try_into()
+            .expect("8-byte chunk"); // audit: the slice is exactly 8 bytes.
+        if be {
+            f64::from_be_bytes(bytes)
+        } else {
+            f64::from_le_bytes(bytes)
+        }
+    };
+    let mut lanes = [Rect::EMPTY; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let (x, y) = (rd(i + l, 0), rd(i + l, 8));
+            lane.min_x = lane.min_x.min(x);
+            lane.min_y = lane.min_y.min(y);
+            lane.max_x = lane.max_x.max(x);
+            lane.max_y = lane.max_y.max(y);
+        }
+        i += 4;
+    }
+    while i < n {
+        let (x, y) = (rd(i, 0), rd(i, 8));
+        lanes[0].min_x = lanes[0].min_x.min(x);
+        lanes[0].min_y = lanes[0].min_y.min(y);
+        lanes[0].max_x = lanes[0].max_x.max(x);
+        lanes[0].max_y = lanes[0].max_y.max(y);
+        i += 1;
+    }
+    let mut out = Rect::EMPTY;
+    for lane in &lanes {
+        out.expand_rect(lane);
+    }
+    out
+}
+
+/// Computes the MBR of every view in `geoms` into `out` (cleared first) —
+/// one pass over a whole received round, feeding the R-tree build and the
+/// pair filter without any per-record geometry materialization.
+pub fn envelope_batch(geoms: &[GeomRef<'_>], out: &mut Vec<Rect>) {
+    out.clear();
+    out.reserve(geoms.len());
+    out.extend(geoms.iter().map(|g| g.envelope()));
+}
+
+/// Filters candidate `(left, right)` index pairs down to the ones whose
+/// MBRs overlap **and** pass the caller's reference-cell claim, appending
+/// survivors to `out` (cleared first) in input order. Everything rejected
+/// here never reaches a point-in-polygon test.
+///
+/// `claims` receives the two MBRs of a pair that already passed the
+/// overlap test — the duplicate-elimination hook
+/// (`claims_reference` in the join framework).
+pub fn filter_pairs_batch(
+    candidates: &[(usize, usize)],
+    left_mbrs: &[Rect],
+    right_mbrs: &[Rect],
+    mut claims: impl FnMut(&Rect, &Rect) -> bool,
+    out: &mut Vec<(usize, usize)>,
+) {
+    out.clear();
+    for &(li, ri) in candidates {
+        let (a, b) = (&left_mbrs[li], &right_mbrs[ri]);
+        if a.intersects(b) && claims(a, b) {
+            out.push((li, ri));
+        }
+    }
+}
+
+/// Scratch pool for refine-phase materializations: coordinate buffers are
+/// taken when a surviving candidate pair needs owned geometry for the
+/// exact intersection test and given back immediately after, so a whole
+/// refine window runs on a handful of resident buffers instead of one
+/// fresh allocation per record.
+///
+/// The pool only recycles `Vec<Point>` coordinate buffers — the only
+/// per-record allocation on the read path. Counters track every fresh
+/// buffer creation ([`RefineArena::buffers_created`]) and the peak number
+/// lent out at once ([`RefineArena::peak_resident`]); the repro
+/// experiments export them as the max-resident-allocations metric.
+#[derive(Debug, Default)]
+pub struct RefineArena {
+    pool: Vec<Vec<Point>>,
+    created: u64,
+    live: usize,
+    peak_live: usize,
+}
+
+impl RefineArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RefineArena::default()
+    }
+
+    /// Forgets any outstanding lends (buffers not recycled are simply
+    /// dropped by their owners) while keeping the pool — called between
+    /// refine windows.
+    pub fn reset(&mut self) {
+        self.live = 0;
+    }
+
+    /// Fresh coordinate buffers created over the arena's lifetime.
+    pub fn buffers_created(&self) -> u64 {
+        self.created
+    }
+
+    /// Peak number of buffers lent out simultaneously.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_live
+    }
+
+    fn take(&mut self) -> Vec<Point> {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => {
+                self.created += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn give(&mut self, v: Vec<Point>) {
+        self.live = self.live.saturating_sub(1);
+        self.pool.push(v);
+    }
+
+    fn linestring(&mut self, coords: &CoordsRef<'_>) -> LineString {
+        let mut pts = self.take();
+        pts.reserve(coords.len());
+        pts.extend(coords.points());
+        // audit: decode_ref already ran LineString::new's checks.
+        LineString::new(pts).expect("validated linestring")
+    }
+
+    fn ring(&mut self, coords: &CoordsRef<'_>) -> Ring {
+        let mut pts = self.take();
+        // +1 so Ring::new's closing push (already counted in len() when
+        // the wire ring is unclosed) never grows the buffer.
+        pts.reserve(coords.len() + 1);
+        // Wire points only: Ring::new re-closes exactly like the owned
+        // decode, so the stored vector matches it point-for-point.
+        pts.extend((0..coords.wire_len()).map(|i| coords.point(i)));
+        // audit: decode_ref already ran Ring::new's checks.
+        Ring::new(pts).expect("validated ring")
+    }
+
+    fn polygon(&mut self, p: &crate::wkb::PolygonRef<'_>) -> Polygon {
+        let mut rings = p.rings();
+        // audit: decode_ref guarantees at least one ring.
+        let ext = self.ring(&rings.next().expect("validated polygon has >= 1 ring"));
+        let holes = rings.map(|r| self.ring(&r)).collect();
+        Polygon::new(ext, holes)
+    }
+
+    /// Materializes an owned [`Geometry`] equal to what
+    /// [`crate::wkb::decode`] returns for the view's bytes, drawing
+    /// coordinate buffers from the pool. Pair with
+    /// [`RefineArena::recycle`] to return the buffers once the exact test
+    /// is done.
+    pub fn materialize(&mut self, g: &GeomRef<'_>) -> Geometry {
+        match g {
+            GeomRef::Point(p) => Geometry::Point(p.point()),
+            GeomRef::LineString(l) => Geometry::LineString(self.linestring(&l.coords())),
+            GeomRef::Polygon(p) => Geometry::Polygon(self.polygon(p)),
+            GeomRef::MultiPoint(m) => {
+                let mut pts = self.take();
+                pts.reserve(m.len());
+                pts.extend(m.members().map(|g| match g {
+                    GeomRef::Point(p) => p.point(),
+                    // audit: decode_ref enforced the member type.
+                    _ => unreachable!("validated MULTIPOINT member"),
+                }));
+                Geometry::MultiPoint(MultiPoint(pts))
+            }
+            GeomRef::MultiLineString(m) => Geometry::MultiLineString(MultiLineString(
+                m.members()
+                    .map(|g| match g {
+                        GeomRef::LineString(l) => self.linestring(&l.coords()),
+                        // audit: decode_ref enforced the member type.
+                        _ => unreachable!("validated MULTILINESTRING member"),
+                    })
+                    .collect(),
+            )),
+            GeomRef::MultiPolygon(m) => Geometry::MultiPolygon(MultiPolygon(
+                m.members()
+                    .map(|g| match g {
+                        GeomRef::Polygon(p) => self.polygon(&p),
+                        // audit: decode_ref enforced the member type.
+                        _ => unreachable!("validated MULTIPOLYGON member"),
+                    })
+                    .collect(),
+            )),
+            GeomRef::GeometryCollection(c) => Geometry::GeometryCollection(GeometryCollection(
+                c.members().map(|g| self.materialize(&g)).collect(),
+            )),
+        }
+    }
+
+    /// Returns a materialized geometry's coordinate buffers to the pool.
+    pub fn recycle(&mut self, g: Geometry) {
+        match g {
+            Geometry::Point(_) => {}
+            Geometry::LineString(l) => self.give(l.into_points()),
+            Geometry::Polygon(p) => self.recycle_polygon(p),
+            Geometry::MultiPoint(m) => self.give(m.0),
+            Geometry::MultiLineString(m) => {
+                for l in m.0 {
+                    self.give(l.into_points());
+                }
+            }
+            Geometry::MultiPolygon(m) => {
+                for p in m.0 {
+                    self.recycle_polygon(p);
+                }
+            }
+            Geometry::GeometryCollection(c) => {
+                for g in c.0 {
+                    self.recycle(g);
+                }
+            }
+        }
+    }
+
+    fn recycle_polygon(&mut self, p: Polygon) {
+        let (ext, holes) = p.into_rings();
+        self.give(ext.into_points());
+        for h in holes {
+            self.give(h.into_points());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkb;
+    use crate::wkt;
+
+    fn flat(coords: &[(f64, f64)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &(x, y) in coords {
+            out.extend_from_slice(&x.to_le_bytes());
+            out.extend_from_slice(&y.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn coords_envelope_matches_sequential_fold_for_every_remainder() {
+        // 0..=9 points covers every 4-lane remainder class, including the
+        // empty slice.
+        for n in 0..10usize {
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|i| {
+                    let k = i as f64;
+                    ((k * 37.0) % 11.0 - 5.0, (k * 17.0) % 7.0 - 3.0)
+                })
+                .collect();
+            let data = flat(&pts);
+            let expect = Rect::from_points(
+                &pts.iter()
+                    .map(|&(x, y)| Point::new(x, y))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(coords_envelope(&data, false), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn coords_envelope_reads_big_endian() {
+        let mut data = Vec::new();
+        for v in [3.0f64, -1.0, -2.0, 4.0] {
+            data.extend_from_slice(&v.to_be_bytes());
+        }
+        assert_eq!(
+            coords_envelope(&data, true),
+            Rect::new(-2.0, -1.0, 3.0, 4.0)
+        );
+    }
+
+    #[test]
+    fn filter_pairs_batch_rejects_by_mbr_then_claim() {
+        let left = [Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(5.0, 5.0, 6.0, 6.0)];
+        let right = [
+            Rect::new(0.5, 0.5, 2.0, 2.0),
+            Rect::new(9.0, 9.0, 10.0, 10.0),
+        ];
+        let candidates = [(0, 0), (0, 1), (1, 0), (1, 1)];
+        let mut out = Vec::new();
+        // Claim everything: only MBR overlap filters.
+        filter_pairs_batch(&candidates, &left, &right, |_, _| true, &mut out);
+        assert_eq!(out, vec![(0, 0)]);
+        // Claim nothing: the claim hook can veto an overlapping pair.
+        filter_pairs_batch(&candidates, &left, &right, |_, _| false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn arena_materializes_equal_geometry_and_recycles_buffers() {
+        let samples = [
+            "POINT (3 4)",
+            "LINESTRING (0 0, 2 2, 4 0)",
+            "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)))",
+            "GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20))",
+        ];
+        let mut arena = RefineArena::new();
+        for s in samples {
+            let owned = wkt::parse(s).unwrap();
+            let bytes = wkb::encode(&owned);
+            let (view, _) = wkb::decode_ref(&bytes).unwrap();
+            // Two materialize/recycle cycles per sample: the second pass
+            // must not create any new buffers.
+            for _ in 0..2 {
+                let m = arena.materialize(&view);
+                assert_eq!(m, owned, "{s}");
+                arena.recycle(m);
+            }
+        }
+        let after_first_sweep = arena.buffers_created();
+        for s in samples {
+            let owned = wkt::parse(s).unwrap();
+            let bytes = wkb::encode(&owned);
+            let (view, _) = wkb::decode_ref(&bytes).unwrap();
+            let m = arena.materialize(&view);
+            arena.recycle(m);
+        }
+        assert_eq!(
+            arena.buffers_created(),
+            after_first_sweep,
+            "second sweep must run entirely from the pool"
+        );
+        // Nothing is lent out between pairs, so the resident peak stays at
+        // the widest single geometry (collection of 2 + spare), far below
+        // the record count.
+        assert!(arena.peak_resident() <= 4, "{}", arena.peak_resident());
+    }
+
+    #[test]
+    fn arena_materializes_unclosed_ring_like_owned_decode() {
+        // Hand-built WKB: polygon whose ring is NOT closed on the wire;
+        // the owned decode auto-closes, and the arena's rebuild must match.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&3u32.to_le_bytes()); // polygon
+        buf.extend_from_slice(&1u32.to_le_bytes()); // 1 ring
+        buf.extend_from_slice(&3u32.to_le_bytes()); // 3 wire points
+        for v in [0.0f64, 0.0, 4.0, 0.0, 0.0, 4.0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let (owned, _) = wkb::decode(&buf).unwrap();
+        let (view, _) = wkb::decode_ref(&buf).unwrap();
+        let mut arena = RefineArena::new();
+        assert_eq!(arena.materialize(&view), owned);
+        assert_eq!(view.num_points(), owned.num_points());
+        assert_eq!(view.envelope(), owned.envelope());
+    }
+}

@@ -15,6 +15,7 @@ use crate::linestring::LineString;
 use crate::multi::{GeometryCollection, MultiLineString, MultiPoint, MultiPolygon};
 use crate::point::Point;
 use crate::polygon::{Polygon, Ring};
+use crate::rect::Rect;
 use crate::{GeomError, Result};
 
 /// Encodes a geometry to little-endian WKB, appending to `out`.
@@ -307,6 +308,606 @@ impl<'a> Cursor<'a> {
         }
         Ok(Polygon::new(ext, holes))
     }
+
+    /// Walks one coordinate sequence without materializing it, performing
+    /// exactly the checks of [`Cursor::coords`] (count cap, per-value
+    /// truncation) and recording what the owned constructors would later
+    /// check: the first non-finite point and the first/last points (for
+    /// ring-closure semantics).
+    fn coords_ref(&mut self, be: bool) -> Result<RawCoords<'a>> {
+        // audit: u32 → usize is lossless on every supported target.
+        let n = self.u32(be)? as usize;
+        // Defensive cap: a count that implies reading past the buffer is
+        // corrupt, not a huge geometry.
+        if n > (self.buf.len() - self.pos) / 16 + 1 {
+            return Err(GeomError::Wkb(format!(
+                "coordinate count {n} exceeds buffer"
+            )));
+        }
+        let start = self.pos;
+        if n * 16 > self.buf.len() - start {
+            // Truncated run (the cap admits counts one point past the
+            // end): re-walk point by point so the error names the exact
+            // offset [`Cursor::f64`] reports on the owned path.
+            for _ in 0..n {
+                self.point(be)?;
+            }
+            return Err(GeomError::Wkb(
+                "unreachable: short coordinate run survived re-walk".into(),
+            ));
+        }
+        let data = &self.buf[start..start + n * 16];
+        self.pos += n * 16;
+        // Hot path: the whole run was bounds-checked once above, so the
+        // finiteness sweep is a branch-light pass over the raw values —
+        // no per-read cursor bookkeeping, which is where the owned
+        // decoder spends its time besides allocating.
+        let mut all_finite = true;
+        if be {
+            for c in data.chunks_exact(8) {
+                // audit: chunks_exact yields exactly 8 bytes.
+                let v = f64::from_be_bytes(c.try_into().expect("8-byte chunk"));
+                all_finite &= v.is_finite();
+            }
+        } else {
+            for c in data.chunks_exact(8) {
+                // audit: chunks_exact yields exactly 8 bytes.
+                let v = f64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                all_finite &= v.is_finite();
+            }
+        }
+        let mut first_nonfinite = None;
+        if !all_finite {
+            // Cold: name the first offending *point* for the diagnostic,
+            // exactly as the sequential walk would.
+            for i in 0..n {
+                let p = Point::new(f64_at(data, i * 16, be), f64_at(data, i * 16 + 8, be));
+                if !p.is_finite() {
+                    first_nonfinite = Some(p);
+                    break;
+                }
+            }
+        }
+        let (first, last) = if n > 0 {
+            (
+                Some(Point::new(f64_at(data, 0, be), f64_at(data, 8, be))),
+                Some(Point::new(
+                    f64_at(data, (n - 1) * 16, be),
+                    f64_at(data, (n - 1) * 16 + 8, be),
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        Ok(RawCoords {
+            n,
+            data,
+            first_nonfinite,
+            first,
+            last,
+        })
+    }
+
+    /// Validates one ring with exactly `Ring::new`'s checks in `Ring::new`'s
+    /// order: finiteness first, then virtual closure (the view repeats the
+    /// first point instead of pushing a copy), then the closed length.
+    fn ring_ref(&mut self, be: bool) -> Result<()> {
+        let c = self.coords_ref(be)?;
+        if let Some(p) = c.first_nonfinite {
+            return Err(GeomError::Invalid(format!("non-finite coordinate {p}")));
+        }
+        let closed_len = if c.first != c.last { c.n + 1 } else { c.n };
+        if closed_len < 4 {
+            return Err(GeomError::Invalid(format!(
+                "polygon ring needs >= 4 points (closed), got {closed_len}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn polygon_body_ref(&mut self, be: bool) -> Result<PolygonRef<'a>> {
+        let nrings = self.u32(be)? as usize;
+        if nrings == 0 {
+            return Err(GeomError::Wkb("polygon with zero rings".into()));
+        }
+        let start = self.pos;
+        for _ in 0..nrings {
+            self.ring_ref(be)?;
+        }
+        Ok(PolygonRef {
+            body: &self.buf[start..self.pos],
+            nrings,
+            be,
+        })
+    }
+
+    /// Validates the `n` nested members of a Multi*/collection body,
+    /// enforcing the member type when `expect` names one, and returns the
+    /// borrowed body view.
+    fn multi_ref(
+        &mut self,
+        be: bool,
+        expect: Option<(GeometryType, &str)>,
+    ) -> Result<MultiRef<'a>> {
+        let n = self.u32(be)? as usize;
+        let start = self.pos;
+        for _ in 0..n {
+            let g = self.geometry_ref()?;
+            if let Some((ty, kw)) = expect {
+                if g.geometry_type() != ty {
+                    return Err(GeomError::Wkb(format!(
+                        "{kw} member is {:?}",
+                        g.geometry_type()
+                    )));
+                }
+            }
+        }
+        Ok(MultiRef {
+            body: &self.buf[start..self.pos],
+            n,
+        })
+    }
+
+    /// The borrowed twin of [`Cursor::geometry`]: same markers, same
+    /// bounds checks, same semantic constraints (via [`Cursor::ring_ref`]
+    /// and the inline `LINESTRING` checks), same errors in the same order
+    /// — but nothing is materialized.
+    fn geometry_ref(&mut self) -> Result<GeomRef<'a>> {
+        let order = self.u8()?;
+        let be = match order {
+            0 => true,
+            1 => false,
+            other => return Err(GeomError::Wkb(format!("bad byte-order marker {other}"))),
+        };
+        let code = self.u32(be)?;
+        let ty = GeometryType::from_code(code)
+            .ok_or_else(|| GeomError::Wkb(format!("unknown geometry type code {code}")))?;
+        match ty {
+            GeometryType::Point => {
+                let start = self.pos;
+                self.f64(be)?;
+                self.f64(be)?;
+                Ok(GeomRef::Point(PointRef {
+                    data: &self.buf[start..self.pos],
+                    be,
+                }))
+            }
+            GeometryType::LineString => {
+                let c = self.coords_ref(be)?;
+                // `LineString::new`'s checks, in its order: length first,
+                // then finiteness.
+                if c.n < 2 {
+                    return Err(GeomError::Invalid(format!(
+                        "LINESTRING needs >= 2 points, got {}",
+                        c.n
+                    )));
+                }
+                if let Some(p) = c.first_nonfinite {
+                    return Err(GeomError::Invalid(format!("non-finite coordinate {p}")));
+                }
+                Ok(GeomRef::LineString(LineStringRef {
+                    coords: CoordsRef {
+                        data: c.data,
+                        be,
+                        closing: false,
+                    },
+                }))
+            }
+            GeometryType::Polygon => Ok(GeomRef::Polygon(self.polygon_body_ref(be)?)),
+            GeometryType::MultiPoint => self
+                .multi_ref(be, Some((GeometryType::Point, "MULTIPOINT")))
+                .map(GeomRef::MultiPoint),
+            GeometryType::MultiLineString => self
+                .multi_ref(be, Some((GeometryType::LineString, "MULTILINESTRING")))
+                .map(GeomRef::MultiLineString),
+            GeometryType::MultiPolygon => self
+                .multi_ref(be, Some((GeometryType::Polygon, "MULTIPOLYGON")))
+                .map(GeomRef::MultiPolygon),
+            GeometryType::GeometryCollection => {
+                self.multi_ref(be, None).map(GeomRef::GeometryCollection)
+            }
+        }
+    }
+}
+
+/// What [`Cursor::coords_ref`] learned while walking one coordinate
+/// sequence in place.
+struct RawCoords<'a> {
+    /// Stored (wire) point count.
+    n: usize,
+    /// The `16 · n` coordinate bytes.
+    data: &'a [u8],
+    /// First point failing [`Point::is_finite`], if any.
+    first_nonfinite: Option<Point>,
+    first: Option<Point>,
+    last: Option<Point>,
+}
+
+/// Reads the `f64` at `data[at..at + 8]` in the given byte order. Private
+/// helper of the borrowed views; every caller stays inside a region the
+/// validating [`decode_ref`] pass already bounds-checked.
+#[inline]
+fn f64_at(data: &[u8], at: usize, be: bool) -> f64 {
+    // audit: callers index inside regions validated by `decode_ref`.
+    let bytes: [u8; 8] = data[at..at + 8].try_into().expect("8-byte slice");
+    if be {
+        f64::from_be_bytes(bytes)
+    } else {
+        f64::from_le_bytes(bytes)
+    }
+}
+
+/// Reads the `u32` at `data[at..at + 4]` in the given byte order (same
+/// validated-region contract as [`f64_at`]).
+#[inline]
+fn u32_at(data: &[u8], at: usize, be: bool) -> u32 {
+    // audit: callers index inside regions validated by `decode_ref`.
+    let bytes: [u8; 4] = data[at..at + 4].try_into().expect("4-byte slice");
+    if be {
+        u32::from_be_bytes(bytes)
+    } else {
+        u32::from_le_bytes(bytes)
+    }
+}
+
+/// Decodes one geometry from the front of `buf` as a borrowed zero-copy
+/// view, returning it and the number of bytes consumed.
+///
+/// Performs exactly the checks of [`decode`] — truncation, byte-order and
+/// type markers, coordinate-count caps, member types, and the semantic
+/// constraints the owned constructors enforce (`LINESTRING` length and
+/// finiteness, ring finiteness/closure/length) — in the same order, with
+/// the same errors. But nothing is allocated: coordinates stay in `buf`
+/// and are read in place via unaligned `f64` loads on access, and an
+/// unclosed polygon ring gets a *virtual* closing vertex instead of the
+/// pushed copy [`Ring::new`] makes, so the views agree point-for-point
+/// with the owned decode.
+pub fn decode_ref(buf: &[u8]) -> Result<(GeomRef<'_>, usize)> {
+    let mut cur = Cursor { buf, pos: 0 };
+    let g = cur.geometry_ref()?;
+    Ok((g, cur.pos))
+}
+
+/// Borrowed zero-copy view of one WKB geometry, produced by
+/// [`decode_ref`]. `Copy` and pointer-sized-ish: cloning a view never
+/// touches the heap. Construction sites outside this module go through
+/// [`decode_ref`], so every view is fully validated — accessors index
+/// infallibly.
+#[derive(Debug, Clone, Copy)]
+pub enum GeomRef<'a> {
+    /// A single point (16 coordinate bytes).
+    Point(PointRef<'a>),
+    /// A polyline over a flat coordinate slice.
+    LineString(LineStringRef<'a>),
+    /// A polygon: lazily iterated rings over the raw body bytes.
+    Polygon(PolygonRef<'a>),
+    /// Multi-point body; members iterate as nested [`GeomRef::Point`]s.
+    MultiPoint(MultiRef<'a>),
+    /// Multi-linestring body.
+    MultiLineString(MultiRef<'a>),
+    /// Multi-polygon body.
+    MultiPolygon(MultiRef<'a>),
+    /// Heterogeneous collection body.
+    GeometryCollection(MultiRef<'a>),
+}
+
+impl<'a> GeomRef<'a> {
+    /// The view's geometry type (matches what [`decode`] would return).
+    pub fn geometry_type(&self) -> GeometryType {
+        match self {
+            GeomRef::Point(_) => GeometryType::Point,
+            GeomRef::LineString(_) => GeometryType::LineString,
+            GeomRef::Polygon(_) => GeometryType::Polygon,
+            GeomRef::MultiPoint(_) => GeometryType::MultiPoint,
+            GeomRef::MultiLineString(_) => GeometryType::MultiLineString,
+            GeomRef::MultiPolygon(_) => GeometryType::MultiPolygon,
+            GeomRef::GeometryCollection(_) => GeometryType::GeometryCollection,
+        }
+    }
+
+    /// Minimum bounding rectangle, equal (under `==`) to
+    /// [`Geometry::envelope`] of the owned decode: same min/max folds over
+    /// the same coordinates (polygon = exterior ring only; Multi*/
+    /// collection = union over members in order; empty bodies yield
+    /// [`Rect::EMPTY`]).
+    pub fn envelope(&self) -> Rect {
+        match self {
+            GeomRef::Point(p) => p.envelope(),
+            GeomRef::LineString(l) => l.envelope(),
+            GeomRef::Polygon(p) => p.envelope(),
+            GeomRef::MultiPoint(m)
+            | GeomRef::MultiLineString(m)
+            | GeomRef::MultiPolygon(m)
+            | GeomRef::GeometryCollection(m) => m
+                .members()
+                .fold(Rect::EMPTY, |acc, g| acc.union(&g.envelope())),
+        }
+    }
+
+    /// Total vertex count, equal to [`Geometry::num_points`] of the owned
+    /// decode — ring counts include the (possibly virtual) closing vertex.
+    pub fn num_points(&self) -> usize {
+        match self {
+            GeomRef::Point(_) => 1,
+            GeomRef::LineString(l) => l.num_points(),
+            GeomRef::Polygon(p) => p.num_points(),
+            GeomRef::MultiPoint(m) => m.len(),
+            GeomRef::MultiLineString(m)
+            | GeomRef::MultiPolygon(m)
+            | GeomRef::GeometryCollection(m) => m.members().map(|g| g.num_points()).sum(),
+        }
+    }
+
+    /// Materializes the owned [`Geometry`] this view describes — equal to
+    /// what [`decode`] returns for the same bytes. Allocates fresh
+    /// buffers; hot refine loops use
+    /// [`crate::refkernel::RefineArena::materialize`] to recycle them.
+    pub fn to_geometry(&self) -> Geometry {
+        crate::refkernel::RefineArena::new().materialize(self)
+    }
+}
+
+/// Borrowed view of a point's 16 coordinate bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct PointRef<'a> {
+    data: &'a [u8],
+    be: bool,
+}
+
+impl PointRef<'_> {
+    /// The x coordinate, read in place.
+    #[inline]
+    pub fn x(&self) -> f64 {
+        f64_at(self.data, 0, self.be)
+    }
+
+    /// The y coordinate, read in place.
+    #[inline]
+    pub fn y(&self) -> f64 {
+        f64_at(self.data, 8, self.be)
+    }
+
+    /// The decoded point.
+    #[inline]
+    pub fn point(&self) -> Point {
+        Point::new(self.x(), self.y())
+    }
+
+    /// Degenerate MBR, as [`Point::envelope`].
+    pub fn envelope(&self) -> Rect {
+        self.point().envelope()
+    }
+}
+
+/// Borrowed flat coordinate sequence: stored wire points of 16 bytes
+/// each, plus — for unclosed polygon rings — one *virtual* closing vertex
+/// repeating the first point, mirroring the copy [`Ring::new`] pushes.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordsRef<'a> {
+    data: &'a [u8],
+    be: bool,
+    closing: bool,
+}
+
+impl<'a> CoordsRef<'a> {
+    /// Number of points stored on the wire.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.data.len() / 16
+    }
+
+    /// Logical point count, including the virtual closing vertex — equal
+    /// to the owned constructor's stored length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wire_len() + usize::from(self.closing)
+    }
+
+    /// `true` when the sequence holds no points at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th logical point, read in place (`i == wire_len` resolves
+    /// to the virtual closing vertex when present).
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        let at = if self.closing && i == self.wire_len() {
+            0
+        } else {
+            i * 16
+        };
+        Point::new(
+            f64_at(self.data, at, self.be),
+            f64_at(self.data, at + 8, self.be),
+        )
+    }
+
+    /// Iterates the logical points (virtual closing vertex included).
+    pub fn points(&self) -> impl Iterator<Item = Point> + 'a {
+        let this = *self;
+        (0..this.len()).map(move |i| this.point(i))
+    }
+
+    /// The raw stored coordinate bytes and their byte order — the flat
+    /// slice the batched envelope kernel consumes.
+    #[inline]
+    pub fn raw(&self) -> (&'a [u8], bool) {
+        (self.data, self.be)
+    }
+
+    /// MBR over the points (the virtual closing vertex repeats a stored
+    /// one and cannot move it).
+    pub fn envelope(&self) -> Rect {
+        crate::refkernel::coords_envelope(self.data, self.be)
+    }
+}
+
+/// Borrowed view of a linestring's coordinate sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct LineStringRef<'a> {
+    coords: CoordsRef<'a>,
+}
+
+impl<'a> LineStringRef<'a> {
+    /// The underlying coordinate view.
+    #[inline]
+    pub fn coords(&self) -> CoordsRef<'a> {
+        self.coords
+    }
+
+    /// Vertex count, as [`LineString::num_points`].
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// MBR, as [`LineString::envelope`].
+    pub fn envelope(&self) -> Rect {
+        self.coords.envelope()
+    }
+}
+
+/// Borrowed view of a polygon body: ring count plus the raw ring bytes,
+/// iterated lazily — no per-ring `Vec` exists anywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct PolygonRef<'a> {
+    body: &'a [u8],
+    nrings: usize,
+    be: bool,
+}
+
+impl<'a> PolygonRef<'a> {
+    /// Number of rings (exterior + holes), always ≥ 1.
+    #[inline]
+    pub fn num_rings(&self) -> usize {
+        self.nrings
+    }
+
+    /// Iterates the rings in wire order (exterior first).
+    pub fn rings(&self) -> RingIter<'a> {
+        RingIter {
+            body: self.body,
+            pos: 0,
+            left: self.nrings,
+            be: self.be,
+        }
+    }
+
+    /// The exterior shell's coordinates.
+    pub fn exterior(&self) -> CoordsRef<'a> {
+        self.rings()
+            .next()
+            .expect("validated polygon has >= 1 ring") // audit: decode_ref guarantees at least one ring.
+    }
+
+    /// MBR, as [`Polygon::envelope`] (exterior ring only — holes cannot
+    /// extend it).
+    pub fn envelope(&self) -> Rect {
+        self.exterior().envelope()
+    }
+
+    /// Total vertex count across rings, closing vertices included, as
+    /// [`Polygon::num_points`].
+    pub fn num_points(&self) -> usize {
+        self.rings().map(|r| r.len()).sum()
+    }
+}
+
+/// Lazy ring iterator over a validated polygon body.
+#[derive(Debug, Clone)]
+pub struct RingIter<'a> {
+    body: &'a [u8],
+    pos: usize,
+    left: usize,
+    be: bool,
+}
+
+impl<'a> Iterator for RingIter<'a> {
+    type Item = CoordsRef<'a>;
+
+    fn next(&mut self) -> Option<CoordsRef<'a>> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        // audit: u32 → usize is lossless on every supported target.
+        let n = u32_at(self.body, self.pos, self.be) as usize;
+        let start = self.pos + 4;
+        let data = &self.body[start..start + n * 16];
+        self.pos = start + n * 16;
+        Some(ring_coords(data, self.be))
+    }
+}
+
+/// Wraps a validated ring's stored coordinates, computing whether the
+/// view needs the virtual closing vertex ([`Ring::new`] pushes a copy of
+/// the first point when the wire sequence is unclosed under `Point`
+/// equality; the view repeats it virtually instead).
+fn ring_coords(data: &[u8], be: bool) -> CoordsRef<'_> {
+    let n = data.len() / 16;
+    let closing = n > 0 && {
+        let first = Point::new(f64_at(data, 0, be), f64_at(data, 8, be));
+        let last = Point::new(
+            f64_at(data, (n - 1) * 16, be),
+            f64_at(data, (n - 1) * 16 + 8, be),
+        );
+        first != last
+    };
+    CoordsRef { data, be, closing }
+}
+
+/// Borrowed view of a Multi*/collection body: `n` members, each a full
+/// nested WKB geometry, re-walked lazily over the validated bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiRef<'a> {
+    body: &'a [u8],
+    n: usize,
+}
+
+impl<'a> MultiRef<'a> {
+    /// Member count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the body holds no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterates the member views in wire order.
+    pub fn members(&self) -> MemberIter<'a> {
+        MemberIter {
+            rest: self.body,
+            left: self.n,
+        }
+    }
+}
+
+/// Lazy member iterator over a validated Multi*/collection body.
+#[derive(Debug, Clone)]
+pub struct MemberIter<'a> {
+    rest: &'a [u8],
+    left: usize,
+}
+
+impl<'a> Iterator for MemberIter<'a> {
+    type Item = GeomRef<'a>;
+
+    fn next(&mut self) -> Option<GeomRef<'a>> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        // audit: the member bytes were validated by the enclosing decode_ref.
+        let (g, used) = decode_ref(self.rest).expect("validated multi member");
+        self.rest = &self.rest[used..];
+        Some(g)
+    }
 }
 
 #[cfg(test)]
@@ -401,5 +1002,150 @@ mod tests {
         buf.extend_from_slice(&2.0f64.to_be_bytes());
         let (g, _) = decode(&buf).unwrap();
         assert_eq!(g, Geometry::Point(Point::new(1.0, 2.0)));
+    }
+
+    /// Both decoders over the same bytes: same success/error verdict,
+    /// same error string, and on success the view materializes the same
+    /// geometry with the same consumed length, envelope and vertex count.
+    fn assert_ref_parity(bytes: &[u8]) {
+        match (decode(bytes), decode_ref(bytes)) {
+            (Ok((owned, used)), Ok((view, used_ref))) => {
+                assert_eq!(used, used_ref);
+                assert_eq!(view.to_geometry(), owned);
+                assert_eq!(view.geometry_type(), owned.geometry_type());
+                assert_eq!(view.envelope(), owned.envelope());
+                assert_eq!(view.num_points(), owned.num_points());
+            }
+            (Err(e_owned), Err(e_ref)) => {
+                assert_eq!(e_owned, e_ref, "error divergence");
+            }
+            (owned, other) => panic!("verdict divergence: owned {owned:?} vs ref {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_ref_matches_decode_on_all_types_and_every_truncation() {
+        for s in [
+            "POINT (30 10)",
+            "LINESTRING (30 10, 10 30, 40 40)",
+            "POLYGON ((30 10, 40 40, 20 40, 30 10))",
+            "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))",
+            "MULTIPOINT ((10 40), (40 30))",
+            "MULTILINESTRING ((10 10, 20 20), (40 40, 30 30))",
+            "MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)))",
+            "GEOMETRYCOLLECTION (POINT (40 10), LINESTRING (10 10, 20 20))",
+        ] {
+            let bytes = encode(&wkt::parse(s).unwrap());
+            for cut in 0..=bytes.len() {
+                assert_ref_parity(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_ref_matches_decode_on_malformed_buffers() {
+        // Bad byte order, bad type code, absurd count.
+        assert_ref_parity(&[7, 1, 0, 0, 0]);
+        assert_ref_parity(&[1, 99, 0, 0, 0]);
+        let mut absurd = vec![1u8];
+        absurd.extend_from_slice(&2u32.to_le_bytes());
+        absurd.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_ref_parity(&absurd);
+
+        // Polygon with zero rings.
+        let mut zero_rings = vec![1u8];
+        zero_rings.extend_from_slice(&3u32.to_le_bytes());
+        zero_rings.extend_from_slice(&0u32.to_le_bytes());
+        assert_ref_parity(&zero_rings);
+
+        // Rings of 0..5 wire points (empty, degenerate, unclosed triangle
+        // that auto-closes, closed square): both decoders must agree on
+        // the `Ring::new` semantics, including the auto-close.
+        for n in 0..5u32 {
+            let mut buf = vec![1u8];
+            buf.extend_from_slice(&3u32.to_le_bytes());
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.extend_from_slice(&n.to_le_bytes());
+            for i in 0..n {
+                let (x, y) = match i {
+                    0 => (0.0f64, 0.0f64),
+                    1 => (4.0, 0.0),
+                    2 => (0.0, 4.0),
+                    _ => (0.0, 0.0), // closes the ring at n = 4
+                };
+                buf.extend_from_slice(&x.to_le_bytes());
+                buf.extend_from_slice(&y.to_le_bytes());
+            }
+            assert_ref_parity(&buf);
+        }
+
+        // Non-finite coordinates: a linestring and a ring carrying a NaN
+        // (finiteness ordering differs between the two constructors).
+        for ty in [2u32, 3] {
+            let mut buf = vec![1u8];
+            buf.extend_from_slice(&ty.to_le_bytes());
+            if ty == 3 {
+                buf.extend_from_slice(&1u32.to_le_bytes());
+            }
+            buf.extend_from_slice(&4u32.to_le_bytes());
+            for v in [0.0f64, 0.0, f64::NAN, 1.0, 2.0, 2.0, 0.0, 0.0] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            assert_ref_parity(&buf);
+        }
+
+        // MULTIPOINT whose member is a linestring.
+        let mut bad_member = vec![1u8];
+        bad_member.extend_from_slice(&4u32.to_le_bytes());
+        bad_member.extend_from_slice(&1u32.to_le_bytes());
+        bad_member.extend_from_slice(&encode(&wkt::parse("LINESTRING (0 0, 1 1)").unwrap()));
+        assert_ref_parity(&bad_member);
+    }
+
+    #[test]
+    fn decode_ref_accepts_big_endian_and_concatenated_streams() {
+        let mut be_buf = vec![0u8];
+        be_buf.extend_from_slice(&1u32.to_be_bytes());
+        be_buf.extend_from_slice(&1.0f64.to_be_bytes());
+        be_buf.extend_from_slice(&2.0f64.to_be_bytes());
+        assert_ref_parity(&be_buf);
+
+        // Back-to-back stream: decode_ref consumes exactly one geometry
+        // per call at the same offsets as decode.
+        let g1 = wkt::parse("POINT (1 2)").unwrap();
+        let g2 = wkt::parse("LINESTRING (0 0, 5 5)").unwrap();
+        let mut buf = encode(&g1);
+        let first_len = buf.len();
+        buf.extend_from_slice(&encode(&g2));
+        let (v1, used1) = decode_ref(&buf).unwrap();
+        assert_eq!(used1, first_len);
+        assert_eq!(v1.to_geometry(), g1);
+        let (v2, used2) = decode_ref(&buf[used1..]).unwrap();
+        assert_eq!(used1 + used2, buf.len());
+        assert_eq!(v2.to_geometry(), g2);
+    }
+
+    #[test]
+    fn ring_views_repeat_the_virtual_closing_vertex() {
+        // Unclosed wire ring: 3 stored points, logical length 4.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        for v in [0.0f64, 0.0, 4.0, 0.0, 0.0, 4.0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let (view, _) = decode_ref(&buf).unwrap();
+        let GeomRef::Polygon(p) = view else {
+            panic!("expected a polygon view")
+        };
+        let ext = p.exterior();
+        assert_eq!(ext.wire_len(), 3);
+        assert_eq!(ext.len(), 4);
+        assert_eq!(ext.point(3), ext.point(0));
+        let pts: Vec<Point> = ext.points().collect();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[3], Point::new(0.0, 0.0));
+        assert_eq!(p.num_points(), 4);
     }
 }

@@ -199,6 +199,13 @@ fn is_decode_marker(line: &str) -> bool {
         "u32_at(",
         "f64_at(",
         "cell_from_wire(",
+        // Zero-copy frame walkers: functions that slice borrowed wire
+        // buffers are decode paths even though the byte reads happen in
+        // the helpers they call.
+        "decode_ref(",
+        "record_frames(",
+        "validate_frames(",
+        "count_frames(",
     ];
     MARKERS.iter().any(|p| line.contains(p))
 }
@@ -275,10 +282,7 @@ fn pub_fn_name(line: &str) -> Option<String> {
         }
     }
     let name = words.next()?;
-    let name = name
-        .split(['(', '<'])
-        .next()
-        .unwrap_or(name);
+    let name = name.split(['(', '<']).next().unwrap_or(name);
     (!name.is_empty()).then(|| name.to_string())
 }
 
@@ -397,6 +401,24 @@ mod tests {
     #[test]
     fn narrowing_outside_decode_fns_is_not_flagged() {
         assert!(findings_for("fn f(x: u64) -> u32 { x as u32 }\n").is_empty());
+    }
+
+    #[test]
+    fn frame_walkers_mark_a_fn_as_decode_path() {
+        // The zero-copy helpers slice wire buffers without calling
+        // from_le_bytes themselves — they must still pull R2 coverage.
+        for call in [
+            "decode_ref(buf)",
+            "record_frames(buf)",
+            "validate_frames(buf)",
+            "count_frames(buf)",
+        ] {
+            let src = format!(
+                "fn walk(buf: &[u8], w: u64) -> u32 {{\n    let v = {call};\n    w as u32\n}}\n"
+            );
+            let f = findings_for(&src);
+            assert_eq!(f, vec![(3, "checked-narrowing")], "marker {call}");
+        }
     }
 
     #[test]

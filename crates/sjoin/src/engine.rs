@@ -48,7 +48,8 @@ use mvio_core::decomp::{
     DecompPolicy, HilbertDecomposition, SpatialDecomposition, UniformDecomposition,
 };
 use mvio_core::exchange::{
-    serialize_record, ExchangeChunk, ExchangeOptions, ExchangePlan, ExchangeStats, SerializedBatch,
+    record_frames, serialize_record, ExchangeChunk, ExchangeOptions, ExchangePlan, ExchangeStats,
+    RecordFrame, SerializedBatch, ZeroCopy,
 };
 use mvio_core::grid::UniformGrid;
 use mvio_core::pipeline::IngestOutput;
@@ -178,6 +179,12 @@ pub struct EngineOptions {
     pub chunk: ExchangeChunk,
     /// Hot-query result cache policy.
     pub cache: ServeCache,
+    /// Zero-copy read path selection for both serve trips, resolved once
+    /// at construction (defaults to the `MVIO_ZEROCOPY` knob, on unless
+    /// overridden). With it on, received query and result records are
+    /// decoded as borrowed wire frames — answers are bit-identical
+    /// either way.
+    pub zerocopy: ZeroCopy,
 }
 
 impl EngineOptions {
@@ -186,6 +193,7 @@ impl EngineOptions {
         EngineOptions {
             chunk: ExchangeChunk::Unlimited,
             cache: ServeCache::Off,
+            zerocopy: ZeroCopy::Auto,
         }
     }
 }
@@ -492,6 +500,55 @@ impl ResidentIndex {
         }
         Ok(())
     }
+
+    /// The zero-copy twin of [`ResidentIndex::serve_one`]: answers one
+    /// query frame straight off the received wire buffer — the query
+    /// geometry is decoded as a borrowed view, never materialized.
+    /// Answers, result records and protocol errors are bit-identical to
+    /// the owned variant.
+    fn serve_one_frame(
+        &self,
+        comm: &mut Comm,
+        fr: &RecordFrame<'_>,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<u8>,
+        produced: &mut u64,
+    ) -> Result<()> {
+        let qid = fr.cell;
+        // audit: the exchange validated every frame before the sink ran.
+        let (g, _) = mvio_geom::wkb::decode_ref(fr.wkb).expect("validated frame");
+        if let Some(kstr) = fr.userdata.strip_prefix("k=") {
+            let k: usize = kstr.parse().map_err(|_| {
+                CoreError::Partition(format!(
+                    "serve protocol: malformed knn payload {:?}",
+                    fr.userdata
+                ))
+            })?;
+            let at = match &g {
+                mvio_geom::wkb::GeomRef::Point(p) => p.point(),
+                g => {
+                    return Err(CoreError::Partition(format!(
+                        "serve protocol: knn query carries a {:?} geometry",
+                        g.geometry_type()
+                    )))
+                }
+            };
+            for (distance, userdata) in self.knn_local(comm, &at, k) {
+                let rec =
+                    Feature::with_userdata(Geometry::Point(Point::new(distance, 0.0)), userdata);
+                serialize_record(qid, &rec, scratch, out)?;
+                *produced += 1;
+            }
+        } else {
+            let rect = g.envelope();
+            for userdata in self.rect_matches(comm, &rect) {
+                let rec = Feature::with_userdata(Geometry::Point(Point::new(0.0, 0.0)), userdata);
+                serialize_record(qid, &rec, scratch, out)?;
+                *produced += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Encodes a query rect as the 2-point diagonal linestring whose
@@ -517,6 +574,9 @@ pub struct QueryEngine {
     index: ResidentIndex,
     chunk: ExchangeChunk,
     cache: Option<ResultCache>,
+    /// [`EngineOptions::zerocopy`] resolved once at construction, so a
+    /// resident engine never flips read paths between serve calls.
+    zerocopy: bool,
 }
 
 impl QueryEngine {
@@ -570,6 +630,7 @@ impl QueryEngine {
             },
             chunk: opts.chunk,
             cache: opts.cache.resolve().map(ResultCache::new),
+            zerocopy: opts.zerocopy.resolve(),
         }
     }
 
@@ -712,6 +773,7 @@ impl QueryEngine {
             dests.sort_unstable();
             dests.dedup();
             for &d in &dests {
+                // audit: qi indexes the caller's query slice, far below u32::MAX.
                 serialize_record(qi as u32, &feat, &mut scratch, &mut qbatch.bufs[d])?;
                 qbatch.records[d] += 1;
             }
@@ -730,30 +792,55 @@ impl QueryEngine {
         let mut rbatch = SerializedBatch::empty(p);
         let mut rscratch = Vec::new();
         let index = &self.index;
+        let zerocopy = self.zerocopy;
         let mut deferred: Option<CoreError> = None;
         match comm.labeled("serve.queries", |c| {
-            plan.run_batch_rounds_ctx(c, qbatch, &mut |comm, _round, per_src| {
-                for (src, records) in per_src.into_iter().enumerate() {
-                    let before = rbatch.bufs[src].len() as u64;
-                    let mut produced = 0u64;
-                    for (qid, qf) in records {
-                        index.serve_one(
-                            comm,
-                            qid,
-                            &qf,
-                            &mut rscratch,
-                            &mut rbatch.bufs[src],
-                            &mut produced,
-                        )?;
+            if zerocopy {
+                plan.run_batch_rounds_frames(c, qbatch, &mut |comm, _round, bufs| {
+                    for (src, buf) in bufs.iter().enumerate() {
+                        let before = rbatch.bufs[src].len() as u64;
+                        let mut produced = 0u64;
+                        for fr in record_frames(buf) {
+                            index.serve_one_frame(
+                                comm,
+                                &fr,
+                                &mut rscratch,
+                                &mut rbatch.bufs[src],
+                                &mut produced,
+                            )?;
+                        }
+                        rbatch.records[src] += produced;
+                        comm.charge(Work::SerializeGeoms {
+                            n: produced,
+                            bytes: rbatch.bufs[src].len() as u64 - before,
+                        });
                     }
-                    rbatch.records[src] += produced;
-                    comm.charge(Work::SerializeGeoms {
-                        n: produced,
-                        bytes: rbatch.bufs[src].len() as u64 - before,
-                    });
-                }
-                Ok(())
-            })
+                    Ok(())
+                })
+            } else {
+                plan.run_batch_rounds_ctx(c, qbatch, &mut |comm, _round, per_src| {
+                    for (src, records) in per_src.into_iter().enumerate() {
+                        let before = rbatch.bufs[src].len() as u64;
+                        let mut produced = 0u64;
+                        for (qid, qf) in records {
+                            index.serve_one(
+                                comm,
+                                qid,
+                                &qf,
+                                &mut rscratch,
+                                &mut rbatch.bufs[src],
+                                &mut produced,
+                            )?;
+                        }
+                        rbatch.records[src] += produced;
+                        comm.charge(Work::SerializeGeoms {
+                            n: produced,
+                            bytes: rbatch.bufs[src].len() as u64 - before,
+                        });
+                    }
+                    Ok(())
+                })
+            }
         }) {
             Ok(s) => stats.query_exchange = s,
             Err(e) => {
@@ -765,23 +852,48 @@ impl QueryEngine {
         // 5. Ship results back to the issuing ranks.
         let mut collected: Vec<Vec<(f64, String)>> = vec![Vec::new(); queries.len()];
         match comm.labeled("serve.results", |c| {
-            plan.run_batch_rounds_ctx(c, rbatch, &mut |_, _round, per_src| {
-                for records in per_src {
-                    for (qid, f) in records {
-                        let slot = collected.get_mut(qid as usize).ok_or_else(|| {
-                            CoreError::Partition(format!(
-                                "serve protocol: result for unknown query index {qid}"
-                            ))
-                        })?;
-                        let distance = match &f.geometry {
-                            Geometry::Point(pt) => pt.x,
-                            _ => 0.0,
-                        };
-                        slot.push((distance, f.userdata));
+            if zerocopy {
+                plan.run_batch_rounds_frames(c, rbatch, &mut |_, _round, bufs| {
+                    for buf in &bufs {
+                        for fr in record_frames(buf) {
+                            let qid = fr.cell;
+                            // audit: u32 → usize is lossless; get_mut rejects out-of-range ids.
+                            let slot = collected.get_mut(qid as usize).ok_or_else(|| {
+                                CoreError::Partition(format!(
+                                    "serve protocol: result for unknown query index {qid}"
+                                ))
+                            })?;
+                            let (g, _) =
+                                mvio_geom::wkb::decode_ref(fr.wkb).expect("validated frame"); // audit: the exchange validated every frame.
+                            let distance = match &g {
+                                mvio_geom::wkb::GeomRef::Point(pt) => pt.x(),
+                                _ => 0.0,
+                            };
+                            slot.push((distance, fr.userdata.to_string()));
+                        }
                     }
-                }
-                Ok(())
-            })
+                    Ok(())
+                })
+            } else {
+                plan.run_batch_rounds_ctx(c, rbatch, &mut |_, _round, per_src| {
+                    for records in per_src {
+                        for (qid, f) in records {
+                            // audit: u32 → usize is lossless; get_mut rejects out-of-range ids.
+                            let slot = collected.get_mut(qid as usize).ok_or_else(|| {
+                                CoreError::Partition(format!(
+                                    "serve protocol: result for unknown query index {qid}"
+                                ))
+                            })?;
+                            let distance = match &f.geometry {
+                                Geometry::Point(pt) => pt.x,
+                                _ => 0.0,
+                            };
+                            slot.push((distance, f.userdata));
+                        }
+                    }
+                    Ok(())
+                })
+            }
         }) {
             Ok(s) => stats.result_exchange = s,
             Err(e) => {
@@ -806,6 +918,7 @@ impl QueryEngine {
                 Query::Knn { k, .. } => {
                     let mut v = std::mem::take(&mut collected[qi]);
                     v.sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then_with(|| x.1.cmp(&y.1)));
+                    // audit: u32 → usize is lossless on every supported target.
                     v.truncate(*k as usize);
                     QueryAnswer::Neighbors(
                         v.into_iter()

@@ -5,7 +5,10 @@ use mvio_core::decomp::{
     self, DecompConfig, DecompPolicy, HilbertDecomposition, SpatialDecomposition,
     UniformDecomposition,
 };
-use mvio_core::exchange::{exchange_features_windows, ExchangeChunk, ExchangeOptions};
+use mvio_core::exchange::{
+    exchange_features_frames_windows, exchange_features_windows, ExchangeChunk, ExchangeOptions,
+    FrameStore, ZeroCopy,
+};
 use mvio_core::framework::{claims_reference, FilterRefine};
 use mvio_core::grid::{GridSpec, UniformGrid};
 use mvio_core::partition::{read_partition_text, ReadOptions};
@@ -14,9 +17,12 @@ use mvio_core::reader::WktLineParser;
 use mvio_core::snapshot::{self, SnapshotReadOptions};
 use mvio_core::{CoreError, Feature, Result};
 use mvio_geom::index::RTree;
+use mvio_geom::refkernel::{envelope_batch, filter_pairs_batch, RefineArena};
+use mvio_geom::wkb::GeomRef;
 use mvio_geom::{algo, Rect};
 use mvio_msim::{Comm, Work};
 use mvio_pfs::SimFs;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Options for one distributed join.
@@ -49,6 +55,13 @@ pub struct JoinOptions {
     /// `pipeline: PipelineOptions::default().with_workers(n)` (or `0`
     /// for env/host resolution).
     pub pipeline: PipelineOptions,
+    /// Zero-copy read path selection. Defaults to [`ZeroCopy::Auto`]
+    /// (the `MVIO_ZEROCOPY` knob, on unless overridden): the exchange
+    /// hands the refine phase validated wire frames that are decoded in
+    /// place — no per-record materialization on the receive side. The
+    /// join *answer* is bit-identical either way; only the virtual-time
+    /// breakdown and resident allocations move.
+    pub zerocopy: ZeroCopy,
 }
 
 impl Default for JoinOptions {
@@ -60,6 +73,7 @@ impl Default for JoinOptions {
             windows: 1,
             chunk: ExchangeChunk::Auto,
             pipeline: PipelineOptions::default().with_workers(1),
+            zerocopy: ZeroCopy::Auto,
         }
     }
 }
@@ -75,6 +89,12 @@ pub struct JoinReport {
     pub filter_candidates: u64,
     /// Exact-geometry tests performed (post-dedup).
     pub refine_tests: u64,
+    /// Peak geometry-payload heap allocations resident on this rank
+    /// during the join phase. The owned path materializes every received
+    /// record up front (one-plus allocations each, resident for the whole
+    /// phase); the zero-copy path keeps records as borrowed wire frames
+    /// and only counts the refine arena's peak of live scratch buffers.
+    pub max_resident_allocs: u64,
     /// Global max-over-ranks phase breakdown (identical on every rank).
     pub breakdown: PhaseBreakdown,
 }
@@ -129,30 +149,53 @@ pub fn spatial_join(
         windows: opts.windows,
         chunk: opts.chunk,
     };
-    let (left_batches, _) = exchange_features_windows(comm, left_pairs, &*sd, &ex_opts)?;
-    let (right_batches, _) = exchange_features_windows(comm, right_pairs, &*sd, &ex_opts)?;
-    timer.end_communication(comm);
-
-    // --- Join phase: per-cell index, filter, dedup, refine. --------------
     let mut filter_candidates = 0u64;
     let mut refine_tests = 0u64;
-    let pairs = FilterRefine::run_refine_batched(
-        comm,
-        &*sd,
-        left_batches.iter().map(|b| b.as_slice()),
-        right_batches.iter().map(|b| b.as_slice()),
-        |comm, task| {
-            join_cell(
-                comm,
-                &*sd,
-                task.cell,
-                &task.left,
-                &task.right,
-                &mut filter_candidates,
-                &mut refine_tests,
-            )
-        },
-    );
+    let (pairs, max_resident_allocs) = if opts.zerocopy.resolve() {
+        // Zero-copy: the received rounds stay as validated wire frames;
+        // the refine phase decodes borrowed views in place and only
+        // materializes the pairs that survive the batched MBR filter.
+        let (left_stores, _) = exchange_features_frames_windows(comm, left_pairs, &*sd, &ex_opts)?;
+        let (right_stores, _) =
+            exchange_features_frames_windows(comm, right_pairs, &*sd, &ex_opts)?;
+        timer.end_communication(comm);
+
+        // --- Join phase: batched filter + arena refine over frames. ------
+        run_refine_frames(
+            comm,
+            &*sd,
+            &left_stores,
+            &right_stores,
+            &mut filter_candidates,
+            &mut refine_tests,
+        )
+    } else {
+        let (left_batches, _) = exchange_features_windows(comm, left_pairs, &*sd, &ex_opts)?;
+        let (right_batches, _) = exchange_features_windows(comm, right_pairs, &*sd, &ex_opts)?;
+        timer.end_communication(comm);
+
+        // --- Join phase: per-cell index, filter, dedup, refine. ----------
+        let resident = (left_batches.iter().map(Vec::len).sum::<usize>()
+            + right_batches.iter().map(Vec::len).sum::<usize>()) as u64;
+        let pairs = FilterRefine::run_refine_batched(
+            comm,
+            &*sd,
+            left_batches.iter().map(|b| b.as_slice()),
+            right_batches.iter().map(|b| b.as_slice()),
+            |comm, task| {
+                join_cell(
+                    comm,
+                    &*sd,
+                    task.cell,
+                    &task.left,
+                    &task.right,
+                    &mut filter_candidates,
+                    &mut refine_tests,
+                )
+            },
+        );
+        (pairs, resident)
+    };
     timer.end_compute(comm);
 
     let local = timer.finish(comm);
@@ -161,6 +204,7 @@ pub fn spatial_join(
         pairs,
         filter_candidates,
         refine_tests,
+        max_resident_allocs,
         breakdown,
     })
 }
@@ -175,6 +219,10 @@ pub struct SnapshotJoinOptions {
     pub decomp: DecompPolicy,
     /// Collective-read + routing-exchange configuration.
     pub read: SnapshotReadOptions,
+    /// Zero-copy read path selection, as in [`JoinOptions::zerocopy`]:
+    /// with it on, the collective reads leave the routed records as
+    /// validated wire frames and the refine phase decodes them in place.
+    pub zerocopy: ZeroCopy,
 }
 
 impl Default for SnapshotJoinOptions {
@@ -182,6 +230,7 @@ impl Default for SnapshotJoinOptions {
         SnapshotJoinOptions {
             decomp: DecompPolicy::Uniform(mvio_core::grid::CellMap::RoundRobin),
             read: SnapshotReadOptions::default(),
+            zerocopy: ZeroCopy::Auto,
         }
     }
 }
@@ -239,30 +288,48 @@ pub fn spatial_join_snapshots(
     timer.end_partition(comm);
 
     // --- Communication phase: collective reads + routing exchanges. ------
-    let (left, _) = snapshot::read_partitioned(comm, fs, left_path, &*sd, &opts.read)?;
-    let (right, _) = snapshot::read_partitioned(comm, fs, right_path, &*sd, &opts.read)?;
-    timer.end_communication(comm);
-
-    // --- Join phase: identical to the text path. --------------------------
     let mut filter_candidates = 0u64;
     let mut refine_tests = 0u64;
-    let pairs = FilterRefine::run_refine_batched(
-        comm,
-        &*sd,
-        std::iter::once(left.as_slice()),
-        std::iter::once(right.as_slice()),
-        |comm, task| {
-            join_cell(
-                comm,
-                &*sd,
-                task.cell,
-                &task.left,
-                &task.right,
-                &mut filter_candidates,
-                &mut refine_tests,
-            )
-        },
-    );
+    let (pairs, max_resident_allocs) = if opts.zerocopy.resolve() {
+        let (left, _) = snapshot::read_partitioned_frames(comm, fs, left_path, &*sd, &opts.read)?;
+        let (right, _) = snapshot::read_partitioned_frames(comm, fs, right_path, &*sd, &opts.read)?;
+        timer.end_communication(comm);
+
+        // --- Join phase: batched filter + arena refine over frames. ------
+        run_refine_frames(
+            comm,
+            &*sd,
+            std::slice::from_ref(&left),
+            std::slice::from_ref(&right),
+            &mut filter_candidates,
+            &mut refine_tests,
+        )
+    } else {
+        let (left, _) = snapshot::read_partitioned(comm, fs, left_path, &*sd, &opts.read)?;
+        let (right, _) = snapshot::read_partitioned(comm, fs, right_path, &*sd, &opts.read)?;
+        timer.end_communication(comm);
+
+        // --- Join phase: identical to the text path. ----------------------
+        let resident = (left.len() + right.len()) as u64;
+        let pairs = FilterRefine::run_refine_batched(
+            comm,
+            &*sd,
+            std::iter::once(left.as_slice()),
+            std::iter::once(right.as_slice()),
+            |comm, task| {
+                join_cell(
+                    comm,
+                    &*sd,
+                    task.cell,
+                    &task.left,
+                    &task.right,
+                    &mut filter_candidates,
+                    &mut refine_tests,
+                )
+            },
+        );
+        (pairs, resident)
+    };
     timer.end_compute(comm);
 
     let local = timer.finish(comm);
@@ -271,6 +338,7 @@ pub fn spatial_join_snapshots(
         pairs,
         filter_candidates,
         refine_tests,
+        max_resident_allocs,
         breakdown,
     })
 }
@@ -304,13 +372,13 @@ fn join_cell(
     if left.is_empty() || right.is_empty() {
         return Vec::new();
     }
+    // Envelopes once per batch — the inner candidate loop below reuses
+    // them by index instead of recomputing per hit (an O(candidates ×
+    // vertices) rescan on polygon-heavy cells).
+    let left_mbrs: Vec<Rect> = left.iter().map(|f| f.geometry.envelope()).collect();
     // Filter index: bulk R-tree over left MBRs (the paper uses GEOS's
     // STRtree the same way).
-    let items: Vec<(Rect, usize)> = left
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f.geometry.envelope(), i))
-        .collect();
+    let items: Vec<(Rect, usize)> = left_mbrs.iter().copied().zip(0..left.len()).collect();
     comm.charge(Work::RtreeInserts {
         n: left.len() as u64,
     });
@@ -324,11 +392,10 @@ fn join_cell(
         total_hits += hits.len() as u64;
         for &li in hits {
             let l = left[li];
-            let l_mbr = l.geometry.envelope();
             *filter_candidates += 1;
             // Duplicate avoidance: only the reference cell reports this
             // candidate (geometries are replicated across cells).
-            if !claims_reference(sd, cell, &l_mbr, &r_mbr) {
+            if !claims_reference(sd, cell, &left_mbrs[li], &r_mbr) {
                 continue;
             }
             *refine_tests += 1;
@@ -346,6 +413,112 @@ fn join_cell(
         results: total_hits,
     });
     results
+}
+
+/// The zero-copy join phase: groups two sides of received wire frames by
+/// cell, filters candidate pairs in batch over precomputed MBRs
+/// ([`envelope_batch`] + [`filter_pairs_batch`] with the reference-cell
+/// claim), and only then materializes the surviving pairs into a reusable
+/// [`RefineArena`] for the exact intersection tests. Results, counters
+/// and charged refine work are bit-identical to
+/// [`FilterRefine::run_refine_batched`] + [`join_cell`] over the owned
+/// records; per-record heap allocation on the receive side is zero by
+/// construction. Returns the pairs plus the arena's peak of live scratch
+/// buffers (the `max_resident_allocs` metric).
+/// Not collective — refinement is cell-local; the communicator only
+/// charges compute.
+fn run_refine_frames(
+    comm: &mut Comm,
+    sd: &dyn SpatialDecomposition,
+    left_stores: &[FrameStore],
+    right_stores: &[FrameStore],
+    filter_candidates: &mut u64,
+    refine_tests: &mut u64,
+) -> (Vec<(String, String)>, u64) {
+    let rank = comm.rank();
+    // Flatten batch-then-source order — exactly the owned path's record
+    // order — and decode each frame's borrowed view once.
+    let left: Vec<_> = left_stores.iter().flat_map(FrameStore::frames).collect();
+    let right: Vec<_> = right_stores.iter().flat_map(FrameStore::frames).collect();
+    fn view(wkb: &[u8]) -> GeomRef<'_> {
+        // audit: FrameStore only holds buffers the exchange validated.
+        mvio_geom::wkb::decode_ref(wkb).expect("validated frame").0
+    }
+    let left_refs: Vec<GeomRef<'_>> = left.iter().map(|fr| view(fr.wkb)).collect();
+    let right_refs: Vec<GeomRef<'_>> = right.iter().map(|fr| view(fr.wkb)).collect();
+    let (mut left_mbrs, mut right_mbrs) = (Vec::new(), Vec::new());
+    envelope_batch(&left_refs, &mut left_mbrs);
+    envelope_batch(&right_refs, &mut right_mbrs);
+
+    // Group by cell (ascending — the owned path's BTreeMap order); within
+    // a cell, indices keep flattened record order.
+    let mut by_cell: BTreeMap<u32, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (i, fr) in left.iter().enumerate() {
+        debug_assert_eq!(sd.cell_to_rank(fr.cell), rank, "left frame misrouted");
+        by_cell.entry(fr.cell).or_default().0.push(i);
+    }
+    for (i, fr) in right.iter().enumerate() {
+        debug_assert_eq!(sd.cell_to_rank(fr.cell), rank, "right frame misrouted");
+        by_cell.entry(fr.cell).or_default().1.push(i);
+    }
+
+    let mut arena = RefineArena::new();
+    let mut results = Vec::new();
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    let mut surviving: Vec<(usize, usize)> = Vec::new();
+    for (cell, (ls, rs)) in by_cell {
+        if ls.is_empty() || rs.is_empty() {
+            continue;
+        }
+        let items: Vec<(Rect, usize)> = ls.iter().map(|&i| (left_mbrs[i], i)).collect();
+        comm.charge(Work::RtreeInserts { n: ls.len() as u64 });
+        let index = RTree::bulk_load(items);
+
+        // Candidate enumeration in (right outer, hit inner) order — the
+        // owned inner loop's order, so survivors refine identically.
+        candidates.clear();
+        let mut total_hits = 0u64;
+        for &ri in &rs {
+            let hits = index.query(&right_mbrs[ri]);
+            total_hits += hits.len() as u64;
+            candidates.extend(hits.iter().map(|&&li| (li, ri)));
+        }
+        *filter_candidates += candidates.len() as u64;
+        filter_pairs_batch(
+            &candidates,
+            &left_mbrs,
+            &right_mbrs,
+            |a, b| claims_reference(sd, cell, a, b),
+            &mut surviving,
+        );
+
+        // Exact refine only for the survivors, through the reusable
+        // arena: materialize, test, recycle — per window/cell reset keeps
+        // the pool of live buffers tiny regardless of record counts.
+        arena.reset();
+        for &(li, ri) in &surviving {
+            *refine_tests += 1;
+            comm.charge(Work::RefinePair {
+                verts_a: left_refs[li].num_points() as u64,
+                verts_b: right_refs[ri].num_points() as u64,
+            });
+            let lg = arena.materialize(&left_refs[li]);
+            let rg = arena.materialize(&right_refs[ri]);
+            if algo::intersects(&lg, &rg) {
+                results.push((
+                    left[li].userdata.to_string(),
+                    right[ri].userdata.to_string(),
+                ));
+            }
+            arena.recycle(lg);
+            arena.recycle(rg);
+        }
+        comm.charge(Work::RtreeQueries {
+            n: rs.len() as u64,
+            results: total_hits,
+        });
+    }
+    (results, arena.peak_resident() as u64)
 }
 
 #[cfg(test)]
@@ -469,6 +642,50 @@ mod tests {
         let mut all: Vec<(String, String)> = blocking.into_iter().flatten().collect();
         all.sort();
         assert_eq!(all, expected());
+    }
+
+    /// The tentpole oracle at join scale: per-rank outputs (unsorted) and
+    /// the filter/refine counters must be identical with the zero-copy
+    /// read path on and off, across grid sizes, chunking and windows.
+    /// Only `max_resident_allocs` may differ — and the zero-copy side
+    /// must stay bounded by the arena pool, not the record count.
+    #[test]
+    fn join_answer_is_bit_identical_zerocopy_on_and_off() {
+        let run_raw = |zerocopy: ZeroCopy, chunk: ExchangeChunk, windows: u32| {
+            let fs = SimFs::new(FsConfig::gpfs_roger());
+            build_layers(&fs);
+            let mut opts = JoinOptions {
+                zerocopy,
+                chunk,
+                windows,
+                grid: GridSpec::square(8),
+                ..Default::default()
+            };
+            opts.read.block_size = Some(512);
+            World::run(WorldConfig::new(Topology::new(2, 2)), move |comm| {
+                let r = spatial_join(comm, &fs, "left.wkt", "right.wkt", &opts).unwrap();
+                (
+                    r.pairs,
+                    r.filter_candidates,
+                    r.refine_tests,
+                    r.max_resident_allocs,
+                )
+            })
+        };
+        for chunk in [ExchangeChunk::Unlimited, ExchangeChunk::Bytes(64)] {
+            for windows in [1u32, 3] {
+                let on = run_raw(ZeroCopy::On, chunk, windows);
+                let off = run_raw(ZeroCopy::Off, chunk, windows);
+                for (rank, (r_on, r_off)) in on.iter().zip(&off).enumerate() {
+                    assert_eq!(r_on.0, r_off.0, "pairs rank {rank} {chunk:?} w={windows}");
+                    assert_eq!(r_on.1, r_off.1, "filter_candidates rank {rank}");
+                    assert_eq!(r_on.2, r_off.2, "refine_tests rank {rank}");
+                    // Owned residency scales with records; the arena's
+                    // peak stays at a handful of scratch buffers.
+                    assert!(r_on.3 <= 8, "arena peak {} should stay pool-sized", r_on.3);
+                }
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,49 @@ fn arb_geometry() -> impl Strategy<Value = Geometry> {
     ]
 }
 
+fn arb_polygon_holed() -> impl Strategy<Value = Polygon> {
+    // Exterior star plus an interior ring scaled toward the center, so
+    // the oracle covers multi-ring polygon bodies.
+    (arb_point(), 4usize..12, 1u64..u64::MAX).prop_map(|(center, k, seed)| {
+        let mut outer = Vec::with_capacity(k + 1);
+        let mut s = seed;
+        for i in 0..k {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = 1.0 + (s >> 33) as f64 / u32::MAX as f64 * 5.0;
+            let a = i as f64 / k as f64 * std::f64::consts::TAU;
+            outer.push(Point::new(center.x + r * a.cos(), center.y + r * a.sin()));
+        }
+        outer.push(outer[0]);
+        let hole: Vec<Point> = outer
+            .iter()
+            .map(|p| {
+                Point::new(
+                    center.x + (p.x - center.x) * 0.25,
+                    center.y + (p.y - center.y) * 0.25,
+                )
+            })
+            .collect();
+        Polygon::from_coords(outer, vec![hole]).expect("holed star polygon valid")
+    })
+}
+
+/// Every WKB variant the codec knows: the five shapes above plus
+/// multi-linestrings, holed polygons, and (possibly empty, possibly
+/// nested) heterogeneous collections.
+fn arb_geometry_full() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        arb_geometry(),
+        arb_polygon_holed().prop_map(Geometry::Polygon),
+        proptest::collection::vec(arb_linestring(), 1..4)
+            .prop_map(|v| Geometry::MultiLineString(mpi_vector_io::geom::MultiLineString(v))),
+        proptest::collection::vec(arb_geometry(), 0..4).prop_map(|v| {
+            Geometry::GeometryCollection(mpi_vector_io::geom::GeometryCollection(v))
+        }),
+    ]
+}
+
 proptest! {
     // Seed pinned so CI failures are reproducible; override with
     // PROPTEST_SEED to explore a different stream.
@@ -86,6 +129,100 @@ proptest! {
         }
         // Must return Ok or Err, never panic or loop.
         let _ = wkb::decode(&bytes);
+    }
+
+    // ---- decode_ref ≡ decode oracle -------------------------------
+    //
+    // The zero-copy borrowed decoder must be observationally identical
+    // to the owned decoder: same acceptance set, same rejection set
+    // with the same diagnostics, and views that materialize, measure,
+    // and bound exactly like the owned geometry.
+
+    #[test]
+    fn decode_ref_matches_decode(g in arb_geometry_full()) {
+        let bytes = wkb::encode(&g);
+        let (owned, used_o) = wkb::decode(&bytes).unwrap();
+        let (view, used_r) = wkb::decode_ref(&bytes).unwrap();
+        prop_assert_eq!(used_o, bytes.len());
+        prop_assert_eq!(used_r, bytes.len());
+        prop_assert_eq!(view.geometry_type(), owned.geometry_type());
+        prop_assert_eq!(view.num_points(), owned.num_points());
+        prop_assert_eq!(view.envelope(), owned.envelope());
+        prop_assert_eq!(view.to_geometry(), owned.clone());
+        prop_assert_eq!(owned, g);
+    }
+
+    #[test]
+    fn decode_ref_truncation_parity_at_every_cut(g in arb_geometry_full()) {
+        let bytes = wkb::encode(&g);
+        for cut in 0..bytes.len() {
+            let owned = wkb::decode(&bytes[..cut]);
+            let view = wkb::decode_ref(&bytes[..cut]);
+            match (owned, view) {
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (Ok((og, ou)), Ok((vg, vu))) => {
+                    prop_assert_eq!(ou, vu);
+                    prop_assert_eq!(og, vg.to_geometry());
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "cut {} disagreement: owned ok={} view ok={}",
+                    cut,
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_ref_agrees_with_decode_on_corruption(
+        g in arb_geometry_full(),
+        cut in 0usize..64,
+        flip in 0usize..64,
+    ) {
+        let mut bytes = wkb::encode(&g);
+        let cut = cut.min(bytes.len());
+        bytes.truncate(cut);
+        if !bytes.is_empty() {
+            let idx = flip % bytes.len();
+            bytes[idx] ^= 0xA5;
+        }
+        match (wkb::decode(&bytes), wkb::decode_ref(&bytes)) {
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (Ok((og, ou)), Ok((vg, vu))) => {
+                prop_assert_eq!(ou, vu);
+                prop_assert_eq!(og, vg.to_geometry());
+            }
+            (a, b) => prop_assert!(
+                false,
+                "corruption disagreement: owned ok={} view ok={}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    #[test]
+    fn decode_ref_walks_concatenated_streams(
+        gs in proptest::collection::vec(arb_geometry_full(), 1..6),
+    ) {
+        let mut buf = Vec::new();
+        for g in &gs {
+            buf.extend_from_slice(&wkb::encode(g));
+        }
+        let mut pos = 0;
+        for g in &gs {
+            let (owned, used_o) = wkb::decode(&buf[pos..]).unwrap();
+            let (view, used_r) = wkb::decode_ref(&buf[pos..]).unwrap();
+            prop_assert_eq!(used_o, used_r);
+            prop_assert_eq!(&view.to_geometry(), &owned);
+            prop_assert_eq!(&owned, g);
+            prop_assert_eq!(view.envelope(), g.envelope());
+            prop_assert_eq!(view.num_points(), g.num_points());
+            pos += used_o;
+        }
+        prop_assert_eq!(pos, buf.len());
     }
 
     #[test]

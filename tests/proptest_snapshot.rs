@@ -6,13 +6,14 @@
 //! preserves the record multiset while routing every record to its
 //! cell's owner.
 
-use mpi_vector_io::core::decomp::{DecompConfig, UniformDecomposition};
-use mpi_vector_io::core::exchange::ExchangeChunk;
+use mpi_vector_io::core::decomp::{DecompConfig, DecompPolicy, UniformDecomposition};
+use mpi_vector_io::core::exchange::{ExchangeChunk, ZeroCopy};
 use mpi_vector_io::core::grid::CellMap;
 use mpi_vector_io::core::pipeline::{self, PipelineOptions};
 use mpi_vector_io::core::snapshot::{self, SnapshotReadOptions, SnapshotWriteOptions};
-use mpi_vector_io::geom::wkt;
+use mpi_vector_io::geom::{wkb, wkt};
 use mpi_vector_io::prelude::*;
+use mpi_vector_io::sjoin::{spatial_join_snapshots, SnapshotJoinOptions};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -50,6 +51,18 @@ fn dataset_text(records: usize, salt: u64) -> String {
         }
     }
     text
+}
+
+/// Parses the deterministic WKT dataset into features, for fabricating
+/// join layers without a file read.
+fn join_layer(records: usize, salt: u64) -> Vec<Feature> {
+    dataset_text(records, salt)
+        .lines()
+        .map(|l| {
+            let (g, u) = l.split_once('\t').unwrap();
+            Feature::with_userdata(wkt::parse(g).unwrap(), u)
+        })
+        .collect()
 }
 
 /// Canonical string form of a routed pair, for multiset comparison.
@@ -130,10 +143,32 @@ fn round_trip_case(
                 let grid = UniformGrid::new(meta.bounds, meta.spec);
                 let d = UniformDecomposition::new(grid, CellMap::RoundRobin, comm.size());
                 let ropts = SnapshotReadOptions::default().with_chunk(chunk);
-                let (back, _) = snapshot::read_partitioned(comm, &fs, "s.bin", &d, &ropts).unwrap();
+                let (back, orep) =
+                    snapshot::read_partitioned(comm, &fs, "s.bin", &d, &ropts).unwrap();
                 for (cell, _) in &back {
                     assert_eq!(d.cell_to_rank(*cell), comm.rank(), "misrouted record");
                 }
+                // The zero-copy frames read is the same collective over
+                // the same bytes: materializing its borrowed views must
+                // reproduce the owned read bit-for-bit, with the same
+                // scan and exchange counters.
+                let (store, frep) =
+                    snapshot::read_partitioned_frames(comm, &fs, "s.bin", &d, &ropts).unwrap();
+                assert_eq!(store.records(), back.len() as u64);
+                let materialized: Vec<(u32, Feature)> = store
+                    .frames()
+                    .map(|fr| {
+                        let (g, _) = wkb::decode_ref(fr.wkb).unwrap();
+                        (
+                            fr.cell,
+                            Feature::with_userdata(g.to_geometry(), fr.userdata),
+                        )
+                    })
+                    .collect();
+                assert_eq!(materialized, back, "frames read diverged from owned read");
+                assert_eq!(frep.records_scanned, orep.records_scanned);
+                assert_eq!(frep.bytes_read, orep.bytes_read);
+                assert_eq!(frep.exchange.bytes_received, orep.exchange.bytes_received);
                 back
             },
         )
@@ -159,6 +194,89 @@ proptest! {
         chunk_bytes in 0u64..4096,
     ) {
         round_trip_case(records, salt, write_ranks, read_ranks, policy, chunk_bytes);
+    }
+
+    /// The snapshot-backed join answers identically with the zero-copy
+    /// frame path forced on and forced off — same pairs in the same
+    /// order, same filter/refine counters — for every writer/reader
+    /// world size, rebuild policy and exchange chunk cap.
+    #[test]
+    fn snapshot_join_is_bit_identical_zerocopy_on_and_off(
+        lrecords in 1usize..40,
+        rrecords in 1usize..40,
+        salt in 0u64..1_000,
+        write_ranks in 1usize..4,
+        join_ranks in 1usize..5,
+        hilbert in any::<bool>(),
+        chunk_bytes in 0u64..2048,
+    ) {
+        let chunk = if chunk_bytes < 16 {
+            ExchangeChunk::Unlimited
+        } else {
+            ExchangeChunk::Bytes(chunk_bytes)
+        };
+        let fs = SimFs::new(FsConfig::lustre_comet());
+        {
+            let fs = Arc::clone(&fs);
+            World::run(
+                WorldConfig::new(Topology::single_node(write_ranks)),
+                move |comm| {
+                    let grid =
+                        UniformGrid::new(Rect::new(0.0, 0.0, 50.0, 35.0), GridSpec::square(5));
+                    let d = UniformDecomposition::new(grid, CellMap::RoundRobin, comm.size());
+                    for (path, n, s) in
+                        [("l.bin", lrecords, salt), ("r.bin", rrecords, salt ^ 0xDEAD)]
+                    {
+                        let mut pairs: Vec<(u32, Feature)> = Vec::new();
+                        for f in join_layer(n, s) {
+                            for cell in d.cells_for_rect_vec(&f.geometry.envelope()) {
+                                if d.cell_to_rank(cell) == comm.rank() {
+                                    pairs.push((cell, f.clone()));
+                                }
+                            }
+                        }
+                        snapshot::write_partitioned(
+                            comm,
+                            &fs,
+                            path,
+                            &pairs,
+                            &d,
+                            &SnapshotWriteOptions::default(),
+                        )
+                        .unwrap();
+                    }
+                },
+            );
+        }
+        let run = |zerocopy: ZeroCopy| {
+            let fs = Arc::clone(&fs);
+            World::run(
+                WorldConfig::new(Topology::single_node(join_ranks)),
+                move |comm| {
+                    let opts = SnapshotJoinOptions {
+                        decomp: if hilbert {
+                            DecompPolicy::Hilbert
+                        } else {
+                            DecompPolicy::Uniform(CellMap::RoundRobin)
+                        },
+                        read: SnapshotReadOptions::default().with_chunk(chunk),
+                        zerocopy,
+                    };
+                    let rep =
+                        spatial_join_snapshots(comm, &fs, "l.bin", "r.bin", &opts).unwrap();
+                    (rep.pairs, rep.filter_candidates, rep.refine_tests)
+                },
+            )
+        };
+        let on = run(ZeroCopy::On);
+        let off = run(ZeroCopy::Off);
+        for (rank, (a, b)) in on.iter().zip(off.iter()).enumerate() {
+            prop_assert_eq!(
+                a, b,
+                "zerocopy on/off diverged on rank {}/{} (hilbert {}, chunk {:?})",
+                rank, join_ranks, hilbert, chunk
+            );
+        }
     }
 }
 
