@@ -17,13 +17,14 @@
 
 use mvio_bench::experiments::{self as ex, Scale};
 
-const IDS: [&str; 26] = [
+const IDS: [&str; 27] = [
     "pipeline",
     "decomp",
     "exchange",
     "io",
     "serve",
     "refine",
+    "rebalance",
     "table1",
     "table2",
     "table3",
@@ -54,6 +55,7 @@ fn dispatch(id: &str, scale: Scale, quick: bool) -> Option<String> {
         "io" => ex::io::run(scale, quick),
         "serve" => ex::serve::run(scale, quick),
         "refine" => ex::refine::run(scale, quick),
+        "rebalance" => ex::rebalance::run(scale, quick),
         "table1" => ex::table1::run(scale, quick),
         "table2" => ex::table2::run(scale, quick),
         "table3" => ex::table3::run(scale, quick),

@@ -4,7 +4,8 @@
 //! CI runs this (`repro -- gate`) as a dedicated job: it writes the
 //! measured ratios to `BENCH_gate.json` (uploaded as an artifact next
 //! to the full trajectories the
-//! `decomp`/`exchange`/`io`/`serve`/`refine` experiments regenerate)
+//! `decomp`/`exchange`/`io`/`serve`/`refine`/`rebalance` experiments
+//! regenerate)
 //! and exits nonzero on a regression, so a PR that silently
 //! loses one of the asserted wins fails before review. The gate's
 //! measurement parameters are pinned to the same configurations the
@@ -15,7 +16,7 @@
 //! trajectory files. All quantities are deterministic virtual times, so
 //! there is no run-to-run noise to filter.
 
-use super::{decomp, exchange, io, refine, serve, Scale};
+use super::{decomp, exchange, io, rebalance, refine, serve, Scale};
 use crate::report::Table;
 
 /// One tracked ratio with its floor.
@@ -134,6 +135,24 @@ pub fn checks() -> Vec<Check> {
         floor: refine::BATCHED_REFINE_SPEEDUP_FLOOR,
     });
 
+    // Rebalancing: under the moving hotspot, the frozen static
+    // decomposition must end the stream at least the floor times more
+    // imbalanced than the threshold-rebalanced engine at 16 ranks
+    // (same parameters as the unit-test floor, which also pins the
+    // absolute imbalance ceiling and the migrated-bytes fraction).
+    let rows = rebalance::measure(Scale { denominator: 1000 }, &[16]);
+    let imb = |mode: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.mode == mode && r.ranks == 16)
+            .expect("measured row")
+            .final_imbalance
+    };
+    out.push(Check {
+        name: "rebalance: static/rebalanced final imbalance @16 ranks",
+        value: imb("static") / imb("rebalanced"),
+        floor: rebalance::STATIC_DEGRADATION_FLOOR,
+    });
+
     out
 }
 
@@ -156,7 +175,7 @@ pub fn run() -> (String, bool) {
         ]);
     }
     match std::fs::write("BENCH_gate.json", to_json(&checks)) {
-        Ok(()) => t.note("gate measurements written to BENCH_gate.json (pinned floor configurations; the full trajectories are written by the decomp/exchange/io/serve/refine experiments)"),
+        Ok(()) => t.note("gate measurements written to BENCH_gate.json (pinned floor configurations; the full trajectories are written by the decomp/exchange/io/serve/refine/rebalance experiments)"),
         Err(e) => {
             // Failing here keeps CI from uploading a stale checked-in
             // copy as if it were this run's measurements.

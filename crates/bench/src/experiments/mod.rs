@@ -20,6 +20,7 @@ pub mod fig20;
 pub mod gate;
 pub mod io;
 pub mod pipeline;
+pub mod rebalance;
 pub mod refine;
 pub mod serve;
 pub mod table1;

@@ -315,6 +315,63 @@ impl AdaptiveBisection {
     pub fn grid(&self) -> &UniformGrid {
         &self.grid
     }
+
+    /// Relabels this bisection's ranks to maximize weighted cell overlap
+    /// with `prev`'s owner map (same cell space required). Per-rank loads
+    /// are invariant under a label permutation, so balance is untouched —
+    /// but a from-scratch re-bisection numbers its regions by recursion
+    /// order, which can hand almost every cell a new owner even where the
+    /// cuts barely moved. Aligning labels first turns the owner diff into
+    /// the *geometric* diff, which is what incremental migration ships.
+    ///
+    /// Greedy maximum-weight matching on the `(new rank, prev rank)`
+    /// overlap matrix: exact for the common near-diagonal case,
+    /// deterministic everywhere (ties resolve to the lowest rank pair).
+    pub fn aligned_to(mut self, prev: &dyn SpatialDecomposition, weights: &[u64]) -> Self {
+        debug_assert_eq!(prev.num_cells(), self.grid.num_cells(), "same cell space");
+        debug_assert_eq!(weights.len(), self.rank_of.len(), "one weight per cell");
+        let r = self.ranks;
+        let mut overlap = vec![0u64; r * r];
+        for (cell, &new_r) in self.rank_of.iter().enumerate() {
+            let old_r = prev.cell_to_rank(cell as u32);
+            if old_r < r {
+                // `+ 1` keeps empty regions sticky to their old labels.
+                overlap[new_r as usize * r + old_r] += weights[cell] + 1;
+            }
+        }
+        let mut pairs: Vec<(u64, usize, usize)> = overlap
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0)
+            .map(|(i, &w)| (w, i / r, i % r))
+            .collect();
+        pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut label = vec![usize::MAX; r];
+        let mut taken = vec![false; r];
+        for (_, new_r, old_r) in pairs {
+            if label[new_r] == usize::MAX && !taken[old_r] {
+                label[new_r] = old_r;
+                taken[old_r] = true;
+            }
+        }
+        let mut free = taken
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| !t)
+            .map(|(i, _)| i);
+        for l in label.iter_mut() {
+            if *l == usize::MAX {
+                // audit: matching is a partial injection on r labels, so the
+                // unmatched new ranks and the untaken old labels count the
+                // same — `free` cannot run dry.
+                *l = free.next().expect("one free label per unmatched rank");
+            }
+        }
+        for nr in self.rank_of.iter_mut() {
+            *nr = label[*nr as usize] as u32;
+        }
+        self
+    }
 }
 
 impl SpatialDecomposition for AdaptiveBisection {
@@ -792,6 +849,56 @@ mod tests {
         assert!(
             ratio < 1.5,
             "bisection must balance the hotspot, got loads {loads:?} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn aligning_a_bisection_to_itself_is_the_identity() {
+        let counts: Vec<u64> = (0..64).map(|c| (c * 7) % 13).collect();
+        let d = AdaptiveBisection::from_counts(grid(8), &counts, 4);
+        let aligned = d.clone().aligned_to(&d, &counts);
+        assert_eq!(aligned, d);
+    }
+
+    #[test]
+    fn aligning_permutes_labels_without_touching_loads() {
+        // Balanced base, then a perturbed re-bisection: alignment must
+        // keep every rank's load bit-identical (it is a permutation)
+        // while cutting the owner diff versus the unaligned labels.
+        let mut counts = vec![1u64; 64];
+        let old = AdaptiveBisection::from_counts(grid(8), &counts, 4);
+        // Drift: a hotspot lands in the top-right corner.
+        for row in 5..8u32 {
+            for col in 5..8u32 {
+                counts[(row * 8 + col) as usize] += 6;
+            }
+        }
+        let raw = AdaptiveBisection::from_counts(grid(8), &counts, 4);
+        let aligned = raw.clone().aligned_to(&old, &counts);
+        partition_holds(&aligned);
+        let loads = |d: &AdaptiveBisection| -> Vec<u64> {
+            let mut v: Vec<u64> = (0..4)
+                .map(|r| d.cells_of_rank(r).iter().map(|&c| counts[c as usize]).sum())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(loads(&raw), loads(&aligned), "alignment is a pure relabel");
+        let diff = |d: &AdaptiveBisection| {
+            (0..64u32)
+                .filter(|&c| d.cell_to_rank(c) != old.cell_to_rank(c))
+                .count()
+        };
+        assert!(
+            diff(&aligned) <= diff(&raw),
+            "aligned diff {} must not exceed raw diff {}",
+            diff(&aligned),
+            diff(&raw)
+        );
+        assert!(
+            diff(&aligned) < 32,
+            "a corner hotspot should leave most of the 64-cell map in place, moved {}",
+            diff(&aligned)
         );
     }
 

@@ -32,6 +32,16 @@
 //! [`SpatialDecomposition`] assigns their cell to, whether that is the
 //! paper's round-robin uniform grid or one of the skew-aware policies in
 //! [`crate::decomp`].
+//!
+//! ## Wire format
+//!
+//! Every payload byte on the wire is a concatenation of
+//! `[u64 cell][u32 wkb_len][wkb][u32 ud_len][ud]` records (little-endian,
+//! no inter-record padding; see [`serialize_record`]). The byte-level
+//! normative specification — checked narrowing, record alignment under
+//! chunking, and frame-validation rules — is `docs/FORMAT.md` §1 in the
+//! repository root, shared with the snapshot payload in
+//! [`crate::snapshot`].
 
 use crate::decomp::SpatialDecomposition;
 use crate::{CoreError, Feature, Result};

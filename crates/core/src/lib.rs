@@ -47,6 +47,7 @@ pub mod grid;
 pub mod partition;
 pub mod pipeline;
 pub mod reader;
+pub mod rebalance;
 pub mod snapshot;
 pub mod spops;
 pub mod sptypes;
@@ -65,6 +66,10 @@ pub use grid::{CellMap, GridSpec, UniformGrid};
 pub use partition::{BoundaryStrategy, ReadOptions};
 pub use pipeline::{IngestOutput, PipelineOptions, PipelineStats};
 pub use reader::{CsvPointParser, GeometryParser, WktLineParser};
+pub use rebalance::{
+    apply_updates, migrate_cells, DriftTracker, MigrationStats, RebalancePolicy, RebalanceReport,
+    Rebalancer, Update, UpdateStats,
+};
 pub use snapshot::{
     read_partitioned, read_partitioned_frames, write_partitioned, SnapshotMeta,
     SnapshotReadOptions, SnapshotReadReport, SnapshotWriteOptions, SnapshotWriteReport,

@@ -50,6 +50,47 @@
 //! `MVIO_PIPELINE_WORKERS` environment variable, falling back to the
 //! host's available parallelism (capped at 8). CI pins the knob to 1 and
 //! 4 and runs the full suite under both.
+//!
+//! # Example
+//!
+//! A two-rank world ingests a tiny WKT file end to end — read, parse,
+//! decompose, exchange — leaving each rank holding the replicas of the
+//! cells it owns:
+//!
+//! ```
+//! use mvio_core::decomp::DecompConfig;
+//! use mvio_core::grid::GridSpec;
+//! use mvio_core::partition::ReadOptions;
+//! use mvio_core::pipeline::{ingest, PipelineOptions};
+//! use mvio_core::reader::WktLineParser;
+//! use mvio_msim::{Topology, World, WorldConfig};
+//! use mvio_pfs::{FsConfig, SimFs};
+//!
+//! let fs = SimFs::new(FsConfig::gpfs_roger());
+//! fs.create("pts.wkt", None)
+//!     .unwrap()
+//!     .append(b"POINT (0.5 0.5)\ta\nPOINT (3.5 3.5)\tb\nPOINT (3.5 0.5)\tc\n");
+//! let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+//!     let ingested = ingest(
+//!         comm,
+//!         &fs,
+//!         "pts.wkt",
+//!         &ReadOptions::default(),
+//!         &WktLineParser,
+//!         &DecompConfig::uniform(GridSpec::square(2)),
+//!         &PipelineOptions::default(),
+//!     )
+//!     .unwrap();
+//!     // Every replica landed on the rank owning its cell.
+//!     assert!(ingested
+//!         .owned
+//!         .iter()
+//!         .all(|(cell, _)| ingested.decomp.cell_to_rank(*cell) == comm.rank()));
+//!     ingested.owned.len()
+//! });
+//! // The three features exist exactly once across the world.
+//! assert_eq!(out.iter().sum::<usize>(), 3);
+//! ```
 
 use crate::decomp::{self, DecompConfig, SpatialDecomposition};
 // The persistence half of the pipeline: `ingest` once, `write_partitioned`

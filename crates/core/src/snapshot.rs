@@ -10,6 +10,11 @@
 //!
 //! ## File format (version 1, all fields little-endian)
 //!
+//! The byte-level normative specification — including the empty-section
+//! placement rules and the legacy stripe-aligned-empty-section reader
+//! tolerance — is `docs/FORMAT.md` §3 in the repository root; the
+//! summary below must stay in agreement with it.
+//!
 //! ```text
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------

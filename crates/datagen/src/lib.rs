@@ -15,6 +15,9 @@
 //! * **spatial skew** — features cluster around Zipf-weighted hotspots,
 //!   reproducing the load imbalance that motivates fine-grained
 //!   declustering (Figure 5);
+//! * **temporal drift** — a moving-hotspot insert/delete stream
+//!   ([`workload`]) whose spatial concentration glides across the world,
+//!   the load pattern that motivates online rebalancing;
 //! * **determinism** — everything derives from a seed, so experiments are
 //!   reproducible bit-for-bit.
 //!
@@ -25,12 +28,14 @@ pub mod catalog;
 pub mod distributions;
 pub mod queries;
 pub mod shapes;
+pub mod workload;
 pub mod writer;
 
 pub use catalog::{table3, DatasetSpec, DistPolicy, GenReport, ShapeKind};
 pub use distributions::SpatialDistribution;
 pub use queries::{generate_queries, QueryShape, QueryWorkload};
 pub use shapes::ShapeGen;
+pub use workload::{MovingHotspot, UpdateStep};
 pub use writer::{
     wkt_dataset_bytes, write_point_records, write_rect_records, write_wkt_dataset,
     write_wkt_dataset_with_centers,

@@ -43,6 +43,66 @@
 //! contains each matching feature exactly once — deterministically, in
 //! sorted order, regardless of decomposition policy, chunk size, rank
 //! count, or cache state.
+//!
+//! ## Mutability
+//!
+//! The engine is no longer write-once: [`QueryEngine::apply_updates`]
+//! absorbs streaming inserts/deletes between serve batches (routing them
+//! to the owning ranks over the same staged exchange), and
+//! [`QueryEngine::maybe_rebalance`] re-decomposes and migrates only the
+//! cells whose owner changed once the drifted load crosses the
+//! [`RebalancePolicy`] threshold — see [`mvio_core::rebalance`].
+//!
+//! # Example
+//!
+//! A two-rank world builds a resident engine, absorbs a streaming
+//! insert, and serves a range query over the mutated dataset:
+//!
+//! ```
+//! use mvio_core::decomp::{SpatialDecomposition, UniformDecomposition};
+//! use mvio_core::grid::{CellMap, GridSpec, UniformGrid};
+//! use mvio_core::rebalance::Update;
+//! use mvio_core::Feature;
+//! use mvio_geom::{Geometry, Point, Rect};
+//! use mvio_msim::{Topology, World, WorldConfig};
+//! use mvio_sjoin::{EngineOptions, Query, QueryAnswer, QueryEngine};
+//!
+//! let out = World::run(WorldConfig::new(Topology::single_node(2)), |comm| {
+//!     // Every rank fabricates the same tiny dataset and keeps the
+//!     // replicas it owns — the state an ingest would have produced.
+//!     let grid = UniformGrid::new(Rect::new(0.0, 0.0, 4.0, 4.0), GridSpec::square(2));
+//!     let sd: Box<dyn SpatialDecomposition> =
+//!         Box::new(UniformDecomposition::new(grid, CellMap::RoundRobin, comm.size()));
+//!     let f = Feature::with_userdata(Geometry::Point(Point::new(1.0, 1.0)), "a");
+//!     let owned: Vec<(u32, Feature)> = sd
+//!         .cells_for_rect_vec(&f.geometry.envelope())
+//!         .into_iter()
+//!         .filter(|&c| sd.cell_to_rank(c) == comm.rank())
+//!         .map(|c| (c, f.clone()))
+//!         .collect();
+//!     let mut eng = QueryEngine::from_parts(comm, sd, owned, &EngineOptions::one_shot());
+//!     // Rank 0 submits a streaming insert; the batch is collective.
+//!     let updates = if comm.rank() == 0 {
+//!         vec![Update::Insert(Feature::with_userdata(
+//!             Geometry::Point(Point::new(3.0, 3.0)),
+//!             "b",
+//!         ))]
+//!     } else {
+//!         Vec::new()
+//!     };
+//!     eng.apply_updates(comm, &updates).unwrap();
+//!     let report = eng
+//!         .serve(comm, &[Query::Range(Rect::new(0.0, 0.0, 4.0, 4.0))])
+//!         .unwrap();
+//!     report.answers
+//! });
+//! for answers in out {
+//!     assert_eq!(
+//!         answers,
+//!         vec![QueryAnswer::Matches(vec!["a".into(), "b".into()])]
+//!     );
+//! }
+//! ```
 
 use mvio_core::decomp::{
     DecompPolicy, HilbertDecomposition, SpatialDecomposition, UniformDecomposition,
@@ -53,6 +113,9 @@ use mvio_core::exchange::{
 };
 use mvio_core::grid::UniformGrid;
 use mvio_core::pipeline::IngestOutput;
+use mvio_core::rebalance::{
+    self, RebalancePolicy, RebalanceReport, Rebalancer, Update, UpdateStats,
+};
 use mvio_core::snapshot::{self, SnapshotReadOptions};
 use mvio_core::{CoreError, Feature, Result};
 use mvio_geom::index::RTree;
@@ -185,15 +248,22 @@ pub struct EngineOptions {
     /// decoded as borrowed wire frames — answers are bit-identical
     /// either way.
     pub zerocopy: ZeroCopy,
+    /// Online-rebalance policy for [`QueryEngine::maybe_rebalance`]
+    /// (defaults to the `MVIO_REBALANCE` knob, off unless overridden).
+    /// Must be identical on every rank — the rebalance decision is
+    /// collective.
+    pub rebalance: RebalancePolicy,
 }
 
 impl EngineOptions {
-    /// Options for a one-shot wrapper: blocking exchange, no cache.
+    /// Options for a one-shot wrapper: blocking exchange, no cache, no
+    /// rebalancing.
     pub fn one_shot() -> Self {
         EngineOptions {
             chunk: ExchangeChunk::Unlimited,
             cache: ServeCache::Off,
             zerocopy: ZeroCopy::Auto,
+            rebalance: RebalancePolicy::Off,
         }
     }
 }
@@ -314,8 +384,10 @@ fn query_key(q: &Query) -> QueryKey {
 }
 
 /// LRU map from query identity to its full answer. Sound because the
-/// dataset is immutable for the engine's lifetime: a cached answer can
-/// never go stale. Recency is tracked with lazy deletion — `get`/
+/// dataset only changes through [`QueryEngine::apply_updates`], which
+/// clears the cache (a rebalance migrates replicas without changing the
+/// dataset, so cached answers survive it). Recency is tracked with lazy
+/// deletion — `get`/
 /// `insert` push `(key, tick)` markers and eviction skips markers whose
 /// tick no longer matches the live entry.
 #[derive(Debug)]
@@ -361,6 +433,12 @@ impl ResultCache {
         }
     }
 
+    /// Drops every entry (the dataset changed under the cache).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
     /// Bounds the stale-marker backlog that hit-heavy workloads build up.
     fn compact(&mut self) {
         if self.order.len() <= self.cap.saturating_mul(8).max(64) {
@@ -391,6 +469,65 @@ struct ResidentIndex {
 }
 
 impl ResidentIndex {
+    /// Indexes an owned replica set under its decomposition (charged as
+    /// [`Work::RtreeInserts`]). Local — the communicator only charges.
+    fn build(
+        comm: &mut Comm,
+        sd: Box<dyn SpatialDecomposition>,
+        owned: Vec<(u32, Feature)>,
+    ) -> Self {
+        let mut index = ResidentIndex {
+            sd,
+            owned,
+            envelopes: Vec::new(),
+            rtree: RTree::bulk_load(Vec::new()),
+            reference: Vec::new(),
+            rank_cells: Vec::new(),
+        };
+        index.reindex(comm);
+        index
+    }
+
+    /// Recomputes every derived structure — envelopes, R-tree,
+    /// reference-replica flags, per-rank routing cells — from the
+    /// current `sd` + `owned`. Called at construction and again after
+    /// updates or a migration mutate the replica set.
+    fn reindex(&mut self, comm: &mut Comm) {
+        self.envelopes = self
+            .owned
+            .iter()
+            .map(|(_, f)| f.geometry.envelope())
+            .collect();
+        comm.charge(Work::RtreeInserts {
+            n: self.owned.len() as u64,
+        });
+        self.rtree = RTree::bulk_load(
+            self.envelopes
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (*r, i))
+                .collect(),
+        );
+        self.reference = self
+            .owned
+            .iter()
+            .zip(&self.envelopes)
+            .map(|((cell, _), mbr)| match self.sd.reference_cell(mbr) {
+                Some(c) => c == *cell,
+                // Degenerate (out-of-bounds reference corner): claim in
+                // the lowest overlapping cell — deterministic everywhere.
+                None => self.sd.cells_for_rect_vec(mbr).first() == Some(cell),
+            })
+            .collect();
+        self.rank_cells = vec![None; self.sd.num_ranks()];
+        for cell in 0..self.sd.num_cells() {
+            let r = self.sd.cell_to_rank(cell);
+            if self.rank_cells[r].is_none() {
+                self.rank_cells[r] = Some(cell);
+            }
+        }
+    }
+
     /// Filter + refine for one rectangle over the local replicas,
     /// returning the claimed matches' userdata **sorted**. Identical
     /// claiming rule to `range_query`: cell overlap, MBR overlap,
@@ -577,6 +714,9 @@ pub struct QueryEngine {
     /// [`EngineOptions::zerocopy`] resolved once at construction, so a
     /// resident engine never flips read paths between serve calls.
     zerocopy: bool,
+    /// The online-rebalance driver (`None` when the policy resolves to
+    /// off); its drift tracker absorbs every applied update.
+    rebalancer: Option<Rebalancer>,
 }
 
 impl QueryEngine {
@@ -597,40 +737,14 @@ impl QueryEngine {
         owned: Vec<(u32, Feature)>,
         opts: &EngineOptions,
     ) -> Self {
-        let envelopes: Vec<Rect> = owned.iter().map(|(_, f)| f.geometry.envelope()).collect();
-        comm.charge(Work::RtreeInserts {
-            n: owned.len() as u64,
-        });
-        let rtree = RTree::bulk_load(envelopes.iter().enumerate().map(|(i, r)| (*r, i)).collect());
-        let reference: Vec<bool> = owned
-            .iter()
-            .zip(&envelopes)
-            .map(|((cell, _), mbr)| match sd.reference_cell(mbr) {
-                Some(c) => c == *cell,
-                // Degenerate (out-of-bounds reference corner): claim in
-                // the lowest overlapping cell — deterministic everywhere.
-                None => sd.cells_for_rect_vec(mbr).first() == Some(cell),
-            })
-            .collect();
-        let mut rank_cells: Vec<Option<u32>> = vec![None; sd.num_ranks()];
-        for cell in 0..sd.num_cells() {
-            let r = sd.cell_to_rank(cell);
-            if rank_cells[r].is_none() {
-                rank_cells[r] = Some(cell);
-            }
-        }
+        let index = ResidentIndex::build(comm, sd, owned);
+        let rebalancer = Rebalancer::from_policy(opts.rebalance, &*index.sd, &index.owned);
         QueryEngine {
-            index: ResidentIndex {
-                sd,
-                owned,
-                envelopes,
-                rtree,
-                reference,
-                rank_cells,
-            },
+            index,
             chunk: opts.chunk,
             cache: opts.cache.resolve().map(ResultCache::new),
             zerocopy: opts.zerocopy.resolve(),
+            rebalancer,
         }
     }
 
@@ -677,6 +791,14 @@ impl QueryEngine {
         self.index.owned.len()
     }
 
+    /// Read-only view of this rank's resident `(cell, feature)` replicas
+    /// — what a full re-shuffle would have to ship. The rebalance
+    /// experiment serializes these to report migrated bytes as a
+    /// fraction of the partition.
+    pub fn resident(&self) -> &[(u32, Feature)] {
+        &self.index.owned
+    }
+
     /// Answers one rectangle against this rank's replicas only — no
     /// communication, no cache. The one-shot `range_query` wrapper uses
     /// this for its compute phase; the union of every rank's local
@@ -687,6 +809,63 @@ impl QueryEngine {
     pub fn local_range_matches(&self, comm: &mut Comm, query: &Rect) -> Result<Vec<String>> {
         validate_query(&Query::Range(*query))?;
         Ok(self.index.rect_matches(comm, query))
+    }
+
+    /// The configured rebalance threshold (`None` = rebalancing off).
+    pub fn rebalance_threshold(&self) -> Option<f64> {
+        self.rebalancer.as_ref().map(Rebalancer::threshold)
+    }
+
+    /// Applies a batch of streaming [`Update`]s to the resident
+    /// partition, reindexes the local replicas, and drops the result
+    /// cache (cached answers may name deleted features or miss inserted
+    /// ones; see [`rebalance::apply_updates`] for the routing protocol
+    /// and the drift-histogram bookkeeping).
+    /// Collective — every rank must call it together, each with its own
+    /// (possibly empty) batch. Invalid updates anywhere in the world
+    /// reject the whole call symmetrically with
+    /// [`CoreError::InvalidOptions`] before anything ships, leaving the
+    /// engine untouched and usable for the next batch.
+    pub fn apply_updates(&mut self, comm: &mut Comm, updates: &[Update]) -> Result<UpdateStats> {
+        let result = rebalance::apply_updates(
+            comm,
+            &*self.index.sd,
+            &mut self.index.owned,
+            updates,
+            self.chunk,
+            self.rebalancer.as_mut().map(Rebalancer::tracker_mut),
+        );
+        // Reindex and invalidate even on the deferred-error path: the
+        // exchange applies whatever arrived before winding down, and a
+        // remote rank's updates can stale this rank's cached answers
+        // without shipping this rank a single record.
+        self.index.reindex(comm);
+        if let Some(cache) = self.cache.as_mut() {
+            cache.clear();
+        }
+        result
+    }
+
+    /// Checks the drifted load balance and — when the configured
+    /// threshold has tripped — re-decomposes over the same cell tiling
+    /// and migrates only the cells whose owner changed (see
+    /// [`Rebalancer::maybe_rebalance`]). A no-op all-zero report comes
+    /// back when rebalancing is off. The result cache survives: a
+    /// migration moves replicas between ranks without changing the
+    /// dataset, so cached answers stay exact.
+    /// Collective — every rank must call it together (the construction
+    /// contract requires the same policy on every rank, so all ranks
+    /// take the same branch).
+    pub fn maybe_rebalance(&mut self, comm: &mut Comm) -> Result<RebalanceReport> {
+        let Some(reb) = self.rebalancer.as_mut() else {
+            return Ok(RebalanceReport::default());
+        };
+        let report =
+            reb.maybe_rebalance(comm, &mut self.index.sd, &mut self.index.owned, self.chunk)?;
+        if report.rebalanced {
+            self.index.reindex(comm);
+        }
+        Ok(report)
     }
 
     /// Serves one batch of queries; collective — every rank must call it
@@ -1163,6 +1342,120 @@ mod tests {
             .map(|e| matches!(e, CoreError::InvalidOptions(_)))
         });
         assert_eq!(out, vec![Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn updates_invalidate_cached_answers() {
+        let fs = lattice_fs(6);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let mut eng = build_engine(
+                comm,
+                &fs,
+                &EngineOptions {
+                    cache: ServeCache::Entries(8),
+                    ..Default::default()
+                },
+            );
+            let batch = vec![Query::Range(Rect::new(1.5, 1.5, 3.5, 3.5))];
+            let first = eng.serve(comm, &batch).unwrap();
+            // Rank 0 deletes p2_2 (inside the window) and inserts a new
+            // point there; a stale cache would replay the old answer.
+            let updates = if comm.rank() == 0 {
+                vec![
+                    Update::Delete(Feature::with_userdata(
+                        Geometry::Point(Point::new(2.0, 2.0)),
+                        "p2_2",
+                    )),
+                    Update::Insert(Feature::with_userdata(
+                        Geometry::Point(Point::new(2.1, 2.1)),
+                        "fresh",
+                    )),
+                ]
+            } else {
+                Vec::new()
+            };
+            eng.apply_updates(comm, &updates).unwrap();
+            let second = eng.serve(comm, &batch).unwrap();
+            assert_eq!(second.stats.answered_from_cache, 0, "cache must be cold");
+            (first.answers, second.answers)
+        });
+        for (first, second) in &out {
+            let QueryAnswer::Matches(before) = &first[0] else {
+                panic!()
+            };
+            let QueryAnswer::Matches(after) = &second[0] else {
+                panic!()
+            };
+            assert!(before.contains(&"p2_2".to_string()));
+            assert!(!after.contains(&"p2_2".to_string()));
+            assert!(after.contains(&"fresh".to_string()));
+        }
+    }
+
+    #[test]
+    fn rebalance_triggers_under_drift_and_preserves_answers() {
+        let fs = lattice_fs(8);
+        let out = World::run(WorldConfig::new(Topology::single_node(4)), move |comm| {
+            let mut eng = build_engine(
+                comm,
+                &fs,
+                &EngineOptions {
+                    rebalance: RebalancePolicy::Threshold(1.5),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(eng.rebalance_threshold(), Some(1.5));
+            // Pour a hotspot into the bottom-left quarter of the world:
+            // rank 0 submits all of it, the batch lands spread by cell.
+            let updates: Vec<Update> = if comm.rank() == 0 {
+                (0..96)
+                    .map(|i| {
+                        let x = 0.05 + (i % 10) as f64 * 0.33;
+                        let y = 0.05 + ((i / 10) % 10) as f64 * 0.33;
+                        Update::Insert(Feature::with_userdata(
+                            Geometry::Point(Point::new(x, y)),
+                            format!("h{i:02}"),
+                        ))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            eng.apply_updates(comm, &updates).unwrap();
+            let batch = vec![
+                Query::Range(Rect::new(0.0, 0.0, 3.0, 3.0)),
+                Query::Knn {
+                    at: Point::new(1.0, 1.0),
+                    k: 7,
+                },
+            ];
+            let before = eng.serve(comm, &batch).unwrap().answers;
+            let report = eng.maybe_rebalance(comm).unwrap();
+            assert!(report.rebalanced, "drift must trip the 1.5 threshold");
+            assert!(report.imbalance_after < report.imbalance_before);
+            let after = eng.serve(comm, &batch).unwrap().answers;
+            assert_eq!(before, after, "a migration must not change answers");
+            // A second check right away is a no-op: nothing drifted.
+            let again = eng.maybe_rebalance(comm).unwrap();
+            assert!(!again.rebalanced);
+            (report.imbalance_before, report.imbalance_after)
+        });
+        for (before, after) in &out {
+            assert!(before > &1.5, "hotspot should degrade balance: {before}");
+            assert!(after < before);
+        }
+    }
+
+    #[test]
+    fn rebalance_off_is_a_noop() {
+        let fs = lattice_fs(4);
+        let out = World::run(WorldConfig::new(Topology::single_node(2)), move |comm| {
+            let mut eng = build_engine(comm, &fs, &EngineOptions::default());
+            assert_eq!(eng.rebalance_threshold(), None);
+            let report = eng.maybe_rebalance(comm).unwrap();
+            (report.rebalanced, report.migration.shipped_bytes)
+        });
+        assert_eq!(out, vec![(false, 0), (false, 0)]);
     }
 
     #[test]

@@ -34,4 +34,5 @@ pub use index::{build_distributed_index, IndexReport};
 pub use join::{
     spatial_join, spatial_join_snapshots, JoinOptions, JoinReport, SnapshotJoinOptions,
 };
+pub use mvio_core::rebalance::{RebalancePolicy, RebalanceReport, Update, UpdateStats};
 pub use query::{batch_query, range_query, RangeQueryReport};

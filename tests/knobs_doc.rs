@@ -1,0 +1,101 @@
+//! Coverage check for `docs/KNOBS.md`: every `MVIO_*` environment knob
+//! referenced anywhere in the workspace's crate sources must have a row
+//! in the knob table. Adding a knob without documenting it fails here.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Extracts every `MVIO_[A-Z0-9_]+` identifier from `text`.
+fn knob_idents(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut at = 0;
+    while let Some(pos) = text[at..].find("MVIO_") {
+        let start = at + pos;
+        let mut end = start + "MVIO_".len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        // A bare "MVIO_" prefix with no knob name is not an identifier.
+        if end > start + "MVIO_".len() {
+            out.insert(text[start..end].trim_end_matches('_').to_string());
+        }
+        at = end;
+    }
+    out
+}
+
+fn rust_sources_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_env_knob_in_the_workspace_is_documented() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let crates = root.join("crates");
+    assert!(crates.is_dir(), "expected {} to exist", crates.display());
+
+    let mut sources = Vec::new();
+    let crate_dirs = fs::read_dir(&crates).expect("readable crates dir");
+    for entry in crate_dirs.flatten() {
+        let src = entry.path().join("src");
+        rust_sources_under(&src, &mut sources);
+    }
+    assert!(
+        sources.len() > 10,
+        "suspiciously few sources found ({}) — did the layout move?",
+        sources.len()
+    );
+
+    let mut used = BTreeSet::new();
+    for path in &sources {
+        let text = fs::read_to_string(path).expect("readable source file");
+        used.extend(knob_idents(&text));
+    }
+    assert!(
+        used.contains("MVIO_CHECK") && used.contains("MVIO_DECOMP"),
+        "knob scan is broken: known knobs not found in {used:?}"
+    );
+
+    let knobs_md = root.join("docs").join("KNOBS.md");
+    let documented = knob_idents(&fs::read_to_string(&knobs_md).expect("readable docs/KNOBS.md"));
+
+    let missing: Vec<&String> = used.difference(&documented).collect();
+    assert!(
+        missing.is_empty(),
+        "env knobs referenced in crate sources but missing from docs/KNOBS.md: {missing:?}"
+    );
+
+    // The reverse direction matters too: a documented knob that no code
+    // reads is a stale row.
+    let stale: Vec<&String> = documented.difference(&used).collect();
+    assert!(
+        stale.is_empty(),
+        "docs/KNOBS.md documents knobs that no crate source references: {stale:?}"
+    );
+}
+
+#[test]
+fn knob_ident_extraction_handles_word_boundaries() {
+    let set = knob_idents("reads MVIO_FOO_BAR, then `MVIO_BAZ=1`; ignores MVIO_ alone");
+    assert_eq!(
+        set.into_iter().collect::<Vec<_>>(),
+        vec!["MVIO_BAZ".to_string(), "MVIO_FOO_BAR".to_string()]
+    );
+}

@@ -280,6 +280,7 @@ proptest! {
                         chunk,
                         cache: ServeCache::Off,
                         zerocopy,
+                        ..Default::default()
                     };
                     let mut eng = QueryEngine::from_parts(comm, sd, owned, &opts);
                     let rep = eng.serve(comm, &mk_queries(&qseeds)).unwrap();
